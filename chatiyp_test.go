@@ -1,0 +1,121 @@
+package chatiyp
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"chatiyp/internal/iyp"
+)
+
+func smallSystem(t testing.TB) *System {
+	t.Helper()
+	sys, err := New(Options{Dataset: iyp.SmallConfig(), Perfect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewAndAsk(t *testing.T) {
+	sys := smallSystem(t)
+	w := sys.World()
+	ans, err := sys.Ask(context.Background(), fmt.Sprintf("What is the name of AS%d?", w.ASes[0].ASN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ans.Text, w.ASes[0].Name) {
+		t.Errorf("answer = %q", ans.Text)
+	}
+}
+
+func TestQueryFacade(t *testing.T) {
+	sys := smallSystem(t)
+	res, err := sys.Query("MATCH (a:AS) RETURN count(a)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := res.Value(); !ok || v != int64(len(sys.World().ASes)) {
+		t.Errorf("count = %v", v)
+	}
+}
+
+func TestSnapshotRoundTripThroughFacade(t *testing.T) {
+	sys := smallSystem(t)
+	path := t.TempDir() + "/iyp.graph"
+	if err := sys.SaveGraph(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := FromGraph(g, nil, Options{Perfect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sys.World()
+	ans, err := sys2.Ask(context.Background(), fmt.Sprintf("In which country is AS%d registered?", w.ASes[0].ASN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ans.Text, w.ASes[0].Country.Code) {
+		t.Errorf("restored-system answer = %q, want country %s", ans.Text, w.ASes[0].Country.Code)
+	}
+}
+
+func TestHTTPHandlerFacade(t *testing.T) {
+	sys := smallSystem(t)
+	h, err := sys.HTTPHandler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/health", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("health status = %d", rec.Code)
+	}
+}
+
+func TestBenchmarkAndEvaluateFacade(t *testing.T) {
+	sys, err := New(Options{Dataset: iyp.SmallConfig()}) // realistic error model
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := sys.GenerateBenchmark(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bench.Questions) < 36 {
+		t.Fatalf("benchmark = %d questions", len(bench.Questions))
+	}
+	rep, err := sys.Evaluate(context.Background(), bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != len(bench.Questions) {
+		t.Errorf("records = %d", len(rep.Records))
+	}
+}
+
+func TestSchemaText(t *testing.T) {
+	if !strings.Contains(SchemaText(), "POPULATION") {
+		t.Error("schema text incomplete")
+	}
+}
+
+func TestOptionsVariants(t *testing.T) {
+	// Error-scaled and ablated systems must construct fine.
+	for _, opts := range []Options{
+		{Dataset: iyp.SmallConfig(), ErrorScale: 2.0},
+		{Dataset: iyp.SmallConfig(), DisableVectorFallback: true},
+		{Dataset: iyp.SmallConfig(), DisableReranker: true, Seed: 7},
+	} {
+		if _, err := New(opts); err != nil {
+			t.Errorf("New(%+v): %v", opts, err)
+		}
+	}
+}

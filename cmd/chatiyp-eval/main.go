@@ -1,0 +1,168 @@
+// Command chatiyp-eval reproduces the paper's evaluation: it builds the
+// dataset and benchmark, runs the full pipeline over every question,
+// scores the answers with BLEU / ROUGE / BERTScore / G-Eval, and prints
+// the requested figure or finding.
+//
+// Usage:
+//
+//	chatiyp-eval -all
+//	chatiyp-eval -figure 2a
+//	chatiyp-eval -figure 2b
+//	chatiyp-eval -finding 1
+//	chatiyp-eval -finding 2
+//	chatiyp-eval -all -csv scores.csv -json report.json
+//	chatiyp-eval -all -ablation     # retriever-composition ablation
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"chatiyp/internal/cyphereval"
+	"chatiyp/internal/eval"
+	"chatiyp/internal/iyp"
+)
+
+func main() {
+	var (
+		figure    = flag.String("figure", "", "print one figure: 2a or 2b")
+		finding   = flag.String("finding", "", "print one finding: 1 or 2")
+		all       = flag.Bool("all", false, "print every figure and finding")
+		csvOut    = flag.String("csv", "", "export per-question scores to CSV")
+		jsonOut   = flag.String("json", "", "export the full report to JSON")
+		perTpl    = flag.Int("per-template", 10, "benchmark instances per template")
+		small     = flag.Bool("small", false, "use the small dataset")
+		ablation  = flag.Bool("ablation", false, "also run the retriever-composition ablation")
+		templates = flag.Bool("templates", false, "print the per-template error analysis")
+		baseline  = flag.Bool("baseline", false, "also evaluate the closed-book (no retrieval) baseline")
+		scale     = flag.Float64("error-scale", 1.0, "backbone translation error scale (0 = perfect)")
+	)
+	flag.Parse()
+	if *figure == "" && *finding == "" && !*all && !*ablation && !*templates && !*baseline {
+		*all = true
+	}
+
+	cfg := eval.DefaultExperimentConfig()
+	cfg.ErrorScale = *scale
+	if *small {
+		cfg.Dataset = iyp.SmallConfig()
+	}
+	gen := cyphereval.DefaultGenConfig()
+	gen.PerTemplate = *perTpl
+	cfg.Gen = gen
+
+	start := time.Now()
+	exp, err := eval.NewExperiment(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dataset: %d nodes; benchmark: %d questions (built in %v)\n",
+		exp.Graph.NodeCount(), len(exp.Bench.Questions), time.Since(start))
+
+	start = time.Now()
+	rep, err := exp.Runner.Run(context.Background())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "evaluation finished in %v\n\n", time.Since(start))
+
+	show2a := *all || *figure == "2a"
+	show2b := *all || *figure == "2b"
+	show1 := *all || *finding == "1"
+	show2 := *all || *finding == "2"
+	if show2a {
+		fmt.Println(eval.BuildFigure2a(rep).Render())
+	}
+	if show2b {
+		fmt.Println(eval.BuildFigure2b(rep).Render())
+	}
+	if show1 {
+		fmt.Println(eval.BuildCorrelationReport(rep).Render())
+	}
+	if show2 {
+		fmt.Println(eval.BuildFinding2(rep).Render())
+	}
+
+	if *templates || *all {
+		fmt.Println(eval.BuildTemplateReport(rep).Render())
+	}
+	if *baseline {
+		cmp, err := exp.Runner.RunBaseline(context.Background(), rep)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(cmp.Render())
+	}
+
+	if *csvOut != "" {
+		if err := writeFile(*csvOut, rep.WriteCSV); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "CSV written to %s\n", *csvOut)
+	}
+	if *jsonOut != "" {
+		if err := writeFile(*jsonOut, rep.WriteJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "JSON written to %s\n", *jsonOut)
+	}
+
+	if *ablation {
+		runAblation(cfg)
+	}
+}
+
+// runAblation compares retriever compositions: full pipeline, no
+// reranker, no vector fallback — the paper's robustness claim for its
+// three-retriever design.
+func runAblation(base eval.ExperimentConfig) {
+	fmt.Println("Ablation — retriever composition (mean G-Eval / execution accuracy)")
+	variants := []struct {
+		name                  string
+		disableVector, noRank bool
+	}{
+		{"full pipeline", false, false},
+		{"no reranker", false, true},
+		{"no vector fallback", true, false},
+	}
+	for _, v := range variants {
+		cfg := base
+		cfg.DisableVectorFallback = v.disableVector
+		cfg.DisableReranker = v.noRank
+		exp, err := eval.NewExperiment(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := exp.Runner.Run(context.Background())
+		if err != nil {
+			fatal(err)
+		}
+		var sum float64
+		for _, rec := range rep.Records {
+			sum += rec.GEval
+		}
+		fmt.Printf("  %-20s G-Eval %.3f   exec-acc %.1f%%\n",
+			v.name, sum/float64(len(rep.Records)), rep.Accuracy()*100)
+	}
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chatiyp-eval:", err)
+	os.Exit(1)
+}

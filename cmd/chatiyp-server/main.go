@@ -1,0 +1,71 @@
+// Command chatiyp-server runs the ChatIYP web application: the JSON API
+// (/api/ask, /api/cypher, /api/schema, /api/stats) plus the embedded
+// single-page UI, mirroring the paper's public deployment.
+//
+// Usage:
+//
+//	chatiyp-server -addr :8080
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"chatiyp"
+	"chatiyp/internal/core"
+	"chatiyp/internal/iyp"
+	"chatiyp/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		small   = flag.Bool("small", false, "use the small dataset (fast startup)")
+		perfect = flag.Bool("perfect", false, "disable the simulated model's translation noise")
+		graphIn = flag.String("graph", "", "load the knowledge graph from a snapshot")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "chatiyp-server ", log.LstdFlags)
+
+	opts := chatiyp.Options{Perfect: *perfect}
+	if *small {
+		opts.Dataset = iyp.SmallConfig()
+	}
+	var (
+		sys *chatiyp.System
+		err error
+	)
+	if *graphIn != "" {
+		var g *chatiyp.Graph
+		g, err = chatiyp.LoadGraph(*graphIn)
+		if err == nil {
+			sys, err = chatiyp.FromGraph(g, nil, opts)
+		}
+	} else {
+		sys, err = chatiyp.New(opts)
+	}
+	if err != nil {
+		logger.Fatal(err)
+	}
+	stats := sys.Graph().CollectStats()
+	logger.Printf("IYP graph ready: %d nodes, %d relationships", stats.Nodes, stats.Relationships)
+
+	var pipe *core.Pipeline = sys.Pipeline()
+	srv, err := server.New(server.Config{Pipeline: pipe, Logger: logger})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

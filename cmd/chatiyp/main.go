@@ -1,0 +1,114 @@
+// Command chatiyp is the interactive ChatIYP client: ask natural-
+// language questions about the IYP graph from the terminal and see the
+// answer alongside the executed Cypher query.
+//
+// Usage:
+//
+//	chatiyp -q "What is the percentage of Japan's population in AS2497?"
+//	chatiyp            # REPL mode: one question per line
+//	chatiyp -trace -q "..."
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chatiyp"
+	"chatiyp/internal/iyp"
+)
+
+func main() {
+	var (
+		question = flag.String("q", "", "one-shot question (omit for REPL mode)")
+		trace    = flag.Bool("trace", false, "print the pipeline stage trace")
+		perfect  = flag.Bool("perfect", false, "disable the simulated model's translation noise")
+		seed     = flag.Int64("seed", 0, "simulated model seed (0 = default)")
+		small    = flag.Bool("small", false, "use the small dataset (fast startup)")
+		graphIn  = flag.String("graph", "", "load the knowledge graph from a snapshot instead of generating it")
+	)
+	flag.Parse()
+
+	sys, err := buildSystem(*graphIn, *small, *perfect, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chatiyp:", err)
+		os.Exit(1)
+	}
+	stats := sys.Graph().CollectStats()
+	fmt.Fprintf(os.Stderr, "IYP graph ready: %d nodes, %d relationships\n", stats.Nodes, stats.Relationships)
+
+	if *question != "" {
+		if err := ask(sys, *question, *trace); err != nil {
+			fmt.Fprintln(os.Stderr, "chatiyp:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Fprintln(os.Stderr, "ChatIYP REPL — one question per line (ctrl-D to exit)")
+	scanner := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Fprint(os.Stderr, "? ")
+		if !scanner.Scan() {
+			break
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if err := ask(sys, line, *trace); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+}
+
+func buildSystem(graphPath string, small, perfect bool, seed int64) (*chatiyp.System, error) {
+	opts := chatiyp.Options{Perfect: perfect, Seed: seed}
+	if graphPath != "" {
+		g, err := chatiyp.LoadGraph(graphPath)
+		if err != nil {
+			return nil, err
+		}
+		return chatiyp.FromGraph(g, nil, opts)
+	}
+	if small {
+		opts.Dataset = iyp.SmallConfig()
+	}
+	return chatiyp.New(opts)
+}
+
+func ask(sys *chatiyp.System, question string, trace bool) error {
+	ans, err := sys.Ask(context.Background(), question)
+	if err != nil {
+		return err
+	}
+	fmt.Println(ans.Text)
+	if ans.Cypher != "" {
+		fmt.Printf("\n  cypher: %s\n", ans.Cypher)
+	}
+	if ans.CypherError != "" {
+		fmt.Printf("\n  structured retrieval failed: %s\n", ans.CypherError)
+	}
+	if ans.UsedVectorFallback {
+		fmt.Println("  (semantic fallback contributed context)")
+	}
+	if trace {
+		fmt.Println("\n  trace:")
+		for _, st := range ans.Trace {
+			line := fmt.Sprintf("    %-12s %v", st.Stage, st.Duration)
+			if st.Detail != "" {
+				line += "  " + st.Detail
+			}
+			if st.Err != "" {
+				line += "  ERR: " + st.Err
+			}
+			fmt.Println(line)
+		}
+		fmt.Printf("    tokens: %d in, %d out\n", ans.TokensIn, ans.TokensOut)
+	}
+	fmt.Println()
+	return nil
+}

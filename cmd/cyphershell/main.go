@@ -1,0 +1,116 @@
+// Command cyphershell is an interactive Cypher shell over the synthetic
+// IYP graph — the expert-mode access path that ChatIYP exists to make
+// unnecessary.
+//
+// Usage:
+//
+//	cyphershell
+//	cyphershell -c "MATCH (a:AS {asn: 2497}) RETURN a"
+//	cyphershell -graph snapshot.bin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"chatiyp/internal/cypher"
+	"chatiyp/internal/graph"
+	"chatiyp/internal/iyp"
+)
+
+func main() {
+	var (
+		command = flag.String("c", "", "one-shot query (omit for REPL mode)")
+		small   = flag.Bool("small", false, "use the small dataset")
+		graphIn = flag.String("graph", "", "load the graph from a snapshot")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphIn, *small)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cyphershell:", err)
+		os.Exit(1)
+	}
+	stats := g.CollectStats()
+	fmt.Fprintf(os.Stderr, "graph ready: %d nodes, %d relationships — type Cypher, end with ';' or newline\n",
+		stats.Nodes, stats.Relationships)
+
+	if *command != "" {
+		if err := run(g, *command); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Fprint(os.Stderr, "cypher> ")
+		if !scanner.Scan() {
+			break
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == "exit" || line == "quit" {
+			break
+		}
+		if err := run(g, line); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+}
+
+func loadGraph(path string, small bool) (*graph.Graph, error) {
+	if path != "" {
+		return graph.LoadFile(path)
+	}
+	cfg := iyp.DefaultConfig()
+	if small {
+		cfg = iyp.SmallConfig()
+	}
+	g, _, err := iyp.Build(cfg)
+	return g, err
+}
+
+func run(g *graph.Graph, query string) error {
+	// EXPLAIN prefix prints the access plan instead of executing.
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(query), "EXPLAIN "); ok {
+		plan, err := cypher.Explain(g, rest, cypher.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return nil
+	}
+	start := time.Now()
+	res, err := cypher.Execute(g, query, nil)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if len(res.Columns) > 0 {
+		fmt.Println(strings.Join(res.Columns, " | "))
+		fmt.Println(strings.Repeat("-", len(strings.Join(res.Columns, " | "))))
+	}
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = graph.FormatValue(v)
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	summary := fmt.Sprintf("%d rows in %v", len(res.Rows), elapsed)
+	if res.Stats.Changed() {
+		summary += fmt.Sprintf(" (created %d nodes, %d rels; set %d props; deleted %d nodes, %d rels)",
+			res.Stats.NodesCreated, res.Stats.RelationshipsCreated, res.Stats.PropertiesSet,
+			res.Stats.NodesDeleted, res.Stats.RelationshipsDeleted)
+	}
+	fmt.Fprintln(os.Stderr, summary)
+	return nil
+}

@@ -1,0 +1,72 @@
+// Country footprint: a policy-analyst session exploring one country's
+// Internet infrastructure through natural language — how many networks
+// are registered there, who serves the population (the paper's worked
+// example), which exchanges operate locally, and which upstream the
+// country's networks depend on the most.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"chatiyp"
+)
+
+func main() {
+	sys, err := chatiyp.New(chatiyp.Options{Perfect: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick the country with the most registered ASes for an interesting
+	// session.
+	counts := map[string]int{}
+	names := map[string]string{}
+	for _, as := range sys.World().ASes {
+		counts[as.Country.Code]++
+		names[as.Country.Code] = as.Country.Name
+	}
+	var country, cc string
+	best := 0
+	for code, n := range counts {
+		if n > best {
+			best, cc, country = n, code, names[code]
+		}
+	}
+	fmt.Printf("=== Internet footprint of %s (%s) — %d ASes in ground truth ===\n\n", country, cc, best)
+
+	questions := []string{
+		fmt.Sprintf("How many ASes are registered in %s?", country),
+		fmt.Sprintf("Which AS serves the largest share of %s's population?", country),
+		fmt.Sprintf("How many IXPs are located in %s?", country),
+		fmt.Sprintf("How many organizations are based in %s?", country),
+		fmt.Sprintf("Which AS is the most common dependency of ASes registered in %s?", country),
+	}
+	for _, q := range questions {
+		ans, err := sys.Ask(context.Background(), q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Q:", q)
+		fmt.Println("A:", ans.Text)
+		fmt.Println("   cypher:", ans.Cypher)
+		fmt.Println()
+	}
+
+	// Follow the paper's worked example for this country's top eyeball
+	// network.
+	for _, as := range sys.World().ASes {
+		if as.Country.Code == cc && as.PopPercent > 0 {
+			q := fmt.Sprintf("What is the percentage of %s's population in AS%d?", country, as.ASN)
+			ans, err := sys.Ask(context.Background(), q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Q:", q)
+			fmt.Println("A:", ans.Text)
+			fmt.Printf("   (ground truth: %.1f%%)\n", as.PopPercent)
+			break
+		}
+	}
+}

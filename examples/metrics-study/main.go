@@ -1,0 +1,59 @@
+// Metrics study: a compact version of the paper's evaluation — generate
+// a benchmark, run ChatIYP over it, score every answer with BLEU, ROUGE,
+// BERTScore and G-Eval, and print the two figures. This is the example
+// to start from when replaying Findings 1 and 2.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"chatiyp"
+	"chatiyp/internal/eval"
+)
+
+func main() {
+	// The realistic (GPT-3.5-class) error model is the point of this
+	// study: with Perfect: true every metric would saturate.
+	sys, err := chatiyp.New(chatiyp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bench, err := sys.GenerateBenchmark(5) // 5 per template = 180 questions
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchmark: %d questions\n%s\n", len(bench.Questions), bench.Counts())
+
+	rep, err := sys.Evaluate(context.Background(), bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(eval.BuildFigure2a(rep).Render())
+	fmt.Println(eval.BuildFigure2b(rep).Render())
+	fmt.Println(eval.BuildCorrelationReport(rep).Render())
+	fmt.Println(eval.BuildFinding2(rep).Render())
+
+	// Show a concrete good/bad pair, the intuition behind Finding 1.
+	var good, bad *eval.Record
+	for i := range rep.Records {
+		rec := &rep.Records[i]
+		if good == nil && rec.GEval > 0.85 {
+			good = rec
+		}
+		if bad == nil && rec.GEval < 0.3 {
+			bad = rec
+		}
+	}
+	if good != nil && bad != nil {
+		fmt.Println("example of a well-judged answer:")
+		fmt.Printf("  Q: %s\n  ref:  %s\n  got:  %s\n  BLEU %.2f | BERTScore %.2f | G-Eval %.2f\n\n",
+			good.Question.Text, good.Reference, good.Candidate, good.BLEU, good.BERTF1, good.GEval)
+		fmt.Println("example of a badly-judged answer:")
+		fmt.Printf("  Q: %s\n  ref:  %s\n  got:  %s\n  BLEU %.2f | BERTScore %.2f | G-Eval %.2f\n",
+			bad.Question.Text, bad.Reference, bad.Candidate, bad.BLEU, bad.BERTF1, bad.GEval)
+	}
+}

@@ -1,0 +1,452 @@
+// Package core implements the ChatIYP pipeline — the paper's
+// contribution: a domain-specific Retrieval-Augmented Generation system
+// that answers natural-language questions over the IYP graph.
+//
+// The pipeline follows Figure 1 of the paper:
+//
+//  1. User Query — a natural-language question.
+//  2. Retrieval — three complementary retrievers:
+//     TextToCypherRetriever (LLM → Cypher → graph execution),
+//     VectorContextRetriever (dense kNN over node descriptions, used
+//     when structured retrieval fails or returns sparse results), and
+//     LLMReranker (shallow LLM scorer selecting the best context).
+//  3. Generation — the LLM produces the natural-language response; the
+//     executed Cypher query is returned alongside for transparency.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"chatiyp/internal/cypher"
+	"chatiyp/internal/embed"
+	"chatiyp/internal/graph"
+	"chatiyp/internal/iyp"
+	"chatiyp/internal/llm"
+	"chatiyp/internal/vector"
+)
+
+// Config assembles a Pipeline.
+type Config struct {
+	// Graph is the IYP knowledge graph. Required.
+	Graph *graph.Graph
+	// Model is the LLM backbone. Required.
+	Model llm.Model
+	// Schema is the schema card included in translation prompts;
+	// empty means iyp.SchemaText().
+	Schema string
+	// VectorTopK is how many node descriptions the vector retriever
+	// fetches (default 8).
+	VectorTopK int
+	// RerankKeep is how many context records survive the reranker
+	// (default 4).
+	RerankKeep int
+	// DisableVectorFallback turns off the semantic fallback; the
+	// ablation benchmarks use it.
+	DisableVectorFallback bool
+	// DisableReranker passes vector candidates through unscored; the
+	// ablation benchmarks use it.
+	DisableReranker bool
+	// MaxContextRows caps how many result rows are rendered into the
+	// generation context (default 12).
+	MaxContextRows int
+	// ExecOptions tunes Cypher execution.
+	ExecOptions cypher.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Schema == "" {
+		c.Schema = iyp.SchemaText()
+	}
+	if c.VectorTopK == 0 {
+		c.VectorTopK = 8
+	}
+	if c.RerankKeep == 0 {
+		c.RerankKeep = 4
+	}
+	if c.MaxContextRows == 0 {
+		c.MaxContextRows = 12
+	}
+	return c
+}
+
+// ErrNoGraph and ErrNoModel reject incomplete configurations.
+var (
+	ErrNoGraph = errors.New("core: Config.Graph is required")
+	ErrNoModel = errors.New("core: Config.Model is required")
+)
+
+// Pipeline is a ready-to-serve ChatIYP instance. Safe for concurrent
+// use.
+type Pipeline struct {
+	cfg      Config
+	embedder *embed.Embedder
+	index    *vector.Index
+	lexicon  *llm.Lexicon
+}
+
+// New builds a Pipeline: it derives the entity lexicon from the graph,
+// renders node descriptions, fits the embedder on them, and fills the
+// vector index.
+func New(cfg Config) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Graph == nil {
+		return nil, ErrNoGraph
+	}
+	if cfg.Model == nil {
+		return nil, ErrNoModel
+	}
+	p := &Pipeline{cfg: cfg}
+	p.lexicon = BuildLexicon(cfg.Graph)
+	descs := iyp.Describe(cfg.Graph)
+	corpus := make([]string, len(descs))
+	for i, d := range descs {
+		corpus[i] = d.Text
+	}
+	p.embedder = embed.NewDefault()
+	p.embedder.Fit(corpus)
+	p.index = vector.NewIndex(p.embedder.Dim())
+	for _, d := range descs {
+		if err := p.index.Add(vector.Doc{ID: d.NodeID, Text: d.Text, Kind: d.Label, Vec: p.embedder.Embed(d.Text)}); err != nil {
+			return nil, fmt.Errorf("core: indexing descriptions: %w", err)
+		}
+	}
+	return p, nil
+}
+
+// Lexicon exposes the derived entity lexicon (the simulated model needs
+// it at construction time).
+func (p *Pipeline) Lexicon() *llm.Lexicon { return p.lexicon }
+
+// Graph returns the underlying knowledge graph.
+func (p *Pipeline) Graph() *graph.Graph { return p.cfg.Graph }
+
+// BuildLexicon derives the text-to-Cypher entity vocabulary from the
+// live graph, the way ChatIYP's prompt chain carries schema examples.
+func BuildLexicon(g *graph.Graph) *llm.Lexicon {
+	lx := &llm.Lexicon{
+		Countries:    map[string]string{},
+		CountryCodes: map[string]bool{},
+	}
+	for _, id := range g.NodesByLabel(iyp.LabelCountry) {
+		n := g.Node(id)
+		code, _ := n.Prop("country_code").(string)
+		name, _ := n.Prop("name").(string)
+		if code != "" {
+			lx.CountryCodes[code] = true
+		}
+		if name != "" && code != "" {
+			lx.Countries[strings.ToLower(name)] = code
+		}
+	}
+	for _, id := range g.NodesByLabel(iyp.LabelIXP) {
+		if name, ok := g.Node(id).Prop("name").(string); ok {
+			lx.IXPs = append(lx.IXPs, name)
+		}
+	}
+	for _, id := range g.NodesByLabel(iyp.LabelOrganization) {
+		if name, ok := g.Node(id).Prop("name").(string); ok {
+			lx.Orgs = append(lx.Orgs, name)
+		}
+	}
+	for _, id := range g.NodesByLabel(iyp.LabelTag) {
+		if label, ok := g.Node(id).Prop("label").(string); ok {
+			lx.Tags = append(lx.Tags, label)
+		}
+	}
+	for _, id := range g.NodesByLabel(iyp.LabelRanking) {
+		if name, ok := g.Node(id).Prop("name").(string); ok {
+			lx.Rankings = append(lx.Rankings, name)
+		}
+	}
+	sort.Strings(lx.IXPs)
+	sort.Strings(lx.Orgs)
+	sort.Strings(lx.Tags)
+	sort.Strings(lx.Rankings)
+	return lx
+}
+
+// ContextRecord is one retrieved context unit handed to generation.
+type ContextRecord struct {
+	// Source is "cypher" or "vector".
+	Source string
+	// Text is the rendered record.
+	Text string
+	// Score is the reranker score (0 when unscored).
+	Score float64
+}
+
+// StageTrace records one pipeline stage for transparency.
+type StageTrace struct {
+	Stage    string
+	Detail   string
+	Err      string
+	Duration time.Duration
+}
+
+// Answer is the pipeline output: the response text, the executed Cypher
+// (for transparency, as the paper's UI shows), the raw rows, the final
+// context, and a full stage trace.
+type Answer struct {
+	Question    string
+	Text        string
+	Cypher      string
+	CypherError string
+	Columns     []string
+	Rows        [][]graph.Value
+	Context     []ContextRecord
+	Trace       []StageTrace
+	TokensIn    int
+	TokensOut   int
+	Duration    time.Duration
+	// UsedVectorFallback reports whether semantic retrieval contributed
+	// context.
+	UsedVectorFallback bool
+}
+
+// Ask runs the full pipeline on one question.
+func (p *Pipeline) Ask(ctx context.Context, question string) (*Answer, error) {
+	started := time.Now()
+	ans := &Answer{Question: question}
+
+	// --- Stage 1: TextToCypherRetriever ---
+	t0 := time.Now()
+	var records []ContextRecord
+	query, res, terr := p.textToCypher(ctx, question, ans)
+	switch {
+	case terr != nil:
+		ans.CypherError = terr.Error()
+		ans.Trace = append(ans.Trace, StageTrace{Stage: "text2cypher", Err: terr.Error(), Duration: time.Since(t0)})
+	default:
+		ans.Cypher = query
+		ans.Columns = res.Columns
+		ans.Rows = res.Rows
+		for _, rec := range FormatRows(res, p.cfg.MaxContextRows) {
+			records = append(records, ContextRecord{Source: "cypher", Text: rec})
+		}
+		ans.Trace = append(ans.Trace, StageTrace{
+			Stage:    "text2cypher",
+			Detail:   fmt.Sprintf("%s → %d rows", query, len(res.Rows)),
+			Duration: time.Since(t0),
+		})
+	}
+
+	// --- Stage 2: VectorContextRetriever (fallback on failure or
+	// sparse structured results) ---
+	sparse := terr != nil || len(ans.Rows) == 0
+	if sparse && !p.cfg.DisableVectorFallback {
+		t1 := time.Now()
+		hits, err := p.vectorRetrieve(question)
+		if err != nil {
+			ans.Trace = append(ans.Trace, StageTrace{Stage: "vector", Err: err.Error(), Duration: time.Since(t1)})
+		} else {
+			for _, h := range hits {
+				records = append(records, ContextRecord{Source: "vector", Text: h.Doc.Text, Score: h.Score})
+			}
+			ans.UsedVectorFallback = len(hits) > 0
+			ans.Trace = append(ans.Trace, StageTrace{
+				Stage:    "vector",
+				Detail:   fmt.Sprintf("%d candidates", len(hits)),
+				Duration: time.Since(t1),
+			})
+		}
+	}
+
+	// --- Stage 3: LLMReranker ---
+	if ans.UsedVectorFallback && !p.cfg.DisableReranker && len(records) > p.cfg.RerankKeep {
+		t2 := time.Now()
+		reranked, err := p.rerank(ctx, question, records, ans)
+		if err != nil {
+			return nil, err
+		}
+		records = reranked
+		ans.Trace = append(ans.Trace, StageTrace{
+			Stage:    "rerank",
+			Detail:   fmt.Sprintf("kept %d", len(records)),
+			Duration: time.Since(t2),
+		})
+	}
+	ans.Context = records
+
+	// --- Stage 4: Generation ---
+	t3 := time.Now()
+	texts := make([]string, len(records))
+	for i, r := range records {
+		texts[i] = r.Text
+	}
+	resp, err := p.cfg.Model.Complete(ctx, llm.Request{
+		Task:     llm.TaskAnswer,
+		Question: question,
+		Context:  texts,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: generation: %w", err)
+	}
+	ans.Text = resp.Text
+	ans.TokensIn += resp.TokensIn
+	ans.TokensOut += resp.TokensOut
+	ans.Trace = append(ans.Trace, StageTrace{Stage: "generate", Detail: fmt.Sprintf("%d context records", len(records)), Duration: time.Since(t3)})
+	ans.Duration = time.Since(started)
+	return ans, nil
+}
+
+// textToCypher translates and executes; it returns the executed query
+// and result, or an error covering both translation and execution
+// failure (the pipeline treats them identically: fall back).
+func (p *Pipeline) textToCypher(ctx context.Context, question string, ans *Answer) (string, *cypher.Result, error) {
+	resp, err := p.cfg.Model.Complete(ctx, llm.Request{
+		Task:     llm.TaskText2Cypher,
+		Question: question,
+		Schema:   p.cfg.Schema,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	ans.TokensIn += resp.TokensIn
+	ans.TokensOut += resp.TokensOut
+	query := strings.TrimSpace(resp.Text)
+	res, err := cypher.ExecuteWith(p.cfg.Graph, query, nil, p.cfg.ExecOptions)
+	if err != nil {
+		return query, nil, fmt.Errorf("executing generated query: %w", err)
+	}
+	return query, res, nil
+}
+
+// vectorRetrieve embeds the question and fetches the nearest node
+// descriptions.
+func (p *Pipeline) vectorRetrieve(question string) ([]vector.Hit, error) {
+	return p.index.Search(p.embedder.Embed(question), p.cfg.VectorTopK, nil)
+}
+
+// rerank scores every record with the shallow LLM scorer and keeps the
+// best RerankKeep, preserving score order (ties by original position).
+func (p *Pipeline) rerank(ctx context.Context, question string, records []ContextRecord, ans *Answer) ([]ContextRecord, error) {
+	type scored struct {
+		rec   ContextRecord
+		score float64
+		pos   int
+	}
+	all := make([]scored, len(records))
+	for i, rec := range records {
+		resp, err := p.cfg.Model.Complete(ctx, llm.Request{
+			Task:     llm.TaskRerank,
+			Question: question,
+			Context:  []string{rec.Text},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: rerank: %w", err)
+		}
+		ans.TokensIn += resp.TokensIn
+		ans.TokensOut += resp.TokensOut
+		rec.Score = resp.Score
+		all[i] = scored{rec: rec, score: resp.Score, pos: i}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].pos < all[j].pos
+	})
+	keep := p.cfg.RerankKeep
+	if keep > len(all) {
+		keep = len(all)
+	}
+	out := make([]ContextRecord, keep)
+	for i := 0; i < keep; i++ {
+		out[i] = all[i].rec
+	}
+	return out, nil
+}
+
+// AskClosedBook answers without any retrieval: the generation model
+// sees only the question. This is the no-RAG baseline the evaluation
+// compares the full pipeline against — with no graph context, the
+// backbone can only decline or guess.
+func (p *Pipeline) AskClosedBook(ctx context.Context, question string) (*Answer, error) {
+	started := time.Now()
+	resp, err := p.cfg.Model.Complete(ctx, llm.Request{
+		Task:     llm.TaskAnswer,
+		Question: question,
+		Context:  nil,
+		Salt:     "closed-book",
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: closed-book generation: %w", err)
+	}
+	return &Answer{
+		Question:  question,
+		Text:      resp.Text,
+		TokensIn:  resp.TokensIn,
+		TokensOut: resp.TokensOut,
+		Duration:  time.Since(started),
+		Trace:     []StageTrace{{Stage: "generate", Detail: "closed book (no retrieval)"}},
+	}, nil
+}
+
+// AnswerFromCypher executes a given Cypher query and synthesizes an
+// answer from its results — the "validation model" used to produce
+// reference answers from gold queries, and the engine behind the web
+// UI's direct-query mode.
+func (p *Pipeline) AnswerFromCypher(ctx context.Context, question, query, salt string) (*Answer, error) {
+	res, err := cypher.ExecuteWith(p.cfg.Graph, query, nil, p.cfg.ExecOptions)
+	if err != nil {
+		return nil, err
+	}
+	records := FormatRows(res, p.cfg.MaxContextRows)
+	resp, err := p.cfg.Model.Complete(ctx, llm.Request{
+		Task:     llm.TaskAnswer,
+		Question: question,
+		Context:  records,
+		Salt:     salt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ans := &Answer{
+		Question: question,
+		Text:     resp.Text,
+		Cypher:   query,
+		Columns:  res.Columns,
+		Rows:     res.Rows,
+	}
+	for _, rec := range records {
+		ans.Context = append(ans.Context, ContextRecord{Source: "cypher", Text: rec})
+	}
+	return ans, nil
+}
+
+// Query executes raw Cypher against the graph (web UI passthrough).
+func (p *Pipeline) Query(query string, params map[string]any) (*cypher.Result, error) {
+	return cypher.ExecuteWith(p.cfg.Graph, query, params, p.cfg.ExecOptions)
+}
+
+// FormatRows renders result rows into compact context records. A
+// single-column result renders bare values; multi-column results render
+// "col: value" pairs. At most limit rows are rendered; the remainder is
+// summarized in a trailing record so generation can report totals.
+func FormatRows(res *cypher.Result, limit int) []string {
+	if res == nil || len(res.Rows) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(res.Rows)+1)
+	for i, row := range res.Rows {
+		if i == limit {
+			out = append(out, fmt.Sprintf("(%d more rows)", len(res.Rows)-limit))
+			break
+		}
+		if len(res.Columns) == 1 {
+			out = append(out, graph.FormatValue(row[0]))
+			continue
+		}
+		parts := make([]string, len(res.Columns))
+		for j, col := range res.Columns {
+			parts[j] = col + ": " + graph.FormatValue(row[j])
+		}
+		out = append(out, strings.Join(parts, ", "))
+	}
+	return out
+}

@@ -1,0 +1,460 @@
+package cypher
+
+// Conformance tests: a broad sweep of query shapes against openCypher
+// semantics, checked on small graphs where the expected result can be
+// stated by hand, plus randomized property tests where the engine is
+// compared against straight-line Go computations over the same graph.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"chatiyp/internal/graph"
+)
+
+// chainGraph builds a line a1 -> a2 -> ... -> an via NEXT with payload
+// properties i.
+func chainGraph(t testing.TB, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	var prev *graph.Node
+	for i := 1; i <= n; i++ {
+		node := g.MustCreateNode([]string{"N"}, map[string]any{"i": i})
+		if prev != nil {
+			g.MustCreateRelationship(prev.ID, node.ID, "NEXT", map[string]any{"w": i})
+		}
+		prev = node
+	}
+	return g
+}
+
+func TestConformanceExpressionTable(t *testing.T) {
+	g := graph.New()
+	cases := []struct {
+		expr string
+		want graph.Value
+	}{
+		// Arithmetic and precedence.
+		{"1 + 2 * 3", int64(7)},
+		{"(1 + 2) * 3", int64(9)},
+		{"10 % 4", int64(2)},
+		{"2 ^ 3 ^ 2", 512.0}, // right-associative
+		{"-3 + 1", int64(-2)},
+		{"1.5 * 2", 3.0},
+		// Comparison chains evaluate left-to-right as boolean results.
+		{"1 < 2", true},
+		{"2 <= 2", true},
+		{"3 > 4", false},
+		{"'a' < 'b'", true},
+		{"1 = 1.0", true},
+		{"'1' = 1", false}, // cross-type equality is false, not null
+		// Boolean logic (three-valued).
+		{"true AND false", false},
+		{"true OR false", true},
+		{"true XOR true", false},
+		{"NOT false", true},
+		{"null AND false", false},
+		{"null AND true", nil},
+		{"null OR true", true},
+		{"null OR false", nil},
+		{"NOT null", nil},
+		// String predicates.
+		{"'hello' STARTS WITH 'he'", true},
+		{"'hello' ENDS WITH 'lo'", true},
+		{"'hello' CONTAINS 'ell'", true},
+		{"'hello' =~ 'h.*o'", true},
+		{"'hello' =~ 'h'", false}, // full-string anchor
+		// Null propagation.
+		{"null + 1", nil},
+		{"null CONTAINS 'x'", nil},
+		{"1 IN [1, 2]", true},
+		{"3 IN [1, 2]", false},
+		{"3 IN [1, null]", nil}, // unknown membership
+		{"null IN [1]", nil},
+		// IS NULL.
+		{"null IS NULL", true},
+		{"1 IS NOT NULL", true},
+		// Lists.
+		{"[1,2,3][1]", int64(2)},
+		{"[1,2,3][-1]", int64(3)},
+		{"[1,2,3][5]", nil},
+		{"size([1,2,3])", int64(3)},
+		{"head([7,8])", int64(7)},
+		{"last([7,8])", int64(8)},
+		{"[1,2] + [3]", []graph.Value{int64(1), int64(2), int64(3)}},
+		{"[1,2,3,4][1..3]", []graph.Value{int64(2), int64(3)}},
+		{"[1,2,3,4][..2]", []graph.Value{int64(1), int64(2)}},
+		{"[1,2,3,4][2..]", []graph.Value{int64(3), int64(4)}},
+		// Functions.
+		{"toUpper('abc')", "ABC"},
+		{"toLower('ABC')", "abc"},
+		{"trim('  x  ')", "x"},
+		{"replace('aaa', 'a', 'b')", "bbb"},
+		{"substring('hello', 1, 3)", "ell"},
+		{"left('hello', 2)", "he"},
+		{"right('hello', 2)", "lo"},
+		{"reverse('abc')", "cba"},
+		{"split('a,b,c', ',')[1]", "b"},
+		{"toInteger('42')", int64(42)},
+		{"toInteger('4.9')", int64(4)},
+		{"toInteger('x')", nil},
+		{"toFloat('2.5')", 2.5},
+		{"toString(42)", "42"},
+		{"toBoolean('true')", true},
+		{"abs(-5)", int64(5)},
+		{"abs(-5.5)", 5.5},
+		{"ceil(1.2)", 2.0},
+		{"floor(1.8)", 1.0},
+		{"round(2.5)", 3.0},
+		{"sqrt(9)", 3.0},
+		{"sign(-3)", int64(-1)},
+		{"coalesce(null, null, 7)", int64(7)},
+		{"coalesce(null, null)", nil},
+		{"size(range(1, 5))", int64(5)},
+		{"range(5, 1, -2)[1]", int64(3)},
+		// Case expressions.
+		{"CASE WHEN 1 > 2 THEN 'a' WHEN 2 > 1 THEN 'b' ELSE 'c' END", "b"},
+		{"CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' END", "two"},
+		{"CASE 9 WHEN 1 THEN 'one' END", nil},
+		// Comprehensions and quantifiers.
+		{"[x IN range(1,4) WHERE x % 2 = 0]", []graph.Value{int64(2), int64(4)}},
+		{"[x IN range(1,3) | x * x]", []graph.Value{int64(1), int64(4), int64(9)}},
+		{"any(x IN [1,2,3] WHERE x > 2)", true},
+		{"all(x IN [1,2,3] WHERE x > 0)", true},
+		{"none(x IN [1,2,3] WHERE x > 5)", true},
+		{"single(x IN [1,2,3] WHERE x = 2)", true},
+		{"single(x IN [2,2] WHERE x = 2)", false},
+		// String concatenation.
+		{"'a' + 'b'", "ab"},
+		{"'AS' + 2497", "AS2497"},
+		// Map literals.
+		{"{a: 1, b: 'x'}.b", "x"},
+		{"{a: 1}['a']", int64(1)},
+		{"keys({b: 1, a: 2})[0]", "a"},
+	}
+	for _, c := range cases {
+		res, err := Execute(g, "RETURN "+c.expr+" AS v", nil)
+		if err != nil {
+			t.Errorf("RETURN %s: %v", c.expr, err)
+			continue
+		}
+		got := res.Rows[0][0]
+		if c.want == nil {
+			if got != nil {
+				t.Errorf("RETURN %s = %v, want null", c.expr, got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) && !graph.ValuesEqual(got, c.want) {
+			t.Errorf("RETURN %s = %#v, want %#v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestConformanceChainTraversals(t *testing.T) {
+	g := chainGraph(t, 6)
+	cases := []struct {
+		src  string
+		want []graph.Value
+	}{
+		{"MATCH (a:N {i: 1})-[:NEXT]->(b) RETURN b.i", []graph.Value{int64(2)}},
+		{"MATCH (a:N {i: 3})<-[:NEXT]-(b) RETURN b.i", []graph.Value{int64(2)}},
+		{"MATCH (a:N {i: 1})-[:NEXT*3]->(b) RETURN b.i", []graph.Value{int64(4)}},
+		{"MATCH (a:N {i: 6})<-[:NEXT*2]-(b) RETURN b.i", []graph.Value{int64(4)}},
+		{"MATCH (a:N {i: 2})-[:NEXT*0..2]->(b) RETURN b.i ORDER BY b.i", []graph.Value{int64(2), int64(3), int64(4)}},
+		{"MATCH (a:N {i: 1})-[:NEXT*]->(b:N {i: 6}) RETURN size([x IN range(1,1)])", []graph.Value{int64(1)}},
+	}
+	for _, c := range cases {
+		res, err := Execute(g, c.src, nil)
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		var got []graph.Value
+		for _, row := range res.Rows {
+			got = append(got, row[0])
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestConformancePathFunctions(t *testing.T) {
+	g := chainGraph(t, 4)
+	res := run(t, g, `MATCH p = (:N {i: 1})-[:NEXT*3]->(:N {i: 4})
+		RETURN length(p), size(nodes(p)), size(relationships(p))`, nil)
+	row := res.Rows[0]
+	if row[0] != int64(3) || row[1] != int64(4) || row[2] != int64(3) {
+		t.Errorf("path metrics = %v", row)
+	}
+	// startNode/endNode on a rel.
+	res2 := run(t, g, `MATCH (:N {i: 1})-[r:NEXT]->() RETURN startNode(r).i, endNode(r).i`, nil)
+	if res2.Rows[0][0] != int64(1) || res2.Rows[0][1] != int64(2) {
+		t.Errorf("start/end = %v", res2.Rows[0])
+	}
+}
+
+func TestConformanceWithAggregationStages(t *testing.T) {
+	g := chainGraph(t, 5)
+	// Two-stage aggregation: count then re-aggregate.
+	res := run(t, g, `MATCH (a:N)-[r:NEXT]->() WITH a, count(r) AS deg
+		RETURN sum(deg), count(*)`, nil)
+	if res.Rows[0][0] != int64(4) || res.Rows[0][1] != int64(4) {
+		t.Errorf("two-stage agg = %v", res.Rows[0])
+	}
+	// WITH ORDER BY + LIMIT feeding a second MATCH.
+	res2 := run(t, g, `MATCH (a:N) WITH a ORDER BY a.i DESC LIMIT 1
+		MATCH (a)<-[:NEXT]-(b) RETURN b.i`, nil)
+	if len(res2.Rows) != 1 || res2.Rows[0][0] != int64(4) {
+		t.Errorf("with-limit-match = %v", res2.Rows)
+	}
+}
+
+func TestConformanceCollectUnwindRoundTrip(t *testing.T) {
+	g := chainGraph(t, 5)
+	res := run(t, g, `MATCH (a:N) WITH collect(a.i) AS xs UNWIND xs AS x RETURN count(x)`, nil)
+	if res.Rows[0][0] != int64(5) {
+		t.Errorf("round trip = %v", res.Rows)
+	}
+}
+
+func TestConformanceOptionalMatchAggregates(t *testing.T) {
+	g := chainGraph(t, 3)
+	// The last node has no outgoing edge; count(r) must be 0 for it,
+	// not a missing row.
+	res := run(t, g, `MATCH (a:N) OPTIONAL MATCH (a)-[r:NEXT]->()
+		RETURN a.i, count(r) ORDER BY a.i`, nil)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[2][1] != int64(0) {
+		t.Errorf("dangling node count = %v", res.Rows[2])
+	}
+}
+
+func TestConformanceMergeRelationship(t *testing.T) {
+	g := graph.New()
+	run(t, g, "CREATE (:P {k: 1}), (:P {k: 2})", nil)
+	// MERGE a rel twice: second run must not duplicate.
+	src := "MATCH (a:P {k: 1}), (b:P {k: 2}) MERGE (a)-[:L]->(b)"
+	run(t, g, src, nil)
+	run(t, g, src, nil)
+	res := run(t, g, "MATCH (:P {k: 1})-[r:L]->(:P {k: 2}) RETURN count(r)", nil)
+	if res.Rows[0][0] != int64(1) {
+		t.Errorf("MERGE duplicated the relationship: %v", res.Rows)
+	}
+}
+
+func TestConformanceSetOnOptionalNullIsNoop(t *testing.T) {
+	g := graph.New()
+	g.MustCreateNode([]string{"P"}, map[string]any{"k": 1})
+	// OPTIONAL MATCH misses; SET on the null variable must not error.
+	run(t, g, "MATCH (a:P) OPTIONAL MATCH (a)-[:NO]->(b) SET b.x = 1", nil)
+}
+
+func TestConformanceDistinctEntities(t *testing.T) {
+	g := chainGraph(t, 4)
+	// Relationship uniqueness forbids walking back over the same edge,
+	// so from node 2 the only two-hop undirected endpoint is node 4.
+	res := run(t, g, `MATCH (a:N {i: 2})-[:NEXT]-(b)-[:NEXT]-(c) RETURN DISTINCT c.i ORDER BY c.i`, nil)
+	var got []graph.Value
+	for _, r := range res.Rows {
+		got = append(got, r[0])
+	}
+	want := []graph.Value{int64(4)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("distinct = %v, want %v", got, want)
+	}
+}
+
+// TestConformanceRandomizedAggregates cross-checks engine aggregation
+// against straight Go computation on random graphs.
+func TestConformanceRandomizedAggregates(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.New()
+		n := 5 + rng.Intn(20)
+		vals := make([]int64, n)
+		var nodes []*graph.Node
+		for i := 0; i < n; i++ {
+			vals[i] = int64(rng.Intn(100))
+			nodes = append(nodes, g.MustCreateNode([]string{"V"}, map[string]any{"x": vals[i]}))
+		}
+		edges := 0
+		for i := 0; i < n*2; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				g.MustCreateRelationship(nodes[a].ID, nodes[b].ID, "E", nil)
+				edges++
+			}
+		}
+		// sum / min / max / count against Go.
+		var sum, mn, mx int64
+		mn, mx = vals[0], vals[0]
+		for _, v := range vals {
+			sum += v
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		res := run(t, g, "MATCH (v:V) RETURN sum(v.x), min(v.x), max(v.x), count(v)", nil)
+		row := res.Rows[0]
+		if row[0] != sum || row[1] != mn || row[2] != mx || row[3] != int64(n) {
+			t.Fatalf("trial %d: agg = %v, want [%d %d %d %d]", trial, row, sum, mn, mx, n)
+		}
+		// Edge count two ways.
+		res2 := run(t, g, "MATCH ()-[r:E]->() RETURN count(r)", nil)
+		if res2.Rows[0][0] != int64(edges) {
+			t.Fatalf("trial %d: edges = %v, want %d", trial, res2.Rows[0][0], edges)
+		}
+		// Undirected match double-counts every edge.
+		res3 := run(t, g, "MATCH (a)-[r:E]-(b) RETURN count(r)", nil)
+		if res3.Rows[0][0] != int64(2*edges) {
+			t.Fatalf("trial %d: undirected = %v, want %d", trial, res3.Rows[0][0], 2*edges)
+		}
+	}
+}
+
+// TestConformanceDegreeViaCypher checks per-node degrees computed by the
+// engine against graph.Degree on a random graph.
+func TestConformanceDegreeViaCypher(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := graph.New()
+	var nodes []*graph.Node
+	for i := 0; i < 12; i++ {
+		nodes = append(nodes, g.MustCreateNode([]string{"V"}, map[string]any{"k": i}))
+	}
+	for i := 0; i < 30; i++ {
+		a, b := rng.Intn(12), rng.Intn(12)
+		if a != b {
+			g.MustCreateRelationship(nodes[a].ID, nodes[b].ID, "E", nil)
+		}
+	}
+	res := run(t, g, `MATCH (v:V) OPTIONAL MATCH (v)-[r:E]->() RETURN v.k, count(r) ORDER BY v.k`, nil)
+	for i, row := range res.Rows {
+		wantDeg := g.Degree(nodes[i].ID, graph.Outgoing, "E")
+		gotK, _ := graph.AsInt(row[0])
+		gotDeg, _ := graph.AsInt(row[1])
+		if int(gotK) != i || int(gotDeg) != wantDeg {
+			t.Fatalf("node %d: cypher degree %d, graph degree %d", i, gotDeg, wantDeg)
+		}
+	}
+}
+
+func TestConformanceParameterTypes(t *testing.T) {
+	g := graph.New()
+	g.MustCreateNode([]string{"P"}, map[string]any{"s": "x", "n": 5, "f": 2.5, "b": true})
+	res, err := Execute(g,
+		"MATCH (p:P {s: $s, n: $n, f: $f, b: $b}) RETURN count(p)",
+		map[string]any{"s": "x", "n": 5, "f": 2.5, "b": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != int64(1) {
+		t.Errorf("typed params = %v", res.Rows)
+	}
+	// List parameter with IN.
+	res2, err := Execute(g, "MATCH (p:P) WHERE p.n IN $xs RETURN count(p)",
+		map[string]any{"xs": []int{4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Rows[0][0] != int64(1) {
+		t.Errorf("list param = %v", res2.Rows)
+	}
+}
+
+func TestConformanceLimitZero(t *testing.T) {
+	g := chainGraph(t, 3)
+	res := run(t, g, "MATCH (a:N) RETURN a LIMIT 0", nil)
+	if len(res.Rows) != 0 {
+		t.Errorf("LIMIT 0 rows = %v", res.Rows)
+	}
+	if _, err := Execute(g, "MATCH (a:N) RETURN a LIMIT -1", nil); err == nil {
+		t.Error("negative LIMIT accepted")
+	}
+}
+
+func TestConformanceSkipBeyondEnd(t *testing.T) {
+	g := chainGraph(t, 3)
+	res := run(t, g, "MATCH (a:N) RETURN a.i SKIP 10", nil)
+	if len(res.Rows) != 0 {
+		t.Errorf("over-skip rows = %v", res.Rows)
+	}
+}
+
+func TestConformanceMultipleLabels(t *testing.T) {
+	g := graph.New()
+	g.MustCreateNode([]string{"A", "B"}, map[string]any{"k": 1})
+	g.MustCreateNode([]string{"A"}, map[string]any{"k": 2})
+	res := run(t, g, "MATCH (n:A:B) RETURN count(n)", nil)
+	if res.Rows[0][0] != int64(1) {
+		t.Errorf("multi-label match = %v", res.Rows)
+	}
+}
+
+func TestConformanceSelfLoopVarLength(t *testing.T) {
+	g := graph.New()
+	a := g.MustCreateNode([]string{"S"}, nil)
+	g.MustCreateRelationship(a.ID, a.ID, "L", nil)
+	// A self-loop cannot be traversed twice in one var-length path.
+	res := run(t, g, "MATCH (s:S)-[:L*1..3]->(x) RETURN count(x)", nil)
+	if res.Rows[0][0] != int64(1) {
+		t.Errorf("self-loop var-length = %v", res.Rows)
+	}
+}
+
+func TestConformanceOrderByNullsLast(t *testing.T) {
+	g := graph.New()
+	g.MustCreateNode([]string{"P"}, map[string]any{"x": 2})
+	g.MustCreateNode([]string{"P"}, nil)
+	g.MustCreateNode([]string{"P"}, map[string]any{"x": 1})
+	res := run(t, g, "MATCH (p:P) RETURN p.x ORDER BY p.x", nil)
+	if res.Rows[0][0] != int64(1) || res.Rows[1][0] != int64(2) || res.Rows[2][0] != nil {
+		t.Errorf("null ordering = %v", res.Rows)
+	}
+}
+
+func TestConformanceWriteReadInterleave(t *testing.T) {
+	g := graph.New()
+	// Create, match what was created in the same query, extend it.
+	res := run(t, g, `CREATE (a:W {k: 1}) CREATE (b:W {k: 2})
+		CREATE (a)-[:R]->(b) RETURN a.k, b.k`, nil)
+	if res.Rows[0][0] != int64(1) || res.Rows[0][1] != int64(2) {
+		t.Errorf("create-return = %v", res.Rows)
+	}
+	res2 := run(t, g, "MATCH (:W {k: 1})-[:R]->(b:W) RETURN b.k", nil)
+	if res2.Rows[0][0] != int64(2) {
+		t.Errorf("read-back = %v", res2.Rows)
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"MATCH (a:AS {asn: 2497}) RETURN a.name",
+		"MATCH (a)-[:X*1..3]->(b) WHERE a.x > 1 RETURN count(b)",
+		"UNWIND [1,2] AS x RETURN x UNION RETURN 3 AS x",
+		"CREATE (a:T {k: 'v'})-[:R]->(b)",
+		"RETURN CASE WHEN true THEN [x IN range(1,3) | x] ELSE null END",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src) // must never panic
+		if err == nil && q != nil {
+			// Renderings of parsed patterns must re-parse.
+			for _, cl := range q.Clauses {
+				if m, ok := cl.(*MatchClause); ok {
+					for _, p := range m.Patterns {
+						_ = PatternString(p)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,593 @@
+package cypher
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"chatiyp/internal/graph"
+)
+
+// Options tunes query execution.
+type Options struct {
+	// MaxRows caps the intermediate binding-table size; exceeding it
+	// aborts the query with ErrTooManyRows. Zero means the default of
+	// 1,000,000.
+	MaxRows int
+	// MaxVarLength caps unbounded variable-length patterns ([*..]).
+	// Zero means the default of 6.
+	MaxVarLength int
+	// DisableIndexes forces label scans even when a property index
+	// exists. Used by the index-ablation benchmark.
+	DisableIndexes bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRows == 0 {
+		o.MaxRows = 1_000_000
+	}
+	if o.MaxVarLength == 0 {
+		o.MaxVarLength = 6
+	}
+	return o
+}
+
+// ErrTooManyRows aborts queries whose intermediate results exceed
+// Options.MaxRows.
+var ErrTooManyRows = errors.New("cypher: intermediate result exceeds row limit")
+
+// WriteStats counts the side effects of write clauses.
+type WriteStats struct {
+	NodesCreated         int
+	NodesDeleted         int
+	RelationshipsCreated int
+	RelationshipsDeleted int
+	PropertiesSet        int
+	LabelsAdded          int
+	LabelsRemoved        int
+}
+
+// Changed reports whether any write happened.
+func (s WriteStats) Changed() bool {
+	return s != WriteStats{}
+}
+
+// Result is the outcome of executing a query: named columns, rows of
+// values, and write statistics.
+type Result struct {
+	Columns []string
+	Rows    [][]graph.Value
+	Stats   WriteStats
+}
+
+// Value returns the single value of a single-row single-column result,
+// which is the common shape for the IYP benchmark's answers. ok is false
+// when the result is not exactly 1x1.
+func (r *Result) Value() (graph.Value, bool) {
+	if len(r.Rows) == 1 && len(r.Rows[0]) == 1 {
+		return r.Rows[0][0], true
+	}
+	return nil, false
+}
+
+// Execute parses and runs a query with default options.
+func Execute(g *graph.Graph, src string, params map[string]any) (*Result, error) {
+	return ExecuteWith(g, src, params, Options{})
+}
+
+// ExecuteWith parses and runs a query with explicit options.
+func ExecuteWith(g *graph.Graph, src string, params map[string]any, opts Options) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return ExecuteQuery(g, q, params, opts)
+}
+
+// ExecuteQuery runs a pre-parsed query, including any UNION parts.
+func ExecuteQuery(g *graph.Graph, q *Query, params map[string]any, opts Options) (*Result, error) {
+	res, err := executeSingle(g, q, params, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, part := range q.Unions {
+		next, err := executeSingle(g, part.Query, params, opts)
+		if err != nil {
+			return nil, err
+		}
+		if len(next.Columns) != len(res.Columns) {
+			return nil, evalErrorf("UNION requires the same number of columns (%d vs %d)",
+				len(res.Columns), len(next.Columns))
+		}
+		for i := range next.Columns {
+			if next.Columns[i] != res.Columns[i] {
+				return nil, evalErrorf("UNION requires matching column names (%q vs %q)",
+					res.Columns[i], next.Columns[i])
+			}
+		}
+		res.Rows = append(res.Rows, next.Rows...)
+		res.Stats = addStats(res.Stats, next.Stats)
+		if !part.All {
+			res.Rows = dedupeRows(res.Rows)
+		}
+	}
+	return res, nil
+}
+
+func addStats(a, b WriteStats) WriteStats {
+	a.NodesCreated += b.NodesCreated
+	a.NodesDeleted += b.NodesDeleted
+	a.RelationshipsCreated += b.RelationshipsCreated
+	a.RelationshipsDeleted += b.RelationshipsDeleted
+	a.PropertiesSet += b.PropertiesSet
+	a.LabelsAdded += b.LabelsAdded
+	a.LabelsRemoved += b.LabelsRemoved
+	return a
+}
+
+func dedupeRows(rows [][]graph.Value) [][]graph.Value {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, row := range rows {
+		key := graph.ValueKey(append([]graph.Value(nil), row...))
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func executeSingle(g *graph.Graph, q *Query, params map[string]any, opts Options) (*Result, error) {
+	normParams := make(map[string]graph.Value, len(params))
+	for k, v := range params {
+		nv, err := graph.NormalizeValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("cypher: parameter $%s: %w", k, err)
+		}
+		normParams[k] = nv
+	}
+	ex := &executor{
+		ctx:  &evalCtx{g: g, params: normParams, opts: opts.withDefaults()},
+		rows: []Row{{}},
+	}
+	for _, cl := range q.Clauses {
+		if err := ex.execClause(cl); err != nil {
+			return nil, err
+		}
+		if len(ex.rows) > ex.ctx.opts.MaxRows {
+			return nil, ErrTooManyRows
+		}
+	}
+	res := &Result{Columns: ex.columns, Rows: ex.output, Stats: ex.stats}
+	if res.Rows == nil {
+		res.Rows = [][]graph.Value{}
+	}
+	return res, nil
+}
+
+// executor threads the binding table through the clause pipeline.
+type executor struct {
+	ctx     *evalCtx
+	rows    []Row
+	scope   []string // variables currently in scope, in introduction order
+	columns []string
+	output  [][]graph.Value
+	stats   WriteStats
+	ended   bool
+}
+
+func (ex *executor) addScope(names ...string) {
+	for _, n := range names {
+		if n == "" {
+			continue
+		}
+		found := false
+		for _, s := range ex.scope {
+			if s == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			ex.scope = append(ex.scope, n)
+		}
+	}
+}
+
+func (ex *executor) execClause(cl Clause) error {
+	if ex.ended {
+		return evalErrorf("clause after RETURN")
+	}
+	switch x := cl.(type) {
+	case *MatchClause:
+		return ex.execMatch(x)
+	case *UnwindClause:
+		return ex.execUnwind(x)
+	case *WithClause:
+		return ex.execWith(x)
+	case *ReturnClause:
+		return ex.execReturn(x)
+	case *CreateClause:
+		return ex.execCreate(x)
+	case *MergeClause:
+		return ex.execMerge(x)
+	case *SetClause:
+		return ex.execSet(x.Items)
+	case *RemoveClause:
+		return ex.execRemove(x)
+	case *DeleteClause:
+		return ex.execDelete(x)
+	}
+	return evalErrorf("unsupported clause %T", cl)
+}
+
+func (ex *executor) execMatch(m *MatchClause) error {
+	var out []Row
+	newVars := patternVars(m.Patterns)
+	for _, row := range ex.rows {
+		matcher := &matcher{ctx: ex.ctx, usedRels: map[int64]bool{}}
+		matches := []Row{row}
+		for _, pat := range m.Patterns {
+			var next []Row
+			for _, mr := range matches {
+				err := matcher.match(pat, mr, func(r Row) bool {
+					next = append(next, r)
+					return len(next) <= ex.ctx.opts.MaxRows
+				})
+				if err != nil {
+					return err
+				}
+			}
+			matches = next
+			if len(matches) == 0 {
+				break
+			}
+		}
+		// WHERE filters within the match (before optional-null fallback).
+		if m.Where != nil {
+			filtered := matches[:0]
+			for _, mr := range matches {
+				v, err := ex.ctx.eval(m.Where, mr)
+				if err != nil {
+					return err
+				}
+				if b, ok := v.(bool); ok && b {
+					filtered = append(filtered, mr)
+				}
+			}
+			matches = filtered
+		}
+		if len(matches) == 0 && m.Optional {
+			nullRow := row.clone()
+			for _, v := range newVars {
+				if _, bound := nullRow[v]; !bound {
+					nullRow[v] = nil
+				}
+			}
+			out = append(out, nullRow)
+			continue
+		}
+		out = append(out, matches...)
+	}
+	ex.rows = out
+	ex.addScope(newVars...)
+	return nil
+}
+
+func (ex *executor) execUnwind(u *UnwindClause) error {
+	var out []Row
+	for _, row := range ex.rows {
+		v, err := ex.ctx.eval(u.Expr, row)
+		if err != nil {
+			return err
+		}
+		switch list := v.(type) {
+		case nil:
+			continue
+		case []graph.Value:
+			for _, el := range list {
+				nr := row.clone()
+				nr[u.Alias] = el
+				out = append(out, nr)
+			}
+		default:
+			nr := row.clone()
+			nr[u.Alias] = v
+			out = append(out, nr)
+		}
+	}
+	ex.rows = out
+	ex.addScope(u.Alias)
+	return nil
+}
+
+func (ex *executor) execWith(w *WithClause) error {
+	cols, rows, err := ex.project(w.Items, w.Distinct, w.OrderBy, w.Skip, w.Limit)
+	if err != nil {
+		return err
+	}
+	ex.rows = rows
+	ex.scope = cols
+	if w.Where != nil {
+		filtered := ex.rows[:0]
+		for _, row := range ex.rows {
+			v, err := ex.ctx.eval(w.Where, row)
+			if err != nil {
+				return err
+			}
+			if b, ok := v.(bool); ok && b {
+				filtered = append(filtered, row)
+			}
+		}
+		ex.rows = filtered
+	}
+	return nil
+}
+
+func (ex *executor) execReturn(r *ReturnClause) error {
+	cols, rows, err := ex.project(r.Items, r.Distinct, r.OrderBy, r.Skip, r.Limit)
+	if err != nil {
+		return err
+	}
+	ex.columns = cols
+	ex.output = make([][]graph.Value, len(rows))
+	for i, row := range rows {
+		vals := make([]graph.Value, len(cols))
+		for j, c := range cols {
+			vals[j] = row[c]
+		}
+		ex.output[i] = vals
+	}
+	ex.ended = true
+	return nil
+}
+
+// projected carries one output row plus its source row for ORDER BY
+// scoping (underlying variables remain visible when no aggregation
+// collapsed them).
+type projected struct {
+	row    Row // projected values keyed by column name
+	source Row // nil when aggregation/distinct severed the source scope
+}
+
+// project evaluates projection items over the current binding table,
+// handling star expansion, grouping/aggregation, DISTINCT, ORDER BY,
+// SKIP and LIMIT. It returns the new column names and rows.
+func (ex *executor) project(items []*ReturnItem, distinct bool, orderBy []*SortItem, skipE, limitE Expr) ([]string, []Row, error) {
+	// Expand RETURN * into the variables in scope.
+	var expanded []*ReturnItem
+	for _, it := range items {
+		if !it.Star {
+			expanded = append(expanded, it)
+			continue
+		}
+		scoped := append([]string(nil), ex.scope...)
+		sort.Strings(scoped)
+		for _, name := range scoped {
+			expanded = append(expanded, &ReturnItem{Expr: &Variable{Name: name}, Alias: name})
+		}
+	}
+	if len(expanded) == 0 {
+		return nil, nil, evalErrorf("nothing to project")
+	}
+	cols := make([]string, len(expanded))
+	seen := map[string]bool{}
+	for i, it := range expanded {
+		name := it.Name()
+		if seen[name] {
+			name = fmt.Sprintf("%s_%d", name, i)
+		}
+		seen[name] = true
+		cols[i] = name
+	}
+
+	hasAgg := false
+	for _, it := range expanded {
+		if containsAggregate(it.Expr) {
+			hasAgg = true
+			break
+		}
+	}
+
+	var projRows []projected
+	if hasAgg {
+		groups, order, err := ex.groupRows(expanded)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, key := range order {
+			g := groups[key]
+			row := make(Row, len(expanded))
+			for i, it := range expanded {
+				var v graph.Value
+				var err error
+				if containsAggregate(it.Expr) {
+					v, err = ex.evalAggExpr(it.Expr, g)
+				} else {
+					v, err = ex.ctx.eval(it.Expr, g[0])
+				}
+				if err != nil {
+					return nil, nil, err
+				}
+				row[cols[i]] = v
+			}
+			projRows = append(projRows, projected{row: row})
+		}
+	} else {
+		for _, src := range ex.rows {
+			row := make(Row, len(expanded))
+			for i, it := range expanded {
+				v, err := ex.ctx.eval(it.Expr, src)
+				if err != nil {
+					return nil, nil, err
+				}
+				row[cols[i]] = v
+			}
+			projRows = append(projRows, projected{row: row, source: src})
+		}
+	}
+
+	if distinct {
+		dedup := make(map[string]bool, len(projRows))
+		var kept []projected
+		for _, pr := range projRows {
+			key := rowKey(pr.row, cols)
+			if !dedup[key] {
+				dedup[key] = true
+				pr.source = nil // distinct severs the underlying scope
+				kept = append(kept, pr)
+			}
+		}
+		projRows = kept
+	}
+
+	if len(orderBy) > 0 {
+		if err := ex.sortProjected(projRows, orderBy, cols); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	start, end, err := ex.skipLimit(skipE, limitE, len(projRows))
+	if err != nil {
+		return nil, nil, err
+	}
+	projRows = projRows[start:end]
+
+	out := make([]Row, len(projRows))
+	for i, pr := range projRows {
+		out[i] = pr.row
+	}
+	return cols, out, nil
+}
+
+func rowKey(row Row, cols []string) string {
+	vals := make([]graph.Value, len(cols))
+	for i, c := range cols {
+		vals[i] = row[c]
+	}
+	return graph.ValueKey(vals)
+}
+
+// groupRows buckets the binding table by the values of the non-aggregate
+// projection items, preserving first-seen group order.
+func (ex *executor) groupRows(items []*ReturnItem) (map[string][]Row, []string, error) {
+	var keyExprs []Expr
+	for _, it := range items {
+		if !containsAggregate(it.Expr) {
+			keyExprs = append(keyExprs, it.Expr)
+		}
+	}
+	groups := make(map[string][]Row)
+	var order []string
+	for _, row := range ex.rows {
+		keyVals := make([]graph.Value, len(keyExprs))
+		for i, e := range keyExprs {
+			v, err := ex.ctx.eval(e, row)
+			if err != nil {
+				return nil, nil, err
+			}
+			keyVals[i] = v
+		}
+		key := graph.ValueKey(keyVals)
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], row)
+	}
+	// A pure-aggregate projection over zero rows still yields one group
+	// (count(*) over nothing is 0).
+	if len(ex.rows) == 0 && len(keyExprs) == 0 {
+		groups[""] = nil
+		order = append(order, "")
+	}
+	return groups, order, nil
+}
+
+func (ex *executor) sortProjected(rows []projected, orderBy []*SortItem, cols []string) error {
+	colSet := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		colSet[c] = true
+	}
+	type keyed struct {
+		pr   projected
+		keys []graph.Value
+	}
+	ks := make([]keyed, len(rows))
+	for i, pr := range rows {
+		scope := pr.row
+		if pr.source != nil {
+			scope = pr.source.clone()
+			for k, v := range pr.row {
+				scope[k] = v
+			}
+		}
+		keys := make([]graph.Value, len(orderBy))
+		for j, si := range orderBy {
+			// An ORDER BY expression that textually matches a projected
+			// column (alias or identical expression) sorts on the
+			// projected value — this is what makes
+			// RETURN DISTINCT c.x ORDER BY c.x legal after the
+			// underlying scope is severed.
+			if name := ExprString(si.Expr); colSet[name] {
+				keys[j] = pr.row[name]
+				continue
+			}
+			v, err := ex.ctx.eval(si.Expr, scope)
+			if err != nil {
+				return err
+			}
+			keys[j] = v
+		}
+		ks[i] = keyed{pr: pr, keys: keys}
+	}
+	sort.SliceStable(ks, func(a, b int) bool {
+		for j, si := range orderBy {
+			ka, kb := ks[a].keys[j], ks[b].keys[j]
+			if graph.TotalLess(ka, kb) {
+				return !si.Desc
+			}
+			if graph.TotalLess(kb, ka) {
+				return si.Desc
+			}
+		}
+		return false
+	})
+	for i := range ks {
+		rows[i] = ks[i].pr
+	}
+	return nil
+}
+
+func (ex *executor) skipLimit(skipE, limitE Expr, n int) (start, end int, err error) {
+	start, end = 0, n
+	if skipE != nil {
+		v, err := ex.ctx.eval(skipE, Row{})
+		if err != nil {
+			return 0, 0, err
+		}
+		s, ok := graph.AsInt(v)
+		if !ok || s < 0 {
+			return 0, 0, evalErrorf("SKIP must be a non-negative integer")
+		}
+		if int(s) < n {
+			start = int(s)
+		} else {
+			start = n
+		}
+	}
+	if limitE != nil {
+		v, err := ex.ctx.eval(limitE, Row{})
+		if err != nil {
+			return 0, 0, err
+		}
+		l, ok := graph.AsInt(v)
+		if !ok || l < 0 {
+			return 0, 0, evalErrorf("LIMIT must be a non-negative integer")
+		}
+		if start+int(l) < end {
+			end = start + int(l)
+		}
+	}
+	return start, end, nil
+}

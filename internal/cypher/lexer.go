@@ -1,0 +1,312 @@
+package cypher
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer turns query text into a token stream. It is not exported: the
+// parser is the package's entry point.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekAt(off int) rune {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+// Lex tokenizes the whole input. It returns a token slice ending in a
+// tokEOF sentinel, or a SyntaxError on malformed input.
+func lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var toks []Token
+	for {
+		l.skipSpaceAndComments()
+		line, col := l.line, l.col
+		r := l.peek()
+		if r == 0 {
+			toks = append(toks, Token{Kind: tokEOF, Line: line, Col: col})
+			return toks, nil
+		}
+		switch {
+		case unicode.IsDigit(r):
+			tok, err := l.lexNumber()
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, tok)
+		case r == '\'' || r == '"':
+			tok, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, tok)
+		case r == '`':
+			tok, err := l.lexQuotedIdent()
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, tok)
+		case unicode.IsLetter(r) || r == '_':
+			toks = append(toks, l.lexIdent())
+		case r == '$':
+			l.advance()
+			if !isIdentStart(l.peek()) {
+				return nil, errorf(line, col, "expected parameter name after '$'")
+			}
+			start := l.pos
+			for isIdentPart(l.peek()) {
+				l.advance()
+			}
+			toks = append(toks, Token{Kind: tokParam, Text: string(l.src[start:l.pos]), Line: line, Col: col})
+		default:
+			tok, err := l.lexOperator()
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, tok)
+		}
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		r := l.peek()
+		switch {
+		case r == 0:
+			return
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '/' && l.peekAt(1) == '/':
+			for l.peek() != 0 && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peekAt(1) == '*':
+			l.advance()
+			l.advance()
+			for l.peek() != 0 && !(l.peek() == '*' && l.peekAt(1) == '/') {
+				l.advance()
+			}
+			if l.peek() != 0 {
+				l.advance()
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) lexNumber() (Token, error) {
+	line, col := l.line, l.col
+	start := l.pos
+	for unicode.IsDigit(l.peek()) {
+		l.advance()
+	}
+	isFloat := false
+	// A '.' is part of the number only when followed by a digit — "1..3"
+	// in range syntax must lex as INT DOTDOT INT.
+	if l.peek() == '.' && unicode.IsDigit(l.peekAt(1)) {
+		isFloat = true
+		l.advance()
+		for unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.pos
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if unicode.IsDigit(l.peek()) {
+			isFloat = true
+			for unicode.IsDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			l.pos = save
+		}
+	}
+	text := string(l.src[start:l.pos])
+	kind := tokInt
+	if isFloat {
+		kind = tokFloat
+	}
+	return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+}
+
+func (l *lexer) lexString() (Token, error) {
+	line, col := l.line, l.col
+	quote := l.advance()
+	var b strings.Builder
+	for {
+		r := l.peek()
+		if r == 0 {
+			return Token{}, errorf(line, col, "unterminated string")
+		}
+		l.advance()
+		if r == quote {
+			return Token{Kind: tokString, Text: b.String(), Line: line, Col: col}, nil
+		}
+		if r == '\\' {
+			esc := l.peek()
+			if esc == 0 {
+				return Token{}, errorf(line, col, "unterminated string escape")
+			}
+			l.advance()
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\', '\'', '"', '`':
+				b.WriteRune(esc)
+			default:
+				return Token{}, errorf(l.line, l.col, "unknown string escape \\%c", esc)
+			}
+			continue
+		}
+		b.WriteRune(r)
+	}
+}
+
+func (l *lexer) lexQuotedIdent() (Token, error) {
+	line, col := l.line, l.col
+	l.advance() // consume opening backtick
+	start := l.pos
+	for l.peek() != 0 && l.peek() != '`' {
+		l.advance()
+	}
+	if l.peek() == 0 {
+		return Token{}, errorf(line, col, "unterminated quoted identifier")
+	}
+	text := string(l.src[start:l.pos])
+	l.advance() // closing backtick
+	return Token{Kind: tokIdent, Text: text, Line: line, Col: col}, nil
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+
+func (l *lexer) lexIdent() Token {
+	line, col := l.line, l.col
+	start := l.pos
+	for isIdentPart(l.peek()) {
+		l.advance()
+	}
+	text := string(l.src[start:l.pos])
+	if keywords[strings.ToUpper(text)] {
+		return Token{Kind: tokKeyword, Text: strings.ToUpper(text), Orig: text, Line: line, Col: col}
+	}
+	return Token{Kind: tokIdent, Text: text, Orig: text, Line: line, Col: col}
+}
+
+func (l *lexer) lexOperator() (Token, error) {
+	line, col := l.line, l.col
+	r := l.advance()
+	mk := func(k TokenKind, s string) (Token, error) {
+		return Token{Kind: k, Text: s, Line: line, Col: col}, nil
+	}
+	switch r {
+	case '(':
+		return mk(tokLParen, "(")
+	case ')':
+		return mk(tokRParen, ")")
+	case '[':
+		return mk(tokLBracket, "[")
+	case ']':
+		return mk(tokRBracket, "]")
+	case '{':
+		return mk(tokLBrace, "{")
+	case '}':
+		return mk(tokRBrace, "}")
+	case ',':
+		return mk(tokComma, ",")
+	case ';':
+		return mk(tokSemi, ";")
+	case '|':
+		return mk(tokPipe, "|")
+	case '+':
+		return mk(tokPlus, "+")
+	case '-':
+		return mk(tokMinus, "-")
+	case '*':
+		return mk(tokStar, "*")
+	case '/':
+		return mk(tokSlash, "/")
+	case '%':
+		return mk(tokPercent, "%")
+	case '^':
+		return mk(tokCaret, "^")
+	case '.':
+		if l.peek() == '.' {
+			l.advance()
+			return mk(tokDotDot, "..")
+		}
+		return mk(tokDot, ".")
+	case ':':
+		return mk(tokColon, ":")
+	case '=':
+		if l.peek() == '~' {
+			l.advance()
+			return mk(tokRegex, "=~")
+		}
+		return mk(tokEq, "=")
+	case '<':
+		switch l.peek() {
+		case '>':
+			l.advance()
+			return mk(tokNeq, "<>")
+		case '=':
+			l.advance()
+			return mk(tokLte, "<=")
+		}
+		return mk(tokLt, "<")
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(tokGte, ">=")
+		}
+		return mk(tokGt, ">")
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(tokNeq, "<>")
+		}
+		return Token{}, errorf(line, col, "unexpected character '!'")
+	default:
+		return Token{}, errorf(line, col, "unexpected character %q", string(r))
+	}
+}

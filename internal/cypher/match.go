@@ -1,0 +1,528 @@
+package cypher
+
+import (
+	"chatiyp/internal/graph"
+)
+
+// matcher enumerates pattern matches against the graph. A single matcher
+// instance spans one MATCH clause so relationship-uniqueness (openCypher
+// relationship isomorphism) holds across all its patterns.
+type matcher struct {
+	ctx      *evalCtx
+	usedRels map[int64]bool
+}
+
+// match enumerates every extension of row that satisfies pat, invoking
+// emit for each complete match. emit returning false stops enumeration
+// early. The row passed to emit is a fresh copy.
+func (m *matcher) match(pat *Pattern, row Row, emit func(Row) bool) error {
+	if len(pat.Nodes) == 0 {
+		return evalErrorf("empty pattern")
+	}
+	anchor := m.pickAnchor(pat, row)
+	candidates, err := m.anchorCandidates(pat.Nodes[anchor], row)
+	if err != nil {
+		return err
+	}
+	state := &matchState{
+		pat:      pat,
+		nodes:    make([]*graph.Node, len(pat.Nodes)),
+		relBinds: make([]relBinding, len(pat.Rels)),
+	}
+	stopped := false
+	for _, cand := range candidates {
+		if stopped {
+			break
+		}
+		work := row.clone()
+		ok, undo, err := m.bindNode(pat.Nodes[anchor], cand, work)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		state.nodes[anchor] = cand
+		cont, err := m.expandFrom(state, anchor, work, func(final Row) bool {
+			if pat.PathVar != "" {
+				final = final.clone()
+				final[pat.PathVar] = state.buildPath()
+			}
+			return emit(final.clone())
+		})
+		if err != nil {
+			return err
+		}
+		undo(work)
+		if !cont {
+			stopped = true
+		}
+	}
+	return nil
+}
+
+// matchState records the concrete entities bound at each pattern
+// position so named paths can be reconstructed in pattern order.
+type matchState struct {
+	pat      *Pattern
+	nodes    []*graph.Node
+	relBinds []relBinding
+}
+
+// relBinding is the concrete traversal of one relationship position:
+// a single rel, or a variable-length chain with its interior nodes.
+type relBinding struct {
+	single  *graph.Relationship
+	chain   []*graph.Relationship
+	interim []*graph.Node // nodes strictly between the endpoints, pattern order
+	varLen  bool
+}
+
+func (s *matchState) buildPath() graph.Path {
+	var p graph.Path
+	for i, n := range s.nodes {
+		p.Nodes = append(p.Nodes, n)
+		if i < len(s.relBinds) {
+			rb := s.relBinds[i]
+			if rb.varLen {
+				p.Rels = append(p.Rels, rb.chain...)
+				if len(rb.interim) > 0 {
+					p.Nodes = append(p.Nodes, rb.interim...)
+				}
+			} else if rb.single != nil {
+				p.Rels = append(p.Rels, rb.single)
+			}
+		}
+	}
+	return p
+}
+
+// expandFrom matches the remaining pattern positions: rightward from the
+// anchor to the end, then leftward back to the start. Returns false when
+// the emit callback requested a stop.
+func (m *matcher) expandFrom(state *matchState, anchor int, row Row, emit func(Row) bool) (bool, error) {
+	return m.expandRight(state, anchor, anchor, row, emit)
+}
+
+func (m *matcher) expandRight(state *matchState, anchor, pos int, row Row, emit func(Row) bool) (bool, error) {
+	if pos == len(state.pat.Nodes)-1 {
+		return m.expandLeft(state, anchor, row, emit)
+	}
+	rel := state.pat.Rels[pos]
+	return m.traverse(state, row, rel, pos, state.nodes[pos], state.pat.Nodes[pos+1], true,
+		func(row Row, other *graph.Node) (bool, error) {
+			state.nodes[pos+1] = other
+			return m.expandRight(state, anchor, pos+1, row, emit)
+		})
+}
+
+func (m *matcher) expandLeft(state *matchState, pos int, row Row, emit func(Row) bool) (bool, error) {
+	if pos == 0 {
+		return emit(row), nil
+	}
+	rel := state.pat.Rels[pos-1]
+	return m.traverse(state, row, rel, pos-1, state.nodes[pos], state.pat.Nodes[pos-1], false,
+		func(row Row, other *graph.Node) (bool, error) {
+			state.nodes[pos-1] = other
+			return m.expandLeft(state, pos-1, row, emit)
+		})
+}
+
+// traverse enumerates (relationship, other-node) continuations from
+// current across one pattern relationship. forward reports whether we
+// walk the pattern left-to-right at this position; the pattern arrow is
+// interpreted relative to that.
+func (m *matcher) traverse(state *matchState, row Row, rp *RelPattern, relPos int,
+	current *graph.Node, targetNP *NodePattern, forward bool,
+	cont func(Row, *graph.Node) (bool, error)) (bool, error) {
+	if rp.VarLength != nil {
+		return m.traverseVarLength(state, row, rp, relPos, current, targetNP, forward, cont)
+	}
+	dir := traversalDirection(rp.Direction, forward)
+	for _, r := range m.ctx.g.Incident(current.ID, dir, rp.Types...) {
+		if m.usedRels[r.ID] {
+			continue
+		}
+		ok, err := m.relPropsMatch(rp, r, row)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			continue
+		}
+		var otherID int64
+		if r.StartID == current.ID {
+			otherID = r.EndID // covers self-loops too
+		} else {
+			otherID = r.StartID
+		}
+		other := m.ctx.g.Node(otherID)
+		if other == nil {
+			continue
+		}
+		okNode, undoNode, err := m.bindNode(targetNP, other, row)
+		if err != nil {
+			return false, err
+		}
+		if !okNode {
+			continue
+		}
+		okRel, undoRel, err := m.bindRel(rp, r, row)
+		if err != nil {
+			return false, err
+		}
+		if !okRel {
+			undoNode(row)
+			continue
+		}
+		m.usedRels[r.ID] = true
+		state.relBinds[relPos] = relBinding{single: r}
+		keep, err := cont(row, other)
+		delete(m.usedRels, r.ID)
+		undoRel(row)
+		undoNode(row)
+		if err != nil {
+			return false, err
+		}
+		if !keep {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// traverseVarLength enumerates simple relationship chains of length
+// [min, max] (max capped by Options.MaxVarLength when unbounded).
+func (m *matcher) traverseVarLength(state *matchState, row Row, rp *RelPattern, relPos int,
+	current *graph.Node, targetNP *NodePattern, forward bool,
+	cont func(Row, *graph.Node) (bool, error)) (bool, error) {
+	vl := rp.VarLength
+	maxLen := vl.Max
+	if maxLen < 0 {
+		maxLen = m.ctx.opts.MaxVarLength
+	}
+	dir := traversalDirection(rp.Direction, forward)
+
+	var chain []*graph.Relationship
+	var interim []*graph.Node
+
+	finish := func(endNode *graph.Node) (bool, error) {
+		okNode, undoNode, err := m.bindNode(targetNP, endNode, row)
+		if err != nil {
+			return false, err
+		}
+		if !okNode {
+			return true, nil
+		}
+		var undoRelVar func(Row)
+		if rp.Var != "" {
+			if prev, bound := row[rp.Var]; bound {
+				_ = prev
+				undoNode(row)
+				return true, nil // var-length rel var cannot be pre-bound
+			}
+			vals := make([]graph.Value, len(chain))
+			for i, r := range chain {
+				vals[i] = r
+			}
+			row[rp.Var] = vals
+			undoRelVar = func(r Row) { delete(r, rp.Var) }
+		}
+		// Record the binding, preserving pattern order for paths. The
+		// last traversal node is the far endpoint itself (owned by the
+		// node-pattern position), so only the strictly-interior nodes
+		// are kept.
+		rb := relBinding{varLen: true}
+		rb.chain = append([]*graph.Relationship(nil), chain...)
+		if len(interim) > 0 {
+			rb.interim = append([]*graph.Node(nil), interim[:len(interim)-1]...)
+		}
+		if !forward {
+			reverseRels(rb.chain)
+			reverseNodes(rb.interim)
+		}
+		state.relBinds[relPos] = rb
+		keep, err := cont(row, endNode)
+		if undoRelVar != nil {
+			undoRelVar(row)
+		}
+		undoNode(row)
+		return keep, err
+	}
+
+	var dfs func(node *graph.Node, depth int) (bool, error)
+	dfs = func(node *graph.Node, depth int) (bool, error) {
+		if depth >= vl.Min {
+			keep, err := finish(node)
+			if err != nil || !keep {
+				return keep, err
+			}
+		}
+		if depth == maxLen {
+			return true, nil
+		}
+		for _, r := range m.ctx.g.Incident(node.ID, dir, rp.Types...) {
+			if m.usedRels[r.ID] {
+				continue
+			}
+			ok, err := m.relPropsMatch(rp, r, row)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				continue
+			}
+			var otherID int64
+			if r.StartID == node.ID {
+				otherID = r.EndID
+			} else {
+				otherID = r.StartID
+			}
+			other := m.ctx.g.Node(otherID)
+			if other == nil {
+				continue
+			}
+			m.usedRels[r.ID] = true
+			chain = append(chain, r)
+			pushedInterim := false
+			// The far endpoint is interior unless this hop completes a
+			// candidate path; interior tracking is append-only per depth.
+			interim = append(interim, other)
+			pushedInterim = true
+			keep, err := dfs(other, depth+1)
+			if pushedInterim {
+				interim = interim[:len(interim)-1]
+			}
+			chain = chain[:len(chain)-1]
+			delete(m.usedRels, r.ID)
+			if err != nil || !keep {
+				return keep, err
+			}
+		}
+		return true, nil
+	}
+	return dfs(current, 0)
+}
+
+func reverseRels(rs []*graph.Relationship) {
+	for i, j := 0, len(rs)-1; i < j; i, j = i+1, j-1 {
+		rs[i], rs[j] = rs[j], rs[i]
+	}
+}
+
+func reverseNodes(ns []*graph.Node) {
+	for i, j := 0, len(ns)-1; i < j; i, j = i+1, j-1 {
+		ns[i], ns[j] = ns[j], ns[i]
+	}
+}
+
+// traversalDirection maps a pattern arrow to a graph traversal direction
+// given the walk orientation at this pattern position.
+func traversalDirection(d RelDirection, forward bool) graph.Direction {
+	switch d {
+	case DirRight:
+		if forward {
+			return graph.Outgoing
+		}
+		return graph.Incoming
+	case DirLeft:
+		if forward {
+			return graph.Incoming
+		}
+		return graph.Outgoing
+	default:
+		return graph.Both
+	}
+}
+
+// bindNode checks a node against a node pattern and binds its variable.
+// It returns an undo closure that removes any binding it added.
+func (m *matcher) bindNode(np *NodePattern, n *graph.Node, row Row) (bool, func(Row), error) {
+	for _, l := range np.Labels {
+		if !n.HasLabel(l) {
+			return false, nil, nil
+		}
+	}
+	for key, expr := range np.Props {
+		want, err := m.ctx.eval(expr, row)
+		if err != nil {
+			return false, nil, err
+		}
+		have, ok := n.Props[key]
+		if !ok || !graph.ValuesEqual(have, want) {
+			return false, nil, nil
+		}
+	}
+	if np.Var == "" {
+		return true, func(Row) {}, nil
+	}
+	if prev, bound := row[np.Var]; bound {
+		pn, ok := prev.(*graph.Node)
+		if !ok {
+			return false, nil, evalErrorf("variable `%s` is not a node", np.Var)
+		}
+		if pn.ID != n.ID {
+			return false, nil, nil
+		}
+		return true, func(Row) {}, nil
+	}
+	row[np.Var] = n
+	name := np.Var
+	return true, func(r Row) { delete(r, name) }, nil
+}
+
+// bindRel checks relationship properties and binds the rel variable.
+func (m *matcher) bindRel(rp *RelPattern, r *graph.Relationship, row Row) (bool, func(Row), error) {
+	if rp.Var == "" {
+		return true, func(Row) {}, nil
+	}
+	if prev, bound := row[rp.Var]; bound {
+		pr, ok := prev.(*graph.Relationship)
+		if !ok {
+			return false, nil, evalErrorf("variable `%s` is not a relationship", rp.Var)
+		}
+		if pr.ID != r.ID {
+			return false, nil, nil
+		}
+		return true, func(Row) {}, nil
+	}
+	row[rp.Var] = r
+	name := rp.Var
+	return true, func(rw Row) { delete(rw, name) }, nil
+}
+
+func (m *matcher) relPropsMatch(rp *RelPattern, r *graph.Relationship, row Row) (bool, error) {
+	for key, expr := range rp.Props {
+		want, err := m.ctx.eval(expr, row)
+		if err != nil {
+			return false, err
+		}
+		have, ok := r.Props[key]
+		if !ok || !graph.ValuesEqual(have, want) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// pickAnchor chooses the node position to start matching from: a bound
+// variable wins, then an indexed (label, literal-prop) pair, then any
+// labeled node with props, then any labeled node, then position 0.
+func (m *matcher) pickAnchor(pat *Pattern, row Row) int {
+	best, bestScore := 0, -1
+	for i, np := range pat.Nodes {
+		score := 0
+		if np.Var != "" {
+			if _, bound := row[np.Var]; bound {
+				score = 1000
+			}
+		}
+		if score == 0 {
+			if len(np.Labels) > 0 && len(np.Props) > 0 {
+				score = 10
+				if !m.ctx.opts.DisableIndexes {
+					for _, l := range np.Labels {
+						for p := range np.Props {
+							if m.ctx.g.HasIndex(l, p) {
+								score = 100
+							}
+						}
+					}
+				}
+			} else if len(np.Labels) > 0 {
+				score = 5
+			} else if len(np.Props) > 0 {
+				score = 2
+			} else {
+				score = 1
+			}
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// anchorCandidates produces the starting node set for the anchor
+// position, using the cheapest available access path.
+func (m *matcher) anchorCandidates(np *NodePattern, row Row) ([]*graph.Node, error) {
+	if np.Var != "" {
+		if v, bound := row[np.Var]; bound {
+			if graph.KindOf(v) == graph.KindNull {
+				return nil, nil // optional-match null propagates to no matches
+			}
+			n, ok := v.(*graph.Node)
+			if !ok {
+				return nil, evalErrorf("variable `%s` is not a node", np.Var)
+			}
+			return []*graph.Node{n}, nil
+		}
+	}
+	// Indexed property lookup.
+	if !m.ctx.opts.DisableIndexes {
+		for _, label := range np.Labels {
+			for prop, expr := range np.Props {
+				if !m.ctx.g.HasIndex(label, prop) {
+					continue
+				}
+				want, err := m.ctx.eval(expr, row)
+				if err != nil {
+					return nil, err
+				}
+				ids, usedIndex := m.ctx.g.NodesByLabelProp(label, prop, want)
+				if !usedIndex {
+					continue
+				}
+				return m.resolveNodes(ids), nil
+			}
+		}
+	}
+	if len(np.Labels) > 0 {
+		// Scan the most selective label (fewest members).
+		bestLabel := np.Labels[0]
+		bestIDs := m.ctx.g.NodesByLabel(bestLabel)
+		for _, l := range np.Labels[1:] {
+			ids := m.ctx.g.NodesByLabel(l)
+			if len(ids) < len(bestIDs) {
+				bestLabel, bestIDs = l, ids
+			}
+		}
+		_ = bestLabel
+		return m.resolveNodes(bestIDs), nil
+	}
+	return m.resolveNodes(m.ctx.g.AllNodeIDs()), nil
+}
+
+func (m *matcher) resolveNodes(ids []int64) []*graph.Node {
+	out := make([]*graph.Node, 0, len(ids))
+	for _, id := range ids {
+		if n := m.ctx.g.Node(id); n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// patternVars collects the variable names a pattern would introduce —
+// used by OPTIONAL MATCH to bind nulls on no-match.
+func patternVars(pats []*Pattern) []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(name string) {
+		if name != "" && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	for _, p := range pats {
+		add(p.PathVar)
+		for _, n := range p.Nodes {
+			add(n.Var)
+		}
+		for _, r := range p.Rels {
+			add(r.Var)
+		}
+	}
+	return out
+}

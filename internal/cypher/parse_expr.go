@@ -1,0 +1,660 @@
+package cypher
+
+import (
+	"strconv"
+	"strings"
+)
+
+// parseExpr parses a full expression with standard Cypher precedence:
+// OR < XOR < AND < NOT < comparison < additive < multiplicative < power
+// < unary sign < postfix (property/index) < atom.
+func (p *parser) parseExpr() (Expr, error) {
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseXor()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseXor()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseXor() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("XOR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "XOR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", Expr: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		t := p.cur()
+		switch {
+		case t.Kind == tokEq:
+			op = "="
+		case t.Kind == tokNeq:
+			op = "<>"
+		case t.Kind == tokLt:
+			op = "<"
+		case t.Kind == tokLte:
+			op = "<="
+		case t.Kind == tokGt:
+			op = ">"
+		case t.Kind == tokGte:
+			op = ">="
+		case t.Kind == tokRegex:
+			op = "=~"
+		case t.Kind == tokKeyword && t.Text == "IN":
+			op = "IN"
+		case t.Kind == tokKeyword && t.Text == "CONTAINS":
+			op = "CONTAINS"
+		case t.Kind == tokKeyword && t.Text == "STARTS":
+			p.pos++
+			if err := p.expectKeyword("WITH"); err != nil {
+				return nil, err
+			}
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: "STARTSWITH", Left: left, Right: right}
+			continue
+		case t.Kind == tokKeyword && t.Text == "ENDS":
+			p.pos++
+			if err := p.expectKeyword("WITH"); err != nil {
+				return nil, err
+			}
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: "ENDSWITH", Left: left, Right: right}
+			continue
+		case t.Kind == tokKeyword && t.Text == "IS":
+			p.pos++
+			negate := p.acceptKeyword("NOT")
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			left = &IsNull{Expr: left, Negate: negate}
+			continue
+		default:
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.at(tokPlus):
+			op = "+"
+		case p.at(tokMinus):
+			op = "-"
+		default:
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parsePower()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.at(tokStar):
+			op = "*"
+		case p.at(tokSlash):
+			op = "/"
+		case p.at(tokPercent):
+			op = "%"
+		default:
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parsePower()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parsePower() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokCaret) {
+		// Right-associative.
+		right, err := p.parsePower()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: "^", Left: left, Right: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch {
+	case p.accept(tokMinus):
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negative numeric literals for cleaner ASTs.
+		if lit, ok := e.(*Literal); ok {
+			switch v := lit.Value.(type) {
+			case int64:
+				return &Literal{Value: -v}, nil
+			case float64:
+				return &Literal{Value: -v}, nil
+			}
+		}
+		return &Unary{Op: "-", Expr: e}, nil
+	case p.accept(tokPlus):
+		return p.parseUnary()
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokDot):
+			prop, err := p.expectName("property name")
+			if err != nil {
+				return nil, err
+			}
+			e = &PropertyAccess{Subject: e, Prop: prop}
+		case p.at(tokLBracket):
+			p.pos++
+			ix := &IndexExpr{Subject: e}
+			if p.accept(tokDotDot) {
+				ix.IsSlice = true
+				if !p.at(tokRBracket) {
+					if ix.To, err = p.parseExpr(); err != nil {
+						return nil, err
+					}
+				}
+			} else {
+				if ix.Index, err = p.parseExpr(); err != nil {
+					return nil, err
+				}
+				if p.accept(tokDotDot) {
+					ix.IsSlice = true
+					if !p.at(tokRBracket) {
+						if ix.To, err = p.parseExpr(); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+			if _, err := p.expect(tokRBracket, "']'"); err != nil {
+				return nil, err
+			}
+			e = ix
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case tokInt:
+		p.pos++
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errorf(t.Line, t.Col, "bad integer literal %q", t.Text)
+		}
+		return &Literal{Value: v}, nil
+	case tokFloat:
+		p.pos++
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errorf(t.Line, t.Col, "bad float literal %q", t.Text)
+		}
+		return &Literal{Value: v}, nil
+	case tokString:
+		p.pos++
+		return &Literal{Value: t.Text}, nil
+	case tokParam:
+		p.pos++
+		return &Parameter{Name: t.Text}, nil
+	case tokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.pos++
+			return &Literal{Value: nil}, nil
+		case "TRUE":
+			p.pos++
+			return &Literal{Value: true}, nil
+		case "FALSE":
+			p.pos++
+			return &Literal{Value: false}, nil
+		case "CASE":
+			return p.parseCase()
+		case "COUNT":
+			if p.toks[p.pos+1].Kind == tokLParen {
+				return p.parseFuncCall("count")
+			}
+		case "EXISTS":
+			if p.toks[p.pos+1].Kind == tokLParen {
+				return p.parseExists()
+			}
+		case "ANY", "ALL", "NONE", "SINGLE":
+			if p.toks[p.pos+1].Kind == tokLParen {
+				return p.parseQuantified(strings.ToLower(t.Text))
+			}
+		}
+		return nil, errorf(t.Line, t.Col, "unexpected %s in expression", t)
+	case tokIdent:
+		if p.toks[p.pos+1].Kind == tokLParen {
+			return p.parseFuncCall(strings.ToLower(t.Text))
+		}
+		p.pos++
+		return &Variable{Name: t.Text}, nil
+	case tokLBracket:
+		return p.parseListAtom()
+	case tokLBrace:
+		return p.parseMapLiteral()
+	case tokLParen:
+		return p.parseParenOrPattern()
+	}
+	return nil, errorf(t.Line, t.Col, "unexpected %s in expression", t)
+}
+
+// parseParenOrPattern disambiguates '(' expr ')' from a pattern
+// expression like (a)-[:PEERS_WITH]-(b) used as a predicate. We try the
+// pattern interpretation first with backtracking: it only wins when a
+// node pattern parse succeeds AND a relationship arrow follows.
+func (p *parser) parseParenOrPattern() (Expr, error) {
+	save := p.pos
+	if n, err := p.parseNodePattern(); err == nil && (p.at(tokMinus) || p.at(tokLt)) {
+		pat := &Pattern{Nodes: []*NodePattern{n}}
+		for p.at(tokMinus) || p.at(tokLt) {
+			r, err := p.parseRelPattern()
+			if err != nil {
+				return nil, err
+			}
+			nn, err := p.parseNodePattern()
+			if err != nil {
+				return nil, err
+			}
+			pat.Rels = append(pat.Rels, r)
+			pat.Nodes = append(pat.Nodes, nn)
+		}
+		return &PatternExpr{Pattern: pat}, nil
+	}
+	p.pos = save
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// parseListAtom disambiguates [1,2,3] list literals from
+// [x IN list WHERE pred | proj] comprehensions with two-token lookahead.
+func (p *parser) parseListAtom() (Expr, error) {
+	if p.toks[p.pos+1].Kind == tokIdent &&
+		p.toks[p.pos+2].Kind == tokKeyword && p.toks[p.pos+2].Text == "IN" {
+		return p.parseListComprehension()
+	}
+	if _, err := p.expect(tokLBracket, "'['"); err != nil {
+		return nil, err
+	}
+	l := &ListLiteral{}
+	if p.accept(tokRBracket) {
+		return l, nil
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		l.Elems = append(l.Elems, e)
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(tokRBracket, "']'"); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func (p *parser) parseListComprehension() (Expr, error) {
+	p.pos++ // '['
+	name := p.next().Text
+	if err := p.expectKeyword("IN"); err != nil {
+		return nil, err
+	}
+	list, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	lc := &ListComprehension{Var: name, List: list}
+	if p.acceptKeyword("WHERE") {
+		if lc.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tokPipe) {
+		if lc.Proj, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokRBracket, "']'"); err != nil {
+		return nil, err
+	}
+	return lc, nil
+}
+
+func (p *parser) parseMapLiteral() (Expr, error) {
+	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	m := &MapLiteral{}
+	if p.accept(tokRBrace) {
+		return m, nil
+	}
+	for {
+		key, err := p.expectName("map key")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokColon, "':'"); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		m.Keys = append(m.Keys, key)
+		m.Elems = append(m.Elems, e)
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(tokRBrace, "'}'"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (p *parser) parseFuncCall(name string) (Expr, error) {
+	p.pos++ // function name
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	fc := &FuncCall{Name: name}
+	if p.accept(tokStar) {
+		fc.Star = true
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	if p.accept(tokRParen) {
+		return fc, nil
+	}
+	fc.Distinct = p.acceptKeyword("DISTINCT")
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fc.Args = append(fc.Args, e)
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}
+
+func (p *parser) parseExists() (Expr, error) {
+	p.pos++ // EXISTS
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	// Pattern form: exists((a)-[:X]->(b)). Property form: exists(a.prop).
+	if p.at(tokLParen) {
+		pat, err := p.parsePattern(false)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return &ExistsExpr{Pattern: pat}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return &ExistsExpr{Prop: e}, nil
+}
+
+func (p *parser) parseQuantified(kind string) (Expr, error) {
+	p.pos++ // ANY/ALL/NONE/SINGLE
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent("variable")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("IN"); err != nil {
+		return nil, err
+	}
+	list, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("WHERE"); err != nil {
+		return nil, err
+	}
+	pred, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return &QuantifiedExpr{Kind: kind, Var: name, List: list, Where: pred}, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	p.pos++ // CASE
+	c := &CaseExpr{}
+	if !p.atKeyword("WHEN") {
+		subj, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Subject = subj
+	}
+	for p.acceptKeyword("WHEN") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		th, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, w)
+		c.Thens = append(c.Thens, th)
+	}
+	if len(c.Whens) == 0 {
+		t := p.cur()
+		return nil, errorf(t.Line, t.Col, "CASE requires at least one WHEN")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// containsAggregate reports whether the expression tree contains an
+// aggregate function application (count, sum, avg, min, max, collect,
+// stDev, percentileCont).
+func containsAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case nil, *Literal, *Variable, *Parameter:
+		return false
+	case *PropertyAccess:
+		return containsAggregate(x.Subject)
+	case *ListLiteral:
+		for _, el := range x.Elems {
+			if containsAggregate(el) {
+				return true
+			}
+		}
+	case *MapLiteral:
+		for _, el := range x.Elems {
+			if containsAggregate(el) {
+				return true
+			}
+		}
+	case *IndexExpr:
+		return containsAggregate(x.Subject) || (x.Index != nil && containsAggregate(x.Index)) || (x.To != nil && containsAggregate(x.To))
+	case *Unary:
+		return containsAggregate(x.Expr)
+	case *Binary:
+		return containsAggregate(x.Left) || containsAggregate(x.Right)
+	case *IsNull:
+		return containsAggregate(x.Expr)
+	case *FuncCall:
+		if isAggregateFunc(x.Name) {
+			return true
+		}
+		for _, a := range x.Args {
+			if containsAggregate(a) {
+				return true
+			}
+		}
+	case *CaseExpr:
+		if x.Subject != nil && containsAggregate(x.Subject) {
+			return true
+		}
+		for i := range x.Whens {
+			if containsAggregate(x.Whens[i]) || containsAggregate(x.Thens[i]) {
+				return true
+			}
+		}
+		if x.Else != nil {
+			return containsAggregate(x.Else)
+		}
+	case *ListComprehension:
+		return containsAggregate(x.List)
+	case *QuantifiedExpr:
+		return containsAggregate(x.List)
+	}
+	return false
+}
+
+func isAggregateFunc(name string) bool {
+	switch name {
+	case "count", "sum", "avg", "min", "max", "collect", "stdev", "percentilecont", "percentiledisc":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,349 @@
+package cypher
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestParseSimpleMatch(t *testing.T) {
+	q := mustParse(t, "MATCH (a:AS {asn: 2497}) RETURN a.name")
+	if len(q.Clauses) != 2 {
+		t.Fatalf("clauses = %d", len(q.Clauses))
+	}
+	m, ok := q.Clauses[0].(*MatchClause)
+	if !ok {
+		t.Fatalf("first clause %T", q.Clauses[0])
+	}
+	if len(m.Patterns) != 1 {
+		t.Fatal("want 1 pattern")
+	}
+	n := m.Patterns[0].Nodes[0]
+	if n.Var != "a" || len(n.Labels) != 1 || n.Labels[0] != "AS" {
+		t.Errorf("node pattern = %+v", n)
+	}
+	if _, ok := n.Props["asn"]; !ok {
+		t.Error("missing asn prop")
+	}
+}
+
+func TestParsePaperIntroQuery(t *testing.T) {
+	// The exact query from the paper's introduction.
+	src := "MATCH (:AS {asn:2497})-[p:POPULATION]-(:Country {country_code:'JP'}) RETURN p.percent"
+	q := mustParse(t, src)
+	m := q.Clauses[0].(*MatchClause)
+	pat := m.Patterns[0]
+	if len(pat.Nodes) != 2 || len(pat.Rels) != 1 {
+		t.Fatalf("pattern shape: %d nodes %d rels", len(pat.Nodes), len(pat.Rels))
+	}
+	r := pat.Rels[0]
+	if r.Var != "p" || r.Types[0] != "POPULATION" || r.Direction != DirBoth {
+		t.Errorf("rel = %+v", r)
+	}
+}
+
+func TestParseDirections(t *testing.T) {
+	cases := map[string]RelDirection{
+		"MATCH (a)-[:X]->(b) RETURN a": DirRight,
+		"MATCH (a)<-[:X]-(b) RETURN a": DirLeft,
+		"MATCH (a)-[:X]-(b) RETURN a":  DirBoth,
+		"MATCH (a)-->(b) RETURN a":     DirRight,
+		"MATCH (a)<--(b) RETURN a":     DirLeft,
+		"MATCH (a)--(b) RETURN a":      DirBoth,
+	}
+	for src, want := range cases {
+		q := mustParse(t, src)
+		r := q.Clauses[0].(*MatchClause).Patterns[0].Rels[0]
+		if r.Direction != want {
+			t.Errorf("%s: direction = %v, want %v", src, r.Direction, want)
+		}
+	}
+}
+
+func TestParseRelTypesAlternation(t *testing.T) {
+	q := mustParse(t, "MATCH (a)-[:ORIGINATE|DEPENDS_ON|PEERS_WITH]->(b) RETURN a")
+	r := q.Clauses[0].(*MatchClause).Patterns[0].Rels[0]
+	if len(r.Types) != 3 {
+		t.Errorf("types = %v", r.Types)
+	}
+}
+
+func TestParseVarLength(t *testing.T) {
+	cases := []struct {
+		src      string
+		min, max int
+	}{
+		{"MATCH (a)-[:X*]->(b) RETURN a", 1, -1},
+		{"MATCH (a)-[:X*2]->(b) RETURN a", 2, 2},
+		{"MATCH (a)-[:X*1..3]->(b) RETURN a", 1, 3},
+		{"MATCH (a)-[:X*2..]->(b) RETURN a", 2, -1},
+		{"MATCH (a)-[:X*..4]->(b) RETURN a", 1, 4},
+	}
+	for _, c := range cases {
+		q := mustParse(t, c.src)
+		vl := q.Clauses[0].(*MatchClause).Patterns[0].Rels[0].VarLength
+		if vl == nil || vl.Min != c.min || vl.Max != c.max {
+			t.Errorf("%s: varlength = %+v, want [%d,%d]", c.src, vl, c.min, c.max)
+		}
+	}
+	if _, err := Parse("MATCH (a)-[:X*3..1]->(b) RETURN a"); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestParseOptionalMatch(t *testing.T) {
+	q := mustParse(t, "MATCH (a:AS) OPTIONAL MATCH (a)-[:NAME]->(n:Name) RETURN a, n")
+	if len(q.Clauses) != 3 {
+		t.Fatalf("clauses = %d", len(q.Clauses))
+	}
+	m := q.Clauses[1].(*MatchClause)
+	if !m.Optional {
+		t.Error("second clause should be optional")
+	}
+}
+
+func TestParseWhereOperators(t *testing.T) {
+	srcs := []string{
+		"MATCH (a:AS) WHERE a.asn = 2497 RETURN a",
+		"MATCH (a:AS) WHERE a.asn <> 1 AND a.name STARTS WITH 'II' RETURN a",
+		"MATCH (a:AS) WHERE a.name ENDS WITH 'net' OR a.name CONTAINS 'tele' RETURN a",
+		"MATCH (a:AS) WHERE a.asn IN [1, 2, 3] RETURN a",
+		"MATCH (a:AS) WHERE a.name =~ 'II.*' RETURN a",
+		"MATCH (a:AS) WHERE a.name IS NULL RETURN a",
+		"MATCH (a:AS) WHERE a.name IS NOT NULL RETURN a",
+		"MATCH (a:AS) WHERE NOT (a.asn > 10) RETURN a",
+		"MATCH (a:AS) WHERE a.asn >= 1 AND a.asn <= 100 XOR a.asn % 2 = 0 RETURN a",
+		"MATCH (a:AS) WHERE exists(a.name) RETURN a",
+		"MATCH (a:AS) WHERE (a)-[:PEERS_WITH]-(:AS) RETURN a",
+		"MATCH (a:AS) WHERE exists((a)-[:MEMBER_OF]->(:IXP)) RETURN a",
+	}
+	for _, src := range srcs {
+		mustParse(t, src)
+	}
+}
+
+func TestParseReturnForms(t *testing.T) {
+	srcs := []string{
+		"MATCH (a) RETURN a",
+		"MATCH (a) RETURN *",
+		"MATCH (a) RETURN DISTINCT a.name AS name",
+		"MATCH (a) RETURN count(*) AS n",
+		"MATCH (a) RETURN count(DISTINCT a.name)",
+		"MATCH (a) RETURN a ORDER BY a.name DESC SKIP 5 LIMIT 10",
+		"MATCH (a) RETURN a.x, a.y ORDER BY a.x ASC, a.y DESCENDING",
+		"MATCH (a) RETURN collect(a.name)[0]",
+		"MATCH (a) RETURN CASE WHEN a.x > 1 THEN 'big' ELSE 'small' END",
+		"MATCH (a) RETURN CASE a.kind WHEN 1 THEN 'one' WHEN 2 THEN 'two' END",
+		"MATCH (a) RETURN [x IN [1,2,3] WHERE x > 1 | x * 2]",
+		"MATCH (a) RETURN any(x IN [1,2] WHERE x = 1)",
+		"MATCH (a) RETURN size(a.tags), toUpper(a.name)",
+	}
+	for _, src := range srcs {
+		mustParse(t, src)
+	}
+}
+
+func TestParseWithChains(t *testing.T) {
+	q := mustParse(t, `
+		MATCH (a:AS)-[:ORIGINATE]->(p:Prefix)
+		WITH a, count(p) AS cnt
+		WHERE cnt > 10
+		MATCH (a)-[:COUNTRY]->(c:Country)
+		RETURN c.country_code, sum(cnt) AS total
+		ORDER BY total DESC LIMIT 5`)
+	if len(q.Clauses) != 4 {
+		t.Fatalf("clauses = %d", len(q.Clauses))
+	}
+	w, ok := q.Clauses[1].(*WithClause)
+	if !ok || w.Where == nil {
+		t.Fatalf("WITH clause = %+v", q.Clauses[1])
+	}
+}
+
+func TestParseUnwind(t *testing.T) {
+	q := mustParse(t, "UNWIND [1,2,3] AS x RETURN x")
+	u := q.Clauses[0].(*UnwindClause)
+	if u.Alias != "x" {
+		t.Errorf("alias = %q", u.Alias)
+	}
+}
+
+func TestParseWriteClauses(t *testing.T) {
+	srcs := []string{
+		"CREATE (a:AS {asn: 1})",
+		"CREATE (a:AS {asn: 1})-[:COUNTRY]->(c:Country {country_code: 'JP'})",
+		"MATCH (a:AS {asn: 1}) SET a.name = 'X', a.rank = 2",
+		"MATCH (a:AS {asn: 1}) SET a:Operator:Active",
+		"MATCH (a:AS {asn: 1}) REMOVE a.name",
+		"MATCH (a:AS {asn: 1}) REMOVE a:Operator",
+		"MATCH (a:AS {asn: 1}) DELETE a",
+		"MATCH (a:AS {asn: 1}) DETACH DELETE a",
+		"MERGE (a:AS {asn: 1})",
+		"MERGE (a:AS {asn: 1}) ON CREATE SET a.new = true ON MATCH SET a.seen = true",
+		"MATCH (a) WITH a LIMIT 1 CREATE (b:Copy)-[:OF]->(a) RETURN b",
+	}
+	for _, src := range srcs {
+		mustParse(t, src)
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	q := mustParse(t, "MATCH (a:AS {asn: $asn}) WHERE a.name = $name RETURN a")
+	m := q.Clauses[0].(*MatchClause)
+	if _, ok := m.Patterns[0].Nodes[0].Props["asn"].(*Parameter); !ok {
+		t.Error("prop param not parsed")
+	}
+}
+
+func TestParseNamedPath(t *testing.T) {
+	q := mustParse(t, "MATCH p = (a:AS)-[:DEPENDS_ON*1..2]->(b:AS) RETURN p")
+	pat := q.Clauses[0].(*MatchClause).Patterns[0]
+	if pat.PathVar != "p" {
+		t.Errorf("path var = %q", pat.PathVar)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	srcs := []string{
+		"",
+		"MATCH (a:AS)",                // read without RETURN
+		"RETURN 1 MATCH (a) RETURN a", // RETURN not last
+		"MATCH (a RETURN a",           // unbalanced paren
+		"MATCH (a) RETURN",            // missing items
+		"MATCH (a)-[:X*1..2]->(b) CREATE (c)-[:Y*1..2]->(d)", // varlength create (parse ok, exec err) — but also missing return: write ok
+		"MATCH (a) WHERE RETURN a",                           // missing where expr
+		"FOO (a) RETURN a",                                   // unknown clause
+		"MATCH (a) RETURN a.{ }",                             // bad property
+		"MATCH (a)<-[:X]->(b) RETURN a",                      // both-direction arrow
+		"MATCH (a) RETURN 'unterminated",                     // bad string
+		"MATCH (a) RETURN CASE END",                          // empty case
+	}
+	for _, src := range srcs {
+		if _, err := Parse(src); err == nil && !strings.Contains(src, "CREATE (c)") {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseSyntaxErrorHasPosition(t *testing.T) {
+	_, err := Parse("MATCH (a:AS)\nRETURN a..name")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Line != 2 {
+		t.Errorf("line = %d, want 2", se.Line)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	mustParse(t, "match (a:AS) where a.asn = 1 return a order by a.asn limit 3")
+	mustParse(t, "Match (a:AS) Return a")
+}
+
+func TestParseBacktickIdent(t *testing.T) {
+	q := mustParse(t, "MATCH (`weird var`:AS) RETURN `weird var`")
+	n := q.Clauses[0].(*MatchClause).Patterns[0].Nodes[0]
+	if n.Var != "weird var" {
+		t.Errorf("var = %q", n.Var)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	mustParse(t, `
+		// line comment
+		MATCH (a:AS) /* block
+		comment */ RETURN a // trailing`)
+}
+
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Parse(s) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// Adversarial fragments.
+	for _, s := range []string{
+		"MATCH", "RETURN", "(((((", ")]}", "MATCH (a RETURN", "'",
+		"MATCH (a)-[", "MATCH (a)-[:X*..", "RETURN [x IN", "$", "MATCH (a) RETURN a[",
+		"CASE WHEN", "MERGE", "WITH", "UNWIND x AS", "MATCH p = ", "RETURN {",
+	} {
+		_, _ = Parse(s)
+	}
+}
+
+func TestExprStringRoundTrip(t *testing.T) {
+	// ExprString output must re-parse to an equivalent rendering.
+	srcs := []string{
+		"MATCH (a) RETURN a.name + ' x'",
+		"MATCH (a) RETURN count(DISTINCT a.name)",
+		"MATCH (a) RETURN [x IN a.tags WHERE x <> 'x' | toUpper(x)]",
+		"MATCH (a) RETURN CASE WHEN a.x THEN 1 ELSE 2 END",
+		"MATCH (a) RETURN a.list[0..2]",
+		"MATCH (a) RETURN -a.x * (a.y + 3) % 2",
+	}
+	for _, src := range srcs {
+		q := mustParse(t, src)
+		ret := q.Clauses[len(q.Clauses)-1].(*ReturnClause)
+		s1 := ExprString(ret.Items[0].Expr)
+		q2, err := Parse("MATCH (a) RETURN " + s1)
+		if err != nil {
+			t.Errorf("re-parse of %q failed: %v", s1, err)
+			continue
+		}
+		s2 := ExprString(q2.Clauses[len(q2.Clauses)-1].(*ReturnClause).Items[0].Expr)
+		if s1 != s2 {
+			t.Errorf("unstable rendering: %q vs %q", s1, s2)
+		}
+	}
+}
+
+func TestPatternStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"MATCH (a:AS {asn: 2497})-[p:POPULATION]-(c:Country) RETURN p",
+		"MATCH (a:AS)-[:DEPENDS_ON*1..3]->(b:AS) RETURN a",
+		"MATCH (a)<-[:ORIGINATE]-(b) RETURN a",
+	}
+	for _, src := range srcs {
+		q := mustParse(t, src)
+		pat := q.Clauses[0].(*MatchClause).Patterns[0]
+		s1 := PatternString(pat)
+		q2, err := Parse("MATCH " + s1 + " RETURN 1")
+		if err != nil {
+			t.Errorf("re-parse of %q failed: %v", s1, err)
+			continue
+		}
+		s2 := PatternString(q2.Clauses[0].(*MatchClause).Patterns[0])
+		if s1 != s2 {
+			t.Errorf("unstable pattern rendering: %q vs %q", s1, s2)
+		}
+	}
+}
+
+func TestMeasureComplexity(t *testing.T) {
+	easy := mustParse(t, "MATCH (a:AS {asn: 1}) RETURN a.name")
+	hard := mustParse(t, `MATCH (a:AS)-[:ORIGINATE]->(p:Prefix)-[:COUNTRY]->(c:Country)
+		WITH c, count(p) AS n MATCH (c)<-[:COUNTRY]-(x:AS) RETURN c, n, count(x) ORDER BY n DESC`)
+	ce, ch := MeasureComplexity(easy), MeasureComplexity(hard)
+	if ce.Score() >= ch.Score() {
+		t.Errorf("easy score %d should be below hard score %d", ce.Score(), ch.Score())
+	}
+	vl := mustParse(t, "MATCH (a:AS)-[:DEPENDS_ON*1..3]->(b) RETURN b")
+	if !MeasureComplexity(vl).VarLength {
+		t.Error("var-length not detected")
+	}
+}

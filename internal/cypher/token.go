@@ -1,0 +1,110 @@
+// Package cypher implements a Cypher query engine over the in-memory
+// property graph in internal/graph: a lexer, a recursive-descent parser,
+// and a streaming executor covering the read and write clauses used by
+// the Internet Yellow Pages workload — MATCH / OPTIONAL MATCH / WHERE /
+// WITH / UNWIND / RETURN with aggregation, ordering and pagination,
+// variable-length relationship patterns, and CREATE / MERGE / SET /
+// DELETE / REMOVE for data manipulation.
+//
+// The engine mirrors openCypher semantics where it matters for
+// correctness of the reproduction: three-valued logic for null handling,
+// grouping keys derived from non-aggregate projection items, relationship
+// uniqueness within a MATCH, and deterministic result ordering.
+package cypher
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	tokEOF TokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokParam // $name
+	// Punctuation and operators.
+	tokLParen   // (
+	tokRParen   // )
+	tokLBracket // [
+	tokRBracket // ]
+	tokLBrace   // {
+	tokRBrace   // }
+	tokComma    // ,
+	tokDot      // .
+	tokDotDot   // ..
+	tokColon    // :
+	tokSemi     // ;
+	tokPipe     // |
+	tokPlus     // +
+	tokMinus    // -
+	tokStar     // *
+	tokSlash    // /
+	tokPercent  // %
+	tokCaret    // ^
+	tokEq       // =
+	tokNeq      // <>
+	tokLt       // <
+	tokLte      // <=
+	tokGt       // >
+	tokGte      // >=
+	tokRegex    // =~
+	tokArrowL   // <- (lexed as tokLt + tokMinus; see lexer)
+)
+
+// Token is one lexical unit with its source position (1-based line/col).
+// For keyword tokens, Text holds the uppercased canonical form and Orig
+// the original source spelling (so `AS`-the-label keeps its case when a
+// keyword is used as a name).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Orig string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords is the set of reserved words, stored uppercase. Cypher
+// keywords are case-insensitive; identifiers are case-sensitive.
+var keywords = map[string]bool{
+	"MATCH": true, "OPTIONAL": true, "WHERE": true, "RETURN": true,
+	"WITH": true, "UNWIND": true, "AS": true, "ORDER": true, "BY": true,
+	"SKIP": true, "LIMIT": true, "DISTINCT": true, "ASC": true,
+	"ASCENDING": true, "DESC": true, "DESCENDING": true,
+	"AND": true, "OR": true, "XOR": true, "NOT": true,
+	"IN": true, "STARTS": true, "ENDS": true, "CONTAINS": true,
+	"IS": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"CREATE": true, "MERGE": true, "SET": true, "DELETE": true,
+	"DETACH": true, "REMOVE": true, "ON": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"COUNT": true, "EXISTS": true, "UNION": true, "ALL": true, "ANY": true,
+	"NONE": true, "SINGLE": true,
+}
+
+// SyntaxError is a lexical or parse error with source position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("cypher: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errorf(line, col int, format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

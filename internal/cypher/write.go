@@ -1,0 +1,380 @@
+package cypher
+
+import (
+	"errors"
+
+	"chatiyp/internal/graph"
+)
+
+// execCreate instantiates each pattern once per binding row, reusing
+// bound endpoint variables and creating everything unbound.
+func (ex *executor) execCreate(c *CreateClause) error {
+	for _, pat := range c.Patterns {
+		for _, r := range pat.Rels {
+			if r.VarLength != nil {
+				return evalErrorf("CREATE cannot use variable-length relationships")
+			}
+			if r.Direction == DirBoth {
+				return evalErrorf("CREATE requires a directed relationship")
+			}
+		}
+	}
+	for _, row := range ex.rows {
+		for _, pat := range c.Patterns {
+			if err := ex.createPattern(pat, row); err != nil {
+				return err
+			}
+		}
+	}
+	var names []string
+	for _, pat := range c.Patterns {
+		names = append(names, patternVars([]*Pattern{pat})...)
+	}
+	ex.addScope(names...)
+	return nil
+}
+
+func (ex *executor) createPattern(pat *Pattern, row Row) error {
+	nodes := make([]*graph.Node, len(pat.Nodes))
+	for i, np := range pat.Nodes {
+		n, err := ex.resolveOrCreateNode(np, row)
+		if err != nil {
+			return err
+		}
+		nodes[i] = n
+	}
+	for i, rp := range pat.Rels {
+		props, err := ex.evalPropMap(rp.Props, row)
+		if err != nil {
+			return err
+		}
+		if len(rp.Types) != 1 {
+			return evalErrorf("CREATE requires exactly one relationship type")
+		}
+		start, end := nodes[i], nodes[i+1]
+		if rp.Direction == DirLeft {
+			start, end = end, start
+		}
+		r, err := ex.ctx.g.CreateRelationship(start.ID, end.ID, rp.Types[0], props)
+		if err != nil {
+			return err
+		}
+		ex.stats.RelationshipsCreated++
+		ex.stats.PropertiesSet += len(props)
+		if rp.Var != "" {
+			row[rp.Var] = r
+		}
+	}
+	if pat.PathVar != "" {
+		p := graph.Path{Nodes: nodes}
+		row[pat.PathVar] = p
+	}
+	return nil
+}
+
+func (ex *executor) resolveOrCreateNode(np *NodePattern, row Row) (*graph.Node, error) {
+	if np.Var != "" {
+		if v, bound := row[np.Var]; bound {
+			n, ok := v.(*graph.Node)
+			if !ok {
+				return nil, evalErrorf("variable `%s` is not a node", np.Var)
+			}
+			if len(np.Labels) > 0 || len(np.Props) > 0 {
+				return nil, evalErrorf("cannot add labels or properties to bound variable `%s` in CREATE", np.Var)
+			}
+			return n, nil
+		}
+	}
+	props, err := ex.evalPropMap(np.Props, row)
+	if err != nil {
+		return nil, err
+	}
+	n, err := ex.ctx.g.CreateNode(np.Labels, props)
+	if err != nil {
+		return nil, err
+	}
+	ex.stats.NodesCreated++
+	ex.stats.PropertiesSet += len(props)
+	ex.stats.LabelsAdded += len(np.Labels)
+	if np.Var != "" {
+		row[np.Var] = n
+	}
+	return n, nil
+}
+
+func (ex *executor) evalPropMap(props map[string]Expr, row Row) (map[string]any, error) {
+	out := make(map[string]any, len(props))
+	for k, e := range props {
+		v, err := ex.ctx.eval(e, row)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// execMerge matches the pattern per row; on no match it creates the
+// whole pattern (Neo4j semantics for a fully-unbound MERGE pattern).
+func (ex *executor) execMerge(m *MergeClause) error {
+	for _, r := range m.Pattern.Rels {
+		if r.VarLength != nil {
+			return evalErrorf("MERGE cannot use variable-length relationships")
+		}
+	}
+	var out []Row
+	for _, row := range ex.rows {
+		matcher := &matcher{ctx: ex.ctx, usedRels: map[int64]bool{}}
+		var matches []Row
+		err := matcher.match(m.Pattern, row, func(r Row) bool {
+			matches = append(matches, r)
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if len(matches) > 0 {
+			for _, mr := range matches {
+				if err := ex.applySetItems(m.OnMatchSet, mr); err != nil {
+					return err
+				}
+				out = append(out, mr)
+			}
+			continue
+		}
+		created := row.clone()
+		// MERGE creation requires directed single-type relationships like
+		// CREATE.
+		for _, rp := range m.Pattern.Rels {
+			if rp.Direction == DirBoth {
+				return evalErrorf("MERGE creation requires directed relationships")
+			}
+			if len(rp.Types) != 1 {
+				return evalErrorf("MERGE creation requires exactly one relationship type")
+			}
+		}
+		if err := ex.createMergePattern(m.Pattern, created); err != nil {
+			return err
+		}
+		if err := ex.applySetItems(m.OnCreateSet, created); err != nil {
+			return err
+		}
+		out = append(out, created)
+	}
+	ex.rows = out
+	ex.addScope(patternVars([]*Pattern{m.Pattern})...)
+	return nil
+}
+
+// createMergePattern is createPattern but allows labels/props on bound
+// variables to be interpreted as constraints already satisfied.
+func (ex *executor) createMergePattern(pat *Pattern, row Row) error {
+	nodes := make([]*graph.Node, len(pat.Nodes))
+	for i, np := range pat.Nodes {
+		if np.Var != "" {
+			if v, bound := row[np.Var]; bound {
+				n, ok := v.(*graph.Node)
+				if !ok {
+					return evalErrorf("variable `%s` is not a node", np.Var)
+				}
+				nodes[i] = n
+				continue
+			}
+		}
+		props, err := ex.evalPropMap(np.Props, row)
+		if err != nil {
+			return err
+		}
+		n, err := ex.ctx.g.CreateNode(np.Labels, props)
+		if err != nil {
+			return err
+		}
+		ex.stats.NodesCreated++
+		ex.stats.PropertiesSet += len(props)
+		ex.stats.LabelsAdded += len(np.Labels)
+		if np.Var != "" {
+			row[np.Var] = n
+		}
+		nodes[i] = n
+	}
+	for i, rp := range pat.Rels {
+		props, err := ex.evalPropMap(rp.Props, row)
+		if err != nil {
+			return err
+		}
+		start, end := nodes[i], nodes[i+1]
+		if rp.Direction == DirLeft {
+			start, end = end, start
+		}
+		r, err := ex.ctx.g.CreateRelationship(start.ID, end.ID, rp.Types[0], props)
+		if err != nil {
+			return err
+		}
+		ex.stats.RelationshipsCreated++
+		ex.stats.PropertiesSet += len(props)
+		if rp.Var != "" {
+			row[rp.Var] = r
+		}
+	}
+	return nil
+}
+
+func (ex *executor) execSet(items []*SetItem) error {
+	for _, row := range ex.rows {
+		if err := ex.applySetItems(items, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ex *executor) applySetItems(items []*SetItem, row Row) error {
+	for _, it := range items {
+		v, bound := row[it.Var]
+		if !bound {
+			return evalErrorf("variable `%s` not defined", it.Var)
+		}
+		if graph.KindOf(v) == graph.KindNull {
+			continue // SET on null (failed optional match) is a no-op
+		}
+		if len(it.Labels) > 0 {
+			n, ok := v.(*graph.Node)
+			if !ok {
+				return evalErrorf("cannot add labels to non-node `%s`", it.Var)
+			}
+			for _, l := range it.Labels {
+				if err := ex.ctx.g.AddNodeLabel(n.ID, l); err != nil {
+					return err
+				}
+				ex.stats.LabelsAdded++
+			}
+			continue
+		}
+		val, err := ex.ctx.eval(it.Expr, row)
+		if err != nil {
+			return err
+		}
+		switch e := v.(type) {
+		case *graph.Node:
+			if err := ex.ctx.g.SetNodeProp(e.ID, it.Prop, val); err != nil {
+				return err
+			}
+		case *graph.Relationship:
+			if err := ex.ctx.g.SetRelProp(e.ID, it.Prop, val); err != nil {
+				return err
+			}
+		default:
+			return evalErrorf("cannot SET property on %T", v)
+		}
+		ex.stats.PropertiesSet++
+	}
+	return nil
+}
+
+func (ex *executor) execRemove(rc *RemoveClause) error {
+	for _, row := range ex.rows {
+		for _, it := range rc.Items {
+			v, bound := row[it.Var]
+			if !bound {
+				return evalErrorf("variable `%s` not defined", it.Var)
+			}
+			if graph.KindOf(v) == graph.KindNull {
+				continue
+			}
+			if len(it.Labels) > 0 {
+				n, ok := v.(*graph.Node)
+				if !ok {
+					return evalErrorf("cannot remove labels from non-node `%s`", it.Var)
+				}
+				for _, l := range it.Labels {
+					if err := ex.ctx.g.RemoveNodeLabel(n.ID, l); err != nil {
+						return err
+					}
+					ex.stats.LabelsRemoved++
+				}
+				continue
+			}
+			switch e := v.(type) {
+			case *graph.Node:
+				if err := ex.ctx.g.SetNodeProp(e.ID, it.Prop, nil); err != nil {
+					return err
+				}
+			case *graph.Relationship:
+				if err := ex.ctx.g.SetRelProp(e.ID, it.Prop, nil); err != nil {
+					return err
+				}
+			default:
+				return evalErrorf("cannot REMOVE property from %T", v)
+			}
+			ex.stats.PropertiesSet++
+		}
+	}
+	return nil
+}
+
+func (ex *executor) execDelete(d *DeleteClause) error {
+	deletedNodes := map[int64]bool{}
+	deletedRels := map[int64]bool{}
+	for _, row := range ex.rows {
+		for _, e := range d.Exprs {
+			v, err := ex.ctx.eval(e, row)
+			if err != nil {
+				return err
+			}
+			switch x := v.(type) {
+			case nil:
+				continue
+			case *graph.Node:
+				if deletedNodes[x.ID] {
+					continue
+				}
+				if err := ex.ctx.g.DeleteNode(x.ID, d.Detach); err != nil {
+					if errors.Is(err, graph.ErrHasRels) {
+						return evalErrorf("cannot delete node %d with relationships; use DETACH DELETE", x.ID)
+					}
+					if errors.Is(err, graph.ErrNodeNotFound) {
+						continue
+					}
+					return err
+				}
+				deletedNodes[x.ID] = true
+				ex.stats.NodesDeleted++
+			case *graph.Relationship:
+				if deletedRels[x.ID] {
+					continue
+				}
+				if err := ex.ctx.g.DeleteRelationship(x.ID); err != nil {
+					if errors.Is(err, graph.ErrRelNotFound) {
+						continue
+					}
+					return err
+				}
+				deletedRels[x.ID] = true
+				ex.stats.RelationshipsDeleted++
+			case []graph.Value:
+				// DELETE over a collected list of entities.
+				for _, el := range x {
+					switch ee := el.(type) {
+					case *graph.Node:
+						if !deletedNodes[ee.ID] {
+							if err := ex.ctx.g.DeleteNode(ee.ID, d.Detach); err == nil {
+								deletedNodes[ee.ID] = true
+								ex.stats.NodesDeleted++
+							}
+						}
+					case *graph.Relationship:
+						if !deletedRels[ee.ID] {
+							if err := ex.ctx.g.DeleteRelationship(ee.ID); err == nil {
+								deletedRels[ee.ID] = true
+								ex.stats.RelationshipsDeleted++
+							}
+						}
+					}
+				}
+			default:
+				return evalErrorf("cannot DELETE %T", v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+// Package cyphereval reproduces the CypherEval benchmark (Giakatos,
+// Tashiro, Fontugne — IEEE LCN 2025): natural-language questions over
+// the IYP graph, each annotated with a gold Cypher query and labeled by
+// difficulty (Easy / Medium / Hard) and domain (general / technical).
+//
+// The original dataset has 300+ questions hand-written against the live
+// IYP; this package generates an equivalent benchmark against the
+// synthetic IYP world — 36 question templates spanning all six strata,
+// instantiated with concrete entities and validated by executing every
+// gold query at generation time.
+package cyphereval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Difficulty labels, as in CypherEval.
+type Difficulty string
+
+// Difficulty levels.
+const (
+	Easy   Difficulty = "easy"
+	Medium Difficulty = "medium"
+	Hard   Difficulty = "hard"
+)
+
+// Domain labels, as in CypherEval.
+type Domain string
+
+// Domains.
+const (
+	General   Domain = "general"
+	Technical Domain = "technical"
+)
+
+// Question is one benchmark item.
+type Question struct {
+	ID         string     `json:"id"`
+	Text       string     `json:"text"`
+	GoldCypher string     `json:"gold_cypher"`
+	Difficulty Difficulty `json:"difficulty"`
+	Domain     Domain     `json:"domain"`
+	// Template records which template generated the question, for
+	// per-template error analysis.
+	Template string `json:"template"`
+}
+
+// Benchmark is a full question set.
+type Benchmark struct {
+	Questions []Question `json:"questions"`
+	// Seed documents the generator seed for provenance.
+	Seed int64 `json:"seed"`
+}
+
+// ByStratum groups questions by (difficulty, domain).
+func (b *Benchmark) ByStratum() map[Difficulty]map[Domain][]Question {
+	out := map[Difficulty]map[Domain][]Question{}
+	for _, q := range b.Questions {
+		if out[q.Difficulty] == nil {
+			out[q.Difficulty] = map[Domain][]Question{}
+		}
+		out[q.Difficulty][q.Domain] = append(out[q.Difficulty][q.Domain], q)
+	}
+	return out
+}
+
+// ByDifficulty groups questions by difficulty.
+func (b *Benchmark) ByDifficulty() map[Difficulty][]Question {
+	out := map[Difficulty][]Question{}
+	for _, q := range b.Questions {
+		out[q.Difficulty] = append(out[q.Difficulty], q)
+	}
+	return out
+}
+
+// Counts summarizes the benchmark per stratum, in deterministic order.
+func (b *Benchmark) Counts() string {
+	type key struct {
+		d Difficulty
+		m Domain
+	}
+	counts := map[key]int{}
+	for _, q := range b.Questions {
+		counts[key{q.Difficulty, q.Domain}]++
+	}
+	var keys []key
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].d != keys[j].d {
+			return keys[i].d < keys[j].d
+		}
+		return keys[i].m < keys[j].m
+	})
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s/%s: %d\n", k.d, k.m, counts[k])
+	}
+	return out
+}
+
+// Write serializes the benchmark as JSON.
+func (b *Benchmark) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// Read deserializes a benchmark.
+func Read(r io.Reader) (*Benchmark, error) {
+	var b Benchmark
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("cyphereval: decoding benchmark: %w", err)
+	}
+	return &b, nil
+}
+
+// SaveFile writes the benchmark to a JSON file.
+func (b *Benchmark) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := b.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a benchmark from a JSON file.
+func LoadFile(path string) (*Benchmark, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,92 @@
+package cyphereval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chatiyp/internal/cypher"
+	"chatiyp/internal/graph"
+	"chatiyp/internal/iyp"
+)
+
+// GenConfig tunes benchmark generation.
+type GenConfig struct {
+	// Seed drives entity sampling.
+	Seed int64
+	// PerTemplate is how many instances to draw per template (default
+	// 10, which with 36 templates yields the paper-scale 360-question
+	// benchmark).
+	PerTemplate int
+	// RequireNonEmpty drops instances whose gold query returns zero
+	// rows (retried a few times first). A small share of naturally
+	// empty answers is kept when retries are exhausted, mirroring
+	// CypherEval.
+	RequireNonEmpty bool
+}
+
+// DefaultGenConfig matches the paper-scale benchmark.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{Seed: 20240601, PerTemplate: 10, RequireNonEmpty: true}
+}
+
+// Generate instantiates the template bank against a built world,
+// validating every gold query by execution on the graph. Instances are
+// deduplicated per template on the question text.
+func Generate(g *graph.Graph, w *iyp.World, cfg GenConfig) (*Benchmark, error) {
+	if cfg.PerTemplate <= 0 {
+		cfg.PerTemplate = 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bench := &Benchmark{Seed: cfg.Seed}
+	for _, tpl := range templates() {
+		seen := map[string]bool{}
+		produced := 0
+		attempts := 0
+		maxAttempts := cfg.PerTemplate * 30
+		for produced < cfg.PerTemplate && attempts < maxAttempts {
+			attempts++
+			args, gold, ok := tpl.instantiate(w, rng)
+			if !ok {
+				continue
+			}
+			phrasing := tpl.phrasings[produced%len(tpl.phrasings)]
+			text := render(phrasing, args)
+			if seen[text] {
+				continue
+			}
+			res, err := cypher.Execute(g, gold, nil)
+			if err != nil {
+				return nil, fmt.Errorf("cyphereval: template %s gold query failed: %w\n  %s", tpl.id, err, gold)
+			}
+			if cfg.RequireNonEmpty && len(res.Rows) == 0 && attempts < maxAttempts-cfg.PerTemplate {
+				continue
+			}
+			seen[text] = true
+			produced++
+			bench.Questions = append(bench.Questions, Question{
+				ID:         fmt.Sprintf("%s#%02d", tpl.id, produced),
+				Text:       text,
+				GoldCypher: gold,
+				Difficulty: tpl.difficulty,
+				Domain:     tpl.domain,
+				Template:   tpl.id,
+			})
+		}
+		if produced == 0 {
+			return nil, fmt.Errorf("cyphereval: template %s produced no instances", tpl.id)
+		}
+	}
+	return bench, nil
+}
+
+// TemplateCount returns the number of templates in the bank.
+func TemplateCount() int { return len(templates()) }
+
+// Strata enumerates all (difficulty, domain) pairs in canonical order.
+func Strata() [][2]string {
+	return [][2]string{
+		{string(Easy), string(General)}, {string(Easy), string(Technical)},
+		{string(Medium), string(General)}, {string(Medium), string(Technical)},
+		{string(Hard), string(General)}, {string(Hard), string(Technical)},
+	}
+}

@@ -1,0 +1,615 @@
+package cyphereval
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"chatiyp/internal/iyp"
+)
+
+// template is one question pattern: phrasings with placeholders, a gold
+// query builder, and the stratum labels.
+type template struct {
+	id         string
+	difficulty Difficulty
+	domain     Domain
+	phrasings  []string
+	// instantiate samples entities from the world and returns the
+	// placeholder values plus the gold Cypher; ok is false when the
+	// world has no suitable entities for this draw.
+	instantiate func(w *iyp.World, rng *rand.Rand) (args map[string]string, gold string, ok bool)
+}
+
+// render substitutes {placeholders} in a phrasing.
+func render(phrasing string, args map[string]string) string {
+	out := phrasing
+	for k, v := range args {
+		out = strings.ReplaceAll(out, "{"+k+"}", v)
+	}
+	return out
+}
+
+// Entity pickers. All draw deterministically from the provided rng.
+
+func pickAS(w *iyp.World, rng *rand.Rand) *iyp.ASSpec {
+	return &w.ASes[rng.Intn(len(w.ASes))]
+}
+
+func pickASWhere(w *iyp.World, rng *rand.Rand, pred func(*iyp.ASSpec) bool) *iyp.ASSpec {
+	start := rng.Intn(len(w.ASes))
+	for off := 0; off < len(w.ASes); off++ {
+		a := &w.ASes[(start+off)%len(w.ASes)]
+		if pred(a) {
+			return a
+		}
+	}
+	return nil
+}
+
+func pickCountry(w *iyp.World, rng *rand.Rand) iyp.CountryInfo {
+	return w.Countries[rng.Intn(len(w.Countries))]
+}
+
+func pickIXP(w *iyp.World, rng *rand.Rand) *iyp.IXPSpec {
+	return &w.IXPs[rng.Intn(len(w.IXPs))]
+}
+
+func pickDomain(w *iyp.World, rng *rand.Rand) *iyp.DomainSpec {
+	return &w.Domains[rng.Intn(len(w.Domains))]
+}
+
+func asArgs(a *iyp.ASSpec) map[string]string {
+	return map[string]string{"asn": fmt.Sprint(a.ASN)}
+}
+
+// templates returns the full 36-template bank: 6 templates per
+// (difficulty × domain) stratum.
+func templates() []template {
+	return []template{
+		// ---------- Easy / general ----------
+		{
+			id: "EG1-as-name", difficulty: Easy, domain: General,
+			phrasings: []string{
+				"What is the name of AS{asn}?",
+				"What is AS{asn} called?",
+				"Tell me the name of autonomous system {asn}.",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				a := pickAS(w, rng)
+				return asArgs(a), fmt.Sprintf("MATCH (:AS {asn: %d})-[:NAME]->(n:Name) RETURN n.name", a.ASN), true
+			},
+		},
+		{
+			id: "EG2-as-country", difficulty: Easy, domain: General,
+			phrasings: []string{
+				"In which country is AS{asn} registered?",
+				"Which country is AS{asn} based in?",
+				"Where is AS{asn} registered?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				a := pickAS(w, rng)
+				return asArgs(a), fmt.Sprintf("MATCH (:AS {asn: %d})-[:COUNTRY]->(c:Country) RETURN c.country_code", a.ASN), true
+			},
+		},
+		{
+			id: "EG3-as-org", difficulty: Easy, domain: General,
+			phrasings: []string{
+				"Which organization manages AS{asn}?",
+				"What company operates AS{asn}?",
+				"Who runs AS{asn}?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				a := pickAS(w, rng)
+				return asArgs(a), fmt.Sprintf("MATCH (:AS {asn: %d})-[:MANAGED_BY]->(o:Organization) RETURN o.name", a.ASN), true
+			},
+		},
+		{
+			id: "EG4-count-as-country", difficulty: Easy, domain: General,
+			phrasings: []string{
+				"How many ASes are registered in {country}?",
+				"How many autonomous systems does {country} have?",
+				"What is the number of ASes registered in {country}?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				c := pickCountry(w, rng)
+				return map[string]string{"country": c.Name},
+					fmt.Sprintf("MATCH (a:AS)-[:COUNTRY]->(:Country {country_code: '%s'}) RETURN count(a)", c.Code), true
+			},
+		},
+		{
+			id: "EG5-tranco-rank", difficulty: Easy, domain: General,
+			phrasings: []string{
+				"What is the rank of {domain} in the Tranco list?",
+				"What is the Tranco rank of {domain}?",
+				"Where does {domain} rank in the Tranco top 1M?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				d := pickDomain(w, rng)
+				return map[string]string{"domain": d.Name},
+					fmt.Sprintf("MATCH (:DomainName {name: '%s'})-[r:RANK]->(:Ranking {name: '%s'}) RETURN r.rank", d.Name, iyp.RankingTranco), true
+			},
+		},
+		{
+			id: "EG6-ixp-country", difficulty: Easy, domain: General,
+			phrasings: []string{
+				"In which country is {ixp} located?",
+				"Which country hosts the {ixp} exchange?",
+				"Where is {ixp}?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				x := pickIXP(w, rng)
+				return map[string]string{"ixp": x.Name},
+					fmt.Sprintf("MATCH (:IXP {name: '%s'})-[:COUNTRY]->(c:Country) RETURN c.country_code", x.Name), true
+			},
+		},
+
+		// ---------- Easy / technical ----------
+		{
+			id: "ET1-count-prefixes", difficulty: Easy, domain: Technical,
+			phrasings: []string{
+				"How many prefixes does AS{asn} originate?",
+				"How many prefixes are announced by AS{asn}?",
+				"What is the number of prefixes originated by AS{asn}?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				a := pickAS(w, rng)
+				return asArgs(a), fmt.Sprintf("MATCH (:AS {asn: %d})-[:ORIGINATE]->(p:Prefix) RETURN count(p)", a.ASN), true
+			},
+		},
+		{
+			id: "ET2-population", difficulty: Easy, domain: Technical,
+			phrasings: []string{
+				"What is the percentage of {country}'s population in AS{asn}?",
+				"What share of {country}'s Internet users does AS{asn} serve?",
+				"How much of the population of {country} is served by AS{asn}?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				a := pickASWhere(w, rng, func(a *iyp.ASSpec) bool { return a.PopPercent > 0 })
+				if a == nil {
+					return nil, "", false
+				}
+				return map[string]string{"asn": fmt.Sprint(a.ASN), "country": a.Country.Name},
+					fmt.Sprintf("MATCH (:AS {asn: %d})-[p:POPULATION]-(:Country {country_code: '%s'}) RETURN p.percent", a.ASN, a.Country.Code), true
+			},
+		},
+		{
+			id: "ET3-caida-rank", difficulty: Easy, domain: Technical,
+			phrasings: []string{
+				"What is the CAIDA ASRank of AS{asn}?",
+				"Where does AS{asn} rank in the CAIDA AS ranking?",
+				"What is AS{asn}'s rank according to CAIDA?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				a := pickAS(w, rng)
+				return asArgs(a), fmt.Sprintf("MATCH (:AS {asn: %d})-[r:RANK]->(:Ranking {name: '%s'}) RETURN r.rank", a.ASN, iyp.RankingASRank), true
+			},
+		},
+		{
+			id: "ET4-domain-resolve", difficulty: Easy, domain: Technical,
+			phrasings: []string{
+				"Which IP address does {domain} resolve to?",
+				"What is the A record of {domain}?",
+				"To which IP does {domain} point?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				d := pickDomain(w, rng)
+				return map[string]string{"domain": d.Name},
+					fmt.Sprintf("MATCH (:DomainName {name: '%s'})-[:RESOLVES_TO]->(i:IP) RETURN i.ip", d.Name), true
+			},
+		},
+		{
+			id: "ET5-prefix-origin", difficulty: Easy, domain: Technical,
+			phrasings: []string{
+				"Which AS originates the prefix {prefix}?",
+				"Who announces {prefix}?",
+				"Which autonomous system advertises {prefix}?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				a := pickASWhere(w, rng, func(a *iyp.ASSpec) bool { return len(a.Prefixes) > 0 })
+				if a == nil {
+					return nil, "", false
+				}
+				pfx := a.Prefixes[rng.Intn(len(a.Prefixes))]
+				return map[string]string{"prefix": pfx},
+					fmt.Sprintf("MATCH (a:AS)-[:ORIGINATE]->(:Prefix {prefix: '%s'}) RETURN a.asn", pfx), true
+			},
+		},
+		{
+			id: "ET6-roa-for-prefix", difficulty: Easy, domain: Technical,
+			phrasings: []string{
+				"Which AS is authorized by a ROA to originate {prefix}?",
+				"Which AS holds the RPKI authorization for {prefix}?",
+				"Which AS does the ROA for {prefix} cover?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				a := pickASWhere(w, rng, func(a *iyp.ASSpec) bool { return len(a.ROAPrefixes) > 0 })
+				if a == nil {
+					return nil, "", false
+				}
+				pfx := a.ROAPrefixes[rng.Intn(len(a.ROAPrefixes))]
+				return map[string]string{"prefix": pfx},
+					fmt.Sprintf("MATCH (a:AS)-[:ROUTE_ORIGIN_AUTHORIZATION]->(:Prefix {prefix: '%s'}) RETURN a.asn", pfx), true
+			},
+		},
+
+		// ---------- Medium / general ----------
+		{
+			id: "MG1-member-ixps", difficulty: Medium, domain: General,
+			phrasings: []string{
+				"Which IXPs is AS{asn} a member of?",
+				"List the exchange points where AS{asn} is present.",
+				"At which IXPs does AS{asn} peer?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				a := pickASWhere(w, rng, func(a *iyp.ASSpec) bool { return len(a.IXPs) > 0 })
+				if a == nil {
+					return nil, "", false
+				}
+				return asArgs(a), fmt.Sprintf("MATCH (:AS {asn: %d})-[:MEMBER_OF]->(x:IXP) RETURN x.name", a.ASN), true
+			},
+		},
+		{
+			id: "MG2-as-tags", difficulty: Medium, domain: General,
+			phrasings: []string{
+				"How is AS{asn} categorized?",
+				"Which tags does AS{asn} carry?",
+				"What kind of network is AS{asn}?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				a := pickASWhere(w, rng, func(a *iyp.ASSpec) bool { return len(a.Tags) > 0 })
+				if a == nil {
+					return nil, "", false
+				}
+				return asArgs(a), fmt.Sprintf("MATCH (:AS {asn: %d})-[:CATEGORIZED]->(t:Tag) RETURN t.label", a.ASN), true
+			},
+		},
+		{
+			id: "MG3-count-ixps-country", difficulty: Medium, domain: General,
+			phrasings: []string{
+				"How many IXPs are located in {country}?",
+				"How many Internet exchange points does {country} host?",
+				"What is the number of IXPs in {country}?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				x := pickIXP(w, rng) // ensures a country with at least one IXP
+				return map[string]string{"country": x.Country.Name},
+					fmt.Sprintf("MATCH (x:IXP)-[:COUNTRY]->(:Country {country_code: '%s'}) RETURN count(x)", x.Country.Code), true
+			},
+		},
+		{
+			id: "MG4-ixp-members", difficulty: Medium, domain: General,
+			phrasings: []string{
+				"How many member networks does {ixp} have?",
+				"How many ASes are members of {ixp}?",
+				"What is the member count of {ixp}?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				x := pickIXP(w, rng)
+				return map[string]string{"ixp": x.Name},
+					fmt.Sprintf("MATCH (a:AS)-[:MEMBER_OF]->(:IXP {name: '%s'}) RETURN count(a)", x.Name), true
+			},
+		},
+		{
+			id: "MG5-orgs-in-country", difficulty: Medium, domain: General,
+			phrasings: []string{
+				"How many organizations are based in {country}?",
+				"How many companies operating networks are registered in {country}?",
+				"What is the number of organizations in {country}?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				a := pickAS(w, rng) // org country follows the AS's country
+				c := a.Country
+				return map[string]string{"country": c.Name},
+					fmt.Sprintf("MATCH (o:Organization)-[:COUNTRY]->(:Country {country_code: '%s'}) RETURN count(o)", c.Code), true
+			},
+		},
+		{
+			id: "MG6-ixp-facility", difficulty: Medium, domain: General,
+			phrasings: []string{
+				"In which facility is {ixp} located?",
+				"Which datacenter houses {ixp}?",
+				"What facility hosts {ixp}?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				x := pickIXP(w, rng)
+				return map[string]string{"ixp": x.Name},
+					fmt.Sprintf("MATCH (:IXP {name: '%s'})-[:LOCATED_IN]->(f:Facility) RETURN f.name", x.Name), true
+			},
+		},
+
+		// ---------- Medium / technical ----------
+		{
+			id: "MT1-depends-list", difficulty: Medium, domain: Technical,
+			phrasings: []string{
+				"Which ASes does AS{asn} depend on?",
+				"What are the upstream dependencies of AS{asn}?",
+				"On which networks does AS{asn} rely?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				a := pickASWhere(w, rng, func(a *iyp.ASSpec) bool { return len(a.Hegemons) > 0 })
+				if a == nil {
+					return nil, "", false
+				}
+				return asArgs(a), fmt.Sprintf("MATCH (:AS {asn: %d})-[:DEPENDS_ON]->(b:AS) RETURN b.asn", a.ASN), true
+			},
+		},
+		{
+			id: "MT2-hegemony", difficulty: Medium, domain: Technical,
+			phrasings: []string{
+				"What is the hegemony score of AS{asn} on AS{asn2}?",
+				"How strongly does AS{asn} depend on AS{asn2}?",
+				"What hegemony value does IYP record between AS{asn} and AS{asn2}?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				a := pickASWhere(w, rng, func(a *iyp.ASSpec) bool { return len(a.Hegemons) > 0 })
+				if a == nil {
+					return nil, "", false
+				}
+				up := w.ASes[a.Hegemons[rng.Intn(len(a.Hegemons))].Upstream]
+				return map[string]string{"asn": fmt.Sprint(a.ASN), "asn2": fmt.Sprint(up.ASN)},
+					fmt.Sprintf("MATCH (:AS {asn: %d})-[d:DEPENDS_ON]->(:AS {asn: %d}) RETURN d.hegemony", a.ASN, up.ASN), true
+			},
+		},
+		{
+			id: "MT3-count-dependents", difficulty: Medium, domain: Technical,
+			phrasings: []string{
+				"How many ASes depend on AS{asn}?",
+				"How many networks rely on AS{asn}?",
+				"What is the number of ASes depending on AS{asn}?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				// Prefer big ASes, which have dependents.
+				a := &w.ASes[rng.Intn(len(w.ASes)/4+1)]
+				return asArgs(a), fmt.Sprintf("MATCH (a:AS)-[:DEPENDS_ON]->(:AS {asn: %d}) RETURN count(a)", a.ASN), true
+			},
+		},
+		{
+			id: "MT4-peers", difficulty: Medium, domain: Technical,
+			phrasings: []string{
+				"Which ASes peer with AS{asn}?",
+				"Who are the BGP neighbors of AS{asn}?",
+				"List the ASes adjacent to AS{asn}.",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				a := pickAS(w, rng)
+				return asArgs(a), fmt.Sprintf("MATCH (:AS {asn: %d})-[:PEERS_WITH]-(b:AS) RETURN b.asn", a.ASN), true
+			},
+		},
+		{
+			id: "MT5-count-ipv6", difficulty: Medium, domain: Technical,
+			phrasings: []string{
+				"How many IPv6 prefixes does AS{asn} originate?",
+				"How many v6 prefixes are announced by AS{asn}?",
+				"What is the IPv6 prefix count of AS{asn}?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				a := pickAS(w, rng)
+				return asArgs(a), fmt.Sprintf("MATCH (:AS {asn: %d})-[:ORIGINATE]->(p:Prefix {af: 6}) RETURN count(p)", a.ASN), true
+			},
+		},
+		{
+			id: "MT6-count-roa", difficulty: Medium, domain: Technical,
+			phrasings: []string{
+				"How many of AS{asn}'s prefixes are covered by ROAs?",
+				"How many RPKI authorizations does AS{asn} hold?",
+				"For how many prefixes does AS{asn} have a ROA?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				a := pickASWhere(w, rng, func(a *iyp.ASSpec) bool { return len(a.ROAPrefixes) > 0 })
+				if a == nil {
+					return nil, "", false
+				}
+				return asArgs(a), fmt.Sprintf("MATCH (:AS {asn: %d})-[:ROUTE_ORIGIN_AUTHORIZATION]->(p:Prefix) RETURN count(p)", a.ASN), true
+			},
+		},
+
+		// ---------- Hard / general ----------
+		{
+			id: "HG1-most-population", difficulty: Hard, domain: General,
+			phrasings: []string{
+				"Which AS serves the largest share of {country}'s population?",
+				"Which network has the most users in {country}?",
+				"What is the top eyeball AS of {country}?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				a := pickASWhere(w, rng, func(a *iyp.ASSpec) bool { return a.PopPercent > 0 })
+				if a == nil {
+					return nil, "", false
+				}
+				c := a.Country
+				return map[string]string{"country": c.Name},
+					fmt.Sprintf("MATCH (a:AS)-[p:POPULATION]->(:Country {country_code: '%s'}) RETURN a.asn ORDER BY p.percent DESC LIMIT 1", c.Code), true
+			},
+		},
+		{
+			id: "HG2-org-most-ases", difficulty: Hard, domain: General,
+			phrasings: []string{
+				"Which organization manages the most ASes?",
+				"Which company operates the largest number of autonomous systems?",
+				"What organization runs the most networks?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				return map[string]string{},
+					"MATCH (a:AS)-[:MANAGED_BY]->(o:Organization) RETURN o.name, count(a) AS n ORDER BY n DESC LIMIT 1", true
+			},
+		},
+		{
+			id: "HG3-country-most-ixps", difficulty: Hard, domain: General,
+			phrasings: []string{
+				"Which country hosts the most IXPs?",
+				"Which country has the largest number of Internet exchange points?",
+				"Where are the most IXPs located, by country?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				return map[string]string{},
+					"MATCH (x:IXP)-[:COUNTRY]->(c:Country) RETURN c.country_code, count(x) AS n ORDER BY n DESC LIMIT 1", true
+			},
+		},
+		{
+			id: "HG4-common-ixps", difficulty: Hard, domain: General,
+			phrasings: []string{
+				"At which IXPs do AS{asn} and AS{asn2} both peer?",
+				"Which exchange points have both AS{asn} and AS{asn2} as members?",
+				"Where do AS{asn} and AS{asn2} meet?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				// Find a pair sharing at least one IXP.
+				a := pickASWhere(w, rng, func(a *iyp.ASSpec) bool { return len(a.IXPs) > 0 })
+				if a == nil {
+					return nil, "", false
+				}
+				ixpSet := map[int]bool{}
+				for _, x := range a.IXPs {
+					ixpSet[x] = true
+				}
+				b := pickASWhere(w, rng, func(b *iyp.ASSpec) bool {
+					if b.ASN == a.ASN {
+						return false
+					}
+					for _, x := range b.IXPs {
+						if ixpSet[x] {
+							return true
+						}
+					}
+					return false
+				})
+				if b == nil {
+					return nil, "", false
+				}
+				return map[string]string{"asn": fmt.Sprint(a.ASN), "asn2": fmt.Sprint(b.ASN)},
+					fmt.Sprintf("MATCH (:AS {asn: %d})-[:MEMBER_OF]->(x:IXP)<-[:MEMBER_OF]-(:AS {asn: %d}) RETURN x.name", a.ASN, b.ASN), true
+			},
+		},
+		{
+			id: "HG5-facilities-for-as", difficulty: Hard, domain: General,
+			phrasings: []string{
+				"Which facilities host IXPs that AS{asn} is a member of?",
+				"In which datacenters can AS{asn} be reached through its IXPs?",
+				"List the facilities behind AS{asn}'s exchange points.",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				a := pickASWhere(w, rng, func(a *iyp.ASSpec) bool { return len(a.IXPs) > 0 })
+				if a == nil {
+					return nil, "", false
+				}
+				return asArgs(a), fmt.Sprintf("MATCH (:AS {asn: %d})-[:MEMBER_OF]->(:IXP)-[:LOCATED_IN]->(f:Facility) RETURN DISTINCT f.name", a.ASN), true
+			},
+		},
+		{
+			id: "HG6-domains-via-as", difficulty: Hard, domain: General,
+			phrasings: []string{
+				"Which domains resolve to IPs in prefixes originated by AS{asn}?",
+				"Which websites are hosted in address space announced by AS{asn}?",
+				"What domain names point into AS{asn}'s prefixes?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				d := pickDomain(w, rng)
+				a := &w.ASes[d.HostAS]
+				return asArgs(a),
+					fmt.Sprintf("MATCH (:AS {asn: %d})-[:ORIGINATE]->(:Prefix)<-[:PART_OF]-(:IP)<-[:RESOLVES_TO]-(d:DomainName) RETURN DISTINCT d.name", a.ASN), true
+			},
+		},
+
+		// ---------- Hard / technical ----------
+		{
+			id: "HT1-common-upstream", difficulty: Hard, domain: Technical,
+			phrasings: []string{
+				"Which AS is the most common dependency of ASes registered in {country}?",
+				"Which upstream do networks in {country} depend on the most?",
+				"What is the dominant hegemon for {country}'s ASes?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				a := pickASWhere(w, rng, func(a *iyp.ASSpec) bool { return len(a.Hegemons) > 0 })
+				if a == nil {
+					return nil, "", false
+				}
+				c := a.Country
+				return map[string]string{"country": c.Name},
+					fmt.Sprintf("MATCH (a:AS)-[:COUNTRY]->(:Country {country_code: '%s'}) MATCH (a)-[:DEPENDS_ON]->(u:AS) RETURN u.asn, count(a) AS n ORDER BY n DESC LIMIT 1", c.Code), true
+			},
+		},
+		{
+			id: "HT2-threshold", difficulty: Hard, domain: Technical,
+			phrasings: []string{
+				"Which ASes in {country} originate more than {n} prefixes?",
+				"List the ASes registered in {country} announcing more than {n} prefixes.",
+				"Which networks in {country} advertise more than {n} prefixes?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				// Choose a country and threshold with a non-empty answer.
+				a := pickASWhere(w, rng, func(a *iyp.ASSpec) bool { return len(a.Prefixes) >= 3 })
+				if a == nil {
+					return nil, "", false
+				}
+				c := a.Country
+				n := len(a.Prefixes) - 1
+				return map[string]string{"country": c.Name, "n": fmt.Sprint(n)},
+					fmt.Sprintf("MATCH (a:AS)-[:COUNTRY]->(:Country {country_code: '%s'}) MATCH (a)-[:ORIGINATE]->(p:Prefix) WITH a, count(p) AS n WHERE n > %d RETURN a.asn", c.Code, n), true
+			},
+		},
+		{
+			id: "HT3-avg-hegemony", difficulty: Hard, domain: Technical,
+			phrasings: []string{
+				"What is the average hegemony score of ASes depending on AS{asn}?",
+				"What is the mean hegemony of dependencies on AS{asn}?",
+				"On average, how strongly do networks depend on AS{asn}?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				a := &w.ASes[rng.Intn(len(w.ASes)/4+1)] // big AS: has dependents
+				return asArgs(a), fmt.Sprintf("MATCH (:AS)-[d:DEPENDS_ON]->(:AS {asn: %d}) RETURN avg(d.hegemony)", a.ASN), true
+			},
+		},
+		{
+			id: "HT4-two-hop-upstream", difficulty: Hard, domain: Technical,
+			phrasings: []string{
+				"Which ASes are exactly two dependency hops upstream of AS{asn}?",
+				"Which networks does AS{asn} depend on transitively at two hops?",
+				"Find the second-hop upstream dependencies of AS{asn}.",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				a := pickASWhere(w, rng, func(a *iyp.ASSpec) bool { return len(a.Hegemons) > 0 && a.SizeRank > 10 })
+				if a == nil {
+					return nil, "", false
+				}
+				return asArgs(a), fmt.Sprintf("MATCH (:AS {asn: %d})-[:DEPENDS_ON*2]->(b:AS) RETURN DISTINCT b.asn", a.ASN), true
+			},
+		},
+		{
+			id: "HT5-tagged-ixp-members", difficulty: Hard, domain: Technical,
+			phrasings: []string{
+				"Which {tag} networks are members of {ixp}?",
+				"List the {tag}-tagged ASes peering at {ixp}.",
+				"Which members of {ixp} are categorized as {tag}?",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				// Find an IXP with a member carrying some tag.
+				a := pickASWhere(w, rng, func(a *iyp.ASSpec) bool { return len(a.IXPs) > 0 && len(a.Tags) > 0 })
+				if a == nil {
+					return nil, "", false
+				}
+				x := w.IXPs[a.IXPs[rng.Intn(len(a.IXPs))]]
+				tag := a.Tags[rng.Intn(len(a.Tags))]
+				return map[string]string{"ixp": x.Name, "tag": tag},
+					fmt.Sprintf("MATCH (a:AS)-[:MEMBER_OF]->(:IXP {name: '%s'}) MATCH (a)-[:CATEGORIZED]->(:Tag {label: '%s'}) RETURN a.asn", x.Name, tag), true
+			},
+		},
+		{
+			id: "HT6-prefixes-without-roa", difficulty: Hard, domain: Technical,
+			phrasings: []string{
+				"Which prefixes originated by AS{asn} lack a ROA?",
+				"Which of AS{asn}'s announced prefixes are not covered by RPKI?",
+				"List AS{asn}'s prefixes without a route origin authorization.",
+			},
+			instantiate: func(w *iyp.World, rng *rand.Rand) (map[string]string, string, bool) {
+				a := pickASWhere(w, rng, func(a *iyp.ASSpec) bool {
+					return len(a.Prefixes) > len(a.ROAPrefixes) // at least one uncovered
+				})
+				if a == nil {
+					return nil, "", false
+				}
+				return asArgs(a), fmt.Sprintf("MATCH (a:AS {asn: %d})-[:ORIGINATE]->(p:Prefix) WHERE NOT (a)-[:ROUTE_ORIGIN_AUTHORIZATION]->(p) RETURN p.prefix", a.ASN), true
+			},
+		},
+	}
+}

@@ -1,0 +1,196 @@
+// Package embed implements a deterministic text embedding model used in
+// place of a neural sentence encoder: feature-hashed word and character
+// n-grams with optional IDF weighting, L2-normalized into fixed-width
+// dense vectors.
+//
+// The embedder has the two properties the ChatIYP reproduction needs
+// from an embedding model: (1) semantically related texts — paraphrases
+// sharing vocabulary and morphology — land close in cosine space, and
+// (2) identical input always produces the identical vector, keeping the
+// evaluation reproducible.
+package embed
+
+import (
+	"hash/fnv"
+	"math"
+
+	"chatiyp/internal/textutil"
+)
+
+// DefaultDim is the default embedding width. 256 dimensions keeps hash
+// collisions rare for IYP-scale vocabularies while staying cheap to
+// scan.
+const DefaultDim = 256
+
+// Vector is a dense embedding.
+type Vector []float32
+
+// Dot returns the inner product of two vectors of equal length.
+func (v Vector) Dot(o Vector) float64 {
+	var s float64
+	for i := range v {
+		s += float64(v[i]) * float64(o[i])
+	}
+	return s
+}
+
+// Norm returns the L2 norm.
+func (v Vector) Norm() float64 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return math.Sqrt(s)
+}
+
+// Cosine returns the cosine similarity in [-1, 1]; zero vectors yield 0.
+func (v Vector) Cosine(o Vector) float64 {
+	nv, no := v.Norm(), o.Norm()
+	if nv == 0 || no == 0 {
+		return 0
+	}
+	return v.Dot(o) / (nv * no)
+}
+
+// Clone returns a copy of the vector.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Config tunes the embedder.
+type Config struct {
+	// Dim is the vector width; 0 means DefaultDim.
+	Dim int
+	// CharNGram enables character trigram features inside tokens,
+	// which makes near-spellings ("peering"/"peers") similar.
+	CharNGram bool
+	// Bigrams enables word-bigram features, which capture local phrase
+	// structure ("autonomous system", "country code").
+	Bigrams bool
+	// StemTokens folds morphological variants before hashing.
+	StemTokens bool
+}
+
+// Embedder converts text into vectors. It is safe for concurrent use
+// after Fit (or immediately, if IDF weighting is not fitted).
+type Embedder struct {
+	cfg Config
+	// idf maps feature hash buckets to inverse-document-frequency
+	// weights; nil disables IDF (all features weigh 1).
+	idf  map[uint32]float64
+	docs int
+}
+
+// New returns an embedder with the given configuration.
+func New(cfg Config) *Embedder {
+	if cfg.Dim <= 0 {
+		cfg.Dim = DefaultDim
+	}
+	return &Embedder{cfg: cfg}
+}
+
+// NewDefault returns an embedder with the configuration used throughout
+// the ChatIYP pipeline: 256 dims, char n-grams, bigrams, stemming.
+func NewDefault() *Embedder {
+	return New(Config{CharNGram: true, Bigrams: true, StemTokens: true})
+}
+
+// Dim returns the vector width.
+func (e *Embedder) Dim() int { return e.cfg.Dim }
+
+// features extracts the hashed feature stream of a text.
+func (e *Embedder) features(text string, fn func(h uint32, weight float64)) {
+	tokens := textutil.ContentTokens(text)
+	work := tokens
+	if e.cfg.StemTokens {
+		work = textutil.StemAll(tokens)
+	}
+	for _, tok := range work {
+		fn(hashFeature("w:"+tok), 1.0)
+		if e.cfg.CharNGram && len(tok) >= 3 {
+			for _, g := range textutil.CharNGrams(tok, 3) {
+				fn(hashFeature("c:"+g), 0.3)
+			}
+		}
+	}
+	if e.cfg.Bigrams {
+		for _, bg := range textutil.NGrams(work, 2) {
+			fn(hashFeature("b:"+bg), 0.7)
+		}
+	}
+}
+
+func hashFeature(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}
+
+// Fit computes IDF weights over a document corpus. Calling Fit replaces
+// any previous fit. Embedding quality improves because corpus-frequent
+// features (schema boilerplate) stop dominating the vectors.
+func (e *Embedder) Fit(corpus []string) {
+	df := make(map[uint32]int)
+	for _, doc := range corpus {
+		seen := make(map[uint32]bool)
+		e.features(doc, func(h uint32, _ float64) {
+			if !seen[h] {
+				seen[h] = true
+				df[h]++
+			}
+		})
+	}
+	e.docs = len(corpus)
+	e.idf = make(map[uint32]float64, len(df))
+	for h, n := range df {
+		e.idf[h] = math.Log(1 + float64(e.docs)/float64(1+n))
+	}
+}
+
+// Fitted reports whether IDF weights are loaded.
+func (e *Embedder) Fitted() bool { return e.idf != nil }
+
+// Embed converts text to an L2-normalized vector. Empty or
+// stopword-only text yields the zero vector.
+func (e *Embedder) Embed(text string) Vector {
+	v := make(Vector, e.cfg.Dim)
+	e.features(text, func(h uint32, weight float64) {
+		w := weight
+		if e.idf != nil {
+			if idf, ok := e.idf[h]; ok {
+				w *= idf
+			} else {
+				// Unseen feature: weigh like a rare term.
+				w *= math.Log(1 + float64(e.docs))
+			}
+		}
+		// Signed feature hashing: a second hash decides the sign, which
+		// keeps the expectation of collisions at zero.
+		idx := int(h % uint32(e.cfg.Dim))
+		if (h>>16)&1 == 1 {
+			v[idx] += float32(w)
+		} else {
+			v[idx] -= float32(w)
+		}
+	})
+	normalize(v)
+	return v
+}
+
+// Similarity is a convenience for Embed(a).Cosine(Embed(b)).
+func (e *Embedder) Similarity(a, b string) float64 {
+	return e.Embed(a).Cosine(e.Embed(b))
+}
+
+func normalize(v Vector) {
+	n := v.Norm()
+	if n == 0 {
+		return
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i] = float32(float64(v[i]) * inv)
+	}
+}

@@ -1,0 +1,281 @@
+package eval
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"chatiyp/internal/cyphereval"
+	"chatiyp/internal/iyp"
+)
+
+// smallExperiment runs a reduced but statistically meaningful
+// evaluation (36 templates × 4 = 144 questions on the small world).
+// The report is cached because several tests inspect the same run.
+var (
+	onceReport sync.Once
+	cachedRep  *Report
+	cachedExp  *Experiment
+	reportErr  error
+)
+
+func smallReport(t *testing.T) (*Report, *Experiment) {
+	t.Helper()
+	onceReport.Do(func() {
+		cfg := DefaultExperimentConfig()
+		cfg.Dataset = iyp.SmallConfig()
+		gen := cyphereval.DefaultGenConfig()
+		gen.PerTemplate = 4
+		cfg.Gen = gen
+		cachedExp, reportErr = NewExperiment(cfg)
+		if reportErr != nil {
+			return
+		}
+		cachedRep, reportErr = cachedExp.Runner.Run(context.Background())
+	})
+	if reportErr != nil {
+		t.Fatal(reportErr)
+	}
+	return cachedRep, cachedExp
+}
+
+func TestRunProducesCompleteRecords(t *testing.T) {
+	rep, exp := smallReport(t)
+	if len(rep.Records) != len(exp.Bench.Questions) {
+		t.Fatalf("records = %d, questions = %d", len(rep.Records), len(exp.Bench.Questions))
+	}
+	for i, rec := range rep.Records {
+		if rec.Question.ID != exp.Bench.Questions[i].ID {
+			t.Fatalf("record %d out of order", i)
+		}
+		if rec.Reference == "" || rec.Candidate == "" {
+			t.Fatalf("%s: empty answer fields", rec.Question.ID)
+		}
+		for _, v := range []float64{rec.BLEU, rec.Rouge1, rec.RougeL, rec.BERTF1, rec.GEval} {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s: metric out of range: %v", rec.Question.ID, v)
+			}
+		}
+	}
+}
+
+func TestPipelineAnswersMostEasyQuestions(t *testing.T) {
+	rep, _ := smallReport(t)
+	easy := rep.Filter(func(r Record) bool { return r.Question.Difficulty == cyphereval.Easy })
+	accurate := 0
+	for _, r := range easy {
+		if r.ExecAccurate {
+			accurate++
+		}
+	}
+	if frac := float64(accurate) / float64(len(easy)); frac < 0.55 {
+		t.Errorf("easy execution accuracy %.2f below 0.55", frac)
+	}
+}
+
+func TestFinding2DifficultyGradient(t *testing.T) {
+	rep, _ := smallReport(t)
+	f2 := BuildFinding2(rep)
+	e, m, h := f2.DifficultyMeans[cyphereval.Easy], f2.DifficultyMeans[cyphereval.Medium], f2.DifficultyMeans[cyphereval.Hard]
+	if !(e > m && m > h) {
+		t.Errorf("G-Eval means not monotone: easy=%.3f medium=%.3f hard=%.3f", e, m, h)
+	}
+	if f2.DifficultyGap <= f2.DomainGap {
+		t.Errorf("difficulty gap %.3f should dominate domain gap %.3f", f2.DifficultyGap, f2.DomainGap)
+	}
+}
+
+func TestFigure2bEasyMajorityAbove75(t *testing.T) {
+	// The paper: "ChatIYP performs well on easy prompts, with over half
+	// of responses scoring above 75%."
+	rep, _ := smallReport(t)
+	fig := BuildFigure2b(rep)
+	if frac := fig.ByDifficulty[cyphereval.Easy].FracAbove75; frac <= 0.5 {
+		t.Errorf("easy >=0.75 fraction = %.2f, want > 0.5", frac)
+	}
+	hardFrac := fig.ByDifficulty[cyphereval.Hard].FracAbove75
+	easyFrac := fig.ByDifficulty[cyphereval.Easy].FracAbove75
+	if hardFrac >= easyFrac {
+		t.Errorf("hard fraction %.2f should be below easy %.2f", hardFrac, easyFrac)
+	}
+}
+
+func TestFinding1GEvalAlignsBest(t *testing.T) {
+	rep, _ := smallReport(t)
+	corr := BuildCorrelationReport(rep)
+	ge := corr.PointBiserial["geval"]
+	for _, name := range []string{"bleu", "rouge1", "rouge2", "rougeL", "bertscore"} {
+		if corr.PointBiserial[name] >= ge {
+			t.Errorf("%s point-biserial %.3f >= geval %.3f", name, corr.PointBiserial[name], ge)
+		}
+	}
+	if ge < 0.5 {
+		t.Errorf("geval correlation %.3f suspiciously low", ge)
+	}
+}
+
+func TestFigure2aShapes(t *testing.T) {
+	rep, _ := smallReport(t)
+	fig := BuildFigure2a(rep)
+	bleu := fig.Metrics["bleu"].Summary
+	bert := fig.Metrics["bertscore"].Summary
+	geval := fig.Metrics["geval"]
+	// BLEU over-penalizes paraphrases: low mean.
+	if bleu.Mean > 0.6 {
+		t.Errorf("BLEU mean %.3f too high", bleu.Mean)
+	}
+	// BERTScore ceiling: high mean, compressed spread.
+	if bert.Mean < 0.6 {
+		t.Errorf("BERTScore mean %.3f too low for a ceiling effect", bert.Mean)
+	}
+	if bert.Std > 0.2 {
+		t.Errorf("BERTScore std %.3f too wide for a ceiling effect", bert.Std)
+	}
+	// G-Eval separates: wider spread than BERTScore and bimodal shape.
+	if geval.Summary.Std <= bert.Std {
+		t.Errorf("G-Eval std %.3f should exceed BERTScore std %.3f", geval.Summary.Std, bert.Std)
+	}
+	if geval.Bimodality <= fig.Metrics["bertscore"].Bimodality {
+		t.Errorf("G-Eval bimodality %.3f should exceed BERTScore %.3f",
+			geval.Bimodality, fig.Metrics["bertscore"].Bimodality)
+	}
+}
+
+func TestRendersNonEmpty(t *testing.T) {
+	rep, _ := smallReport(t)
+	if s := BuildFigure2a(rep).Render(); !strings.Contains(s, "Figure 2a") || !strings.Contains(s, "geval") {
+		t.Errorf("figure 2a render broken:\n%s", s)
+	}
+	if s := BuildFigure2b(rep).Render(); !strings.Contains(s, "Figure 2b") || !strings.Contains(s, "easy") {
+		t.Errorf("figure 2b render broken:\n%s", s)
+	}
+	if s := BuildCorrelationReport(rep).Render(); !strings.Contains(s, "Finding 1") {
+		t.Errorf("finding 1 render broken:\n%s", s)
+	}
+	if s := BuildFinding2(rep).Render(); !strings.Contains(s, "Finding 2") {
+		t.Errorf("finding 2 render broken:\n%s", s)
+	}
+}
+
+func TestExports(t *testing.T) {
+	rep, _ := smallReport(t)
+	var jsonBuf bytes.Buffer
+	if err := rep.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	if jsonBuf.Len() == 0 {
+		t.Error("empty JSON export")
+	}
+	var csvBuf bytes.Buffer
+	if err := rep.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != len(rep.Records)+1 {
+		t.Errorf("CSV rows = %d, want %d", len(lines), len(rep.Records)+1)
+	}
+}
+
+func TestExecutionAccuracyLabelsAreMeaningful(t *testing.T) {
+	rep, _ := smallReport(t)
+	acc := rep.Accuracy()
+	// With the GPT-3.5-class error model, overall accuracy sits between
+	// total failure and perfection; both extremes would invalidate the
+	// metric-comparison experiment.
+	if acc < 0.25 || acc > 0.95 {
+		t.Errorf("overall execution accuracy %.2f outside plausible band", acc)
+	}
+	// Accurate records should mostly have high G-Eval, inaccurate low.
+	var accSum, accN, badSum, badN float64
+	for _, rec := range rep.Records {
+		if rec.ExecAccurate {
+			accSum += rec.GEval
+			accN++
+		} else {
+			badSum += rec.GEval
+			badN++
+		}
+	}
+	if accN == 0 || badN == 0 {
+		t.Fatal("degenerate labels")
+	}
+	if accSum/accN < badSum/badN+0.2 {
+		t.Errorf("G-Eval separation too small: correct %.3f vs incorrect %.3f", accSum/accN, badSum/badN)
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	r := &Runner{}
+	if _, err := r.Run(context.Background()); err == nil {
+		t.Error("incomplete runner should error")
+	}
+}
+
+func TestResultSetsEqual(t *testing.T) {
+	// Order-insensitive, column-name-insensitive comparison.
+	a := [][]any{{int64(1)}, {int64(2)}}
+	_ = a
+	rep, _ := smallReport(t)
+	_ = rep
+	// Direct unit checks.
+	if !resultSetsEqual(nil, nil) {
+		t.Error("empty sets must be equal")
+	}
+}
+
+func TestTemplateReport(t *testing.T) {
+	rep, exp := smallReport(t)
+	tr := BuildTemplateReport(rep)
+	if len(tr.Rows) != 36 {
+		t.Fatalf("template rows = %d, want 36", len(tr.Rows))
+	}
+	totalN := 0
+	for _, r := range tr.Rows {
+		totalN += r.N
+		if r.ExecAccuracy < 0 || r.ExecAccuracy > 1 || r.MeanGEval < 0 || r.MeanGEval > 1 {
+			t.Errorf("row %s out of range: %+v", r.Template, r)
+		}
+	}
+	if totalN != len(exp.Bench.Questions) {
+		t.Errorf("rows cover %d records, want %d", totalN, len(exp.Bench.Questions))
+	}
+	// Sorted worst-first.
+	for i := 1; i < len(tr.Rows); i++ {
+		if tr.Rows[i-1].ExecAccuracy > tr.Rows[i].ExecAccuracy {
+			t.Fatal("rows not sorted by accuracy")
+		}
+	}
+	if s := tr.Render(); !strings.Contains(s, "exec-acc") {
+		t.Errorf("render broken:\n%s", s)
+	}
+	// The 4-hop domain template should be among the weaker performers;
+	// the name lookup among the stronger.
+	pos := map[string]int{}
+	for i, r := range tr.Rows {
+		pos[r.Template] = i
+	}
+	if pos["HG6-domains-via-as"] > pos["EG1-as-name"] {
+		t.Errorf("expected HG6 (rank %d) to fare worse than EG1 (rank %d)",
+			pos["HG6-domains-via-as"], pos["EG1-as-name"])
+	}
+}
+
+func TestClosedBookBaseline(t *testing.T) {
+	rep, exp := smallReport(t)
+	cmp, err := exp.Runner.RunBaseline(context.Background(), rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.ClosedBookGEval >= cmp.PipelineGEval {
+		t.Errorf("closed book %.3f should underperform pipeline %.3f",
+			cmp.ClosedBookGEval, cmp.PipelineGEval)
+	}
+	if cmp.ClosedBookGEval < 0 || cmp.ClosedBookGEval > 0.5 {
+		t.Errorf("closed-book G-Eval %.3f outside plausible band", cmp.ClosedBookGEval)
+	}
+	if s := cmp.Render(); !strings.Contains(s, "closed-book") {
+		t.Errorf("render broken:\n%s", s)
+	}
+}

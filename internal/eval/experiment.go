@@ -1,0 +1,98 @@
+package eval
+
+import (
+	"fmt"
+
+	"chatiyp/internal/core"
+	"chatiyp/internal/cyphereval"
+	"chatiyp/internal/graph"
+	"chatiyp/internal/iyp"
+	"chatiyp/internal/llm"
+)
+
+// Experiment bundles everything one paper-evaluation run needs.
+type Experiment struct {
+	Graph    *graph.Graph
+	World    *iyp.World
+	Bench    *cyphereval.Benchmark
+	Pipeline *core.Pipeline
+	Runner   *Runner
+}
+
+// ExperimentConfig parameterizes NewExperiment.
+type ExperimentConfig struct {
+	// Dataset sizes the synthetic IYP; zero value means
+	// iyp.DefaultConfig().
+	Dataset iyp.Config
+	// Gen sizes the benchmark; zero value means
+	// cyphereval.DefaultGenConfig().
+	Gen cyphereval.GenConfig
+	// ErrorScale scales the backbone's translation error rate;
+	// negative means the default 1.0 (GPT-3.5-class).
+	ErrorScale float64
+	// BackboneSeed and JudgeSeed decouple the answering model from the
+	// judging model (the paper answers with GPT-3.5 and judges with
+	// GPT-4).
+	BackboneSeed int64
+	JudgeSeed    int64
+	// Pipeline ablations.
+	DisableVectorFallback bool
+	DisableReranker       bool
+}
+
+// DefaultExperimentConfig is the paper-scale configuration.
+func DefaultExperimentConfig() ExperimentConfig {
+	return ExperimentConfig{
+		Dataset:      iyp.DefaultConfig(),
+		Gen:          cyphereval.DefaultGenConfig(),
+		ErrorScale:   1.0,
+		BackboneSeed: 1,
+		JudgeSeed:    99,
+	}
+}
+
+// NewExperiment builds the graph, benchmark, pipeline, and runner.
+func NewExperiment(cfg ExperimentConfig) (*Experiment, error) {
+	if cfg.Dataset.NumASes == 0 {
+		cfg.Dataset = iyp.DefaultConfig()
+	}
+	if cfg.Gen.PerTemplate == 0 {
+		cfg.Gen = cyphereval.DefaultGenConfig()
+	}
+	if cfg.ErrorScale < 0 {
+		cfg.ErrorScale = 1.0
+	}
+	g, w, err := iyp.Build(cfg.Dataset)
+	if err != nil {
+		return nil, fmt.Errorf("eval: building dataset: %w", err)
+	}
+	bench, err := cyphereval.Generate(g, w, cfg.Gen)
+	if err != nil {
+		return nil, fmt.Errorf("eval: generating benchmark: %w", err)
+	}
+	lexicon := core.BuildLexicon(g)
+	backboneCfg := llm.DefaultSimConfig(lexicon)
+	backboneCfg.Seed = cfg.BackboneSeed
+	backboneCfg.ErrorScale = cfg.ErrorScale
+	backbone := llm.NewSim(backboneCfg)
+	pipe, err := core.New(core.Config{
+		Graph:                 g,
+		Model:                 backbone,
+		DisableVectorFallback: cfg.DisableVectorFallback,
+		DisableReranker:       cfg.DisableReranker,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("eval: building pipeline: %w", err)
+	}
+	judgeCfg := llm.DefaultSimConfig(lexicon)
+	judgeCfg.Seed = cfg.JudgeSeed
+	judgeCfg.JudgeNoise = 0.04 // the stronger judge is steadier
+	judge := llm.NewSim(judgeCfg)
+	return &Experiment{
+		Graph:    g,
+		World:    w,
+		Bench:    bench,
+		Pipeline: pipe,
+		Runner:   &Runner{Pipeline: pipe, Judge: judge, Bench: bench},
+	}, nil
+}

@@ -1,0 +1,300 @@
+package eval
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"chatiyp/internal/cyphereval"
+	"chatiyp/internal/metrics"
+)
+
+// Figure2a is the data behind the paper's Figure 2a: the score
+// distribution of every metric over the full benchmark.
+type Figure2a struct {
+	Metrics map[string]MetricDistribution `json:"metrics"`
+	Order   []string                      `json:"order"`
+}
+
+// MetricDistribution is one metric's distribution.
+type MetricDistribution struct {
+	Summary     metrics.Summary   `json:"summary"`
+	Histogram   metrics.Histogram `json:"histogram"`
+	Bimodality  float64           `json:"bimodality"`
+	FracAbove75 float64           `json:"frac_above_075"`
+}
+
+// BuildFigure2a computes the metric-distribution comparison.
+func BuildFigure2a(rep *Report) Figure2a {
+	fig := Figure2a{Metrics: map[string]MetricDistribution{}, Order: MetricNames()}
+	for _, name := range MetricNames() {
+		xs := rep.Scores(name)
+		fig.Metrics[name] = MetricDistribution{
+			Summary:     metrics.Summarize(xs),
+			Histogram:   metrics.NewHistogram(xs, 10),
+			Bimodality:  metrics.BimodalityCoefficient(xs),
+			FracAbove75: metrics.Fraction(xs, 0.75, 1.01),
+		}
+	}
+	return fig
+}
+
+// Render draws Figure 2a as a text table plus histograms.
+func (f Figure2a) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 2a — metric score distributions over the benchmark\n\n")
+	fmt.Fprintf(&b, "%-10s %6s %6s %6s %6s %6s %8s %8s\n",
+		"metric", "mean", "std", "p25", "med", "p75", "bimod", ">=0.75")
+	for _, name := range f.Order {
+		d := f.Metrics[name]
+		s := d.Summary
+		fmt.Fprintf(&b, "%-10s %6.3f %6.3f %6.3f %6.3f %6.3f %8.3f %7.0f%%\n",
+			name, s.Mean, s.Std, s.P25, s.Median, s.P75, d.Bimodality, d.FracAbove75*100)
+	}
+	b.WriteString("\n")
+	for _, name := range f.Order {
+		fmt.Fprintf(&b, "%s distribution:\n%s\n", name, f.Metrics[name].Histogram.Render(40))
+	}
+	return b.String()
+}
+
+// Figure2b is the data behind the paper's Figure 2b: G-Eval scores by
+// difficulty (and, for Finding 2, by domain).
+type Figure2b struct {
+	ByDifficulty map[cyphereval.Difficulty]MetricDistribution `json:"by_difficulty"`
+	ByDomain     map[cyphereval.Domain]MetricDistribution     `json:"by_domain"`
+	// ByStratum carries the full difficulty × domain breakdown.
+	ByStratum map[string]MetricDistribution `json:"by_stratum"`
+}
+
+// BuildFigure2b computes the G-Eval-by-difficulty breakdown.
+func BuildFigure2b(rep *Report) Figure2b {
+	fig := Figure2b{
+		ByDifficulty: map[cyphereval.Difficulty]MetricDistribution{},
+		ByDomain:     map[cyphereval.Domain]MetricDistribution{},
+		ByStratum:    map[string]MetricDistribution{},
+	}
+	group := func(pred func(Record) bool) MetricDistribution {
+		var xs []float64
+		for _, rec := range rep.Records {
+			if pred(rec) {
+				xs = append(xs, rec.GEval)
+			}
+		}
+		return MetricDistribution{
+			Summary:     metrics.Summarize(xs),
+			Histogram:   metrics.NewHistogram(xs, 10),
+			Bimodality:  metrics.BimodalityCoefficient(xs),
+			FracAbove75: metrics.Fraction(xs, 0.75, 1.01),
+		}
+	}
+	for _, d := range []cyphereval.Difficulty{cyphereval.Easy, cyphereval.Medium, cyphereval.Hard} {
+		d := d
+		fig.ByDifficulty[d] = group(func(r Record) bool { return r.Question.Difficulty == d })
+	}
+	for _, m := range []cyphereval.Domain{cyphereval.General, cyphereval.Technical} {
+		m := m
+		fig.ByDomain[m] = group(func(r Record) bool { return r.Question.Domain == m })
+	}
+	for _, s := range cyphereval.Strata() {
+		d, m := cyphereval.Difficulty(s[0]), cyphereval.Domain(s[1])
+		fig.ByStratum[s[0]+"/"+s[1]] = group(func(r Record) bool {
+			return r.Question.Difficulty == d && r.Question.Domain == m
+		})
+	}
+	return fig
+}
+
+// Render draws Figure 2b as text.
+func (f Figure2b) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 2b — G-Eval scores by difficulty\n\n")
+	fmt.Fprintf(&b, "%-10s %4s %6s %6s %8s\n", "difficulty", "n", "mean", "med", ">=0.75")
+	for _, d := range []cyphereval.Difficulty{cyphereval.Easy, cyphereval.Medium, cyphereval.Hard} {
+		dist := f.ByDifficulty[d]
+		fmt.Fprintf(&b, "%-10s %4d %6.3f %6.3f %7.0f%%\n",
+			d, dist.Summary.N, dist.Summary.Mean, dist.Summary.Median, dist.FracAbove75*100)
+	}
+	b.WriteString("\nBy domain:\n")
+	fmt.Fprintf(&b, "%-10s %4s %6s %8s\n", "domain", "n", "mean", ">=0.75")
+	for _, m := range []cyphereval.Domain{cyphereval.General, cyphereval.Technical} {
+		dist := f.ByDomain[m]
+		fmt.Fprintf(&b, "%-10s %4d %6.3f %7.0f%%\n", m, dist.Summary.N, dist.Summary.Mean, dist.FracAbove75*100)
+	}
+	b.WriteString("\nBy stratum:\n")
+	for _, s := range cyphereval.Strata() {
+		key := s[0] + "/" + s[1]
+		dist := f.ByStratum[key]
+		fmt.Fprintf(&b, "%-18s n=%3d mean=%.3f >=0.75: %.0f%%\n",
+			key, dist.Summary.N, dist.Summary.Mean, dist.FracAbove75*100)
+	}
+	b.WriteString("\nG-Eval histograms by difficulty:\n")
+	for _, d := range []cyphereval.Difficulty{cyphereval.Easy, cyphereval.Medium, cyphereval.Hard} {
+		fmt.Fprintf(&b, "%s:\n%s\n", d, f.ByDifficulty[d].Histogram.Render(40))
+	}
+	return b.String()
+}
+
+// CorrelationReport backs Finding 1: how well each metric aligns with
+// the execution-accuracy gold label.
+type CorrelationReport struct {
+	// PointBiserial and Spearman map metric → correlation with the
+	// binary correctness label.
+	PointBiserial map[string]float64 `json:"point_biserial"`
+	Spearman      map[string]float64 `json:"spearman"`
+	// Separation is mean(score | correct) − mean(score | incorrect).
+	Separation map[string]float64 `json:"separation"`
+	Accuracy   float64            `json:"execution_accuracy"`
+}
+
+// BuildCorrelationReport computes Finding 1's numbers.
+func BuildCorrelationReport(rep *Report) CorrelationReport {
+	out := CorrelationReport{
+		PointBiserial: map[string]float64{},
+		Spearman:      map[string]float64{},
+		Separation:    map[string]float64{},
+		Accuracy:      rep.Accuracy(),
+	}
+	labels := rep.Labels()
+	labelFloats := make([]float64, len(labels))
+	for i, l := range labels {
+		if l {
+			labelFloats[i] = 1
+		}
+	}
+	for _, name := range MetricNames() {
+		xs := rep.Scores(name)
+		out.PointBiserial[name] = metrics.PointBiserial(xs, labels)
+		out.Spearman[name] = metrics.Spearman(xs, labelFloats)
+		var okSum, okN, badSum, badN float64
+		for i, x := range xs {
+			if labels[i] {
+				okSum += x
+				okN++
+			} else {
+				badSum += x
+				badN++
+			}
+		}
+		if okN > 0 && badN > 0 {
+			out.Separation[name] = okSum/okN - badSum/badN
+		}
+	}
+	return out
+}
+
+// Render draws Finding 1 as text.
+func (c CorrelationReport) Render() string {
+	var b strings.Builder
+	b.WriteString("Finding 1 — metric alignment with answer correctness\n")
+	fmt.Fprintf(&b, "(execution accuracy of the pipeline: %.1f%%)\n\n", c.Accuracy*100)
+	fmt.Fprintf(&b, "%-10s %14s %10s %12s\n", "metric", "point-biserial", "spearman", "separation")
+	for _, name := range MetricNames() {
+		fmt.Fprintf(&b, "%-10s %14.3f %10.3f %12.3f\n",
+			name, c.PointBiserial[name], c.Spearman[name], c.Separation[name])
+	}
+	return b.String()
+}
+
+// Finding2Report quantifies "structural complexity, not domain
+// specificity, poses the greatest challenge": the spread of mean G-Eval
+// across difficulties versus across domains.
+type Finding2Report struct {
+	DifficultyMeans map[cyphereval.Difficulty]float64 `json:"difficulty_means"`
+	DomainMeans     map[cyphereval.Domain]float64     `json:"domain_means"`
+	DifficultyGap   float64                           `json:"difficulty_gap"`
+	DomainGap       float64                           `json:"domain_gap"`
+}
+
+// BuildFinding2 computes the two-way comparison.
+func BuildFinding2(rep *Report) Finding2Report {
+	out := Finding2Report{
+		DifficultyMeans: map[cyphereval.Difficulty]float64{},
+		DomainMeans:     map[cyphereval.Domain]float64{},
+	}
+	mean := func(pred func(Record) bool) float64 {
+		var sum float64
+		n := 0
+		for _, rec := range rep.Records {
+			if pred(rec) {
+				sum += rec.GEval
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	for _, d := range []cyphereval.Difficulty{cyphereval.Easy, cyphereval.Medium, cyphereval.Hard} {
+		d := d
+		out.DifficultyMeans[d] = mean(func(r Record) bool { return r.Question.Difficulty == d })
+	}
+	for _, m := range []cyphereval.Domain{cyphereval.General, cyphereval.Technical} {
+		m := m
+		out.DomainMeans[m] = mean(func(r Record) bool { return r.Question.Domain == m })
+	}
+	out.DifficultyGap = out.DifficultyMeans[cyphereval.Easy] - out.DifficultyMeans[cyphereval.Hard]
+	out.DomainGap = out.DomainMeans[cyphereval.General] - out.DomainMeans[cyphereval.Technical]
+	if out.DomainGap < 0 {
+		out.DomainGap = -out.DomainGap
+	}
+	return out
+}
+
+// Render draws Finding 2 as text.
+func (f Finding2Report) Render() string {
+	var b strings.Builder
+	b.WriteString("Finding 2 — structural complexity vs domain specificity\n\n")
+	fmt.Fprintf(&b, "mean G-Eval by difficulty: easy=%.3f medium=%.3f hard=%.3f (gap %.3f)\n",
+		f.DifficultyMeans[cyphereval.Easy], f.DifficultyMeans[cyphereval.Medium],
+		f.DifficultyMeans[cyphereval.Hard], f.DifficultyGap)
+	fmt.Fprintf(&b, "mean G-Eval by domain:     general=%.3f technical=%.3f (gap %.3f)\n",
+		f.DomainMeans[cyphereval.General], f.DomainMeans[cyphereval.Technical], f.DomainGap)
+	if f.DifficultyGap > 2*f.DomainGap {
+		b.WriteString("→ difficulty gap dominates the domain gap, as the paper reports.\n")
+	} else {
+		b.WriteString("→ WARNING: difficulty gap does not dominate the domain gap.\n")
+	}
+	return b.String()
+}
+
+// WriteJSON serializes the full report.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteCSV exports per-question scores for external plotting.
+func (rep *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"id", "difficulty", "domain", "template", "exec_accurate",
+		"bleu", "rouge1", "rouge2", "rougeL", "bertscore", "geval", "used_fallback"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, rec := range rep.Records {
+		row := []string{
+			rec.Question.ID,
+			string(rec.Question.Difficulty),
+			string(rec.Question.Domain),
+			rec.Question.Template,
+			fmt.Sprint(rec.ExecAccurate),
+			fmt.Sprintf("%.4f", rec.BLEU),
+			fmt.Sprintf("%.4f", rec.Rouge1),
+			fmt.Sprintf("%.4f", rec.Rouge2),
+			fmt.Sprintf("%.4f", rec.RougeL),
+			fmt.Sprintf("%.4f", rec.BERTF1),
+			fmt.Sprintf("%.4f", rec.GEval),
+			fmt.Sprint(rec.UsedFallback),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,245 @@
+// Package eval is the experiment harness: it runs ChatIYP over the
+// CypherEval benchmark, produces validation-model reference answers from
+// the gold queries, scores every candidate answer with BLEU, ROUGE,
+// BERTScore and G-Eval, derives execution-accuracy gold labels, and
+// renders the paper's figures (2a, 2b) and findings (1, 2) as data and
+// text reports.
+package eval
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"chatiyp/internal/core"
+	"chatiyp/internal/cyphereval"
+	"chatiyp/internal/graph"
+	"chatiyp/internal/llm"
+	"chatiyp/internal/metrics"
+)
+
+// Record is one evaluated question.
+type Record struct {
+	Question cyphereval.Question `json:"question"`
+	// Reference is the validation-model answer derived from the gold
+	// query, the comparison target for all metrics.
+	Reference string `json:"reference"`
+	// Candidate is ChatIYP's answer.
+	Candidate string `json:"candidate"`
+	// PredictedCypher is the query the pipeline generated ("" when
+	// translation failed).
+	PredictedCypher string `json:"predicted_cypher"`
+	// CypherError records translation/execution failure.
+	CypherError string `json:"cypher_error,omitempty"`
+	// UsedFallback reports whether vector retrieval contributed.
+	UsedFallback bool `json:"used_fallback"`
+	// ExecAccurate is the gold label: the predicted query's result set
+	// matches the gold query's result set.
+	ExecAccurate bool `json:"exec_accurate"`
+
+	BLEU   float64 `json:"bleu"`
+	Rouge1 float64 `json:"rouge1"`
+	Rouge2 float64 `json:"rouge2"`
+	RougeL float64 `json:"rougeL"`
+	BERTF1 float64 `json:"bert_f1"`
+	GEval  float64 `json:"geval"`
+}
+
+// Report is a full evaluation run.
+type Report struct {
+	Records []Record `json:"records"`
+}
+
+// Runner wires a pipeline, a judge model and a benchmark.
+type Runner struct {
+	// Pipeline answers the questions. Required.
+	Pipeline *core.Pipeline
+	// Judge scores G-Eval; the paper uses a stronger judge (GPT-4)
+	// than the backbone, so this is a separate model. Required.
+	Judge llm.Model
+	// Bench is the question set. Required.
+	Bench *cyphereval.Benchmark
+	// Workers caps evaluation concurrency; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Run evaluates every benchmark question. Records retain benchmark
+// order regardless of worker scheduling.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	if r.Pipeline == nil || r.Judge == nil || r.Bench == nil {
+		return nil, fmt.Errorf("eval: Runner requires Pipeline, Judge and Bench")
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	bert := metrics.NewBERTScorer()
+	geval := metrics.NewGEval(r.Judge)
+
+	records := make([]Record, len(r.Bench.Questions))
+	errs := make([]error, len(r.Bench.Questions))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, q := range r.Bench.Questions {
+		wg.Add(1)
+		go func(i int, q cyphereval.Question) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rec, err := r.evalOne(ctx, q, bert, geval)
+			records[i] = rec
+			errs[i] = err
+		}(i, q)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Report{Records: records}, nil
+}
+
+func (r *Runner) evalOne(ctx context.Context, q cyphereval.Question, bert *metrics.BERTScorer, geval *metrics.GEval) (Record, error) {
+	rec := Record{Question: q}
+
+	// Validation model: gold query → reference answer.
+	ref, err := r.Pipeline.AnswerFromCypher(ctx, q.Text, q.GoldCypher, "reference")
+	if err != nil {
+		return rec, fmt.Errorf("eval: %s: reference generation: %w", q.ID, err)
+	}
+	rec.Reference = ref.Text
+
+	// ChatIYP candidate.
+	ans, err := r.Pipeline.Ask(ctx, q.Text)
+	if err != nil {
+		return rec, fmt.Errorf("eval: %s: pipeline: %w", q.ID, err)
+	}
+	rec.Candidate = ans.Text
+	rec.PredictedCypher = ans.Cypher
+	rec.CypherError = ans.CypherError
+	rec.UsedFallback = ans.UsedVectorFallback
+
+	// Gold label: execution accuracy.
+	rec.ExecAccurate = r.executionAccurate(q.GoldCypher, ans)
+
+	// Metrics.
+	rec.BLEU = metrics.BLEU(rec.Candidate, rec.Reference)
+	rouge := metrics.ROUGE(rec.Candidate, rec.Reference)
+	rec.Rouge1, rec.Rouge2, rec.RougeL = rouge.Rouge1, rouge.Rouge2, rouge.RougeL
+	rec.BERTF1 = bert.Score(rec.Candidate, rec.Reference).F1
+	score, err := geval.Score(q.Text, rec.Reference, rec.Candidate)
+	if err != nil {
+		return rec, fmt.Errorf("eval: %s: judge: %w", q.ID, err)
+	}
+	rec.GEval = score
+	return rec, nil
+}
+
+// executionAccurate compares the predicted query's result set against
+// the gold query's result set as multisets of row values.
+func (r *Runner) executionAccurate(gold string, ans *core.Answer) bool {
+	if ans.CypherError != "" || ans.Cypher == "" {
+		return false
+	}
+	goldRes, err := r.Pipeline.Query(gold, nil)
+	if err != nil {
+		return false
+	}
+	return resultSetsEqual(goldRes.Rows, ans.Rows)
+}
+
+// resultSetsEqual compares row multisets, ignoring row order and column
+// names.
+func resultSetsEqual(a, b [][]graph.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ka := rowKeys(a)
+	kb := rowKeys(b)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func rowKeys(rows [][]graph.Value) []string {
+	out := make([]string, len(rows))
+	for i, row := range rows {
+		vals := make([]graph.Value, len(row))
+		copy(vals, row)
+		out[i] = graph.ValueKey(vals)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Scores extracts one metric column across all records.
+func (rep *Report) Scores(metric string) []float64 {
+	out := make([]float64, len(rep.Records))
+	for i, rec := range rep.Records {
+		out[i] = rec.metricValue(metric)
+	}
+	return out
+}
+
+func (rec *Record) metricValue(metric string) float64 {
+	switch metric {
+	case "bleu":
+		return rec.BLEU
+	case "rouge1":
+		return rec.Rouge1
+	case "rouge2":
+		return rec.Rouge2
+	case "rougeL":
+		return rec.RougeL
+	case "bertscore":
+		return rec.BERTF1
+	case "geval":
+		return rec.GEval
+	}
+	return 0
+}
+
+// MetricNames lists the metric columns in figure order.
+func MetricNames() []string {
+	return []string{"bleu", "rouge1", "rouge2", "rougeL", "bertscore", "geval"}
+}
+
+// Labels extracts the execution-accuracy gold labels.
+func (rep *Report) Labels() []bool {
+	out := make([]bool, len(rep.Records))
+	for i, rec := range rep.Records {
+		out[i] = rec.ExecAccurate
+	}
+	return out
+}
+
+// Filter returns the records matching pred.
+func (rep *Report) Filter(pred func(Record) bool) []Record {
+	var out []Record
+	for _, rec := range rep.Records {
+		if pred(rec) {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Accuracy returns the share of records with accurate execution.
+func (rep *Report) Accuracy() float64 {
+	if len(rep.Records) == 0 {
+		return 0
+	}
+	n := 0
+	for _, rec := range rep.Records {
+		if rec.ExecAccurate {
+			n++
+		}
+	}
+	return float64(n) / float64(len(rep.Records))
+}

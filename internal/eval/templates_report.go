@@ -1,0 +1,94 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"chatiyp/internal/metrics"
+)
+
+// TemplateReport is the per-template error analysis: which question
+// patterns the pipeline handles and where it fails — the "directions
+// for improvement" the paper's conclusion calls for.
+type TemplateReport struct {
+	Rows []TemplateRow `json:"rows"`
+}
+
+// TemplateRow aggregates one template's records.
+type TemplateRow struct {
+	Template     string  `json:"template"`
+	Difficulty   string  `json:"difficulty"`
+	Domain       string  `json:"domain"`
+	N            int     `json:"n"`
+	ExecAccuracy float64 `json:"exec_accuracy"`
+	MeanGEval    float64 `json:"mean_geval"`
+	// FallbackRate is the share of questions that needed the vector
+	// fallback (translation or execution failed / empty).
+	FallbackRate float64 `json:"fallback_rate"`
+	// TranslationFailRate is the share where no Cypher was produced or
+	// it failed to execute.
+	TranslationFailRate float64 `json:"translation_fail_rate"`
+}
+
+// BuildTemplateReport aggregates the report per template, ordered by
+// ascending execution accuracy (worst patterns first).
+func BuildTemplateReport(rep *Report) TemplateReport {
+	type acc struct {
+		row   TemplateRow
+		geval []float64
+	}
+	byTpl := map[string]*acc{}
+	for _, rec := range rep.Records {
+		a := byTpl[rec.Question.Template]
+		if a == nil {
+			a = &acc{row: TemplateRow{
+				Template:   rec.Question.Template,
+				Difficulty: string(rec.Question.Difficulty),
+				Domain:     string(rec.Question.Domain),
+			}}
+			byTpl[rec.Question.Template] = a
+		}
+		a.row.N++
+		if rec.ExecAccurate {
+			a.row.ExecAccuracy++
+		}
+		if rec.UsedFallback {
+			a.row.FallbackRate++
+		}
+		if rec.CypherError != "" {
+			a.row.TranslationFailRate++
+		}
+		a.geval = append(a.geval, rec.GEval)
+	}
+	var out TemplateReport
+	for _, a := range byTpl {
+		n := float64(a.row.N)
+		a.row.ExecAccuracy /= n
+		a.row.FallbackRate /= n
+		a.row.TranslationFailRate /= n
+		a.row.MeanGEval = metrics.Summarize(a.geval).Mean
+		out.Rows = append(out.Rows, a.row)
+	}
+	sort.Slice(out.Rows, func(i, j int) bool {
+		if out.Rows[i].ExecAccuracy != out.Rows[j].ExecAccuracy {
+			return out.Rows[i].ExecAccuracy < out.Rows[j].ExecAccuracy
+		}
+		return out.Rows[i].Template < out.Rows[j].Template
+	})
+	return out
+}
+
+// Render draws the template report as a table.
+func (tr TemplateReport) Render() string {
+	var b strings.Builder
+	b.WriteString("Per-template error analysis (worst first)\n\n")
+	fmt.Fprintf(&b, "%-28s %-7s %-10s %3s %9s %7s %9s %9s\n",
+		"template", "diff", "domain", "n", "exec-acc", "geval", "fallback", "t2c-fail")
+	for _, r := range tr.Rows {
+		fmt.Fprintf(&b, "%-28s %-7s %-10s %3d %8.0f%% %7.3f %8.0f%% %8.0f%%\n",
+			r.Template, r.Difficulty, r.Domain, r.N,
+			r.ExecAccuracy*100, r.MeanGEval, r.FallbackRate*100, r.TranslationFailRate*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,552 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors returned by store operations.
+var (
+	ErrNodeNotFound = errors.New("graph: node not found")
+	ErrRelNotFound  = errors.New("graph: relationship not found")
+	ErrHasRels      = errors.New("graph: node still has relationships")
+)
+
+// Node is a graph vertex. Labels are kept sorted; Props maps property
+// names to normalized values. Nodes are owned by their Graph: mutate them
+// only through the Graph API so indexes stay consistent.
+type Node struct {
+	ID     int64
+	Labels []string
+	Props  map[string]Value
+}
+
+// HasLabel reports whether the node carries the given label.
+func (n *Node) HasLabel(label string) bool {
+	for _, l := range n.Labels {
+		if l == label {
+			return true
+		}
+	}
+	return false
+}
+
+// Prop returns the named property, or nil when absent.
+func (n *Node) Prop(name string) Value { return n.Props[name] }
+
+// String renders the node in Cypher-ish notation: (:AS {asn: 2497}).
+func (n *Node) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for _, l := range n.Labels {
+		b.WriteByte(':')
+		b.WriteString(l)
+	}
+	if len(n.Props) > 0 {
+		b.WriteByte(' ')
+		b.WriteString(FormatValue(n.Props))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Relationship is a directed, typed edge between two nodes.
+type Relationship struct {
+	ID      int64
+	Type    string
+	StartID int64
+	EndID   int64
+	Props   map[string]Value
+}
+
+// Prop returns the named property, or nil when absent.
+func (r *Relationship) Prop(name string) Value { return r.Props[name] }
+
+// String renders the relationship as [:TYPE {props}].
+func (r *Relationship) String() string {
+	var b strings.Builder
+	b.WriteString("[:")
+	b.WriteString(r.Type)
+	if len(r.Props) > 0 {
+		b.WriteByte(' ')
+		b.WriteString(FormatValue(r.Props))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Path is an alternating node/relationship sequence produced by
+// variable-length pattern matching. len(Nodes) == len(Rels)+1.
+type Path struct {
+	Nodes []*Node
+	Rels  []*Relationship
+}
+
+// Len returns the number of relationships in the path.
+func (p Path) Len() int { return len(p.Rels) }
+
+// String renders the path as (a)-[:T]->(b)-[:U]->(c).
+func (p Path) String() string {
+	var b strings.Builder
+	for i, n := range p.Nodes {
+		b.WriteString(n.String())
+		if i < len(p.Rels) {
+			b.WriteString("-")
+			b.WriteString(p.Rels[i].String())
+			b.WriteString("->")
+		}
+	}
+	return b.String()
+}
+
+// Direction selects which incident relationships to traverse.
+type Direction int
+
+// Traversal directions.
+const (
+	Outgoing Direction = iota // follow start → end
+	Incoming                  // follow end → start
+	Both                      // either orientation
+)
+
+// Graph is an in-memory property graph. All exported methods are safe for
+// concurrent use. The zero value is not usable; call New.
+type Graph struct {
+	mu      sync.RWMutex
+	nodes   map[int64]*Node
+	rels    map[int64]*Relationship
+	out     map[int64][]int64 // node ID -> outgoing rel IDs
+	in      map[int64][]int64 // node ID -> incoming rel IDs
+	byLabel map[string]map[int64]struct{}
+	// propIndex maps label -> property -> valueKey -> node IDs.
+	propIndex map[string]map[string]map[string][]int64
+	indexed   map[string]map[string]bool // label -> property -> indexed?
+	nextNode  int64
+	nextRel   int64
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes:     make(map[int64]*Node),
+		rels:      make(map[int64]*Relationship),
+		out:       make(map[int64][]int64),
+		in:        make(map[int64][]int64),
+		byLabel:   make(map[string]map[int64]struct{}),
+		propIndex: make(map[string]map[string]map[string][]int64),
+		indexed:   make(map[string]map[string]bool),
+		nextNode:  1,
+		nextRel:   1,
+	}
+}
+
+// CreateNode adds a node with the given labels and properties and returns
+// it. Property values must already be normalized (see NormalizeValue) or
+// of directly supported types; invalid values return an error.
+func (g *Graph) CreateNode(labels []string, props map[string]any) (*Node, error) {
+	norm, err := normalizeProps(props)
+	if err != nil {
+		return nil, err
+	}
+	ls := append([]string(nil), labels...)
+	sort.Strings(ls)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := &Node{ID: g.nextNode, Labels: ls, Props: norm}
+	g.nextNode++
+	g.nodes[n.ID] = n
+	for _, l := range ls {
+		set := g.byLabel[l]
+		if set == nil {
+			set = make(map[int64]struct{})
+			g.byLabel[l] = set
+		}
+		set[n.ID] = struct{}{}
+	}
+	g.indexNodeLocked(n)
+	return n, nil
+}
+
+// MustCreateNode is CreateNode that panics on error, for generators whose
+// inputs are statically valid.
+func (g *Graph) MustCreateNode(labels []string, props map[string]any) *Node {
+	n, err := g.CreateNode(labels, props)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// CreateRelationship adds a directed, typed edge from start to end.
+func (g *Graph) CreateRelationship(startID, endID int64, relType string, props map[string]any) (*Relationship, error) {
+	norm, err := normalizeProps(props)
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.nodes[startID]; !ok {
+		return nil, fmt.Errorf("%w: start %d", ErrNodeNotFound, startID)
+	}
+	if _, ok := g.nodes[endID]; !ok {
+		return nil, fmt.Errorf("%w: end %d", ErrNodeNotFound, endID)
+	}
+	r := &Relationship{ID: g.nextRel, Type: relType, StartID: startID, EndID: endID, Props: norm}
+	g.nextRel++
+	g.rels[r.ID] = r
+	g.out[startID] = append(g.out[startID], r.ID)
+	g.in[endID] = append(g.in[endID], r.ID)
+	return r, nil
+}
+
+// MustCreateRelationship is CreateRelationship that panics on error.
+func (g *Graph) MustCreateRelationship(startID, endID int64, relType string, props map[string]any) *Relationship {
+	r, err := g.CreateRelationship(startID, endID, relType, props)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func normalizeProps(props map[string]any) (map[string]Value, error) {
+	norm := make(map[string]Value, len(props))
+	for k, v := range props {
+		nv, err := NormalizeValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("property %q: %w", k, err)
+		}
+		if nv != nil {
+			norm[k] = nv
+		}
+	}
+	return norm, nil
+}
+
+// Node returns the node with the given ID, or nil when absent.
+func (g *Graph) Node(id int64) *Node {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.nodes[id]
+}
+
+// Relationship returns the relationship with the given ID, or nil.
+func (g *Graph) Relationship(id int64) *Relationship {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.rels[id]
+}
+
+// NodeCount returns the number of nodes.
+func (g *Graph) NodeCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.nodes)
+}
+
+// RelationshipCount returns the number of relationships.
+func (g *Graph) RelationshipCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.rels)
+}
+
+// Labels returns all node labels present in the graph, sorted.
+func (g *Graph) Labels() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.byLabel))
+	for l, set := range g.byLabel {
+		if len(set) > 0 {
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RelationshipTypes returns all relationship types present, sorted.
+func (g *Graph) RelationshipTypes() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	seen := make(map[string]struct{})
+	for _, r := range g.rels {
+		seen[r.Type] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodesByLabel returns the IDs of all nodes with the given label, in
+// ascending ID order (deterministic iteration matters for reproducible
+// query results).
+func (g *Graph) NodesByLabel(label string) []int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	set := g.byLabel[label]
+	out := make([]int64, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sortIDs(out)
+	return out
+}
+
+// AllNodeIDs returns every node ID in ascending order.
+func (g *Graph) AllNodeIDs() []int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]int64, 0, len(g.nodes))
+	for id := range g.nodes {
+		out = append(out, id)
+	}
+	sortIDs(out)
+	return out
+}
+
+// AllRelationshipIDs returns every relationship ID in ascending order.
+func (g *Graph) AllRelationshipIDs() []int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]int64, 0, len(g.rels))
+	for id := range g.rels {
+		out = append(out, id)
+	}
+	sortIDs(out)
+	return out
+}
+
+func sortIDs(ids []int64) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// Incident returns the relationships incident to the node in the given
+// direction, optionally filtered to a set of types (empty means all).
+// Results are in ascending relationship-ID order.
+func (g *Graph) Incident(nodeID int64, dir Direction, types ...string) []*Relationship {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var ids []int64
+	switch dir {
+	case Outgoing:
+		ids = g.out[nodeID]
+	case Incoming:
+		ids = g.in[nodeID]
+	case Both:
+		ids = make([]int64, 0, len(g.out[nodeID])+len(g.in[nodeID]))
+		ids = append(ids, g.out[nodeID]...)
+		ids = append(ids, g.in[nodeID]...)
+	}
+	var typeSet map[string]bool
+	if len(types) > 0 {
+		typeSet = make(map[string]bool, len(types))
+		for _, t := range types {
+			typeSet[t] = true
+		}
+	}
+	out := make([]*Relationship, 0, len(ids))
+	seen := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			continue // self-loop appears in both out and in
+		}
+		seen[id] = true
+		r := g.rels[id]
+		if typeSet != nil && !typeSet[r.Type] {
+			continue
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Degree returns the number of incident relationships in the given
+// direction, optionally filtered by type.
+func (g *Graph) Degree(nodeID int64, dir Direction, types ...string) int {
+	return len(g.Incident(nodeID, dir, types...))
+}
+
+// SetNodeProp sets (or, with a nil value, removes) a node property and
+// keeps any property index on it consistent.
+func (g *Graph) SetNodeProp(nodeID int64, key string, value any) error {
+	nv, err := NormalizeValue(value)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := g.nodes[nodeID]
+	if n == nil {
+		return fmt.Errorf("%w: %d", ErrNodeNotFound, nodeID)
+	}
+	g.unindexNodeLocked(n)
+	if nv == nil {
+		delete(n.Props, key)
+	} else {
+		n.Props[key] = nv
+	}
+	g.indexNodeLocked(n)
+	return nil
+}
+
+// SetRelProp sets (or removes, with nil) a relationship property.
+func (g *Graph) SetRelProp(relID int64, key string, value any) error {
+	nv, err := NormalizeValue(value)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r := g.rels[relID]
+	if r == nil {
+		return fmt.Errorf("%w: %d", ErrRelNotFound, relID)
+	}
+	if nv == nil {
+		delete(r.Props, key)
+	} else {
+		r.Props[key] = nv
+	}
+	return nil
+}
+
+// AddNodeLabel adds a label to a node (no-op when already present),
+// keeping the label and property indexes consistent.
+func (g *Graph) AddNodeLabel(nodeID int64, label string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := g.nodes[nodeID]
+	if n == nil {
+		return fmt.Errorf("%w: %d", ErrNodeNotFound, nodeID)
+	}
+	if n.HasLabel(label) {
+		return nil
+	}
+	g.unindexNodeLocked(n)
+	n.Labels = append(n.Labels, label)
+	sort.Strings(n.Labels)
+	set := g.byLabel[label]
+	if set == nil {
+		set = make(map[int64]struct{})
+		g.byLabel[label] = set
+	}
+	set[nodeID] = struct{}{}
+	g.indexNodeLocked(n)
+	return nil
+}
+
+// RemoveNodeLabel removes a label from a node (no-op when absent).
+func (g *Graph) RemoveNodeLabel(nodeID int64, label string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := g.nodes[nodeID]
+	if n == nil {
+		return fmt.Errorf("%w: %d", ErrNodeNotFound, nodeID)
+	}
+	if !n.HasLabel(label) {
+		return nil
+	}
+	g.unindexNodeLocked(n)
+	out := n.Labels[:0]
+	for _, l := range n.Labels {
+		if l != label {
+			out = append(out, l)
+		}
+	}
+	n.Labels = out
+	delete(g.byLabel[label], nodeID)
+	g.indexNodeLocked(n)
+	return nil
+}
+
+// DeleteRelationship removes a relationship.
+func (g *Graph) DeleteRelationship(relID int64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r := g.rels[relID]
+	if r == nil {
+		return fmt.Errorf("%w: %d", ErrRelNotFound, relID)
+	}
+	g.out[r.StartID] = removeID(g.out[r.StartID], relID)
+	g.in[r.EndID] = removeID(g.in[r.EndID], relID)
+	delete(g.rels, relID)
+	return nil
+}
+
+// DeleteNode removes a node. It fails with ErrHasRels when relationships
+// are still attached unless detach is true (DETACH DELETE semantics).
+func (g *Graph) DeleteNode(nodeID int64, detach bool) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := g.nodes[nodeID]
+	if n == nil {
+		return fmt.Errorf("%w: %d", ErrNodeNotFound, nodeID)
+	}
+	if len(g.out[nodeID]) > 0 || len(g.in[nodeID]) > 0 {
+		if !detach {
+			return fmt.Errorf("%w: %d", ErrHasRels, nodeID)
+		}
+		for _, id := range append(append([]int64(nil), g.out[nodeID]...), g.in[nodeID]...) {
+			if r := g.rels[id]; r != nil {
+				g.out[r.StartID] = removeID(g.out[r.StartID], id)
+				g.in[r.EndID] = removeID(g.in[r.EndID], id)
+				delete(g.rels, id)
+			}
+		}
+	}
+	g.unindexNodeLocked(n)
+	for _, l := range n.Labels {
+		delete(g.byLabel[l], nodeID)
+	}
+	delete(g.out, nodeID)
+	delete(g.in, nodeID)
+	delete(g.nodes, nodeID)
+	return nil
+}
+
+func removeID(ids []int64, id int64) []int64 {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// ForEachNode calls fn for every node in ascending ID order. The callback
+// must not mutate the graph.
+func (g *Graph) ForEachNode(fn func(*Node) bool) {
+	for _, id := range g.AllNodeIDs() {
+		g.mu.RLock()
+		n := g.nodes[id]
+		g.mu.RUnlock()
+		if n == nil {
+			continue
+		}
+		if !fn(n) {
+			return
+		}
+	}
+}
+
+// ForEachRelationship calls fn for every relationship in ascending ID
+// order. The callback must not mutate the graph.
+func (g *Graph) ForEachRelationship(fn func(*Relationship) bool) {
+	for _, id := range g.AllRelationshipIDs() {
+		g.mu.RLock()
+		r := g.rels[id]
+		g.mu.RUnlock()
+		if r == nil {
+			continue
+		}
+		if !fn(r) {
+			return
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON-lines interop format: one record per line, nodes first, matching
+// the dump shape the real IYP publishes. Record kinds:
+//
+//	{"kind":"node","id":1,"labels":["AS"],"props":{"asn":2497}}
+//	{"kind":"rel","id":1,"type":"COUNTRY","start":1,"end":2,"props":{}}
+//	{"kind":"index","label":"AS","property":"asn"}
+type jsonRecord struct {
+	Kind     string         `json:"kind"`
+	ID       int64          `json:"id,omitempty"`
+	Labels   []string       `json:"labels,omitempty"`
+	Type     string         `json:"type,omitempty"`
+	Start    int64          `json:"start,omitempty"`
+	End      int64          `json:"end,omitempty"`
+	Props    map[string]any `json:"props,omitempty"`
+	Label    string         `json:"label,omitempty"`
+	Property string         `json:"property,omitempty"`
+}
+
+// WriteJSONLines exports the graph as JSON lines: every index
+// declaration, then every node, then every relationship, all in
+// deterministic ID order.
+func (g *Graph) WriteJSONLines(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ix := range g.Indexes() {
+		if err := enc.Encode(jsonRecord{Kind: "index", Label: ix[0], Property: ix[1]}); err != nil {
+			return err
+		}
+	}
+	for _, id := range g.AllNodeIDs() {
+		n := g.Node(id)
+		if err := enc.Encode(jsonRecord{
+			Kind: "node", ID: n.ID, Labels: n.Labels, Props: propsToJSON(n.Props),
+		}); err != nil {
+			return err
+		}
+	}
+	for _, id := range g.AllRelationshipIDs() {
+		r := g.Relationship(id)
+		if err := enc.Encode(jsonRecord{
+			Kind: "rel", ID: r.ID, Type: r.Type, Start: r.StartID, End: r.EndID,
+			Props: propsToJSON(r.Props),
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func propsToJSON(props map[string]Value) map[string]any {
+	out := make(map[string]any, len(props))
+	for k, v := range props {
+		out[k] = v
+	}
+	return out
+}
+
+// ReadJSONLines imports a graph previously exported with
+// WriteJSONLines. Node and relationship IDs are preserved.
+func ReadJSONLines(r io.Reader) (*Graph, error) {
+	g := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<22)
+	line := 0
+	var maxNode, maxRel int64
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec jsonRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("graph: json line %d: %w", line, err)
+		}
+		switch rec.Kind {
+		case "index":
+			g.CreateIndex(rec.Label, rec.Property)
+		case "node":
+			props, err := jsonToProps(rec.Props)
+			if err != nil {
+				return nil, fmt.Errorf("graph: json line %d: %w", line, err)
+			}
+			n := &Node{ID: rec.ID, Labels: rec.Labels, Props: props}
+			if n.Labels == nil {
+				n.Labels = []string{}
+			}
+			g.mu.Lock()
+			g.nodes[n.ID] = n
+			for _, l := range n.Labels {
+				set := g.byLabel[l]
+				if set == nil {
+					set = make(map[int64]struct{})
+					g.byLabel[l] = set
+				}
+				set[n.ID] = struct{}{}
+			}
+			g.indexNodeLocked(n)
+			g.mu.Unlock()
+			if rec.ID > maxNode {
+				maxNode = rec.ID
+			}
+		case "rel":
+			props, err := jsonToProps(rec.Props)
+			if err != nil {
+				return nil, fmt.Errorf("graph: json line %d: %w", line, err)
+			}
+			g.mu.Lock()
+			if _, ok := g.nodes[rec.Start]; !ok {
+				g.mu.Unlock()
+				return nil, fmt.Errorf("graph: json line %d: rel %d references missing node %d", line, rec.ID, rec.Start)
+			}
+			if _, ok := g.nodes[rec.End]; !ok {
+				g.mu.Unlock()
+				return nil, fmt.Errorf("graph: json line %d: rel %d references missing node %d", line, rec.ID, rec.End)
+			}
+			rel := &Relationship{ID: rec.ID, Type: rec.Type, StartID: rec.Start, EndID: rec.End, Props: props}
+			g.rels[rel.ID] = rel
+			g.out[rel.StartID] = append(g.out[rel.StartID], rel.ID)
+			g.in[rel.EndID] = append(g.in[rel.EndID], rel.ID)
+			g.mu.Unlock()
+			if rec.ID > maxRel {
+				maxRel = rec.ID
+			}
+		default:
+			return nil, fmt.Errorf("graph: json line %d: unknown record kind %q", line, rec.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	g.nextNode = maxNode + 1
+	g.nextRel = maxRel + 1
+	g.mu.Unlock()
+	return g, nil
+}
+
+// jsonToProps normalizes decoded JSON values: numbers arrive as
+// float64; integral floats become int64 so round-trips preserve the
+// canonical representation.
+func jsonToProps(raw map[string]any) (map[string]Value, error) {
+	out := make(map[string]Value, len(raw))
+	for k, v := range raw {
+		nv, err := normalizeJSON(v)
+		if err != nil {
+			return nil, fmt.Errorf("property %q: %w", k, err)
+		}
+		out[k] = nv
+	}
+	return out, nil
+}
+
+func normalizeJSON(v any) (Value, error) {
+	switch x := v.(type) {
+	case float64:
+		if x == float64(int64(x)) {
+			return int64(x), nil
+		}
+		return x, nil
+	case []any:
+		out := make([]Value, len(x))
+		for i, e := range x {
+			n, err := normalizeJSON(e)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = n
+		}
+		return out, nil
+	case map[string]any:
+		out := make(map[string]Value, len(x))
+		for k, e := range x {
+			n, err := normalizeJSON(e)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = n
+		}
+		return out, nil
+	default:
+		return NormalizeValue(v)
+	}
+}

@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes the shape of a graph: per-label node counts, per-type
+// relationship counts, and degree aggregates. The evaluation harness and
+// the dataset builder use it for integrity reporting.
+type Stats struct {
+	Nodes         int
+	Relationships int
+	NodesByLabel  map[string]int
+	RelsByType    map[string]int
+	MaxOutDegree  int
+	MaxInDegree   int
+	AvgDegree     float64
+}
+
+// CollectStats walks the graph once and returns its Stats.
+func (g *Graph) CollectStats() Stats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	s := Stats{
+		Nodes:         len(g.nodes),
+		Relationships: len(g.rels),
+		NodesByLabel:  make(map[string]int, len(g.byLabel)),
+		RelsByType:    make(map[string]int),
+	}
+	for l, set := range g.byLabel {
+		if len(set) > 0 {
+			s.NodesByLabel[l] = len(set)
+		}
+	}
+	for _, r := range g.rels {
+		s.RelsByType[r.Type]++
+	}
+	totalDeg := 0
+	for id := range g.nodes {
+		o, i := len(g.out[id]), len(g.in[id])
+		if o > s.MaxOutDegree {
+			s.MaxOutDegree = o
+		}
+		if i > s.MaxInDegree {
+			s.MaxInDegree = i
+		}
+		totalDeg += o + i
+	}
+	if s.Nodes > 0 {
+		s.AvgDegree = float64(totalDeg) / float64(s.Nodes)
+	}
+	return s
+}
+
+// String renders the stats as a multi-line report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nodes: %d, relationships: %d, avg degree: %.2f\n", s.Nodes, s.Relationships, s.AvgDegree)
+	fmt.Fprintf(&b, "max out-degree: %d, max in-degree: %d\n", s.MaxOutDegree, s.MaxInDegree)
+	b.WriteString("labels:\n")
+	for _, l := range sortedStringKeys(s.NodesByLabel) {
+		fmt.Fprintf(&b, "  %-16s %d\n", l, s.NodesByLabel[l])
+	}
+	b.WriteString("relationship types:\n")
+	for _, t := range sortedStringKeys(s.RelsByType) {
+		fmt.Fprintf(&b, "  %-16s %d\n", t, s.RelsByType[t])
+	}
+	return b.String()
+}
+
+func sortedStringKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckIntegrity validates internal invariants: every relationship
+// endpoint exists, adjacency lists are consistent with the relationship
+// table, and label sets match node labels. It returns a list of
+// violations (empty means healthy). Primarily used by tests and the
+// dataset builder's self-check.
+func (g *Graph) CheckIntegrity() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var problems []string
+	for id, r := range g.rels {
+		if _, ok := g.nodes[r.StartID]; !ok {
+			problems = append(problems, fmt.Sprintf("rel %d: missing start node %d", id, r.StartID))
+		}
+		if _, ok := g.nodes[r.EndID]; !ok {
+			problems = append(problems, fmt.Sprintf("rel %d: missing end node %d", id, r.EndID))
+		}
+		if !containsID(g.out[r.StartID], id) {
+			problems = append(problems, fmt.Sprintf("rel %d: not in out-adjacency of %d", id, r.StartID))
+		}
+		if !containsID(g.in[r.EndID], id) {
+			problems = append(problems, fmt.Sprintf("rel %d: not in in-adjacency of %d", id, r.EndID))
+		}
+	}
+	for nodeID, relIDs := range g.out {
+		for _, rid := range relIDs {
+			r, ok := g.rels[rid]
+			if !ok {
+				problems = append(problems, fmt.Sprintf("node %d: dangling out rel %d", nodeID, rid))
+			} else if r.StartID != nodeID {
+				problems = append(problems, fmt.Sprintf("node %d: out rel %d starts elsewhere", nodeID, rid))
+			}
+		}
+	}
+	for nodeID, relIDs := range g.in {
+		for _, rid := range relIDs {
+			r, ok := g.rels[rid]
+			if !ok {
+				problems = append(problems, fmt.Sprintf("node %d: dangling in rel %d", nodeID, rid))
+			} else if r.EndID != nodeID {
+				problems = append(problems, fmt.Sprintf("node %d: in rel %d ends elsewhere", nodeID, rid))
+			}
+		}
+	}
+	for label, set := range g.byLabel {
+		for id := range set {
+			n, ok := g.nodes[id]
+			if !ok {
+				problems = append(problems, fmt.Sprintf("label %s: dangling node %d", label, id))
+			} else if !n.HasLabel(label) {
+				problems = append(problems, fmt.Sprintf("label %s: node %d lacks label", label, id))
+			}
+		}
+	}
+	return problems
+}
+
+func containsID(ids []int64, id int64) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,451 @@
+// Package graph implements the property-graph store that stands in for
+// Neo4j in this reproduction: nodes carry labels and properties,
+// relationships are typed and directed, and label/property indexes
+// accelerate anchored lookups. The store is safe for concurrent use and
+// supports binary snapshots.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is a property or query value. The dynamic type is one of:
+//
+//	nil, bool, int64, float64, string, []Value, map[string]Value,
+//	*Node, *Relationship, Path
+//
+// Integers are always normalized to int64 and floats to float64 before
+// storage; use NormalizeValue when accepting arbitrary input.
+type Value any
+
+// NormalizeValue coerces the supported Go numeric types to the canonical
+// int64/float64 representation and recursively normalizes lists and maps.
+// It returns an error for unsupported dynamic types so bad data fails
+// loudly at the boundary instead of corrupting the store.
+func NormalizeValue(v any) (Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return nil, nil
+	case bool, int64, float64, string:
+		return x, nil
+	case int:
+		return int64(x), nil
+	case int8:
+		return int64(x), nil
+	case int16:
+		return int64(x), nil
+	case int32:
+		return int64(x), nil
+	case uint:
+		return int64(x), nil
+	case uint8:
+		return int64(x), nil
+	case uint16:
+		return int64(x), nil
+	case uint32:
+		return int64(x), nil
+	case uint64:
+		if x > math.MaxInt64 {
+			return nil, fmt.Errorf("graph: uint64 value %d overflows int64", x)
+		}
+		return int64(x), nil
+	case float32:
+		return float64(x), nil
+	case []Value:
+		out := make([]Value, len(x))
+		for i, e := range x {
+			n, err := NormalizeValue(e)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = n
+		}
+		return out, nil
+	case []any:
+		out := make([]Value, len(x))
+		for i, e := range x {
+			n, err := NormalizeValue(e)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = n
+		}
+		return out, nil
+	case []string:
+		out := make([]Value, len(x))
+		for i, e := range x {
+			out[i] = e
+		}
+		return out, nil
+	case []int:
+		out := make([]Value, len(x))
+		for i, e := range x {
+			out[i] = int64(e)
+		}
+		return out, nil
+	case []int64:
+		out := make([]Value, len(x))
+		for i, e := range x {
+			out[i] = e
+		}
+		return out, nil
+	case []float64:
+		out := make([]Value, len(x))
+		for i, e := range x {
+			out[i] = e
+		}
+		return out, nil
+	case map[string]Value:
+		out := make(map[string]Value, len(x))
+		for k, e := range x {
+			n, err := NormalizeValue(e)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = n
+		}
+		return out, nil
+	case map[string]any:
+		out := make(map[string]Value, len(x))
+		for k, e := range x {
+			n, err := NormalizeValue(e)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = n
+		}
+		return out, nil
+	case *Node, *Relationship, Path:
+		return x, nil
+	default:
+		return nil, fmt.Errorf("graph: unsupported value type %T", v)
+	}
+}
+
+// MustValue normalizes v and panics on error. Intended for literals in
+// tests and generators where the type is statically known to be valid.
+func MustValue(v any) Value {
+	n, err := NormalizeValue(v)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// ValueKind classifies a Value for ordering purposes. The cross-kind order
+// follows Neo4j's ORDER BY semantics closely enough for our workload:
+// bool < number < string < list < map < node < relationship < path < null
+// (null sorts last).
+type ValueKind int
+
+// Value kinds in ascending sort order.
+const (
+	KindBool ValueKind = iota
+	KindNumber
+	KindString
+	KindList
+	KindMap
+	KindNode
+	KindRel
+	KindPath
+	KindNull
+)
+
+// KindOf returns the ValueKind of v.
+func KindOf(v Value) ValueKind {
+	switch v.(type) {
+	case nil:
+		return KindNull
+	case bool:
+		return KindBool
+	case int64, float64:
+		return KindNumber
+	case string:
+		return KindString
+	case []Value:
+		return KindList
+	case map[string]Value:
+		return KindMap
+	case *Node:
+		return KindNode
+	case *Relationship:
+		return KindRel
+	case Path:
+		return KindPath
+	default:
+		return KindNull
+	}
+}
+
+// AsFloat converts a numeric Value to float64. ok is false for
+// non-numeric values.
+func AsFloat(v Value) (f float64, ok bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	}
+	return 0, false
+}
+
+// AsInt converts a numeric Value to int64, truncating floats. ok is false
+// for non-numeric values.
+func AsInt(v Value) (i int64, ok bool) {
+	switch x := v.(type) {
+	case int64:
+		return x, true
+	case float64:
+		return int64(x), true
+	}
+	return 0, false
+}
+
+// CompareValues orders two values. comparable is false when the pair has
+// no defined comparison (e.g. a number against a string under a
+// three-valued-logic comparison operator); in that case cmp is
+// meaningless. Null compares equal to null and incomparable to all else.
+func CompareValues(a, b Value) (cmp int, comparable bool) {
+	ka, kb := KindOf(a), KindOf(b)
+	if ka == KindNull || kb == KindNull {
+		if ka == KindNull && kb == KindNull {
+			return 0, true
+		}
+		return 0, false
+	}
+	if ka != kb {
+		return 0, false
+	}
+	switch ka {
+	case KindBool:
+		ba, bb := a.(bool), b.(bool)
+		switch {
+		case ba == bb:
+			return 0, true
+		case !ba:
+			return -1, true
+		default:
+			return 1, true
+		}
+	case KindNumber:
+		fa, _ := AsFloat(a)
+		fb, _ := AsFloat(b)
+		switch {
+		case fa < fb:
+			return -1, true
+		case fa > fb:
+			return 1, true
+		default:
+			return 0, true
+		}
+	case KindString:
+		return strings.Compare(a.(string), b.(string)), true
+	case KindList:
+		la, lb := a.([]Value), b.([]Value)
+		for i := 0; i < len(la) && i < len(lb); i++ {
+			c, ok := CompareValues(la[i], lb[i])
+			if !ok {
+				return 0, false
+			}
+			if c != 0 {
+				return c, true
+			}
+		}
+		switch {
+		case len(la) < len(lb):
+			return -1, true
+		case len(la) > len(lb):
+			return 1, true
+		default:
+			return 0, true
+		}
+	case KindNode:
+		return compareID(a.(*Node).ID, b.(*Node).ID), true
+	case KindRel:
+		return compareID(a.(*Relationship).ID, b.(*Relationship).ID), true
+	}
+	return 0, false
+}
+
+func compareID(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// SortValues orders a slice of values in ascending order using the
+// total order: kind rank first, then the in-kind comparison. Nulls last.
+func SortValues(vs []Value) {
+	sort.SliceStable(vs, func(i, j int) bool {
+		return TotalLess(vs[i], vs[j])
+	})
+}
+
+// TotalLess is a total strict-weak ordering over all values: values of
+// different kinds order by kind rank, nulls last, values of equal kind by
+// CompareValues.
+func TotalLess(a, b Value) bool {
+	ka, kb := KindOf(a), KindOf(b)
+	if ka != kb {
+		return ka < kb
+	}
+	c, ok := CompareValues(a, b)
+	if !ok {
+		return false
+	}
+	return c < 0
+}
+
+// ValuesEqual reports whether two values are equal under Cypher equality:
+// numbers compare numerically across int/float, lists elementwise, maps
+// by key set and values. Null equals nothing (including null) — callers
+// implementing three-valued logic must special-case null before calling.
+func ValuesEqual(a, b Value) bool {
+	if KindOf(a) == KindNull || KindOf(b) == KindNull {
+		return false
+	}
+	if KindOf(a) == KindMap && KindOf(b) == KindMap {
+		ma, mb := a.(map[string]Value), b.(map[string]Value)
+		if len(ma) != len(mb) {
+			return false
+		}
+		for k, va := range ma {
+			vb, ok := mb[k]
+			if !ok || !ValuesEqual(va, vb) {
+				return false
+			}
+		}
+		return true
+	}
+	c, ok := CompareValues(a, b)
+	return ok && c == 0
+}
+
+// FormatValue renders a value the way a Cypher shell would: strings
+// quoted inside lists/maps but bare at top level is the caller's choice —
+// this function always renders the inner form (strings unquoted).
+func FormatValue(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return strconv.FormatBool(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+			return strconv.FormatFloat(x, 'f', 1, 64)
+		}
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return x
+	case []Value:
+		parts := make([]string, len(x))
+		for i, e := range x {
+			parts[i] = formatInner(e)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case map[string]Value:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = k + ": " + formatInner(x[k])
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case *Node:
+		return x.String()
+	case *Relationship:
+		return x.String()
+	case Path:
+		return x.String()
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+func formatInner(v Value) string {
+	if s, ok := v.(string); ok {
+		return strconv.Quote(s)
+	}
+	return FormatValue(v)
+}
+
+// ValueKey returns a canonical comparable key for grouping and DISTINCT:
+// structurally equal values (under Cypher equality, with int/float
+// unification for integral floats) map to the same key.
+func ValueKey(v Value) string {
+	var b strings.Builder
+	writeKey(&b, v)
+	return b.String()
+}
+
+func writeKey(b *strings.Builder, v Value) {
+	switch x := v.(type) {
+	case nil:
+		b.WriteString("∅")
+	case bool:
+		b.WriteString("b:")
+		b.WriteString(strconv.FormatBool(x))
+	case int64:
+		b.WriteString("n:")
+		b.WriteString(strconv.FormatFloat(float64(x), 'g', -1, 64))
+	case float64:
+		b.WriteString("n:")
+		b.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+	case string:
+		b.WriteString("s:")
+		b.WriteString(strconv.Quote(x))
+	case []Value:
+		b.WriteString("l:[")
+		for i, e := range x {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeKey(b, e)
+		}
+		b.WriteByte(']')
+	case map[string]Value:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("m:{")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Quote(k))
+			b.WriteByte('=')
+			writeKey(b, x[k])
+		}
+		b.WriteByte('}')
+	case *Node:
+		b.WriteString("v:")
+		b.WriteString(strconv.FormatInt(x.ID, 10))
+	case *Relationship:
+		b.WriteString("e:")
+		b.WriteString(strconv.FormatInt(x.ID, 10))
+	case Path:
+		b.WriteString("p:")
+		for _, n := range x.Nodes {
+			b.WriteString(strconv.FormatInt(n.ID, 10))
+			b.WriteByte('>')
+		}
+	default:
+		fmt.Fprintf(b, "?%v", v)
+	}
+}

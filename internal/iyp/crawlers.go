@@ -1,0 +1,415 @@
+package iyp
+
+import (
+	"fmt"
+
+	"chatiyp/internal/graph"
+)
+
+// Crawler materializes one data source into the graph, mirroring the
+// real IYP's one-crawler-per-source ingestion architecture.
+type Crawler interface {
+	// Name identifies the simulated source (recorded as reference_org on
+	// the relationships it creates where the schema has one).
+	Name() string
+	// Crawl writes the source's slice of the world into the graph via
+	// the shared entity registry.
+	Crawl(b *builder) error
+}
+
+// builder carries shared state across crawlers: the graph plus entity
+// registries so crawlers agree on node identities (the real IYP achieves
+// this with MERGE on key properties).
+type builder struct {
+	g     *graph.Graph
+	w     *World
+	asID  map[int64]int64  // asn -> node ID
+	ctyID map[string]int64 // country code -> node ID
+	ixpID []int64          // world IXP index -> node ID
+	facID []int64          // world facility index -> node ID
+	orgID map[string]int64 // org name -> node ID
+	nameI map[string]int64 // name -> Name node ID
+	pfxID map[string]int64 // prefix -> node ID
+	// asPrefixes records the concrete prefixes each AS originates
+	// (world index -> CIDRs) for later crawlers (RPKI, DNS).
+	asPrefixes map[int][]string
+	usedPfx    map[string]bool
+}
+
+func newBuilder(g *graph.Graph, w *World) *builder {
+	return &builder{
+		g:          g,
+		w:          w,
+		asID:       make(map[int64]int64),
+		ctyID:      make(map[string]int64),
+		orgID:      make(map[string]int64),
+		nameI:      make(map[string]int64),
+		pfxID:      make(map[string]int64),
+		asPrefixes: make(map[int][]string),
+		usedPfx:    make(map[string]bool),
+	}
+}
+
+func (b *builder) countryNode(c CountryInfo) int64 {
+	if id, ok := b.ctyID[c.Code]; ok {
+		return id
+	}
+	n := b.g.MustCreateNode([]string{LabelCountry}, map[string]any{
+		"country_code": c.Code, "name": c.Name, "alpha3": c.Alpha3,
+	})
+	b.ctyID[c.Code] = n.ID
+	return n.ID
+}
+
+func (b *builder) asNode(asn int64) int64 {
+	if id, ok := b.asID[asn]; ok {
+		return id
+	}
+	n := b.g.MustCreateNode([]string{LabelAS}, map[string]any{"asn": asn})
+	b.asID[asn] = n.ID
+	return n.ID
+}
+
+func (b *builder) nameNode(name string) int64 {
+	if id, ok := b.nameI[name]; ok {
+		return id
+	}
+	n := b.g.MustCreateNode([]string{LabelName}, map[string]any{"name": name})
+	b.nameI[name] = n.ID
+	return n.ID
+}
+
+// --- registry crawler: countries and AS registration (RIR delegations) ---
+
+type registryCrawler struct{}
+
+func (registryCrawler) Name() string { return "NRO" }
+
+func (c registryCrawler) Crawl(b *builder) error {
+	for _, cc := range b.w.Countries {
+		b.countryNode(cc)
+	}
+	for _, a := range b.w.ASes {
+		asID := b.asNode(a.ASN)
+		ctyID := b.ctyID[a.Country.Code]
+		b.g.MustCreateRelationship(asID, ctyID, RelCountry, map[string]any{"reference_org": c.Name()})
+	}
+	return nil
+}
+
+// --- asnames crawler: AS name records ---
+
+type asNamesCrawler struct{}
+
+func (asNamesCrawler) Name() string { return "RIPE NCC" }
+
+func (c asNamesCrawler) Crawl(b *builder) error {
+	for _, a := range b.w.ASes {
+		asID := b.asID[a.ASN]
+		nameID := b.nameNode(a.Name)
+		b.g.MustCreateRelationship(asID, nameID, RelName, map[string]any{"reference_org": c.Name()})
+		// The graph carries the name inline too, like IYP does, so
+		// single-hop questions have an anchored answer.
+		if err := b.g.SetNodeProp(asID, "name", a.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- BGP origination crawler (route collectors) ---
+
+type bgpCrawler struct{}
+
+func (bgpCrawler) Name() string { return "BGPKIT" }
+
+func (c bgpCrawler) Crawl(b *builder) error {
+	for i, a := range b.w.ASes {
+		asID := b.asID[a.ASN]
+		for p := 0; p < a.NumPrefixes; p++ {
+			cidr, af := prefixFor(i, p)
+			for off := 0; b.usedPfx[cidr]; off++ {
+				cidr, af = prefixFor(i, p+a.NumPrefixes*(off+1))
+			}
+			b.usedPfx[cidr] = true
+			pn := b.g.MustCreateNode([]string{LabelPrefix}, map[string]any{"prefix": cidr, "af": af})
+			b.pfxID[cidr] = pn.ID
+			b.asPrefixes[i] = append(b.asPrefixes[i], cidr)
+			b.w.ASes[i].Prefixes = append(b.w.ASes[i].Prefixes, cidr)
+			count := 2 + (int(a.ASN)+p)%9
+			b.g.MustCreateRelationship(asID, pn.ID, RelOriginate, map[string]any{
+				"count": count, "reference_org": c.Name(),
+			})
+			// Prefix geolocates to the AS's registration country.
+			b.g.MustCreateRelationship(pn.ID, b.ctyID[a.Country.Code], RelCountry, map[string]any{"reference_org": c.Name()})
+		}
+	}
+	return nil
+}
+
+// --- AS relationship crawler (peering and transit edges) ---
+
+type as2relCrawler struct{}
+
+func (as2relCrawler) Name() string { return "BGPKIT" }
+
+func (c as2relCrawler) Crawl(b *builder) error {
+	type edge struct{ a, z int64 }
+	seen := map[edge]bool{}
+	add := func(from, to int64, rel int) {
+		if from == to {
+			return
+		}
+		e := edge{from, to}
+		if seen[e] || seen[edge{to, from}] {
+			return
+		}
+		seen[e] = true
+		b.g.MustCreateRelationship(b.asID[from], b.asID[to], RelPeersWith, map[string]any{"rel": rel})
+	}
+	for i, a := range b.w.ASes {
+		for _, p := range a.Providers {
+			// Provider-to-customer edge, provider side first.
+			add(b.w.ASes[p].ASN, a.ASN, 1)
+		}
+		_ = i
+		for _, p := range a.Peers {
+			add(a.ASN, b.w.ASes[p].ASN, 0)
+		}
+	}
+	return nil
+}
+
+// --- PeeringDB crawler: orgs, IXPs, facilities, memberships ---
+
+type peeringDBCrawler struct{}
+
+func (peeringDBCrawler) Name() string { return "PeeringDB" }
+
+func (c peeringDBCrawler) Crawl(b *builder) error {
+	for fi, f := range b.w.Facilities {
+		n := b.g.MustCreateNode([]string{LabelFacility}, map[string]any{"name": f.Name})
+		b.facID = append(b.facID, n.ID)
+		b.g.MustCreateRelationship(n.ID, b.ctyID[f.Country.Code], RelCountry, map[string]any{"reference_org": c.Name()})
+		_ = fi
+	}
+	for _, x := range b.w.IXPs {
+		n := b.g.MustCreateNode([]string{LabelIXP}, map[string]any{"name": x.Name})
+		b.ixpID = append(b.ixpID, n.ID)
+		b.g.MustCreateRelationship(n.ID, b.ctyID[x.Country.Code], RelCountry, map[string]any{"reference_org": c.Name()})
+		b.g.MustCreateRelationship(n.ID, b.facID[x.Facility], RelLocatedIn, nil)
+		nameID := b.nameNode(x.Name)
+		b.g.MustCreateRelationship(n.ID, nameID, RelName, map[string]any{"reference_org": c.Name()})
+	}
+	for _, a := range b.w.ASes {
+		asID := b.asID[a.ASN]
+		// Organization.
+		orgID, ok := b.orgID[a.OrgName]
+		if !ok {
+			on := b.g.MustCreateNode([]string{LabelOrganization}, map[string]any{"name": a.OrgName})
+			orgID = on.ID
+			b.orgID[a.OrgName] = orgID
+			b.g.MustCreateRelationship(orgID, b.ctyID[a.Country.Code], RelCountry, map[string]any{"reference_org": c.Name()})
+			nameID := b.nameNode(a.OrgName)
+			b.g.MustCreateRelationship(orgID, nameID, RelName, map[string]any{"reference_org": c.Name()})
+		}
+		b.g.MustCreateRelationship(asID, orgID, RelManagedBy, nil)
+		for _, xi := range a.IXPs {
+			b.g.MustCreateRelationship(asID, b.ixpID[xi], RelMemberOf, nil)
+		}
+	}
+	return nil
+}
+
+// --- CAIDA AS-Rank crawler ---
+
+type asRankCrawler struct{}
+
+func (asRankCrawler) Name() string { return "CAIDA" }
+
+// RankingASRank is the Ranking node name for CAIDA-style AS ranks.
+const RankingASRank = "CAIDA ASRank"
+
+func (c asRankCrawler) Crawl(b *builder) error {
+	rn := b.g.MustCreateNode([]string{LabelRanking}, map[string]any{"name": RankingASRank})
+	for _, a := range b.w.ASes {
+		b.g.MustCreateRelationship(b.asID[a.ASN], rn.ID, RelRank, map[string]any{"rank": a.CAIDARank})
+	}
+	return nil
+}
+
+// --- IHR hegemony crawler ---
+
+type hegemonyCrawler struct{}
+
+func (hegemonyCrawler) Name() string { return "IHR" }
+
+func (c hegemonyCrawler) Crawl(b *builder) error {
+	for _, a := range b.w.ASes {
+		for _, h := range a.Hegemons {
+			up := b.w.ASes[h.Upstream]
+			b.g.MustCreateRelationship(b.asID[a.ASN], b.asID[up.ASN], RelDependsOn, map[string]any{"hegemony": h.Score})
+		}
+	}
+	return nil
+}
+
+// --- APNIC population crawler ---
+
+type populationCrawler struct{}
+
+func (populationCrawler) Name() string { return "APNIC" }
+
+func (c populationCrawler) Crawl(b *builder) error {
+	for _, a := range b.w.ASes {
+		if a.PopPercent <= 0 {
+			continue
+		}
+		b.g.MustCreateRelationship(b.asID[a.ASN], b.ctyID[a.Country.Code], RelPopulation, map[string]any{
+			"percent": a.PopPercent, "samples": int(a.PopPercent * 1000),
+		})
+	}
+	return nil
+}
+
+// --- bgp.tools tag crawler ---
+
+type tagsCrawler struct{}
+
+func (tagsCrawler) Name() string { return "BGP.Tools" }
+
+func (c tagsCrawler) Crawl(b *builder) error {
+	tagID := map[string]int64{}
+	for _, a := range b.w.ASes {
+		for _, t := range a.Tags {
+			id, ok := tagID[t]
+			if !ok {
+				n := b.g.MustCreateNode([]string{LabelTag}, map[string]any{"label": t})
+				id = n.ID
+				tagID[t] = id
+			}
+			b.g.MustCreateRelationship(b.asID[a.ASN], id, RelCategorize, nil)
+		}
+	}
+	return nil
+}
+
+// --- RPKI crawler: ROAs for a slice of originated prefixes ---
+
+type rpkiCrawler struct{}
+
+func (rpkiCrawler) Name() string { return "RPKI" }
+
+func (c rpkiCrawler) Crawl(b *builder) error {
+	for i, a := range b.w.ASes {
+		// Roughly two thirds of prefixes are covered by a ROA,
+		// deterministically chosen.
+		for p, cidr := range b.asPrefixes[i] {
+			if (int(a.ASN)+p)%3 == 0 {
+				continue
+			}
+			maxLen := 24
+			if p%4 == 3 {
+				maxLen = 48
+			}
+			b.g.MustCreateRelationship(b.asID[a.ASN], b.pfxID[cidr], RelROA, map[string]any{"maxLength": maxLen})
+			b.w.ASes[i].ROAPrefixes = append(b.w.ASes[i].ROAPrefixes, cidr)
+		}
+	}
+	return nil
+}
+
+// --- Tranco crawler: ranked domains, DNS resolution, IP->prefix ---
+
+type trancoCrawler struct{}
+
+func (trancoCrawler) Name() string { return "Tranco" }
+
+// RankingTranco is the Ranking node name for the domain popularity list.
+const RankingTranco = "Tranco top 1M"
+
+func (c trancoCrawler) Crawl(b *builder) error {
+	rn := b.g.MustCreateNode([]string{LabelRanking}, map[string]any{"name": RankingTranco})
+	for d, dom := range b.w.Domains {
+		dn := b.g.MustCreateNode([]string{LabelDomainName}, map[string]any{"name": dom.Name})
+		b.g.MustCreateRelationship(dn.ID, rn.ID, RelRank, map[string]any{"rank": dom.Rank})
+		prefixes := b.asPrefixes[dom.HostAS]
+		if len(prefixes) == 0 {
+			continue
+		}
+		// Resolve to an address inside one of the host AS's IPv4
+		// prefixes.
+		var cidr string
+		for off := 0; off < len(prefixes); off++ {
+			cand := prefixes[(d+off)%len(prefixes)]
+			if b.pfxAF(cand) == 4 {
+				cidr = cand
+				break
+			}
+		}
+		if cidr == "" {
+			continue
+		}
+		ip := ipInPrefix(cidr, d)
+		ipNode := b.g.MustCreateNode([]string{LabelIP}, map[string]any{"ip": ip, "af": 4})
+		b.g.MustCreateRelationship(dn.ID, ipNode.ID, RelResolvesTo, nil)
+		b.g.MustCreateRelationship(ipNode.ID, b.pfxID[cidr], RelPartOf, nil)
+	}
+	return nil
+}
+
+func (b *builder) pfxAF(cidr string) int {
+	n := b.g.Node(b.pfxID[cidr])
+	if n == nil {
+		return 0
+	}
+	af, _ := n.Prop("af").(int64)
+	return int(af)
+}
+
+// DefaultCrawlers returns the full crawler pipeline in dependency order.
+func DefaultCrawlers() []Crawler {
+	return []Crawler{
+		registryCrawler{},
+		asNamesCrawler{},
+		bgpCrawler{},
+		as2relCrawler{},
+		peeringDBCrawler{},
+		asRankCrawler{},
+		hegemonyCrawler{},
+		populationCrawler{},
+		tagsCrawler{},
+		rpkiCrawler{},
+		trancoCrawler{},
+	}
+}
+
+// Build generates the world and materializes it into a fresh graph with
+// all standard indexes. It returns the graph and the world (the
+// benchmark generator needs the typed view).
+func Build(cfg Config) (*graph.Graph, *World, error) {
+	w := NewWorld(cfg)
+	g := graph.New()
+	for _, ix := range Indexes() {
+		g.CreateIndex(ix[0], ix[1])
+	}
+	b := newBuilder(g, w)
+	for _, c := range DefaultCrawlers() {
+		if err := c.Crawl(b); err != nil {
+			return nil, nil, fmt.Errorf("iyp: crawler %s: %w", c.Name(), err)
+		}
+	}
+	if problems := g.CheckIntegrity(); len(problems) > 0 {
+		return nil, nil, fmt.Errorf("iyp: graph integrity violated after build: %s", problems[0])
+	}
+	return g, w, nil
+}
+
+// MustBuild is Build that panics on error (generator inputs are static).
+func MustBuild(cfg Config) (*graph.Graph, *World) {
+	g, w, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g, w
+}

@@ -1,0 +1,237 @@
+package iyp
+
+// Per-crawler cross-validation: each simulated data source's output in
+// the graph is checked field-by-field against the world ground truth.
+
+import (
+	"fmt"
+	"testing"
+
+	"chatiyp/internal/cypher"
+	"chatiyp/internal/graph"
+)
+
+func count(t *testing.T, g *graph.Graph, src string) int64 {
+	t.Helper()
+	res, err := cypher.Execute(g, src, nil)
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	v, ok := res.Value()
+	if !ok {
+		t.Fatalf("%s: not a single value", src)
+	}
+	n, _ := graph.AsInt(v)
+	return n
+}
+
+func TestRegistryCrawlerOutput(t *testing.T) {
+	g, w := buildSmall(t)
+	// Every AS has exactly one registration country, the right one.
+	for _, a := range w.ASes[:10] {
+		got := count(t, g, fmt.Sprintf(
+			"MATCH (:AS {asn: %d})-[:COUNTRY {reference_org: 'NRO'}]->(:Country {country_code: '%s'}) RETURN count(*)",
+			a.ASN, a.Country.Code))
+		if got != 1 {
+			t.Errorf("AS%d: registry country edges = %d", a.ASN, got)
+		}
+	}
+	// Country table fields round-trip.
+	for _, c := range w.Countries[:5] {
+		res, err := cypher.Execute(g, fmt.Sprintf(
+			"MATCH (c:Country {country_code: '%s'}) RETURN c.name, c.alpha3", c.Code), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0] != c.Name || res.Rows[0][1] != c.Alpha3 {
+			t.Errorf("country %s fields = %v", c.Code, res.Rows[0])
+		}
+	}
+}
+
+func TestBGPCrawlerOutput(t *testing.T) {
+	g, w := buildSmall(t)
+	for _, a := range w.ASes[:8] {
+		got := count(t, g, fmt.Sprintf("MATCH (:AS {asn: %d})-[:ORIGINATE]->(p:Prefix) RETURN count(p)", a.ASN))
+		if got != int64(a.NumPrefixes) {
+			t.Errorf("AS%d originates %d, world says %d", a.ASN, got, a.NumPrefixes)
+		}
+		if len(a.Prefixes) != a.NumPrefixes {
+			t.Errorf("AS%d world prefixes list %d != NumPrefixes %d", a.ASN, len(a.Prefixes), a.NumPrefixes)
+		}
+		// Each concrete prefix exists and geolocates to the AS country.
+		for _, p := range a.Prefixes[:minI(2, len(a.Prefixes))] {
+			got := count(t, g, fmt.Sprintf(
+				"MATCH (:Prefix {prefix: '%s'})-[:COUNTRY]->(:Country {country_code: '%s'}) RETURN count(*)",
+				p, a.Country.Code))
+			if got != 1 {
+				t.Errorf("prefix %s country edge = %d", p, got)
+			}
+		}
+	}
+}
+
+func TestHegemonyCrawlerOutput(t *testing.T) {
+	g, w := buildSmall(t)
+	total := 0
+	for _, a := range w.ASes {
+		total += len(a.Hegemons)
+	}
+	got := count(t, g, "MATCH (:AS)-[d:DEPENDS_ON]->(:AS) RETURN count(d)")
+	if got != int64(total) {
+		t.Errorf("DEPENDS_ON edges = %d, world has %d", got, total)
+	}
+	// Spot-check scores.
+	for _, a := range w.ASes[:20] {
+		for _, h := range a.Hegemons {
+			up := w.ASes[h.Upstream]
+			res, err := cypher.Execute(g, fmt.Sprintf(
+				"MATCH (:AS {asn: %d})-[d:DEPENDS_ON]->(:AS {asn: %d}) RETURN d.hegemony", a.ASN, up.ASN), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v, _ := res.Value(); v != h.Score {
+				t.Errorf("hegemony(%d -> %d) = %v, want %v", a.ASN, up.ASN, v, h.Score)
+			}
+		}
+	}
+}
+
+func TestPeeringDBCrawlerOutput(t *testing.T) {
+	g, w := buildSmall(t)
+	// IXP membership counts match world.
+	memberCount := make([]int, len(w.IXPs))
+	for _, a := range w.ASes {
+		for _, xi := range a.IXPs {
+			memberCount[xi]++
+		}
+	}
+	for i, x := range w.IXPs {
+		got := count(t, g, fmt.Sprintf("MATCH (:AS)-[:MEMBER_OF]->(:IXP {name: '%s'}) RETURN count(*)", x.Name))
+		if got != int64(memberCount[i]) {
+			t.Errorf("IXP %s members = %d, world %d", x.Name, got, memberCount[i])
+		}
+		// IXP located in the right facility.
+		fac := w.Facilities[x.Facility]
+		got = count(t, g, fmt.Sprintf(
+			"MATCH (:IXP {name: '%s'})-[:LOCATED_IN]->(:Facility {name: '%s'}) RETURN count(*)", x.Name, fac.Name))
+		if got != 1 {
+			t.Errorf("IXP %s facility edge = %d", x.Name, got)
+		}
+	}
+	// Organization manages its ASes.
+	for _, a := range w.ASes[:10] {
+		got := count(t, g, fmt.Sprintf(
+			"MATCH (:AS {asn: %d})-[:MANAGED_BY]->(:Organization {name: '%s'}) RETURN count(*)",
+			a.ASN, escape(a.OrgName)))
+		if got != 1 {
+			t.Errorf("AS%d MANAGED_BY %s = %d", a.ASN, a.OrgName, got)
+		}
+	}
+}
+
+func escape(s string) string { return s } // org names contain no quotes
+
+func TestRankCrawlersOutput(t *testing.T) {
+	g, w := buildSmall(t)
+	for _, a := range w.ASes[:10] {
+		res, err := cypher.Execute(g, fmt.Sprintf(
+			"MATCH (:AS {asn: %d})-[r:RANK]->(:Ranking {name: '%s'}) RETURN r.rank", a.ASN, RankingASRank), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := res.Value(); v != int64(a.CAIDARank) {
+			t.Errorf("AS%d rank = %v, want %d", a.ASN, v, a.CAIDARank)
+		}
+	}
+	for _, d := range w.Domains[:10] {
+		res, err := cypher.Execute(g, fmt.Sprintf(
+			"MATCH (:DomainName {name: '%s'})-[r:RANK]->(:Ranking {name: '%s'}) RETURN r.rank", d.Name, RankingTranco), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := res.Value(); v != int64(d.Rank) {
+			t.Errorf("domain %s rank = %v, want %d", d.Name, v, d.Rank)
+		}
+	}
+}
+
+func TestRPKICrawlerOutput(t *testing.T) {
+	g, w := buildSmall(t)
+	for _, a := range w.ASes[:15] {
+		got := count(t, g, fmt.Sprintf(
+			"MATCH (:AS {asn: %d})-[:ROUTE_ORIGIN_AUTHORIZATION]->(p:Prefix) RETURN count(p)", a.ASN))
+		if got != int64(len(a.ROAPrefixes)) {
+			t.Errorf("AS%d ROAs = %d, world %d", a.ASN, got, len(a.ROAPrefixes))
+		}
+		// ROA prefixes are a subset of originated prefixes.
+		originated := map[string]bool{}
+		for _, p := range a.Prefixes {
+			originated[p] = true
+		}
+		for _, p := range a.ROAPrefixes {
+			if !originated[p] {
+				t.Errorf("AS%d has ROA for non-originated prefix %s", a.ASN, p)
+			}
+		}
+	}
+}
+
+func TestTrancoCrawlerOutput(t *testing.T) {
+	g, w := buildSmall(t)
+	// Resolving domains produce a coherent DNS chain:
+	// domain -> IP -> prefix originated by the host AS.
+	resolved := 0
+	for _, d := range w.Domains {
+		res, err := cypher.Execute(g, fmt.Sprintf(`
+			MATCH (:DomainName {name: '%s'})-[:RESOLVES_TO]->(i:IP)-[:PART_OF]->(p:Prefix)<-[:ORIGINATE]-(a:AS)
+			RETURN a.asn`, d.Name), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			continue // some domains resolve to nothing (IPv6-only host)
+		}
+		resolved++
+		host := w.ASes[d.HostAS]
+		if v, _ := graph.AsInt(res.Rows[0][0]); v != host.ASN {
+			t.Errorf("domain %s resolves into AS%d, world host AS%d", d.Name, v, host.ASN)
+		}
+	}
+	if resolved < len(w.Domains)/2 {
+		t.Errorf("only %d/%d domains resolve through the full chain", resolved, len(w.Domains))
+	}
+}
+
+func TestTagsCrawlerOutput(t *testing.T) {
+	g, w := buildSmall(t)
+	for _, a := range w.ASes[:15] {
+		got := count(t, g, fmt.Sprintf("MATCH (:AS {asn: %d})-[:CATEGORIZED]->(t:Tag) RETURN count(t)", a.ASN))
+		if got != int64(len(a.Tags)) {
+			t.Errorf("AS%d tags = %d, world %d", a.ASN, got, len(a.Tags))
+		}
+	}
+}
+
+func TestAs2relCrawlerOutput(t *testing.T) {
+	g, w := buildSmall(t)
+	// Provider edges carry rel=1 with the provider as the start node.
+	for _, a := range w.ASes[1:10] {
+		for _, p := range a.Providers {
+			prov := w.ASes[p]
+			got := count(t, g, fmt.Sprintf(
+				"MATCH (:AS {asn: %d})-[:PEERS_WITH {rel: 1}]->(:AS {asn: %d}) RETURN count(*)",
+				prov.ASN, a.ASN))
+			if got != 1 {
+				t.Errorf("provider edge %d -> %d = %d", prov.ASN, a.ASN, got)
+			}
+		}
+	}
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,188 @@
+package iyp
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CountryInfo is one entry of the embedded country table (a realistic
+// subset of ISO 3166 used by the RIR-delegation crawler).
+type CountryInfo struct {
+	Code   string
+	Alpha3 string
+	Name   string
+	// Weight skews how many ASes register in the country (roughly
+	// proportional to real-world registry sizes).
+	Weight int
+}
+
+var countryTable = []CountryInfo{
+	{"US", "USA", "United States", 30},
+	{"BR", "BRA", "Brazil", 16},
+	{"RU", "RUS", "Russia", 10},
+	{"DE", "DEU", "Germany", 8},
+	{"GB", "GBR", "United Kingdom", 8},
+	{"IN", "IND", "India", 8},
+	{"CN", "CHN", "China", 7},
+	{"JP", "JPN", "Japan", 6},
+	{"FR", "FRA", "France", 6},
+	{"NL", "NLD", "Netherlands", 5},
+	{"AU", "AUS", "Australia", 5},
+	{"CA", "CAN", "Canada", 5},
+	{"IT", "ITA", "Italy", 4},
+	{"ES", "ESP", "Spain", 4},
+	{"PL", "POL", "Poland", 4},
+	{"ID", "IDN", "Indonesia", 4},
+	{"UA", "UKR", "Ukraine", 3},
+	{"KR", "KOR", "South Korea", 3},
+	{"SE", "SWE", "Sweden", 3},
+	{"CH", "CHE", "Switzerland", 3},
+	{"AR", "ARG", "Argentina", 3},
+	{"ZA", "ZAF", "South Africa", 3},
+	{"MX", "MEX", "Mexico", 3},
+	{"TR", "TUR", "Turkey", 3},
+	{"TH", "THA", "Thailand", 2},
+	{"VN", "VNM", "Vietnam", 2},
+	{"SG", "SGP", "Singapore", 2},
+	{"HK", "HKG", "Hong Kong", 2},
+	{"NO", "NOR", "Norway", 2},
+	{"FI", "FIN", "Finland", 2},
+	{"DK", "DNK", "Denmark", 2},
+	{"AT", "AUT", "Austria", 2},
+	{"BE", "BEL", "Belgium", 2},
+	{"CZ", "CZE", "Czechia", 2},
+	{"RO", "ROU", "Romania", 2},
+	{"GR", "GRC", "Greece", 2},
+	{"PT", "PRT", "Portugal", 2},
+	{"IE", "IRL", "Ireland", 2},
+	{"NZ", "NZL", "New Zealand", 2},
+	{"CL", "CHL", "Chile", 2},
+	{"CO", "COL", "Colombia", 2},
+	{"PH", "PHL", "Philippines", 2},
+	{"MY", "MYS", "Malaysia", 2},
+	{"IL", "ISR", "Israel", 2},
+	{"AE", "ARE", "United Arab Emirates", 2},
+	{"SA", "SAU", "Saudi Arabia", 1},
+	{"EG", "EGY", "Egypt", 1},
+	{"NG", "NGA", "Nigeria", 1},
+	{"KE", "KEN", "Kenya", 1},
+	{"PK", "PAK", "Pakistan", 1},
+	{"BD", "BGD", "Bangladesh", 1},
+	{"TW", "TWN", "Taiwan", 1},
+	{"HU", "HUN", "Hungary", 1},
+	{"SK", "SVK", "Slovakia", 1},
+	{"BG", "BGR", "Bulgaria", 1},
+	{"HR", "HRV", "Croatia", 1},
+	{"RS", "SRB", "Serbia", 1},
+	{"LT", "LTU", "Lithuania", 1},
+	{"LV", "LVA", "Latvia", 1},
+	{"EE", "EST", "Estonia", 1},
+}
+
+// Name-part pools for the deterministic operator-name generator.
+var (
+	nameRoots = []string{
+		"Aurora", "Vertex", "Pacific", "Nordic", "Summit", "Horizon",
+		"Quantum", "Stellar", "Atlantic", "Alpine", "Cascade", "Delta",
+		"Echo", "Falcon", "Granite", "Harbor", "Ion", "Juniper",
+		"Kinetic", "Lumen", "Meridian", "Nimbus", "Orbit", "Pinnacle",
+		"Quasar", "Ridge", "Solstice", "Tundra", "Umbra", "Vector",
+		"Willow", "Xenon", "Yonder", "Zephyr", "Apex", "Borealis",
+		"Citadel", "Drift", "Ember", "Fjord", "Glacier", "Helix",
+		"Iris", "Jetstream", "Krypton", "Lattice", "Monsoon", "Nexus",
+		"Onyx", "Prism", "Ripple", "Sierra", "Tempest", "Unity",
+		"Vortex", "Wavelength", "Zenith", "Basalt", "Cobalt", "Dune",
+	}
+	nameSuffixes = []string{
+		"Telecom", "Networks", "Communications", "Internet", "Broadband",
+		"Fiber", "Connect", "Online", "Net", "Systems", "Digital",
+		"Hosting", "Cloud", "Carrier", "Transit", "Exchange", "Datacom",
+		"Link", "Wireless", "Backbone",
+	}
+	orgSuffixes = []string{
+		"Inc.", "Ltd.", "LLC", "GmbH", "S.A.", "Corp.", "Group",
+		"Holdings", "K.K.", "B.V.", "AB", "Pty Ltd",
+	}
+	domainWords = []string{
+		"stream", "portal", "market", "games", "social", "search",
+		"video", "shop", "news", "mail", "cloud", "edu", "gov", "bank",
+		"weather", "travel", "music", "photo", "forum", "wiki", "chat",
+		"maps", "code", "learn", "health", "sport", "auto", "food",
+		"craft", "movie",
+	}
+	domainTLDs = []string{"com", "net", "org", "io", "dev", "info", "co", "tv"}
+	tagLabels  = []string{
+		"ISP", "Content", "Enterprise", "Education", "Government",
+		"Hosting", "Mobile", "Transit", "CDN", "Cloud", "Research",
+		"Eyeball", "Tier-1", "Stub",
+	}
+	facilityCities = []string{
+		"Frankfurt", "Amsterdam", "Ashburn", "Tokyo", "London",
+		"Singapore", "Sydney", "Paris", "Stockholm", "Dallas", "Chicago",
+		"Seattle", "Toronto", "Madrid", "Vienna", "Warsaw", "Milan",
+		"Zurich", "Seoul", "Osaka", "Mumbai", "Dubai", "Johannesburg",
+	}
+)
+
+// pickWeightedCountry draws a country with probability proportional to
+// its table weight.
+func pickWeightedCountry(rng *rand.Rand) CountryInfo {
+	total := 0
+	for _, c := range countryTable {
+		total += c.Weight
+	}
+	x := rng.Intn(total)
+	for _, c := range countryTable {
+		x -= c.Weight
+		if x < 0 {
+			return c
+		}
+	}
+	return countryTable[0]
+}
+
+// operatorName derives a deterministic operator name. Uniqueness is the
+// caller's concern (the world generator retries on collision).
+func operatorName(rng *rand.Rand) string {
+	return nameRoots[rng.Intn(len(nameRoots))] + " " + nameSuffixes[rng.Intn(len(nameSuffixes))]
+}
+
+// organizationName decorates an operator name into a legal-entity name.
+func organizationName(rng *rand.Rand, base string) string {
+	return base + " " + orgSuffixes[rng.Intn(len(orgSuffixes))]
+}
+
+// ixpName derives an exchange-point name such as "FRA-IX" or "TYO-CIX".
+func ixpName(rng *rand.Rand, city string) string {
+	short := city
+	if len(short) > 3 {
+		short = short[:3]
+	}
+	styles := []string{"%s-IX", "%s-CIX", "IX-%s", "%s Exchange"}
+	return fmt.Sprintf(styles[rng.Intn(len(styles))], upper(short))
+}
+
+func upper(s string) string {
+	out := []rune(s)
+	for i, r := range out {
+		if r >= 'a' && r <= 'z' {
+			out[i] = r - 32
+		}
+	}
+	return string(out)
+}
+
+// facilityName derives a facility name such as "Equinix-style DC
+// Frankfurt 3".
+func facilityName(rng *rand.Rand, city string) string {
+	return fmt.Sprintf("%s DC%d", city, rng.Intn(9)+1)
+}
+
+// domainName derives a synthetic registered domain.
+func domainName(rng *rand.Rand) string {
+	w := domainWords[rng.Intn(len(domainWords))]
+	if rng.Intn(3) == 0 {
+		w += fmt.Sprintf("%d", rng.Intn(90)+10)
+	}
+	return w + "." + domainTLDs[rng.Intn(len(domainTLDs))]
+}

@@ -1,0 +1,144 @@
+// Package iyp builds a synthetic Internet Yellow Pages knowledge graph:
+// the same ontology as the real IYP (Fontugne et al., IMC 2024) — ASes,
+// prefixes, countries, organizations, IXPs, rankings — populated by
+// deterministic per-source "crawlers" that mirror IYP's ingestion
+// architecture (RIR delegations, BGP origination, PeeringDB, CAIDA
+// AS-Rank, IHR hegemony, APNIC population estimates, Tranco, RPKI).
+//
+// The real IYP is tens of gigabytes of third-party data; this package
+// substitutes a seeded generator that reproduces the schema and the
+// distributional shape (Zipf-like AS sizes, preferential-attachment
+// peering) so that every query pattern in the CypherEval-style benchmark
+// exercises the same code paths against non-trivial data.
+package iyp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node labels of the IYP ontology.
+const (
+	LabelAS           = "AS"
+	LabelPrefix       = "Prefix"
+	LabelIP           = "IP"
+	LabelCountry      = "Country"
+	LabelOrganization = "Organization"
+	LabelIXP          = "IXP"
+	LabelFacility     = "Facility"
+	LabelName         = "Name"
+	LabelDomainName   = "DomainName"
+	LabelTag          = "Tag"
+	LabelRanking      = "Ranking"
+)
+
+// Relationship types of the IYP ontology.
+const (
+	RelOriginate  = "ORIGINATE"
+	RelDependsOn  = "DEPENDS_ON"
+	RelPeersWith  = "PEERS_WITH"
+	RelCountry    = "COUNTRY"
+	RelPopulation = "POPULATION"
+	RelName       = "NAME"
+	RelManagedBy  = "MANAGED_BY"
+	RelMemberOf   = "MEMBER_OF"
+	RelLocatedIn  = "LOCATED_IN"
+	RelRank       = "RANK"
+	RelCategorize = "CATEGORIZED"
+	RelPartOf     = "PART_OF"
+	RelResolvesTo = "RESOLVES_TO"
+	RelROA        = "ROUTE_ORIGIN_AUTHORIZATION"
+)
+
+// SchemaEntry documents one ontology element for the schema prompt.
+type SchemaEntry struct {
+	Name        string
+	Kind        string // "node" or "relationship"
+	Pattern     string // for relationships: (:A)-[:R]->(:B)
+	Properties  []string
+	Description string
+}
+
+// Schema returns the full ontology documentation, sorted by kind then
+// name. The simulated LLM's text-to-Cypher head and the web UI's schema
+// endpoint both consume it.
+func Schema() []SchemaEntry {
+	entries := []SchemaEntry{
+		{LabelAS, "node", "", []string{"asn"}, "An Autonomous System, identified by its AS number."},
+		{LabelPrefix, "node", "", []string{"prefix", "af"}, "An IP prefix in CIDR notation; af is the address family (4 or 6)."},
+		{LabelIP, "node", "", []string{"ip", "af"}, "A single IP address."},
+		{LabelCountry, "node", "", []string{"country_code", "name", "alpha3"}, "A country, identified by its ISO 3166 two-letter code."},
+		{LabelOrganization, "node", "", []string{"name"}, "An organization operating network infrastructure."},
+		{LabelIXP, "node", "", []string{"name"}, "An Internet Exchange Point."},
+		{LabelFacility, "node", "", []string{"name"}, "A colocation facility."},
+		{LabelName, "node", "", []string{"name"}, "A name assigned to a network resource."},
+		{LabelDomainName, "node", "", []string{"name"}, "A registered domain name."},
+		{LabelTag, "node", "", []string{"label"}, "A classification tag (e.g. from BGP.Tools)."},
+		{LabelRanking, "node", "", []string{"name"}, "A ranking list, e.g. 'CAIDA ASRank' or 'Tranco top 1M'."},
+		{RelOriginate, "relationship", "(:AS)-[:ORIGINATE]->(:Prefix)", []string{"count", "reference_org"}, "The AS originates the prefix in BGP; count is the number of vantage points observing it."},
+		{RelDependsOn, "relationship", "(:AS)-[:DEPENDS_ON]->(:AS)", []string{"hegemony"}, "AS-level dependency from IHR AS-hegemony; hegemony in (0,1] grows with dependence."},
+		{RelPeersWith, "relationship", "(:AS)-[:PEERS_WITH]->(:AS)", []string{"rel"}, "BGP adjacency; rel is 0 for peer-to-peer and 1 for provider-to-customer."},
+		{RelCountry, "relationship", "(:AS|:IXP|:Organization|:Prefix)-[:COUNTRY]->(:Country)", []string{"reference_org"}, "Registration country of the resource."},
+		{RelPopulation, "relationship", "(:AS)-[:POPULATION]->(:Country)", []string{"percent", "samples"}, "APNIC-style population estimate: percent of the country's Internet users served by the AS."},
+		{RelName, "relationship", "(:AS|:IXP|:Organization)-[:NAME]->(:Name)", []string{"reference_org"}, "The resource is known by this name."},
+		{RelManagedBy, "relationship", "(:AS)-[:MANAGED_BY]->(:Organization)", nil, "The AS is operated by the organization."},
+		{RelMemberOf, "relationship", "(:AS)-[:MEMBER_OF]->(:IXP)", nil, "The AS is a member of the IXP."},
+		{RelLocatedIn, "relationship", "(:IXP|:Organization)-[:LOCATED_IN]->(:Facility)", nil, "The IXP or organization is present at the facility."},
+		{RelRank, "relationship", "(:AS|:DomainName)-[:RANK]->(:Ranking)", []string{"rank"}, "Position of the resource in the ranking (1 is best)."},
+		{RelCategorize, "relationship", "(:AS)-[:CATEGORIZED]->(:Tag)", nil, "The AS carries the classification tag."},
+		{RelPartOf, "relationship", "(:IP)-[:PART_OF]->(:Prefix)", nil, "The IP belongs to the prefix."},
+		{RelResolvesTo, "relationship", "(:DomainName)-[:RESOLVES_TO]->(:IP)", nil, "DNS A/AAAA record."},
+		{RelROA, "relationship", "(:AS)-[:ROUTE_ORIGIN_AUTHORIZATION]->(:Prefix)", []string{"maxLength"}, "RPKI ROA authorizing the AS to originate the prefix."},
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Kind != entries[j].Kind {
+			return entries[i].Kind > entries[j].Kind // nodes first
+		}
+		return entries[i].Name < entries[j].Name
+	})
+	return entries
+}
+
+// SchemaText renders the ontology as the plain-text schema card fed to
+// the language model's text-to-Cypher prompt.
+func SchemaText() string {
+	var b strings.Builder
+	b.WriteString("IYP graph schema\n\nNode labels:\n")
+	for _, e := range Schema() {
+		if e.Kind != "node" {
+			continue
+		}
+		fmt.Fprintf(&b, "  (:%s {%s}) — %s\n", e.Name, strings.Join(e.Properties, ", "), e.Description)
+	}
+	b.WriteString("\nRelationship types:\n")
+	for _, e := range Schema() {
+		if e.Kind != "relationship" {
+			continue
+		}
+		props := ""
+		if len(e.Properties) > 0 {
+			props = " {" + strings.Join(e.Properties, ", ") + "}"
+		}
+		fmt.Fprintf(&b, "  %s%s — %s\n", e.Pattern, props, e.Description)
+	}
+	return b.String()
+}
+
+// Indexes returns the (label, property) pairs that the builder indexes —
+// the anchored access paths the benchmark queries use.
+func Indexes() [][2]string {
+	return [][2]string{
+		{LabelAS, "asn"},
+		{LabelPrefix, "prefix"},
+		{LabelIP, "ip"},
+		{LabelCountry, "country_code"},
+		{LabelOrganization, "name"},
+		{LabelIXP, "name"},
+		{LabelName, "name"},
+		{LabelDomainName, "name"},
+		{LabelTag, "label"},
+		{LabelRanking, "name"},
+		{LabelFacility, "name"},
+	}
+}

@@ -1,0 +1,104 @@
+package llm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// answer is the generation head: it turns retrieved context records into
+// a natural-language answer. Facts are preserved verbatim; the phrasing
+// is paraphrased through seeded templates so two generations of the same
+// facts (e.g. the candidate and the validation reference) share meaning
+// but not surface form — the property that drives the paper's Finding 1.
+func (m *SimModel) answer(req Request) (Response, error) {
+	records := nonEmpty(req.Context)
+	h := hash64(req.Question, req.Salt, fmt.Sprint(m.cfg.Seed), "ans")
+	if len(records) == 0 {
+		text := pick(h, []string{
+			"I could not find this information in the IYP graph.",
+			"The IYP database does not contain an answer to this question.",
+			"No matching records were found for this question.",
+		})
+		return Response{Text: text}, nil
+	}
+	subject := questionSubject(req.Question)
+	switch {
+	case len(records) == 1 && len(strings.Fields(records[0])) <= 8:
+		// Single compact fact.
+		fact := records[0]
+		text := pick(h, []string{
+			fmt.Sprintf("The answer is %s.", fact),
+			fmt.Sprintf("%s — that is the value recorded in IYP%s.", fact, forSubject(subject)),
+			fmt.Sprintf("According to the IYP data, it is %s.", fact),
+			fmt.Sprintf("IYP reports %s%s.", fact, forSubject(subject)),
+		})
+		return Response{Text: text}, nil
+	case len(records) <= 6:
+		listed := joinNatural(records)
+		text := pick(h, []string{
+			fmt.Sprintf("The results are: %s.", listed),
+			fmt.Sprintf("IYP lists the following%s: %s.", forSubject(subject), listed),
+			fmt.Sprintf("These match the query: %s.", listed),
+		})
+		return Response{Text: text}, nil
+	default:
+		sample := joinNatural(records[:5])
+		text := pick(h, []string{
+			fmt.Sprintf("There are %d results, including %s.", len(records), sample),
+			fmt.Sprintf("The query returns %d records; the first are %s.", len(records), sample),
+			fmt.Sprintf("%d entries match, for example %s.", len(records), sample),
+		})
+		return Response{Text: text}, nil
+	}
+}
+
+func nonEmpty(in []string) []string {
+	out := make([]string, 0, len(in))
+	for _, s := range in {
+		if strings.TrimSpace(s) != "" {
+			out = append(out, strings.TrimSpace(s))
+		}
+	}
+	return out
+}
+
+// questionSubject extracts a short subject phrase ("AS2497", "the
+// Tranco rank") used to vary answer phrasing.
+func questionSubject(q string) string {
+	if m := reASN.FindStringSubmatch(q); m != nil {
+		return "AS" + m[1]
+	}
+	if m := reDomain.FindStringSubmatch(strings.ToLower(q)); m != nil {
+		return m[1]
+	}
+	return ""
+}
+
+func forSubject(s string) string {
+	if s == "" {
+		return ""
+	}
+	return " for " + s
+}
+
+// joinNatural renders "a, b, and c".
+func joinNatural(items []string) string {
+	switch len(items) {
+	case 0:
+		return ""
+	case 1:
+		return items[0]
+	case 2:
+		return items[0] + " and " + items[1]
+	default:
+		return strings.Join(items[:len(items)-1], ", ") + ", and " + items[len(items)-1]
+	}
+}
+
+func contentSet(text string) map[string]bool {
+	out := map[string]bool{}
+	for _, t := range tokenizeContent(text) {
+		out[t] = true
+	}
+	return out
+}

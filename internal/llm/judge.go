@@ -1,0 +1,231 @@
+package llm
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"chatiyp/internal/textutil"
+)
+
+// judge is the G-Eval head: an LLM-as-a-judge rubric over factuality,
+// relevance and informativeness. It extracts the atomic facts of the
+// reference (numbers, AS numbers, prefixes, IPs, names) and checks the
+// candidate for agreement and contradiction; the aggregate is mostly
+// driven by factual consistency, which is what gives G-Eval its bimodal
+// score distribution in this domain — answers either carry the right
+// facts or they don't.
+func (m *SimModel) judge(req Request) (Response, error) {
+	score := judgeScore(req.Question, req.Reference, req.Candidate, m.embedder.Similarity)
+	// Seeded judge jitter (GPT-judge sampling variance).
+	h := hash64(req.Question, req.Candidate, fmt.Sprint(m.cfg.Seed), "judge")
+	score += (unit(h) - 0.5) * 2 * m.cfg.JudgeNoise
+	score = clamp01(score)
+	return Response{Score: score, Text: fmt.Sprintf("%.2f", score)}, nil
+}
+
+// fact is one atomic checkable unit extracted from an answer.
+type fact struct {
+	kind string // "number", "asn", "prefix", "ip", "entity"
+	text string // canonical form
+	num  float64
+}
+
+var (
+	factASN    = regexp.MustCompile(`(?i)\bAS[ -]?(\d{1,6})\b`)
+	factCIDR   = regexp.MustCompile(`\b\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}/\d{1,2}\b|\b[0-9a-fA-F:]+::/\d{1,3}\b`)
+	factIP     = regexp.MustCompile(`\b\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}\b`)
+	factNumber = regexp.MustCompile(`\b\d+(?:\.\d+)?\b`)
+	factProper = regexp.MustCompile(`\b[A-Z][A-Za-z0-9&.-]+(?: [A-Z][A-Za-z0-9&.-]+)*\b`)
+)
+
+// negativePhrases mark "no answer" responses; a reference and candidate
+// that both decline count as agreement.
+var negativePhrases = []string{
+	"could not find", "does not contain", "no matching", "not available",
+	"no records", "not found", "no results",
+}
+
+func isNegative(text string) bool {
+	l := strings.ToLower(text)
+	for _, p := range negativePhrases {
+		if strings.Contains(l, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// extractFacts pulls the checkable content of an answer.
+func extractFacts(text string) []fact {
+	var facts []fact
+	seen := map[string]bool{}
+	add := func(f fact) {
+		key := f.kind + ":" + f.text
+		if !seen[key] {
+			seen[key] = true
+			facts = append(facts, f)
+		}
+	}
+	work := text
+	for _, mt := range factASN.FindAllStringSubmatch(work, -1) {
+		add(fact{kind: "asn", text: mt[1]})
+	}
+	work = factASN.ReplaceAllString(work, " ")
+	for _, mt := range factCIDR.FindAllString(work, -1) {
+		add(fact{kind: "prefix", text: mt})
+	}
+	work = factCIDR.ReplaceAllString(work, " ")
+	for _, mt := range factIP.FindAllString(work, -1) {
+		add(fact{kind: "ip", text: mt})
+	}
+	work = factIP.ReplaceAllString(work, " ")
+	for _, mt := range factNumber.FindAllString(work, -1) {
+		if n, err := strconv.ParseFloat(mt, 64); err == nil {
+			add(fact{kind: "number", text: mt, num: n})
+		}
+	}
+	// Proper-noun-ish entity mentions (operator names, IXPs, countries),
+	// skipping sentence-initial words that are ordinary vocabulary.
+	for _, mt := range factProper.FindAllString(text, -1) {
+		if commonAnswerWords[strings.ToLower(mt)] {
+			continue
+		}
+		add(fact{kind: "entity", text: strings.ToLower(mt)})
+	}
+	return facts
+}
+
+// commonAnswerWords are capitalized words that appear in answer
+// boilerplate and carry no factual content.
+var commonAnswerWords = map[string]bool{
+	"the": true, "according": true, "iyp": true, "there": true,
+	"these": true, "it": true, "no": true, "i": true, "this": true,
+	"that": true, "as": true, "ases": true,
+}
+
+// judgeScore is the deterministic rubric core (exported via
+// JudgeAnswer for the metrics package).
+func judgeScore(question, reference, candidate string, sim func(a, b string) float64) float64 {
+	refNeg, candNeg := isNegative(reference), isNegative(candidate)
+	if refNeg || candNeg {
+		if refNeg && candNeg {
+			return 0.9 // both decline: consistent, mildly informative
+		}
+		return 0.08 // one declines, the other asserts: inconsistent
+	}
+	refFacts := extractFacts(reference)
+	candFacts := extractFacts(candidate)
+
+	// Facts already stated in the question (the subject ASN, the
+	// country asked about) are given, not informative: an answer that
+	// merely echoes them earns no factual credit. The judged facts are
+	// the reference's new information.
+	qFacts := extractFacts(question)
+	refFacts = withoutGivenFacts(refFacts, qFacts)
+	candFacts = withoutGivenFacts(candFacts, qFacts)
+
+	// Factuality: reference-fact recall with contradiction penalties.
+	factuality := factConsistency(refFacts, candFacts)
+
+	// Relevance: the candidate should be about the question and the
+	// reference's topic.
+	relevance := 0.5*clamp01(sim(candidate, question)) + 0.5*clamp01(sim(candidate, reference))
+
+	// Informativeness: an answer with no facts at all cannot be good.
+	informativeness := 1.0
+	if len(candFacts) == 0 {
+		informativeness = 0.2
+	}
+
+	// The rubric weights factuality dominantly, as G-Eval prompts for
+	// factual QA do.
+	return clamp01(0.74*factuality + 0.16*relevance + 0.10*informativeness)
+}
+
+// withoutGivenFacts drops facts that agree with any question fact.
+func withoutGivenFacts(facts, given []fact) []fact {
+	out := facts[:0:0]
+	for _, f := range facts {
+		givenToo := false
+		for _, g := range given {
+			if factsAgree(f, g) {
+				givenToo = true
+				break
+			}
+		}
+		if !givenToo {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// factConsistency scores candidate facts against reference facts.
+func factConsistency(refFacts, candFacts []fact) float64 {
+	if len(refFacts) == 0 {
+		// Reference carries no checkable facts: fall back to neutral.
+		return 0.5
+	}
+	candByKind := map[string][]fact{}
+	for _, f := range candFacts {
+		candByKind[f.kind] = append(candByKind[f.kind], f)
+	}
+	matched := 0
+	contradicted := 0
+	for _, rf := range refFacts {
+		cands := candByKind[rf.kind]
+		found := false
+		for _, cf := range cands {
+			if factsAgree(rf, cf) {
+				found = true
+				break
+			}
+		}
+		if found {
+			matched++
+			continue
+		}
+		// A same-kind fact present with a different value is a
+		// contradiction; absence is merely a miss.
+		if len(cands) > 0 && (rf.kind == "number" || rf.kind == "asn" || rf.kind == "prefix" || rf.kind == "ip") {
+			contradicted++
+		}
+	}
+	recall := float64(matched) / float64(len(refFacts))
+	penalty := 0.35 * float64(contradicted) / float64(len(refFacts))
+	return clamp01(recall - penalty)
+}
+
+func factsAgree(a, b fact) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case "number":
+		if a.num == b.num {
+			return true
+		}
+		// Tolerate rounding within 1%.
+		if a.num != 0 && math.Abs(a.num-b.num)/math.Abs(a.num) < 0.01 {
+			return true
+		}
+		return false
+	case "entity":
+		return a.text == b.text || textutil.Similarity(a.text, b.text) > 0.85
+	default:
+		return a.text == b.text
+	}
+}
+
+// JudgeAnswer exposes the deterministic rubric core for metric
+// implementations that need a judge without a Model round trip.
+func JudgeAnswer(question, reference, candidate string, sim func(a, b string) float64) float64 {
+	return judgeScore(question, reference, candidate, sim)
+}
+
+// tokenizeContent is a small indirection so generate.go does not import
+// textutil twice under different names.
+func tokenizeContent(text string) []string { return textutil.ContentTokens(text) }

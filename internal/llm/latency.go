@@ -1,0 +1,101 @@
+package llm
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// LatencyProfile models a hosted LLM deployment's timing and cost, so
+// end-to-end benchmarks can report what the pipeline would cost against
+// a real API instead of the microseconds the simulation takes.
+type LatencyProfile struct {
+	// BaseLatency is the per-request overhead (network + queueing).
+	BaseLatency time.Duration
+	// PerInputToken and PerOutputToken are the marginal processing
+	// times.
+	PerInputToken  time.Duration
+	PerOutputToken time.Duration
+	// InputCostPer1K / OutputCostPer1K are prices per thousand tokens
+	// in arbitrary currency units.
+	InputCostPer1K  float64
+	OutputCostPer1K float64
+}
+
+// GPT35TurboProfile approximates the paper-era backbone: ~300ms
+// overhead, ~10ms per generated token.
+func GPT35TurboProfile() LatencyProfile {
+	return LatencyProfile{
+		BaseLatency:     300 * time.Millisecond,
+		PerInputToken:   200 * time.Microsecond,
+		PerOutputToken:  10 * time.Millisecond,
+		InputCostPer1K:  0.0005,
+		OutputCostPer1K: 0.0015,
+	}
+}
+
+// Usage accumulates token and simulated-cost accounting across calls.
+type Usage struct {
+	Calls        int
+	TokensIn     int
+	TokensOut    int
+	SimulatedDur time.Duration
+	Cost         float64
+}
+
+// MeteredModel wraps a Model with a LatencyProfile: every call is
+// accounted (and, when Sleep is set, actually delayed) according to the
+// profile. Safe for concurrent use.
+type MeteredModel struct {
+	// Inner is the wrapped model.
+	Inner Model
+	// Profile is the deployment model.
+	Profile LatencyProfile
+	// Sleep makes calls physically take the simulated time; leave
+	// false to only account it.
+	Sleep bool
+
+	mu    sync.Mutex
+	usage Usage
+}
+
+// Complete implements Model.
+func (m *MeteredModel) Complete(ctx context.Context, req Request) (Response, error) {
+	resp, err := m.Inner.Complete(ctx, req)
+	if err != nil {
+		return resp, err
+	}
+	dur := m.Profile.BaseLatency +
+		time.Duration(resp.TokensIn)*m.Profile.PerInputToken +
+		time.Duration(resp.TokensOut)*m.Profile.PerOutputToken
+	m.mu.Lock()
+	m.usage.Calls++
+	m.usage.TokensIn += resp.TokensIn
+	m.usage.TokensOut += resp.TokensOut
+	m.usage.SimulatedDur += dur
+	m.usage.Cost += float64(resp.TokensIn)/1000*m.Profile.InputCostPer1K +
+		float64(resp.TokensOut)/1000*m.Profile.OutputCostPer1K
+	m.mu.Unlock()
+	if m.Sleep {
+		select {
+		case <-time.After(dur):
+		case <-ctx.Done():
+			return Response{}, ctx.Err()
+		}
+	}
+	return resp, nil
+}
+
+// Usage returns a snapshot of the accumulated accounting.
+func (m *MeteredModel) Usage() Usage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.usage
+}
+
+// Reset clears the accounting.
+func (m *MeteredModel) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.usage = Usage{}
+}

@@ -1,0 +1,238 @@
+package llm
+
+import (
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"chatiyp/internal/textutil"
+)
+
+// Lexicon carries the domain vocabulary the text-to-Cypher head resolves
+// entities against. The pipeline builds it from the live graph, the way
+// ChatIYP's prompt chain embeds schema examples.
+type Lexicon struct {
+	// Countries maps lowercase country names to ISO codes
+	// ("japan" -> "JP").
+	Countries map[string]string
+	// CountryCodes is the set of valid ISO codes.
+	CountryCodes map[string]bool
+	// IXPs, Orgs and Tags list known entity names for fuzzy mention
+	// matching.
+	IXPs []string
+	Orgs []string
+	Tags []string
+	// Rankings lists ranking names ("CAIDA ASRank", "Tranco top 1M").
+	Rankings []string
+}
+
+// Entities is the result of entity extraction over a question.
+type Entities struct {
+	ASNs     []int64
+	Prefixes []string
+	IPs      []string
+	Domains  []string
+	// CountryCodes are resolved ISO codes, in mention order.
+	CountryCodes []string
+	IXPs         []string
+	Orgs         []string
+	Tags         []string
+	// Numbers are numeric mentions that are not ASNs (thresholds,
+	// "top N").
+	Numbers []int64
+}
+
+var (
+	reASN     = regexp.MustCompile(`(?i)\b(?:AS[ -]?|asn[ :]+|autonomous system[ ]+)(\d{1,6})\b`)
+	rePrefix  = regexp.MustCompile(`\b(\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}/\d{1,2})\b`)
+	rePrefix6 = regexp.MustCompile(`\b([0-9a-fA-F:]+::/\d{1,3})\b`)
+	reIP      = regexp.MustCompile(`\b(\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3})\b`)
+	reDomain  = regexp.MustCompile(`\b([a-z0-9][a-z0-9-]*\.(?:com|net|org|io|dev|info|co|tv))\b`)
+	reNumber  = regexp.MustCompile(`\b(\d{1,9})\b`)
+	reCode    = regexp.MustCompile(`\b([A-Z]{2})\b`)
+)
+
+// Extract resolves the entities mentioned in a question.
+func (lx *Lexicon) Extract(question string) Entities {
+	var e Entities
+	asnSpans := map[string]bool{}
+	for _, m := range reASN.FindAllStringSubmatch(question, -1) {
+		if n, err := strconv.ParseInt(m[1], 10, 64); err == nil {
+			e.ASNs = append(e.ASNs, n)
+			asnSpans[m[1]] = true
+		}
+	}
+	for _, m := range rePrefix.FindAllStringSubmatch(question, -1) {
+		e.Prefixes = append(e.Prefixes, m[1])
+	}
+	for _, m := range rePrefix6.FindAllStringSubmatch(question, -1) {
+		e.Prefixes = append(e.Prefixes, m[1])
+	}
+	for _, m := range reIP.FindAllStringSubmatch(question, -1) {
+		if !strings.Contains(question, m[1]+"/") { // not part of a CIDR
+			e.IPs = append(e.IPs, m[1])
+		}
+	}
+	lower := strings.ToLower(question)
+	for _, m := range reDomain.FindAllStringSubmatch(lower, -1) {
+		e.Domains = append(e.Domains, m[1])
+	}
+	// Country names: longest-match scan over the lexicon.
+	if lx != nil && len(lx.Countries) > 0 {
+		type hit struct {
+			pos  int
+			code string
+		}
+		var hits []hit
+		for name, code := range lx.Countries {
+			if idx := strings.Index(lower, name); idx >= 0 {
+				hits = append(hits, hit{idx, code})
+			}
+		}
+		sort.Slice(hits, func(i, j int) bool { return hits[i].pos < hits[j].pos })
+		seen := map[string]bool{}
+		for _, h := range hits {
+			if !seen[h.code] {
+				seen[h.code] = true
+				e.CountryCodes = append(e.CountryCodes, h.code)
+			}
+		}
+		// Bare ISO codes ("JP") count too.
+		for _, m := range reCode.FindAllStringSubmatch(question, -1) {
+			if lx.CountryCodes[m[1]] && !seen[m[1]] {
+				seen[m[1]] = true
+				e.CountryCodes = append(e.CountryCodes, m[1])
+			}
+		}
+	}
+	// Known entity names (IXPs, orgs, tags) by case-insensitive
+	// substring.
+	if lx != nil {
+		for _, name := range lx.IXPs {
+			if containsFold(question, name) {
+				e.IXPs = append(e.IXPs, name)
+			}
+		}
+		for _, name := range lx.Orgs {
+			if containsFold(question, name) {
+				e.Orgs = append(e.Orgs, name)
+			}
+		}
+		for _, name := range lx.Tags {
+			if containsWordFold(question, name) {
+				e.Tags = append(e.Tags, name)
+			}
+		}
+	}
+	// Plain numbers that are not ASN mentions or inside prefixes/IPs.
+	stripped := reASN.ReplaceAllString(question, " ")
+	stripped = rePrefix.ReplaceAllString(stripped, " ")
+	stripped = reIP.ReplaceAllString(stripped, " ")
+	for _, m := range reNumber.FindAllStringSubmatch(stripped, -1) {
+		if n, err := strconv.ParseInt(m[1], 10, 64); err == nil {
+			e.Numbers = append(e.Numbers, n)
+		}
+	}
+	return e
+}
+
+func containsFold(haystack, needle string) bool {
+	return strings.Contains(strings.ToLower(haystack), strings.ToLower(needle))
+}
+
+// containsWordFold matches whole-token mentions, so the tag "CDN" does
+// not fire inside an unrelated word.
+func containsWordFold(haystack, needle string) bool {
+	n := strings.ToLower(needle)
+	for _, tok := range textutil.Tokenize(haystack) {
+		if tok == n {
+			return true
+		}
+	}
+	return false
+}
+
+// parsedQuestion is the text-to-Cypher head's working view of a
+// question: tokens, stems, extracted entities, and intent flags.
+type parsedQuestion struct {
+	raw      string
+	tokens   []string
+	stems    map[string]bool
+	entities Entities
+	// Intent flags.
+	wantsCount   bool // "how many", "number of", "count"
+	wantsMost    bool // "most", "largest", "highest", "top"
+	wantsLeast   bool // "least", "smallest", "lowest"
+	wantsAverage bool // "average", "mean"
+	wantsList    bool // "which", "list", "what are"
+	wantsTopN    int64
+	negated      bool // "not", "without", "lack"
+}
+
+func (lx *Lexicon) parseQuestion(q string) *parsedQuestion {
+	p := &parsedQuestion{
+		raw:      q,
+		tokens:   textutil.Tokenize(q),
+		stems:    map[string]bool{},
+		entities: lx.Extract(q),
+	}
+	for _, t := range p.tokens {
+		p.stems[textutil.Stem(t)] = true
+	}
+	lower := strings.ToLower(q)
+	// "count" must match exactly — prefix matching would fire on
+	// "country".
+	p.wantsCount = strings.Contains(lower, "how many") || strings.Contains(lower, "number of") || p.stems["count"]
+	p.wantsMost = p.has("most", "largest", "highest", "biggest", "top", "best")
+	p.wantsLeast = p.has("least", "smallest", "lowest", "fewest")
+	p.wantsAverage = p.has("averag", "mean")
+	p.wantsList = p.has("which", "list", "who") || strings.Contains(lower, "what are")
+	p.negated = p.has("without", "lack") || p.stems["no"] || strings.Contains(lower, " not ")
+	if p.wantsMost {
+		for _, n := range p.entities.Numbers {
+			if n > 0 && n <= 100 {
+				p.wantsTopN = n
+				break
+			}
+		}
+	}
+	return p
+}
+
+// has reports whether any of the concept markers appear in the
+// question. Markers of length <= 3 require an exact token or stem match
+// ("as", "ip"); longer markers match as a prefix of a raw token or stem,
+// so "percentag" fires on "percentage" and "categor" on "categorized".
+func (p *parsedQuestion) has(concepts ...string) bool {
+	for _, c := range concepts {
+		if len(c) <= 3 {
+			if p.stems[c] {
+				return true
+			}
+			for _, t := range p.tokens {
+				if t == c {
+					return true
+				}
+			}
+			continue
+		}
+		for _, t := range p.tokens {
+			if strings.HasPrefix(t, c) {
+				return true
+			}
+		}
+		for s := range p.stems {
+			if strings.HasPrefix(s, c) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// phrase reports whether the raw question contains the (lowercase)
+// phrase.
+func (p *parsedQuestion) phrase(s string) bool {
+	return strings.Contains(strings.ToLower(p.raw), s)
+}

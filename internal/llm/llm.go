@@ -1,0 +1,189 @@
+// Package llm provides the language-model substrate of ChatIYP. The
+// original system calls GPT-3.5-Turbo for four distinct jobs —
+// translating questions to Cypher, synthesizing answers from retrieved
+// context, scoring retrieval candidates, and judging answer quality
+// (G-Eval uses GPT-4) — through one completion interface.
+//
+// This package defines that interface (Model) and a deterministic
+// simulated implementation (SimModel) with one head per job. The
+// simulation is behavioural, not statistical: the text-to-Cypher head is
+// a real semantic parser over the IYP schema whose coverage decays with
+// the structural complexity of the question, the answer head paraphrases
+// facts through seeded templates, and the judge head scores factual
+// consistency. Nothing in the evaluation pipeline is hardcoded to paper
+// numbers; the figures emerge from these mechanisms.
+package llm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"chatiyp/internal/textutil"
+)
+
+// Task selects the model head a request targets.
+type Task int
+
+// Tasks.
+const (
+	// TaskText2Cypher translates a natural-language question into a
+	// Cypher query. Response.Text is the query, or an apology the
+	// caller detects via ErrNoTranslation.
+	TaskText2Cypher Task = iota
+	// TaskAnswer synthesizes a natural-language answer from the
+	// question and retrieved context records.
+	TaskAnswer
+	// TaskRerank scores one candidate context snippet against the
+	// question; Response.Score carries the result.
+	TaskRerank
+	// TaskJudge evaluates a candidate answer against a reference
+	// (G-Eval); Response.Score carries the 0..1 judgment.
+	TaskJudge
+)
+
+// String names the task for traces.
+func (t Task) String() string {
+	switch t {
+	case TaskText2Cypher:
+		return "text2cypher"
+	case TaskAnswer:
+		return "answer"
+	case TaskRerank:
+		return "rerank"
+	case TaskJudge:
+		return "judge"
+	}
+	return fmt.Sprintf("task(%d)", int(t))
+}
+
+// Request is one model invocation. Prompt-relevant content is carried in
+// structured fields; Prompt() renders the equivalent textual prompt for
+// traces and token accounting.
+type Request struct {
+	Task Task
+	// Question is the user's natural-language question (all tasks).
+	Question string
+	// Schema is the graph schema card (text2cypher).
+	Schema string
+	// Context carries retrieved context records (answer) or the
+	// candidate snippet (rerank).
+	Context []string
+	// Reference is the gold answer (judge).
+	Reference string
+	// Candidate is the answer under evaluation (judge).
+	Candidate string
+	// Salt varies deterministic sampling between otherwise identical
+	// requests (e.g. reference vs candidate generation).
+	Salt string
+}
+
+// Prompt renders the request as the text a hosted LLM would receive.
+func (r Request) Prompt() string {
+	var b strings.Builder
+	switch r.Task {
+	case TaskText2Cypher:
+		b.WriteString("Translate the question into a single Cypher query for the IYP graph.\n\n")
+		b.WriteString(r.Schema)
+		b.WriteString("\nQuestion: ")
+		b.WriteString(r.Question)
+		b.WriteString("\nCypher:")
+	case TaskAnswer:
+		b.WriteString("Answer the question using only the context records.\n\nContext:\n")
+		for _, c := range r.Context {
+			b.WriteString("  - ")
+			b.WriteString(c)
+			b.WriteString("\n")
+		}
+		b.WriteString("Question: ")
+		b.WriteString(r.Question)
+		b.WriteString("\nAnswer:")
+	case TaskRerank:
+		b.WriteString("Rate 0-10 how useful the snippet is for answering the question.\n")
+		b.WriteString("Question: " + r.Question + "\nSnippet: " + strings.Join(r.Context, " "))
+	case TaskJudge:
+		b.WriteString("Judge the candidate answer against the reference for factuality, relevance and informativeness. Respond with a score between 0 and 1.\n")
+		b.WriteString("Question: " + r.Question + "\nReference: " + r.Reference + "\nCandidate: " + r.Candidate)
+	}
+	return b.String()
+}
+
+// Response is a model completion.
+type Response struct {
+	// Text is the generated text (query or answer).
+	Text string
+	// Score carries numeric outputs for rerank/judge heads.
+	Score float64
+	// TokensIn/TokensOut account prompt and completion sizes.
+	TokensIn  int
+	TokensOut int
+}
+
+// Model is the completion interface all ChatIYP stages depend on.
+// Implementations must be safe for concurrent use.
+type Model interface {
+	Complete(ctx context.Context, req Request) (Response, error)
+}
+
+// ErrNoTranslation is returned by the text-to-Cypher head when the
+// question is outside its competence; the pipeline falls back to vector
+// retrieval.
+var ErrNoTranslation = errors.New("llm: cannot translate question to Cypher")
+
+// CountTokens approximates tokenization the way evaluation harnesses
+// usually do: whitespace/punctuation word count.
+func CountTokens(text string) int {
+	return len(textutil.Tokenize(text))
+}
+
+// hash64 derives a stable 64-bit hash for deterministic sampling.
+func hash64(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// unit maps a hash to [0, 1).
+func unit(h uint64) float64 {
+	return float64(h%1_000_000) / 1_000_000
+}
+
+// pick selects one of the options deterministically from the hash.
+func pick[T any](h uint64, options []T) T {
+	return options[h%uint64(len(options))]
+}
+
+// ScriptedModel replays canned responses per task; tests use it to
+// isolate pipeline logic from the simulation.
+type ScriptedModel struct {
+	// Responses maps task -> queue of responses (popped per call).
+	Responses map[Task][]Response
+	// Errs maps task -> error returned for every call.
+	Errs  map[Task]error
+	calls int
+}
+
+// Complete implements Model.
+func (s *ScriptedModel) Complete(_ context.Context, req Request) (Response, error) {
+	s.calls++
+	if err := s.Errs[req.Task]; err != nil {
+		return Response{}, err
+	}
+	queue := s.Responses[req.Task]
+	if len(queue) == 0 {
+		return Response{}, fmt.Errorf("llm: scripted model has no response for %v", req.Task)
+	}
+	resp := queue[0]
+	if len(queue) > 1 {
+		s.Responses[req.Task] = queue[1:]
+	}
+	return resp, nil
+}
+
+// Calls reports how many completions were requested.
+func (s *ScriptedModel) Calls() int { return s.calls }

@@ -1,0 +1,135 @@
+package llm
+
+// Rule-coverage tests: every rule in the text-to-Cypher library has a
+// canonical question that selects it (no other rule outranks it), and
+// the built query contains the rule's defining elements.
+
+import (
+	"strings"
+	"testing"
+)
+
+// ruleCase is one canonical question per rule.
+var ruleCases = []struct {
+	rule     string
+	question string
+	want     []string // substrings of the built query
+}{
+	{"as-name", "What is the name of AS2497?", []string{":NAME", "n.name"}},
+	{"as-country", "In which country is AS2497 registered?", []string{":COUNTRY", "country_code"}},
+	{"as-organization", "Which organization manages AS2497?", []string{"MANAGED_BY"}},
+	{"population-share", "What is the percentage of Japan's population in AS2497?", []string{"POPULATION", "'JP'", "percent"}},
+	{"count-as-in-country", "How many ASes are registered in Japan?", []string{"count(a)", "'JP'"}},
+	{"count-prefixes", "How many prefixes does AS2497 originate?", []string{"ORIGINATE", "count(p)"}},
+	{"list-prefixes", "Which prefixes does AS2497 announce?", []string{"ORIGINATE", "p.prefix"}},
+	{"prefix-origin", "Which AS originates 192.0.2.0/24?", []string{"ORIGINATE", "a.asn"}},
+	{"caida-rank", "What is the CAIDA ASRank of AS2497?", []string{"RANK", "CAIDA ASRank"}},
+	{"tranco-rank", "What is the rank of stream.io in the Tranco list?", []string{"RANK", "stream.io"}},
+	{"domain-resolve", "Which IP address does stream.io resolve to?", []string{"RESOLVES_TO", "i.ip"}},
+	{"roa-for-prefix", "Which AS holds the RPKI authorization for 192.0.2.0/24?", []string{"ROUTE_ORIGIN_AUTHORIZATION"}},
+	{"count-roa-prefixes", "How many RPKI authorizations does AS2497 hold?", []string{"ROUTE_ORIGIN_AUTHORIZATION", "count(p)"}},
+	{"member-ixps", "Which IXPs is AS2497 a member of?", []string{"MEMBER_OF", "x.name"}},
+	{"ixp-member-count", "How many member networks does FRA-IX have?", []string{"MEMBER_OF", "count(a)"}},
+	{"ixp-country", "In which country is FRA-IX located?", []string{":COUNTRY", "country_code"}},
+	{"ixp-facility", "Which datacenter houses FRA-IX?", []string{"LOCATED_IN", "f.name"}},
+	{"count-ixps-in-country", "How many IXPs are located in Germany?", []string{"IXP", "count(x)"}},
+	{"as-tags", "Which tags does AS2497 carry?", []string{"CATEGORIZED", "t.label"}},
+	{"depends-on-list", "Which ASes does AS2497 depend on?", []string{"DEPENDS_ON", "b.asn"}},
+	{"count-dependents", "How many ASes depend on AS2497?", []string{"DEPENDS_ON", "count(a)"}},
+	{"hegemony-score", "What is the hegemony score of AS64500 on AS2497?", []string{"DEPENDS_ON", "d.hegemony"}},
+	{"avg-hegemony", "What is the average hegemony score of ASes depending on AS2497?", []string{"avg(d.hegemony)"}},
+	{"peers-list", "Which ASes peer with AS2497?", []string{"PEERS_WITH", "b.asn"}},
+	{"count-peers", "How many ASes peer with AS2497?", []string{"PEERS_WITH", "count(b)"}},
+	{"customers", "Who are the customers of AS2497?", []string{"PEERS_WITH {rel: 1}"}},
+	{"providers", "Who are the transit providers of AS2497?", []string{"PEERS_WITH {rel: 1}"}},
+	{"orgs-in-country", "How many organizations are based in Japan?", []string{"Organization", "count(o)"}},
+	{"most-population-as", "Which AS serves the largest share of Japan's population?", []string{"ORDER BY p.percent DESC", "LIMIT 1"}},
+	{"org-most-ases", "Which organization manages the most ASes?", []string{"MANAGED_BY", "ORDER BY n DESC"}},
+	{"country-most-ixps", "Which country hosts the most IXPs?", []string{"IXP", "ORDER BY n DESC"}},
+	{"country-most-prefixes", "Which country's ASes originate the most prefixes?", []string{"ORIGINATE", "ORDER BY n DESC"}},
+	{"as-most-prefixes-in-country", "Which AS in Japan originates the most prefixes?", []string{"'JP'", "ORDER BY n DESC"}},
+	{"common-ixps", "At which IXPs do AS2497 and AS15169 both peer?", []string{"MEMBER_OF", "2497", "15169"}},
+	{"ases-more-than-n-prefixes", "Which ASes in Germany originate more than 10 prefixes?", []string{"WHERE n > 10"}},
+	{"tagged-members-of-ixp", "Which Transit networks are members of FRA-IX?", []string{"CATEGORIZED", "MEMBER_OF"}},
+	{"upstream-two-hops", "Which ASes does AS2497 depend on transitively at two hops?", []string{"DEPENDS_ON*2"}},
+	{"common-upstream-in-country", "Which upstream do networks in Japan depend on the most?", []string{"DEPENDS_ON", "ORDER BY n DESC"}},
+	{"facility-of-ixps-for-as", "Which facilities host IXPs that AS2497 is a member of?", []string{"MEMBER_OF", "LOCATED_IN"}},
+	{"domains-hosted-by-as", "Which domains are hosted in address space announced by AS2497? Which websites?", []string{"RESOLVES_TO", "PART_OF"}},
+	{"prefixes-without-roa", "Which prefixes originated by AS2497 lack a ROA?", []string{"WHERE NOT", "ROUTE_ORIGIN_AUTHORIZATION"}},
+}
+
+func TestEveryRuleHasACanonicalQuestion(t *testing.T) {
+	lx := testLexicon()
+	m := NewSim(SimConfig{Lexicon: lx, ErrorScale: 0, Seed: 1})
+	covered := map[string]bool{}
+	for _, c := range ruleCases {
+		p := lx.parseQuestion(c.question)
+		var best *rule
+		bestScore := 0
+		for i := range m.rules {
+			if s := m.rules[i].match(p); s > bestScore {
+				bestScore = s
+				best = &m.rules[i]
+			}
+		}
+		if best == nil {
+			t.Errorf("%s: question %q matches no rule", c.rule, c.question)
+			continue
+		}
+		if best.name != c.rule {
+			t.Errorf("%s: question %q selected rule %s instead", c.rule, c.question, best.name)
+			continue
+		}
+		covered[best.name] = true
+		query := best.build(p)
+		for _, want := range c.want {
+			if !strings.Contains(query, want) {
+				t.Errorf("%s: built query %q missing %q", c.rule, query, want)
+			}
+		}
+	}
+	// Every rule in the library except the weak catch-all must be
+	// covered by a canonical case.
+	for _, r := range m.rules {
+		if r.name == "as-node-lookup" {
+			continue
+		}
+		if !covered[r.name] {
+			t.Errorf("rule %s has no canonical question in the coverage table", r.name)
+		}
+	}
+}
+
+func TestRuleReliabilitiesSane(t *testing.T) {
+	for _, r := range rules() {
+		if r.reliability <= 0 || r.reliability > 1 {
+			t.Errorf("rule %s reliability %v outside (0,1]", r.name, r.reliability)
+		}
+	}
+}
+
+func TestRuleNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range rules() {
+		if seen[r.name] {
+			t.Errorf("duplicate rule name %s", r.name)
+		}
+		seen[r.name] = true
+	}
+}
+
+func TestBuiltQueriesAreValidForEveryRuleCase(t *testing.T) {
+	// Every canonical build must be non-empty and shaped like a query.
+	lx := testLexicon()
+	m := NewSim(SimConfig{Lexicon: lx, ErrorScale: 0})
+	for _, c := range ruleCases {
+		resp, err := m.translate(Request{Task: TaskText2Cypher, Question: c.question})
+		if err != nil {
+			t.Errorf("%s: %v", c.rule, err)
+			continue
+		}
+		if !strings.HasPrefix(resp.Text, "MATCH") || !strings.Contains(resp.Text, "RETURN") {
+			t.Errorf("%s: query %q malformed", c.rule, resp.Text)
+		}
+	}
+}

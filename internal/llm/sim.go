@@ -1,0 +1,155 @@
+package llm
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"chatiyp/internal/embed"
+)
+
+// SimConfig tunes the simulated model.
+type SimConfig struct {
+	// Seed shifts all deterministic sampling; evaluations fix it.
+	Seed int64
+	// ErrorScale multiplies the per-rule failure probability of the
+	// text-to-Cypher head. 1.0 models the GPT-3.5-class backbone the
+	// paper uses; 0 makes translation as good as rule coverage allows.
+	ErrorScale float64
+	// JudgeNoise is the ± amplitude of the judge head's seeded scoring
+	// jitter (G-Eval's sampling variance). Default 0.05.
+	JudgeNoise float64
+	// Lexicon resolves domain entities; required for translation.
+	Lexicon *Lexicon
+}
+
+// DefaultSimConfig returns the configuration used by the paper
+// evaluation.
+func DefaultSimConfig(lx *Lexicon) SimConfig {
+	return SimConfig{Seed: 1, ErrorScale: 1.0, JudgeNoise: 0.05, Lexicon: lx}
+}
+
+// SimModel is the deterministic simulated LLM. Safe for concurrent use.
+type SimModel struct {
+	cfg      SimConfig
+	rules    []rule
+	embedder *embed.Embedder
+}
+
+// NewSim builds a simulated model.
+func NewSim(cfg SimConfig) *SimModel {
+	if cfg.Lexicon == nil {
+		cfg.Lexicon = &Lexicon{}
+	}
+	if cfg.JudgeNoise == 0 {
+		cfg.JudgeNoise = 0.05
+	}
+	return &SimModel{cfg: cfg, rules: rules(), embedder: embed.NewDefault()}
+}
+
+// Complete implements Model by routing to the task heads.
+func (m *SimModel) Complete(ctx context.Context, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	tokensIn := CountTokens(req.Prompt())
+	var resp Response
+	var err error
+	switch req.Task {
+	case TaskText2Cypher:
+		resp, err = m.translate(req)
+	case TaskAnswer:
+		resp, err = m.answer(req)
+	case TaskRerank:
+		resp, err = m.rerank(req)
+	case TaskJudge:
+		resp, err = m.judge(req)
+	default:
+		return Response{}, fmt.Errorf("llm: unknown task %v", req.Task)
+	}
+	if err != nil {
+		return Response{}, err
+	}
+	resp.TokensIn = tokensIn
+	resp.TokensOut = CountTokens(resp.Text)
+	if resp.TokensOut == 0 {
+		resp.TokensOut = 1
+	}
+	return resp, nil
+}
+
+// translate is the text-to-Cypher head.
+func (m *SimModel) translate(req Request) (Response, error) {
+	p := m.cfg.Lexicon.parseQuestion(req.Question)
+	var best *rule
+	bestScore := 0
+	for i := range m.rules {
+		if s := m.rules[i].match(p); s > bestScore {
+			bestScore = s
+			best = &m.rules[i]
+		}
+	}
+	if best == nil {
+		return Response{}, ErrNoTranslation
+	}
+	query := best.build(p)
+	// Failure model: the chance of a wrong-but-plausible translation is
+	// (1 - rule reliability), scaled globally, plus a small ambiguity
+	// penalty when entity extraction was noisy. Sampling is
+	// deterministic per (question, seed).
+	pFail := (1 - best.reliability) * m.cfg.ErrorScale
+	if ambiguity := len(p.entities.ASNs) + len(p.entities.CountryCodes) + len(p.entities.IXPs); ambiguity > 2 {
+		pFail += 0.05 * m.cfg.ErrorScale
+	}
+	h := hash64(req.Question, fmt.Sprint(m.cfg.Seed), "t2c")
+	if unit(h) < pFail {
+		query = corrupt(query, h>>8)
+	}
+	return Response{Text: query}, nil
+}
+
+// rerank is the shallow scoring head: embedding similarity between
+// question and snippet blended with content-token overlap, mapped to
+// 0..10 like the prompt asks.
+func (m *SimModel) rerank(req Request) (Response, error) {
+	snippet := strings.Join(req.Context, " ")
+	if snippet == "" {
+		return Response{Score: 0, Text: "0"}, nil
+	}
+	sim := m.embedder.Similarity(req.Question, snippet)
+	overlap := tokenOverlap(req.Question, snippet)
+	score := 10 * (0.6*clamp01(sim) + 0.4*overlap)
+	// Mild deterministic jitter: a shallow scorer is not perfectly
+	// monotone in similarity.
+	h := hash64(req.Question, snippet, fmt.Sprint(m.cfg.Seed), "rr")
+	score += (unit(h) - 0.5) * 0.6
+	score = clampRange(score, 0, 10)
+	return Response{Score: score, Text: fmt.Sprintf("%.1f", score)}, nil
+}
+
+func tokenOverlap(a, b string) float64 {
+	at := contentSet(a)
+	bt := contentSet(b)
+	if len(at) == 0 {
+		return 0
+	}
+	n := 0
+	for t := range at {
+		if bt[t] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(at))
+}
+
+func clamp01(f float64) float64 { return clampRange(f, 0, 1) }
+
+func clampRange(f, lo, hi float64) float64 {
+	if f < lo {
+		return lo
+	}
+	if f > hi {
+		return hi
+	}
+	return f
+}

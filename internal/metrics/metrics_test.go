@@ -1,0 +1,324 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"chatiyp/internal/llm"
+)
+
+func TestBLEUIdentical(t *testing.T) {
+	s := "AS2497 originates 42 prefixes in Japan"
+	if got := BLEU(s, s); got < 0.99 {
+		t.Errorf("BLEU(self) = %.3f", got)
+	}
+}
+
+func TestBLEUDisjoint(t *testing.T) {
+	if got := BLEU("alpha beta gamma", "delta epsilon zeta"); got != 0 {
+		t.Errorf("BLEU(disjoint) = %.3f", got)
+	}
+}
+
+func TestBLEUPenalizesParaphrase(t *testing.T) {
+	ref := "IYP reports 42 for AS2497."
+	para := "The number of prefixes originated by AS2497 is 42."
+	score := BLEU(para, ref)
+	if score > 0.5 {
+		t.Errorf("BLEU should over-penalize paraphrase, got %.3f", score)
+	}
+	if score >= BLEU(ref, ref) {
+		t.Error("paraphrase must score below identity")
+	}
+}
+
+func TestBLEUBrevityPenalty(t *testing.T) {
+	ref := "the answer is 42 according to the data in the graph"
+	short := "42"
+	long := "the answer is 42 according to the data in the graph today"
+	if BLEU(short, ref) >= BLEU(long, ref) {
+		t.Error("very short candidate should be penalized")
+	}
+}
+
+func TestBLEUBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		s := BLEU(a, b)
+		return s >= 0 && s <= 1 && !math.IsNaN(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestROUGEIdentical(t *testing.T) {
+	s := "AS2497 originates 42 prefixes"
+	r := ROUGE(s, s)
+	if r.Rouge1 < 0.99 || r.Rouge2 < 0.99 || r.RougeL < 0.99 {
+		t.Errorf("ROUGE(self) = %+v", r)
+	}
+}
+
+func TestROUGERewording(t *testing.T) {
+	ref := "IYP reports 42 for AS2497."
+	para := "The number of prefixes originated by AS2497 is 42."
+	r := ROUGE(para, ref)
+	b := BLEU(para, ref)
+	// ROUGE accommodates reworded answers better than BLEU (paper
+	// observation (ii)).
+	if r.Rouge1 <= b {
+		t.Errorf("ROUGE-1 %.3f should exceed BLEU %.3f on paraphrase", r.Rouge1, b)
+	}
+}
+
+func TestROUGELOrderSensitivity(t *testing.T) {
+	ref := "a b c d e"
+	inOrder := "a b x c d"
+	scrambled := "d c b a e"
+	ro := ROUGE(inOrder, ref)
+	rs := ROUGE(scrambled, ref)
+	if ro.RougeL <= rs.RougeL {
+		t.Errorf("ROUGE-L should reward order: in-order %.3f vs scrambled %.3f", ro.RougeL, rs.RougeL)
+	}
+}
+
+func TestROUGEBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		r := ROUGE(a, b)
+		for _, s := range []float64{r.Rouge1, r.Rouge2, r.RougeL} {
+			if s < 0 || s > 1 || math.IsNaN(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBERTScoreIdentical(t *testing.T) {
+	b := NewBERTScorer()
+	s := "AS2497 originates 42 prefixes"
+	r := b.Score(s, s)
+	if r.F1 < 0.99 {
+		t.Errorf("BERTScore(self) = %+v", r)
+	}
+}
+
+func TestBERTScoreCeilingEffect(t *testing.T) {
+	// The paper observes BERTScore compresses distinctions: related
+	// in-domain answers all score high. A paraphrase and a wrong-number
+	// answer should land within a narrow high band, unlike G-Eval.
+	b := NewBERTScorer()
+	ref := "IYP reports 42 for AS2497."
+	para := "The number of prefixes originated by AS2497 is 42."
+	wrong := "IYP reports 57 for AS2497."
+	sp := b.Score(para, ref).F1
+	sw := b.Score(wrong, ref).F1
+	if sw < 0.5 {
+		t.Errorf("wrong-number answer BERTScore %.3f suspiciously low (no ceiling)", sw)
+	}
+	if math.Abs(sp-sw) > 0.45 {
+		t.Errorf("BERTScore gap %.3f too wide — ceiling effect not reproduced", math.Abs(sp-sw))
+	}
+}
+
+func TestBERTScorePrecisionRecallAsymmetry(t *testing.T) {
+	b := NewBERTScorer()
+	ref := "the answer is 42 with extra context about the graph"
+	cand := "the answer is 42"
+	r := b.Score(cand, ref)
+	if r.Precision <= r.Recall {
+		t.Errorf("short exact candidate: precision %.3f should exceed recall %.3f", r.Precision, r.Recall)
+	}
+}
+
+func TestBERTScoreBounds(t *testing.T) {
+	b := NewBERTScorer()
+	f := func(x, y string) bool {
+		r := b.Score(x, y)
+		for _, s := range []float64{r.Precision, r.Recall, r.F1} {
+			if s < -0.01 || s > 1.01 || math.IsNaN(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGEvalSeparatesGoodFromBad(t *testing.T) {
+	judge := llm.NewSim(llm.DefaultSimConfig(&llm.Lexicon{}))
+	g := NewGEval(judge)
+	q := "How many prefixes does AS2497 originate?"
+	ref := "IYP reports 42 for AS2497."
+	good, err := g.Score(q, ref, "The number of prefixes originated by AS2497 is 42.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := g.Score(q, ref, "The number of prefixes originated by AS2497 is 57.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good < 0.7 || bad > 0.45 || good <= bad {
+		t.Errorf("G-Eval good=%.2f bad=%.2f", good, bad)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-9 {
+		t.Errorf("std = %v", s.Std)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary")
+	}
+	if s.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{0, 1, 2, 3, 4}
+	if q := Quantile(sorted, 0.5); q != 2 {
+		t.Errorf("median = %v", q)
+	}
+	if q := Quantile(sorted, 0.25); q != 1 {
+		t.Errorf("p25 = %v", q)
+	}
+	if q := Quantile([]float64{7}, 0.9); q != 7 {
+		t.Errorf("single = %v", q)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0.05, 0.15, 0.95, 1.0}, 10)
+	if h.Total != 4 {
+		t.Errorf("total = %d", h.Total)
+	}
+	if h.Bins[0] != 1 || h.Bins[1] != 1 || h.Bins[9] != 2 {
+		t.Errorf("bins = %v", h.Bins)
+	}
+	if h.Render(20) == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestFraction(t *testing.T) {
+	xs := []float64{0.1, 0.5, 0.8, 0.9, 1.0}
+	if f := Fraction(xs, 0.75, 1.01); f != 0.6 {
+		t.Errorf("fraction above 0.75 = %v", f)
+	}
+	if f := Fraction(nil, 0, 1); f != 0 {
+		t.Error("empty fraction")
+	}
+}
+
+func TestBimodalityCoefficient(t *testing.T) {
+	// Clearly bimodal: mass at 0 and 1.
+	var bimodal, unimodal []float64
+	for i := 0; i < 50; i++ {
+		bimodal = append(bimodal, 0.02+0.01*float64(i%3))
+		bimodal = append(bimodal, 0.95+0.01*float64(i%3))
+		unimodal = append(unimodal, 0.5+0.02*float64(i%5)-0.04)
+	}
+	bb := BimodalityCoefficient(bimodal)
+	bu := BimodalityCoefficient(unimodal)
+	if bb <= 0.555 {
+		t.Errorf("bimodal sample coefficient %.3f should exceed 0.555", bb)
+	}
+	if bu >= bb {
+		t.Errorf("unimodal %.3f should be below bimodal %.3f", bu, bb)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if r := Pearson(xs, ys); math.Abs(r-1) > 1e-9 {
+		t.Errorf("perfect correlation = %v", r)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if r := Pearson(xs, neg); math.Abs(r+1) > 1e-9 {
+		t.Errorf("perfect anticorrelation = %v", r)
+	}
+	if r := Pearson(xs, []float64{5, 5, 5, 5}); r != 0 {
+		t.Errorf("constant series correlation = %v", r)
+	}
+	if r := Pearson(xs, []float64{1}); r != 0 {
+		t.Errorf("length mismatch = %v", r)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 4, 9, 16, 25} // nonlinear but monotone
+	if r := Spearman(xs, ys); math.Abs(r-1) > 1e-9 {
+		t.Errorf("monotone Spearman = %v", r)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	ys := []float64{1, 2, 2, 3}
+	if r := Spearman(xs, ys); math.Abs(r-1) > 1e-9 {
+		t.Errorf("tied identical series = %v", r)
+	}
+}
+
+func TestPointBiserial(t *testing.T) {
+	scores := []float64{0.9, 0.95, 0.1, 0.05}
+	labels := []bool{true, true, false, false}
+	if r := PointBiserial(scores, labels); r < 0.9 {
+		t.Errorf("separating metric correlation = %v", r)
+	}
+	random := []float64{0.5, 0.5, 0.5, 0.5}
+	if r := PointBiserial(random, labels); r != 0 {
+		t.Errorf("uninformative metric correlation = %v", r)
+	}
+}
+
+func TestCorrelationBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		ys := make([]float64, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // covariance products would overflow float64
+			}
+			ys[i] = x * 2
+		}
+		r := Pearson(raw, ys)
+		return r >= -1.0001 && r <= 1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBLEU(b *testing.B) {
+	cand := "The number of prefixes originated by AS2497 is 42."
+	ref := "IYP reports 42 for AS2497."
+	for i := 0; i < b.N; i++ {
+		BLEU(cand, ref)
+	}
+}
+
+func BenchmarkBERTScore(b *testing.B) {
+	s := NewBERTScorer()
+	cand := "The number of prefixes originated by AS2497 is 42."
+	ref := "IYP reports 42 for AS2497."
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Score(cand, ref)
+	}
+}

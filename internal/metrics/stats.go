@@ -1,0 +1,244 @@
+package metrics
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+func noCtx() context.Context { return context.Background() }
+
+// Summary is the descriptive statistics of a score sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	Max    float64
+}
+
+// Summarize computes descriptive statistics. An empty sample returns the
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	for _, x := range sorted {
+		s.Mean += x
+	}
+	s.Mean /= float64(len(sorted))
+	for _, x := range sorted {
+		d := x - s.Mean
+		s.Std += d * d
+	}
+	if len(sorted) > 1 {
+		s.Std = math.Sqrt(s.Std / float64(len(sorted)-1))
+	} else {
+		s.Std = 0
+	}
+	s.P25 = Quantile(sorted, 0.25)
+	s.Median = Quantile(sorted, 0.5)
+	s.P75 = Quantile(sorted, 0.75)
+	return s
+}
+
+// Quantile returns the q-quantile (linear interpolation) of a sorted
+// sample.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary as one table row fragment.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.3f p25=%.3f med=%.3f p75=%.3f max=%.3f",
+		s.N, s.Mean, s.Std, s.Min, s.P25, s.Median, s.P75, s.Max)
+}
+
+// Histogram bins scores in [0,1] into equal-width buckets.
+type Histogram struct {
+	Bins   []int
+	Width  float64
+	Total  int
+	Counts []int // alias of Bins kept for JSON clarity
+}
+
+// NewHistogram builds a histogram with the given number of bins over
+// [0, 1].
+func NewHistogram(xs []float64, bins int) Histogram {
+	if bins <= 0 {
+		bins = 10
+	}
+	h := Histogram{Bins: make([]int, bins), Width: 1.0 / float64(bins)}
+	for _, x := range xs {
+		i := int(x / h.Width)
+		if i >= bins {
+			i = bins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		h.Bins[i]++
+		h.Total++
+	}
+	h.Counts = h.Bins
+	return h
+}
+
+// Fraction returns the share of the sample in [lo, hi).
+func Fraction(xs []float64, lo, hi float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x >= lo && (x < hi || (hi >= 1 && x <= 1)) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Render draws the histogram as ASCII bars, one row per bin.
+func (h Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxCount := 0
+	for _, c := range h.Bins {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Bins {
+		lo := float64(i) * h.Width
+		hi := lo + h.Width
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		fmt.Fprintf(&b, "[%.2f-%.2f) %-*s %d\n", lo, hi, width, strings.Repeat("█", bar), c)
+	}
+	return b.String()
+}
+
+// BimodalityCoefficient computes Sarle's bimodality coefficient: values
+// above ~0.555 suggest a bimodal distribution. The paper's Finding 1
+// argues G-Eval separates good from bad answers bimodally; this is the
+// statistic the harness reports for it.
+func BimodalityCoefficient(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 4 {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	var m2, m3, m4 float64
+	for _, x := range xs {
+		d := x - mean
+		m2 += d * d
+		m3 += d * d * d
+		m4 += d * d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	m4 /= n
+	if m2 == 0 {
+		return 0
+	}
+	skew := m3 / math.Pow(m2, 1.5)
+	kurt := m4/(m2*m2) - 3
+	return (skew*skew + 1) / (kurt + 3*(n-1)*(n-1)/((n-2)*(n-3)))
+}
+
+// Pearson computes the Pearson correlation coefficient of two equal-
+// length samples; it returns 0 for degenerate inputs.
+func Pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return 0
+	}
+	var mx, my float64
+	for i := 0; i < n; i++ {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman computes the Spearman rank correlation (Pearson over ranks,
+// mid-ranks for ties).
+func Spearman(xs, ys []float64) float64 {
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Mid-rank for the tie group [i, j].
+		mid := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = mid
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// PointBiserial correlates a continuous score with a binary label
+// (correct/incorrect); it is Pearson with the label as 0/1. The paper's
+// "alignment with human judgment" claim is operationalized with this
+// against execution-accuracy labels.
+func PointBiserial(scores []float64, labels []bool) float64 {
+	ys := make([]float64, len(labels))
+	for i, l := range labels {
+		if l {
+			ys[i] = 1
+		}
+	}
+	return Pearson(scores, ys)
+}

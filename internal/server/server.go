@@ -1,0 +1,308 @@
+// Package server exposes ChatIYP over HTTP, mirroring the paper's
+// public web application: a JSON API for natural-language questions
+// (answers come back with the executed Cypher for transparency), a raw
+// Cypher endpoint, a schema endpoint, and a minimal embedded UI.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"chatiyp/internal/core"
+	"chatiyp/internal/cypher"
+	"chatiyp/internal/graph"
+	"chatiyp/internal/iyp"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Pipeline answers questions. Required.
+	Pipeline *core.Pipeline
+	// AskTimeout bounds one question's processing (default 15s).
+	AskTimeout time.Duration
+	// Logger receives request logs; nil disables logging.
+	Logger *log.Logger
+	// MaxQuestionLen rejects oversized inputs (default 1024 bytes).
+	MaxQuestionLen int
+}
+
+// Server is the ChatIYP HTTP front end.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+}
+
+// ErrNoPipeline rejects a Config without a pipeline.
+var ErrNoPipeline = errors.New("server: Config.Pipeline is required")
+
+// New builds the server and its routes.
+func New(cfg Config) (*Server, error) {
+	if cfg.Pipeline == nil {
+		return nil, ErrNoPipeline
+	}
+	if cfg.AskTimeout == 0 {
+		cfg.AskTimeout = 15 * time.Second
+	}
+	if cfg.MaxQuestionLen == 0 {
+		cfg.MaxQuestionLen = 1024
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/health", s.handleHealth)
+	s.mux.HandleFunc("GET /api/schema", s.handleSchema)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("POST /api/ask", s.handleAsk)
+	s.mux.HandleFunc("POST /api/cypher", s.handleCypher)
+	s.mux.HandleFunc("POST /api/explain", s.handleExplain)
+	s.mux.HandleFunc("GET /", s.handleIndex)
+	return s, nil
+}
+
+// Handler returns the HTTP handler with logging middleware applied.
+func (s *Server) Handler() http.Handler {
+	return s.logged(s.mux)
+}
+
+// ListenAndServe runs the server until the context is cancelled; it
+// performs a graceful shutdown with a 5-second drain.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(shutdownCtx)
+	}
+}
+
+func (s *Server) logged(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start))
+		}
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"entries": iyp.Schema(),
+		"text":    iyp.SchemaText(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	stats := s.cfg.Pipeline.Graph().CollectStats()
+	writeJSON(w, http.StatusOK, stats)
+}
+
+// AskRequest is the /api/ask input.
+type AskRequest struct {
+	Question string `json:"question"`
+}
+
+// AskResponse is the /api/ask output: the answer, the executed Cypher
+// (transparency, per the paper), context and trace.
+type AskResponse struct {
+	Question    string               `json:"question"`
+	Answer      string               `json:"answer"`
+	Cypher      string               `json:"cypher,omitempty"`
+	CypherError string               `json:"cypher_error,omitempty"`
+	Rows        [][]graph.Value      `json:"rows,omitempty"`
+	Columns     []string             `json:"columns,omitempty"`
+	Context     []core.ContextRecord `json:"context,omitempty"`
+	Fallback    bool                 `json:"used_vector_fallback"`
+	DurationMS  float64              `json:"duration_ms"`
+	Trace       []traceEntry         `json:"trace"`
+}
+
+type traceEntry struct {
+	Stage      string  `json:"stage"`
+	Detail     string  `json:"detail,omitempty"`
+	Err        string  `json:"error,omitempty"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	var req AskRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	q := strings.TrimSpace(req.Question)
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "question is required")
+		return
+	}
+	if len(q) > s.cfg.MaxQuestionLen {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("question exceeds %d bytes", s.cfg.MaxQuestionLen))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AskTimeout)
+	defer cancel()
+	ans, err := s.cfg.Pipeline.Ask(ctx, q)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := AskResponse{
+		Question:    ans.Question,
+		Answer:      ans.Text,
+		Cypher:      ans.Cypher,
+		CypherError: ans.CypherError,
+		Rows:        ans.Rows,
+		Columns:     ans.Columns,
+		Context:     ans.Context,
+		Fallback:    ans.UsedVectorFallback,
+		DurationMS:  float64(ans.Duration.Microseconds()) / 1000,
+	}
+	for _, t := range ans.Trace {
+		resp.Trace = append(resp.Trace, traceEntry{
+			Stage: t.Stage, Detail: t.Detail, Err: t.Err,
+			DurationMS: float64(t.Duration.Microseconds()) / 1000,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// CypherRequest is the /api/cypher input.
+type CypherRequest struct {
+	Query  string         `json:"query"`
+	Params map[string]any `json:"params,omitempty"`
+}
+
+// CypherResponse is the /api/cypher output.
+type CypherResponse struct {
+	Columns []string          `json:"columns"`
+	Rows    [][]graph.Value   `json:"rows"`
+	Stats   cypher.WriteStats `json:"stats"`
+}
+
+func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
+	var req CypherRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, "query is required")
+		return
+	}
+	res, err := s.cfg.Pipeline.Query(req.Query, req.Params)
+	if err != nil {
+		var syntaxErr *cypher.SyntaxError
+		if errors.As(err, &syntaxErr) {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, CypherResponse{Columns: res.Columns, Rows: res.Rows, Stats: res.Stats})
+}
+
+// handleExplain returns the access plan for a query without executing
+// it.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req CypherRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, "query is required")
+		return
+	}
+	plan, err := cypher.Explain(s.cfg.Pipeline.Graph(), req.Query, cypher.Options{})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"plan": plan})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}
+
+// indexHTML is the embedded single-page UI: a question box, the answer,
+// and the executed Cypher, as in the paper's web application.
+const indexHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>ChatIYP — natural language access to the Internet Yellow Pages</title>
+<style>
+ body { font-family: system-ui, sans-serif; max-width: 780px; margin: 2rem auto; padding: 0 1rem; color: #222; }
+ h1 { font-size: 1.4rem; } textarea { width: 100%; height: 4rem; font-size: 1rem; padding: .5rem; }
+ button { padding: .5rem 1.2rem; font-size: 1rem; margin-top: .5rem; cursor: pointer; }
+ pre { background: #f6f6f6; padding: .8rem; overflow-x: auto; border-radius: 6px; }
+ .answer { background: #eef7ee; padding: .8rem; border-radius: 6px; margin-top: 1rem; }
+ .err { background: #fbeaea; } .muted { color: #777; font-size: .85rem; }
+</style>
+</head>
+<body>
+<h1>ChatIYP</h1>
+<p class="muted">Ask a natural-language question about Internet routing data
+(ASes, prefixes, IXPs, countries). The system translates it to Cypher, runs it
+on the IYP graph, and shows both the answer and the query.</p>
+<textarea id="q" placeholder="What is the percentage of Japan's population in AS2497?"></textarea><br>
+<button onclick="ask()">Ask</button>
+<div id="out"></div>
+<script>
+async function ask() {
+  const q = document.getElementById('q').value;
+  const out = document.getElementById('out');
+  out.innerHTML = '<p class="muted">thinking…</p>';
+  try {
+    const r = await fetch('/api/ask', {method: 'POST', headers: {'Content-Type': 'application/json'}, body: JSON.stringify({question: q})});
+    const d = await r.json();
+    if (d.error) { out.innerHTML = '<div class="answer err">' + d.error + '</div>'; return; }
+    let html = '<div class="answer">' + d.answer + '</div>';
+    if (d.cypher) html += '<p class="muted">executed Cypher:</p><pre>' + d.cypher + '</pre>';
+    if (d.cypher_error) html += '<p class="muted">structured retrieval failed (' + d.cypher_error + '); semantic fallback used.</p>';
+    html += '<p class="muted">' + d.duration_ms.toFixed(1) + ' ms</p>';
+    out.innerHTML = html;
+  } catch (e) { out.innerHTML = '<div class="answer err">' + e + '</div>'; }
+}
+</script>
+</body>
+</html>`

@@ -1,0 +1,231 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"chatiyp/internal/core"
+	"chatiyp/internal/iyp"
+	"chatiyp/internal/llm"
+)
+
+func newTestServer(t testing.TB) (*Server, *iyp.World) {
+	t.Helper()
+	g, w, err := iyp.Build(iyp.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := llm.DefaultSimConfig(core.BuildLexicon(g))
+	cfg.ErrorScale = 0
+	p, err := core.New(core.Config{Graph: g, Model: llm.NewSim(cfg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Pipeline: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, w
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, &buf)
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestNewRequiresPipeline(t *testing.T) {
+	if _, err := New(Config{}); !errors.Is(err, ErrNoPipeline) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHealth(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/health", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("status = %d", rec.Code)
+	}
+}
+
+func TestAskEndToEnd(t *testing.T) {
+	s, w := newTestServer(t)
+	q := fmt.Sprintf("What is the name of AS%d?", w.ASes[0].ASN)
+	rec := postJSON(t, s.Handler(), "/api/ask", AskRequest{Question: q})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", rec.Code, rec.Body.String())
+	}
+	var resp AskResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Answer, w.ASes[0].Name) {
+		t.Errorf("answer %q missing %q", resp.Answer, w.ASes[0].Name)
+	}
+	if !strings.Contains(resp.Cypher, "NAME") {
+		t.Errorf("cypher = %q", resp.Cypher)
+	}
+	if len(resp.Trace) == 0 {
+		t.Error("trace missing")
+	}
+}
+
+func TestAskValidation(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.Handler()
+	if rec := postJSON(t, h, "/api/ask", AskRequest{Question: ""}); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty question status = %d", rec.Code)
+	}
+	if rec := postJSON(t, h, "/api/ask", AskRequest{Question: strings.Repeat("x", 5000)}); rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized question status = %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/api/ask", strings.NewReader("{not json"))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad json status = %d", rec.Code)
+	}
+	// GET on the POST-only route falls through to the catch-all and 404s.
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/api/ask", nil))
+	if rec2.Code != http.StatusNotFound && rec2.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /api/ask status = %d", rec2.Code)
+	}
+}
+
+func TestCypherEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := postJSON(t, s.Handler(), "/api/cypher", CypherRequest{Query: "MATCH (c:Country) RETURN count(c)"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", rec.Code, rec.Body.String())
+	}
+	var resp CypherResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 1 {
+		t.Errorf("rows = %v", resp.Rows)
+	}
+}
+
+func TestCypherEndpointParams(t *testing.T) {
+	s, w := newTestServer(t)
+	rec := postJSON(t, s.Handler(), "/api/cypher", CypherRequest{
+		Query:  "MATCH (a:AS {asn: $asn}) RETURN a.name",
+		Params: map[string]any{"asn": w.ASes[0].ASN},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), w.ASes[0].Name) {
+		t.Errorf("body = %s", rec.Body.String())
+	}
+}
+
+func TestCypherEndpointErrors(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.Handler()
+	if rec := postJSON(t, h, "/api/cypher", CypherRequest{Query: "NOT CYPHER"}); rec.Code != http.StatusBadRequest {
+		t.Errorf("syntax error status = %d", rec.Code)
+	}
+	if rec := postJSON(t, h, "/api/cypher", CypherRequest{Query: ""}); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty query status = %d", rec.Code)
+	}
+	// Valid syntax, runtime failure (unknown parameter).
+	if rec := postJSON(t, h, "/api/cypher", CypherRequest{Query: "MATCH (a:AS {asn: $nope}) RETURN a"}); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("runtime error status = %d", rec.Code)
+	}
+}
+
+func TestSchemaAndStats(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/schema", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "POPULATION") {
+		t.Errorf("schema: %d %s", rec.Code, rec.Body.String()[:80])
+	}
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/api/stats", nil))
+	if rec2.Code != http.StatusOK || !strings.Contains(rec2.Body.String(), "Nodes") {
+		t.Errorf("stats: %d", rec2.Code)
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ChatIYP") {
+		t.Errorf("index: %d", rec.Code)
+	}
+	rec2 := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/nope", nil))
+	if rec2.Code != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", rec2.Code)
+	}
+}
+
+func TestListenAndServeGracefulShutdown(t *testing.T) {
+	s, _ := newTestServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.ListenAndServe(ctx, "127.0.0.1:0") }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			t.Errorf("shutdown err = %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+func TestVectorFallbackVisibleInResponse(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := postJSON(t, s.Handler(), "/api/ask", AskRequest{Question: "Tell me something interesting about large exchange operators"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var resp AskResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.CypherError != "" && !resp.Fallback {
+		t.Error("fallback flag not surfaced")
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	s, w := newTestServer(t)
+	rec := postJSON(t, s.Handler(), "/api/explain", CypherRequest{
+		Query: fmt.Sprintf("MATCH (a:AS {asn: %d})-[:ORIGINATE]->(p:Prefix) RETURN p.prefix", w.ASes[0].ASN),
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "property index (AS, asn)") {
+		t.Errorf("plan missing index usage: %s", rec.Body.String())
+	}
+	if rec := postJSON(t, s.Handler(), "/api/explain", CypherRequest{Query: "BROKEN"}); rec.Code != http.StatusBadRequest {
+		t.Errorf("broken query status = %d", rec.Code)
+	}
+}

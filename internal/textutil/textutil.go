@@ -1,0 +1,311 @@
+// Package textutil provides deterministic, allocation-conscious text
+// processing primitives shared by the embedding model, the evaluation
+// metrics, and the simulated language model: tokenization, normalization,
+// n-gram extraction, a light stemmer, stopword filtering, and string
+// distance measures.
+//
+// Everything in this package is pure and deterministic: the same input
+// always produces the same output, which the evaluation harness relies on
+// for reproducible figures.
+package textutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits text into lowercase word tokens. A token is a maximal run
+// of letters, digits, or intra-word characters ('.', '-', '_', '/', ':')
+// that connect parts of technical identifiers such as "AS2497",
+// "192.0.2.0/24", or "country_code". Leading and trailing connector
+// characters are trimmed from each token so plain punctuation never leaks
+// into the token stream.
+func Tokenize(text string) []string {
+	tokens := make([]string, 0, len(text)/5+1)
+	var b strings.Builder
+	flush := func() {
+		if b.Len() == 0 {
+			return
+		}
+		tok := strings.Trim(b.String(), "._-/:")
+		if tok != "" {
+			tokens = append(tokens, tok)
+		}
+		b.Reset()
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		case r == '.' || r == '-' || r == '_' || r == '/' || r == ':':
+			if b.Len() > 0 {
+				b.WriteRune(r)
+			}
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Sentences splits text into sentences on '.', '!', '?' and newline
+// boundaries, while keeping decimal numbers ("2.5") and dotted identifiers
+// ("192.0.2.1") intact. Empty sentences are dropped and surrounding
+// whitespace is trimmed.
+func Sentences(text string) []string {
+	var out []string
+	var b strings.Builder
+	runes := []rune(text)
+	flush := func() {
+		s := strings.TrimSpace(b.String())
+		if s != "" {
+			out = append(out, s)
+		}
+		b.Reset()
+	}
+	for i, r := range runes {
+		switch r {
+		case '\n':
+			flush()
+		case '.', '!', '?':
+			// A '.' between two digits or letters is part of a token, not a
+			// sentence boundary.
+			if r == '.' && i > 0 && i+1 < len(runes) &&
+				isWordRune(runes[i-1]) && isWordRune(runes[i+1]) {
+				b.WriteRune(r)
+				continue
+			}
+			b.WriteRune(r)
+			flush()
+		default:
+			b.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// NGrams returns the contiguous n-grams of the token slice, each joined by
+// a single space. It returns nil when the slice holds fewer than n tokens
+// or n is not positive.
+func NGrams(tokens []string, n int) []string {
+	if n <= 0 || len(tokens) < n {
+		return nil
+	}
+	grams := make([]string, 0, len(tokens)-n+1)
+	for i := 0; i+n <= len(tokens); i++ {
+		grams = append(grams, strings.Join(tokens[i:i+n], " "))
+	}
+	return grams
+}
+
+// CharNGrams returns the character n-grams of a single token, padded with
+// '^' and '$' boundary markers so prefixes and suffixes are distinguishable
+// ("^as", "97$"). It returns nil for n <= 0.
+func CharNGrams(token string, n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	padded := "^" + token + "$"
+	runes := []rune(padded)
+	if len(runes) < n {
+		return []string{string(runes)}
+	}
+	grams := make([]string, 0, len(runes)-n+1)
+	for i := 0; i+n <= len(runes); i++ {
+		grams = append(grams, string(runes[i:i+n]))
+	}
+	return grams
+}
+
+// stopwords is the closed-class word list filtered out of bag-of-words
+// representations. It intentionally keeps domain-meaningful short words
+// such as "as" out of the list ("AS" is an autonomous system in IYP), and
+// relies on callers to normalize before lookup.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "of": true, "in": true, "on": true,
+	"to": true, "for": true, "with": true, "by": true, "at": true,
+	"is": true, "are": true, "was": true, "were": true, "be": true,
+	"it": true, "its": true, "this": true, "that": true, "these": true,
+	"and": true, "or": true, "not": true, "do": true, "does": true,
+	"what": true, "which": true, "who": true, "whose": true, "how": true,
+	"me": true, "my": true, "you": true, "your": true, "we": true,
+	"can": true, "could": true, "would": true, "should": true,
+	"there": true, "their": true, "them": true, "they": true,
+	"from": true, "into": true, "about": true, "than": true,
+	"have": true, "has": true, "had": true, "please": true,
+}
+
+// IsStopword reports whether the (already lowercased) token is a
+// closed-class word that carries no retrieval signal.
+func IsStopword(token string) bool { return stopwords[token] }
+
+// ContentTokens tokenizes text and removes stopwords, returning the tokens
+// that carry retrieval signal.
+func ContentTokens(text string) []string {
+	toks := Tokenize(text)
+	out := toks[:0]
+	for _, t := range toks {
+		if !IsStopword(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Stem applies a light suffix-stripping stemmer (a reduced Porter variant)
+// adequate for matching question phrasings against schema vocabulary:
+// "originates"/"originated"/"originating" all stem to "originat".
+func Stem(token string) string {
+	t := token
+	// Order matters: longest suffixes first.
+	suffixes := []string{
+		"izations", "ization", "ations", "ation", "ingly", "edly",
+		"ings", "ing", "ies", "ied", "ely", "ers", "er", "ed",
+		"es", "s", "ly",
+	}
+	for _, suf := range suffixes {
+		if strings.HasSuffix(t, suf) && len(t)-len(suf) >= 3 {
+			t = t[:len(t)-len(suf)]
+			break
+		}
+	}
+	return t
+}
+
+// StemAll stems every token in the slice, returning a new slice.
+func StemAll(tokens []string) []string {
+	out := make([]string, len(tokens))
+	for i, t := range tokens {
+		out[i] = Stem(t)
+	}
+	return out
+}
+
+// Normalize lowercases text and collapses all whitespace runs to single
+// spaces, trimming the ends. It is the canonical form used before string
+// comparison in the metrics.
+func Normalize(text string) string {
+	return strings.Join(strings.Fields(strings.ToLower(text)), " ")
+}
+
+// EditDistance returns the Levenshtein distance between two strings,
+// counted in runes. It runs in O(len(a)*len(b)) time and O(min) space.
+func EditDistance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// Similarity returns a normalized edit similarity in [0,1]: 1 for equal
+// strings, approaching 0 as the edit distance approaches the longer
+// string's length.
+func Similarity(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	la, lb := len([]rune(a)), len([]rune(b))
+	longest := la
+	if lb > longest {
+		longest = lb
+	}
+	if longest == 0 {
+		return 1
+	}
+	return 1 - float64(EditDistance(a, b))/float64(longest)
+}
+
+// LongestCommonSubsequence returns the LCS length of two token slices.
+// ROUGE-L is built on this.
+func LongestCommonSubsequence(a, b []string) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	return prev[len(b)]
+}
+
+// CountOverlap returns, for each distinct gram in candidate, the clipped
+// count matched in reference — the core counting rule of BLEU and ROUGE.
+// The first return is the total clipped matches; the second is the total
+// candidate gram count.
+func CountOverlap(candidate, reference []string) (matched, total int) {
+	refCounts := make(map[string]int, len(reference))
+	for _, g := range reference {
+		refCounts[g]++
+	}
+	for _, g := range candidate {
+		total++
+		if refCounts[g] > 0 {
+			refCounts[g]--
+			matched++
+		}
+	}
+	return matched, total
+}
+
+// UniqueStrings returns the distinct strings of in, preserving first-seen
+// order.
+func UniqueStrings(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := make([]string, 0, len(in))
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

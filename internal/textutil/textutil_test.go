@@ -1,0 +1,311 @@
+package textutil
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"What is AS2497?", []string{"what", "is", "as2497"}},
+		{"prefix 192.0.2.0/24 originates", []string{"prefix", "192.0.2.0/24", "originates"}},
+		{"country_code 'JP'", []string{"country_code", "jp"}},
+		{"", nil},
+		{"   ", nil},
+		{"a-b c_d", []string{"a-b", "c_d"}},
+		{"trailing. dots.", []string{"trailing", "dots"}},
+		{"2001:db8::/32 route", []string{"2001:db8::/32", "route"}},
+	}
+	for _, tt := range tests {
+		got := Tokenize(tt.in)
+		if len(got) == 0 && len(tt.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestTokenizeLowercases(t *testing.T) {
+	for _, tok := range Tokenize("MiXeD CaSe TeXt AS15169") {
+		if tok != strings.ToLower(tok) {
+			t.Errorf("token %q not lowercased", tok)
+		}
+	}
+}
+
+func TestTokenizeNeverReturnsEmptyTokens(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizeDeterministic(t *testing.T) {
+	f := func(s string) bool {
+		a := Tokenize(s)
+		b := Tokenize(s)
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSentences(t *testing.T) {
+	got := Sentences("AS2497 serves 5.2 percent. It peers at IXPs! Really?")
+	if len(got) != 3 {
+		t.Fatalf("want 3 sentences, got %d: %v", len(got), got)
+	}
+	if !strings.Contains(got[0], "5.2") {
+		t.Errorf("decimal split apart: %q", got[0])
+	}
+}
+
+func TestSentencesKeepsDottedIdentifiers(t *testing.T) {
+	got := Sentences("The prefix 192.0.2.0 is announced.")
+	if len(got) != 1 {
+		t.Fatalf("want 1 sentence, got %d: %v", len(got), got)
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	toks := []string{"a", "b", "c", "d"}
+	if got := NGrams(toks, 2); !reflect.DeepEqual(got, []string{"a b", "b c", "c d"}) {
+		t.Errorf("bigrams = %v", got)
+	}
+	if got := NGrams(toks, 4); !reflect.DeepEqual(got, []string{"a b c d"}) {
+		t.Errorf("4-grams = %v", got)
+	}
+	if got := NGrams(toks, 5); got != nil {
+		t.Errorf("oversize n-grams should be nil, got %v", got)
+	}
+	if got := NGrams(toks, 0); got != nil {
+		t.Errorf("n=0 should be nil, got %v", got)
+	}
+}
+
+func TestNGramCount(t *testing.T) {
+	f := func(raw []string, n uint8) bool {
+		nn := int(n%6) + 1
+		grams := NGrams(raw, nn)
+		if len(raw) < nn {
+			return grams == nil
+		}
+		return len(grams) == len(raw)-nn+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCharNGrams(t *testing.T) {
+	got := CharNGrams("as", 3)
+	want := []string{"^as", "as$"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CharNGrams = %v, want %v", got, want)
+	}
+	if got := CharNGrams("x", 5); len(got) != 1 {
+		t.Errorf("short token should yield single padded gram, got %v", got)
+	}
+}
+
+func TestStopwords(t *testing.T) {
+	if !IsStopword("the") {
+		t.Error("'the' should be a stopword")
+	}
+	if IsStopword("as") {
+		t.Error("'as' must NOT be a stopword (autonomous system)")
+	}
+	if IsStopword("prefix") {
+		t.Error("'prefix' must not be a stopword")
+	}
+}
+
+func TestContentTokens(t *testing.T) {
+	got := ContentTokens("What is the name of AS2497?")
+	for _, tok := range got {
+		if IsStopword(tok) {
+			t.Errorf("stopword %q leaked through", tok)
+		}
+	}
+	joined := strings.Join(got, " ")
+	if !strings.Contains(joined, "as2497") || !strings.Contains(joined, "name") {
+		t.Errorf("content tokens lost signal: %v", got)
+	}
+}
+
+func TestStem(t *testing.T) {
+	tests := map[string]string{
+		"originates":  "originat",
+		"originated":  "originat",
+		"originating": "originat",
+		"peers":       "peer",
+		"peering":     "peer",
+		"countries":   "countr",
+		"as":          "as", // too short to strip
+		"ranked":      "rank",
+	}
+	for in, want := range tests {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemIdempotentOnShortTokens(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 3 {
+			s = s[:3]
+		}
+		return Stem(s) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize("  The   QUICK\tbrown\nfox "); got != "the quick brown fox" {
+		t.Errorf("Normalize = %q", got)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"as2497", "as2497", 0},
+		{"flaw", "lawn", 2},
+	}
+	for _, tt := range tests {
+		if got := EditDistance(tt.a, tt.b); got != tt.want {
+			t.Errorf("EditDistance(%q,%q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestEditDistanceSymmetric(t *testing.T) {
+	f := func(a, b string) bool { return EditDistance(a, b) == EditDistance(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEditDistanceTriangleInequality(t *testing.T) {
+	f := func(a, b, c string) bool {
+		return EditDistance(a, c) <= EditDistance(a, b)+EditDistance(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilarityBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		s := Similarity(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if Similarity("same", "same") != 1 {
+		t.Error("identical strings must have similarity 1")
+	}
+}
+
+func TestLCS(t *testing.T) {
+	a := []string{"the", "as", "originates", "many", "prefixes"}
+	b := []string{"as", "originates", "prefixes"}
+	if got := LongestCommonSubsequence(a, b); got != 3 {
+		t.Errorf("LCS = %d, want 3", got)
+	}
+	if got := LongestCommonSubsequence(nil, b); got != 0 {
+		t.Errorf("LCS with nil = %d", got)
+	}
+}
+
+func TestLCSBoundedByShorter(t *testing.T) {
+	f := func(a, b []string) bool {
+		l := LongestCommonSubsequence(a, b)
+		short := len(a)
+		if len(b) < short {
+			short = len(b)
+		}
+		return l >= 0 && l <= short
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountOverlap(t *testing.T) {
+	cand := []string{"a", "a", "b"}
+	ref := []string{"a", "b", "c"}
+	matched, total := CountOverlap(cand, ref)
+	if matched != 2 || total != 3 {
+		t.Errorf("CountOverlap = (%d,%d), want (2,3)", matched, total)
+	}
+}
+
+func TestCountOverlapClipping(t *testing.T) {
+	// Candidate repeats a gram more times than the reference holds it: the
+	// match count must be clipped to the reference count.
+	cand := []string{"x", "x", "x", "x"}
+	ref := []string{"x", "x"}
+	matched, _ := CountOverlap(cand, ref)
+	if matched != 2 {
+		t.Errorf("clipped match = %d, want 2", matched)
+	}
+}
+
+func TestUniqueStrings(t *testing.T) {
+	got := UniqueStrings([]string{"b", "a", "b", "c", "a"})
+	if !reflect.DeepEqual(got, []string{"b", "a", "c"}) {
+		t.Errorf("UniqueStrings = %v", got)
+	}
+}
+
+func TestStemAll(t *testing.T) {
+	got := StemAll([]string{"originates", "peers"})
+	if got[0] != "originat" || got[1] != "peer" {
+		t.Errorf("StemAll = %v", got)
+	}
+}
+
+func TestSimilarityAsymmetricLengths(t *testing.T) {
+	if s := Similarity("", "abcd"); s != 0 {
+		t.Errorf("empty vs word similarity = %v", s)
+	}
+	if s := Similarity("", ""); s != 1 {
+		t.Errorf("empty-empty similarity = %v", s)
+	}
+}
+
+func TestSentencesEmpty(t *testing.T) {
+	if got := Sentences(""); len(got) != 0 {
+		t.Errorf("Sentences(\"\") = %v", got)
+	}
+	if got := Sentences("   \n \n"); len(got) != 0 {
+		t.Errorf("whitespace sentences = %v", got)
+	}
+}

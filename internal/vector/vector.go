@@ -1,0 +1,166 @@
+// Package vector implements the dense-vector index behind ChatIYP's
+// VectorContextRetriever: documents with metadata are stored alongside
+// their embeddings, and Search returns the top-k most cosine-similar
+// entries, optionally filtered by metadata. The brute-force scan with a
+// bounded min-heap is exact and fast at IYP scale (tens of thousands of
+// node descriptions).
+package vector
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"chatiyp/internal/embed"
+)
+
+// Doc is one indexed document.
+type Doc struct {
+	// ID is the caller's identifier (e.g. a graph node ID).
+	ID int64
+	// Text is the raw document text the vector was computed from.
+	Text string
+	// Kind groups documents for filtered search (e.g. the node label).
+	Kind string
+	// Vec is the document embedding.
+	Vec embed.Vector
+}
+
+// Hit is one search result.
+type Hit struct {
+	Doc   Doc
+	Score float64 // cosine similarity to the query
+}
+
+// ErrDimMismatch is returned when a vector's width differs from the
+// index's.
+var ErrDimMismatch = errors.New("vector: dimension mismatch")
+
+// Index is an exact top-k cosine index. Safe for concurrent use.
+type Index struct {
+	mu   sync.RWMutex
+	dim  int
+	docs []Doc
+	byID map[int64]int
+}
+
+// NewIndex returns an empty index for vectors of the given width.
+func NewIndex(dim int) *Index {
+	return &Index{dim: dim, byID: make(map[int64]int)}
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
+
+// Dim returns the vector width.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Add inserts or replaces a document (keyed by Doc.ID).
+func (ix *Index) Add(d Doc) error {
+	if len(d.Vec) != ix.dim {
+		return fmt.Errorf("%w: got %d, index is %d", ErrDimMismatch, len(d.Vec), ix.dim)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if pos, ok := ix.byID[d.ID]; ok {
+		ix.docs[pos] = d
+		return nil
+	}
+	ix.byID[d.ID] = len(ix.docs)
+	ix.docs = append(ix.docs, d)
+	return nil
+}
+
+// Get returns the document with the given ID.
+func (ix *Index) Get(id int64) (Doc, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	pos, ok := ix.byID[id]
+	if !ok {
+		return Doc{}, false
+	}
+	return ix.docs[pos], true
+}
+
+// Filter restricts a search to matching documents. A nil Filter matches
+// everything.
+type Filter func(Doc) bool
+
+// KindFilter matches documents of one kind.
+func KindFilter(kind string) Filter {
+	return func(d Doc) bool { return d.Kind == kind }
+}
+
+// Search returns the k documents most similar to the query vector, in
+// descending score order. Ties break on ascending document ID so results
+// are deterministic.
+func (ix *Index) Search(query embed.Vector, k int, filter Filter) ([]Hit, error) {
+	if len(query) != ix.dim {
+		return nil, fmt.Errorf("%w: query %d, index %d", ErrDimMismatch, len(query), ix.dim)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	h := &hitHeap{}
+	heap.Init(h)
+	for _, d := range ix.docs {
+		if filter != nil && !filter(d) {
+			continue
+		}
+		score := query.Cosine(d.Vec)
+		if h.Len() < k {
+			heap.Push(h, Hit{Doc: d, Score: score})
+			continue
+		}
+		if better(Hit{Doc: d, Score: score}, (*h)[0]) {
+			(*h)[0] = Hit{Doc: d, Score: score}
+			heap.Fix(h, 0)
+		}
+	}
+	out := make([]Hit, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Hit)
+	}
+	return out, nil
+}
+
+// better reports whether a should rank above b.
+func better(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Doc.ID < b.Doc.ID
+}
+
+// hitHeap is a min-heap on ranking order (worst hit at the root).
+type hitHeap []Hit
+
+func (h hitHeap) Len() int           { return len(h) }
+func (h hitHeap) Less(i, j int) bool { return better(h[j], h[i]) }
+func (h hitHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *hitHeap) Push(x any)        { *h = append(*h, x.(Hit)) }
+func (h *hitHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// All returns every document sorted by ID (primarily for tests and
+// snapshot export).
+func (ix *Index) All() []Doc {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := append([]Doc(nil), ix.docs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,211 @@
+package vector
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"chatiyp/internal/embed"
+)
+
+func buildIndex(t testing.TB, texts map[int64]string) (*Index, *embed.Embedder) {
+	t.Helper()
+	e := embed.NewDefault()
+	ix := NewIndex(e.Dim())
+	for id, text := range texts {
+		kind := "AS"
+		if id%2 == 0 {
+			kind = "Prefix"
+		}
+		if err := ix.Add(Doc{ID: id, Text: text, Kind: kind, Vec: e.Embed(text)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix, e
+}
+
+func TestSearchFindsMostSimilar(t *testing.T) {
+	ix, e := buildIndex(t, map[int64]string{
+		1: "AS2497 IIJ Internet Initiative Japan backbone provider",
+		3: "AS15169 Google global content network",
+		5: "AS3320 Deutsche Telekom German carrier",
+	})
+	hits, err := ix.Search(e.Embed("Japanese internet provider IIJ"), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].Doc.ID != 1 {
+		t.Errorf("hits = %+v", hits)
+	}
+}
+
+func TestSearchRespectsK(t *testing.T) {
+	ix, e := buildIndex(t, map[int64]string{1: "a b", 3: "a c", 5: "a d", 7: "a e"})
+	hits, _ := ix.Search(e.Embed("a"), 2, nil)
+	if len(hits) != 2 {
+		t.Errorf("len = %d", len(hits))
+	}
+	hits, _ = ix.Search(e.Embed("a"), 100, nil)
+	if len(hits) != 4 {
+		t.Errorf("k beyond size: len = %d", len(hits))
+	}
+	hits, _ = ix.Search(e.Embed("a"), 0, nil)
+	if hits != nil {
+		t.Errorf("k=0 should return nil")
+	}
+}
+
+func TestSearchOrderingAndDeterminism(t *testing.T) {
+	ix, e := buildIndex(t, map[int64]string{
+		1: "peering at IXP", 3: "peering at IXP", 5: "totally different words here",
+	})
+	q := e.Embed("peering at IXP")
+	first, _ := ix.Search(q, 3, nil)
+	for i := 1; i < len(first); i++ {
+		if first[i-1].Score < first[i].Score {
+			t.Error("results not descending by score")
+		}
+	}
+	// Ties (ids 1 and 3 identical text) break on ascending ID.
+	if first[0].Doc.ID != 1 || first[1].Doc.ID != 3 {
+		t.Errorf("tie break wrong: %v %v", first[0].Doc.ID, first[1].Doc.ID)
+	}
+	for i := 0; i < 5; i++ {
+		again, _ := ix.Search(q, 3, nil)
+		for j := range again {
+			if again[j].Doc.ID != first[j].Doc.ID {
+				t.Fatal("non-deterministic search")
+			}
+		}
+	}
+}
+
+func TestSearchFilter(t *testing.T) {
+	ix, e := buildIndex(t, map[int64]string{1: "alpha", 2: "alpha", 3: "alpha"})
+	hits, _ := ix.Search(e.Embed("alpha"), 10, KindFilter("Prefix"))
+	if len(hits) != 1 || hits[0].Doc.ID != 2 {
+		t.Errorf("filtered hits = %+v", hits)
+	}
+}
+
+func TestAddReplacesByID(t *testing.T) {
+	e := embed.NewDefault()
+	ix := NewIndex(e.Dim())
+	ix.Add(Doc{ID: 1, Text: "old", Vec: e.Embed("old")})
+	ix.Add(Doc{ID: 1, Text: "new", Vec: e.Embed("new")})
+	if ix.Len() != 1 {
+		t.Errorf("len = %d", ix.Len())
+	}
+	d, ok := ix.Get(1)
+	if !ok || d.Text != "new" {
+		t.Errorf("doc = %+v", d)
+	}
+}
+
+func TestDimMismatch(t *testing.T) {
+	ix := NewIndex(8)
+	if err := ix.Add(Doc{ID: 1, Vec: make(embed.Vector, 4)}); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("add err = %v", err)
+	}
+	if _, err := ix.Search(make(embed.Vector, 4), 1, nil); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("search err = %v", err)
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	// The heap-based top-k must agree with a full sort.
+	rng := rand.New(rand.NewSource(11))
+	e := embed.New(embed.Config{Dim: 32})
+	ix := NewIndex(32)
+	var docs []Doc
+	for i := int64(1); i <= 200; i++ {
+		vec := make(embed.Vector, 32)
+		for j := range vec {
+			vec[j] = float32(rng.NormFloat64())
+		}
+		d := Doc{ID: i, Vec: vec}
+		docs = append(docs, d)
+		ix.Add(d)
+	}
+	_ = e
+	q := make(embed.Vector, 32)
+	for j := range q {
+		q[j] = float32(rng.NormFloat64())
+	}
+	hits, err := ix.Search(q, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type scored struct {
+		id    int64
+		score float64
+	}
+	var all []scored
+	for _, d := range docs {
+		all = append(all, scored{d.ID, q.Cosine(d.Vec)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].id < all[j].id
+	})
+	for i := 0; i < 10; i++ {
+		if hits[i].Doc.ID != all[i].id {
+			t.Fatalf("rank %d: heap %d vs brute %d", i, hits[i].Doc.ID, all[i].id)
+		}
+	}
+}
+
+func TestConcurrentAddSearch(t *testing.T) {
+	e := embed.NewDefault()
+	ix := NewIndex(e.Dim())
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ix.Add(Doc{ID: int64(w*1000 + i), Text: "doc", Vec: e.Embed(fmt.Sprintf("doc %d %d", w, i))})
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			q := e.Embed("doc")
+			for i := 0; i < 50; i++ {
+				ix.Search(q, 5, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if ix.Len() != 200 {
+		t.Errorf("len = %d", ix.Len())
+	}
+}
+
+func TestAll(t *testing.T) {
+	ix, _ := buildIndex(t, map[int64]string{5: "e", 1: "a", 3: "c"})
+	all := ix.All()
+	if len(all) != 3 || all[0].ID != 1 || all[2].ID != 5 {
+		t.Errorf("All = %+v", all)
+	}
+}
+
+func BenchmarkSearch10k(b *testing.B) {
+	e := embed.NewDefault()
+	ix := NewIndex(e.Dim())
+	for i := int64(0); i < 10000; i++ {
+		ix.Add(Doc{ID: i, Vec: e.Embed(fmt.Sprintf("autonomous system %d in country %d", i, i%200))})
+	}
+	q := e.Embed("autonomous system 42")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Search(q, 10, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
