@@ -49,6 +49,9 @@ type (
 	Benchmark = cyphereval.Benchmark
 	// EvalReport is a full evaluation run.
 	EvalReport = eval.Report
+	// PlanCacheStats snapshots the prepared-query plan cache (hits,
+	// misses, evictions, size).
+	PlanCacheStats = cypher.PlanCacheStats
 )
 
 // Options configures New.
@@ -69,6 +72,9 @@ type Options struct {
 	// stages.
 	DisableVectorFallback bool
 	DisableReranker       bool
+	// PlanCacheSize caps the prepared-query plan cache: 0 means the
+	// default capacity, negative disables caching entirely.
+	PlanCacheSize int
 }
 
 // System is a ready-to-use ChatIYP instance: dataset, pipeline and
@@ -114,6 +120,7 @@ func FromGraph(g *graph.Graph, world *iyp.World, opts Options) (*System, error) 
 		Model:                 llm.NewSim(simCfg),
 		DisableVectorFallback: opts.DisableVectorFallback,
 		DisableReranker:       opts.DisableReranker,
+		PlanCacheSize:         opts.PlanCacheSize,
 	})
 	if err != nil {
 		return nil, err
@@ -127,9 +134,22 @@ func (s *System) Ask(ctx context.Context, question string) (*Answer, error) {
 	return s.pipeline.Ask(ctx, question)
 }
 
-// Query executes raw Cypher against the knowledge graph.
+// Query executes raw Cypher against the knowledge graph. Queries run
+// through the prepared-query plan cache: repeated shapes parse once.
 func (s *System) Query(query string, params map[string]any) (*Result, error) {
 	return s.pipeline.Query(query, params)
+}
+
+// Explain returns the access plan a query would use — which node
+// anchors each MATCH and through which path (bound variable, property
+// index, label scan, full scan) — without executing it.
+func (s *System) Explain(query string) (string, error) {
+	return cypher.Explain(s.graph, query, cypher.Options{})
+}
+
+// PlanCacheStats reports the plan cache's hit/miss/eviction counters.
+func (s *System) PlanCacheStats() PlanCacheStats {
+	return s.pipeline.PlanCacheStats()
 }
 
 // Graph returns the underlying knowledge graph.

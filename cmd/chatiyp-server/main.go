@@ -1,6 +1,7 @@
 // Command chatiyp-server runs the ChatIYP web application: the JSON API
-// (/api/ask, /api/cypher, /api/schema, /api/stats) plus the embedded
-// single-page UI, mirroring the paper's public deployment.
+// (/api/ask, /api/cypher, /api/explain, /api/schema, /api/stats,
+// /api/metrics) plus the embedded single-page UI, mirroring the paper's
+// public deployment.
 //
 // Usage:
 //

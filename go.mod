@@ -1,0 +1,3 @@
+module chatiyp
+
+go 1.24

@@ -27,6 +27,7 @@ import (
 	"chatiyp/internal/graph"
 	"chatiyp/internal/iyp"
 	"chatiyp/internal/llm"
+	"chatiyp/internal/metrics"
 	"chatiyp/internal/vector"
 )
 
@@ -56,6 +57,16 @@ type Config struct {
 	MaxContextRows int
 	// ExecOptions tunes Cypher execution.
 	ExecOptions cypher.Options
+	// PlanCacheSize caps the prepared-query plan cache. Zero means
+	// cypher.DefaultPlanCacheCapacity; negative disables caching (every
+	// query re-parses, as before the cache existed). The pipeline's
+	// workload is template-shaped — the simulated translator emits the
+	// same few dozen query skeletons over and over — so the cache turns
+	// the per-question parse into a lookup.
+	PlanCacheSize int
+	// Metrics receives runtime counters (plan-cache hits/misses, asks,
+	// Cypher executions). Nil means metrics.Default.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +98,8 @@ type Pipeline struct {
 	embedder *embed.Embedder
 	index    *vector.Index
 	lexicon  *llm.Lexicon
+	plans    *cypher.PlanCache // nil when caching is disabled
+	metrics  *metrics.Registry
 }
 
 // New builds a Pipeline: it derives the entity lexicon from the graph,
@@ -100,7 +113,13 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.Model == nil {
 		return nil, ErrNoModel
 	}
-	p := &Pipeline{cfg: cfg}
+	p := &Pipeline{cfg: cfg, metrics: cfg.Metrics}
+	if p.metrics == nil {
+		p.metrics = metrics.Default
+	}
+	if cfg.PlanCacheSize >= 0 {
+		p.plans = cypher.NewPlanCache(cfg.PlanCacheSize)
+	}
 	p.lexicon = BuildLexicon(cfg.Graph)
 	descs := iyp.Describe(cfg.Graph)
 	corpus := make([]string, len(descs))
@@ -211,6 +230,7 @@ type Answer struct {
 // Ask runs the full pipeline on one question.
 func (p *Pipeline) Ask(ctx context.Context, question string) (*Answer, error) {
 	started := time.Now()
+	p.metrics.Counter("pipeline.ask").Inc()
 	ans := &Answer{Question: question}
 
 	// --- Stage 1: TextToCypherRetriever ---
@@ -309,7 +329,7 @@ func (p *Pipeline) textToCypher(ctx context.Context, question string, ans *Answe
 	ans.TokensIn += resp.TokensIn
 	ans.TokensOut += resp.TokensOut
 	query := strings.TrimSpace(resp.Text)
-	res, err := cypher.ExecuteWith(p.cfg.Graph, query, nil, p.cfg.ExecOptions)
+	res, err := p.execCypher(query, nil)
 	if err != nil {
 		return query, nil, fmt.Errorf("executing generated query: %w", err)
 	}
@@ -392,7 +412,7 @@ func (p *Pipeline) AskClosedBook(ctx context.Context, question string) (*Answer,
 // reference answers from gold queries, and the engine behind the web
 // UI's direct-query mode.
 func (p *Pipeline) AnswerFromCypher(ctx context.Context, question, query, salt string) (*Answer, error) {
-	res, err := cypher.ExecuteWith(p.cfg.Graph, query, nil, p.cfg.ExecOptions)
+	res, err := p.execCypher(query, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -421,7 +441,50 @@ func (p *Pipeline) AnswerFromCypher(ctx context.Context, question, query, salt s
 
 // Query executes raw Cypher against the graph (web UI passthrough).
 func (p *Pipeline) Query(query string, params map[string]any) (*cypher.Result, error) {
-	return cypher.ExecuteWith(p.cfg.Graph, query, params, p.cfg.ExecOptions)
+	return p.execCypher(query, params)
+}
+
+// execCypher is the single Cypher entry point of the pipeline: every
+// query — LLM-generated, gold, or user-supplied — goes through the
+// prepared-query plan cache (when enabled) so repeated template shapes
+// parse once and reuse their index-aware plans.
+func (p *Pipeline) execCypher(query string, params map[string]any) (*cypher.Result, error) {
+	p.metrics.Counter("cypher.executions").Inc()
+	if p.plans == nil {
+		return cypher.ExecuteWith(p.cfg.Graph, query, params, p.cfg.ExecOptions)
+	}
+	pq, err := p.plans.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return pq.Execute(p.cfg.Graph, params, p.cfg.ExecOptions)
+}
+
+// PlanCacheStats snapshots the plan cache's effectiveness counters. The
+// zero value is returned when caching is disabled.
+func (p *Pipeline) PlanCacheStats() cypher.PlanCacheStats {
+	if p.plans == nil {
+		return cypher.PlanCacheStats{}
+	}
+	return p.plans.Stats()
+}
+
+// Metrics returns the runtime counter registry this pipeline reports
+// into, after mirroring the plan cache's current counters into it.
+// Mirroring at read time (rather than per query) keeps the hot path
+// free of extra locking; note that pipelines sharing one registry
+// overwrite each other's plan-cache gauges, so deployments with
+// multiple pipelines should give each its own Registry (or read
+// PlanCacheStats directly, which is always per-pipeline).
+func (p *Pipeline) Metrics() *metrics.Registry {
+	if p.plans != nil {
+		s := p.plans.Stats()
+		p.metrics.Counter("cypher.plan_cache.hits").Set(int64(s.Hits))
+		p.metrics.Counter("cypher.plan_cache.misses").Set(int64(s.Misses))
+		p.metrics.Counter("cypher.plan_cache.evictions").Set(int64(s.Evictions))
+		p.metrics.Counter("cypher.plan_cache.size").Set(int64(s.Size))
+	}
+	return p.metrics
 }
 
 // FormatRows renders result rows into compact context records. A

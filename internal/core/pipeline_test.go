@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
+	"chatiyp/internal/cypher"
 	"chatiyp/internal/graph"
 	"chatiyp/internal/iyp"
 	"chatiyp/internal/llm"
@@ -427,5 +429,103 @@ func TestAskClosedBook(t *testing.T) {
 	}
 	if len(ans.Trace) != 1 || ans.Trace[0].Stage != "generate" {
 		t.Errorf("trace = %+v", ans.Trace)
+	}
+}
+
+func TestQueryUsesPlanCache(t *testing.T) {
+	p, w := newTestPipeline(t, 0)
+	asn := w.ASes[0].ASN
+	src := "MATCH (a:AS) WHERE a.asn = $n RETURN a.asn"
+	for i := 0; i < 5; i++ {
+		res, err := p.Query(src, map[string]any{"n": asn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := res.Value(); v != asn {
+			t.Fatalf("got %v, want %d", v, asn)
+		}
+	}
+	s := p.PlanCacheStats()
+	if s.Misses == 0 || s.Hits < 4 {
+		t.Fatalf("expected 1 miss + >=4 hits, got %+v", s)
+	}
+	if got := p.Metrics().Counter("cypher.plan_cache.hits").Value(); got != int64(s.Hits) {
+		t.Fatalf("metrics counter %d diverges from cache stats %d", got, s.Hits)
+	}
+}
+
+func TestPlanCacheDisabled(t *testing.T) {
+	g, _, err := iyp.Build(iyp.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := llm.DefaultSimConfig(BuildLexicon(g))
+	cfg.ErrorScale = 0
+	p, err := New(Config{Graph: g, Model: llm.NewSim(cfg), PlanCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Query("RETURN 1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := p.PlanCacheStats(); s != (cypher.PlanCacheStats{}) {
+		t.Fatalf("disabled cache should report zero stats, got %+v", s)
+	}
+}
+
+func TestConcurrentAsksShareOnePlanCache(t *testing.T) {
+	p, w := newTestPipeline(t, 0)
+	questions := make([]string, 0, 8)
+	for i := 0; i < 8; i++ {
+		as := w.ASes[i%len(w.ASes)]
+		questions = append(questions, fmt.Sprintf("How many prefixes does AS%d originate?", as.ASN))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(questions)*4)
+	for round := 0; round < 4; round++ {
+		for _, q := range questions {
+			wg.Add(1)
+			go func(q string) {
+				defer wg.Done()
+				ans, err := p.Ask(context.Background(), q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if ans.Text == "" {
+					errs <- errors.New("empty answer")
+				}
+			}(q)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	s := p.PlanCacheStats()
+	if s.Hits == 0 {
+		t.Fatalf("template-shaped workload should hit the cache: %+v", s)
+	}
+}
+
+func TestPlanCacheSurvivesGraphWrites(t *testing.T) {
+	p, w := newTestPipeline(t, 0)
+	asn := w.ASes[0].ASN
+	read := "MATCH (a:AS) WHERE a.asn = $n RETURN a.asn"
+	if _, err := p.Query(read, map[string]any{"n": asn}); err != nil {
+		t.Fatal(err)
+	}
+	// A write through the same cache bumps the graph version; the read
+	// plan must be rebuilt, not served stale, and see the new data.
+	if _, err := p.Query("CREATE (a:AS {asn: 424242})", nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Query(read, map[string]any{"n": 424242})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Value(); v != int64(424242) {
+		t.Fatalf("stale plan: got %v, want 424242", v)
 	}
 }

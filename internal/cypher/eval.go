@@ -26,6 +26,10 @@ type evalCtx struct {
 	g      *graph.Graph
 	params map[string]graph.Value
 	opts   Options
+	// plan carries the prepared query's planning state (per-MATCH index
+	// hints); nil for ad-hoc execution, which plans each MATCH on the
+	// fly.
+	plan *queryPlan
 }
 
 // EvalError is a runtime evaluation error (type mismatch, unknown

@@ -84,14 +84,22 @@ func ExecuteWith(g *graph.Graph, src string, params map[string]any, opts Options
 	return ExecuteQuery(g, q, params, opts)
 }
 
-// ExecuteQuery runs a pre-parsed query, including any UNION parts.
+// ExecuteQuery runs a pre-parsed query, including any UNION parts. Each
+// MATCH clause is planned on the fly; use Prepare / PlanCache to plan
+// once and execute many times.
 func ExecuteQuery(g *graph.Graph, q *Query, params map[string]any, opts Options) (*Result, error) {
-	res, err := executeSingle(g, q, params, opts)
+	return executeQueryPlanned(g, q, nil, params, opts)
+}
+
+// executeQueryPlanned runs a query with an optional pre-built plan (nil
+// means plan each MATCH on the fly).
+func executeQueryPlanned(g *graph.Graph, q *Query, plan *queryPlan, params map[string]any, opts Options) (*Result, error) {
+	res, err := executeSingle(g, q, plan, params, opts)
 	if err != nil {
 		return nil, err
 	}
 	for _, part := range q.Unions {
-		next, err := executeSingle(g, part.Query, params, opts)
+		next, err := executeSingle(g, part.Query, plan, params, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -138,7 +146,7 @@ func dedupeRows(rows [][]graph.Value) [][]graph.Value {
 	return out
 }
 
-func executeSingle(g *graph.Graph, q *Query, params map[string]any, opts Options) (*Result, error) {
+func executeSingle(g *graph.Graph, q *Query, plan *queryPlan, params map[string]any, opts Options) (*Result, error) {
 	normParams := make(map[string]graph.Value, len(params))
 	for k, v := range params {
 		nv, err := graph.NormalizeValue(v)
@@ -148,7 +156,7 @@ func executeSingle(g *graph.Graph, q *Query, params map[string]any, opts Options
 		normParams[k] = nv
 	}
 	ex := &executor{
-		ctx:  &evalCtx{g: g, params: normParams, opts: opts.withDefaults()},
+		ctx:  &evalCtx{g: g, params: normParams, opts: opts.withDefaults(), plan: plan},
 		rows: []Row{{}},
 	}
 	for _, cl := range q.Clauses {
@@ -225,8 +233,17 @@ func (ex *executor) execClause(cl Clause) error {
 func (ex *executor) execMatch(m *MatchClause) error {
 	var out []Row
 	newVars := patternVars(m.Patterns)
+	// Use the prepared plan's hints when present; otherwise plan this
+	// MATCH now. Hints are row-independent by construction, so one
+	// derivation serves every row.
+	var hints matchHints
+	if ex.ctx.plan != nil {
+		hints = ex.ctx.plan.hintsFor(m)
+	} else {
+		hints = planMatch(ex.ctx.g, m, ex.ctx.opts)
+	}
 	for _, row := range ex.rows {
-		matcher := &matcher{ctx: ex.ctx, usedRels: map[int64]bool{}}
+		matcher := &matcher{ctx: ex.ctx, usedRels: map[int64]bool{}, hints: hints}
 		matches := []Row{row}
 		for _, pat := range m.Patterns {
 			var next []Row

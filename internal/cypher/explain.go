@@ -17,6 +17,12 @@ func Explain(g *graph.Graph, src string, opts Options) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return describeAll(g, q, opts), nil
+}
+
+// describeAll renders the access plan of a parsed query and its UNION
+// parts — the shared body of Explain and PreparedQuery.Describe.
+func describeAll(g *graph.Graph, q *Query, opts Options) string {
 	var b strings.Builder
 	describeQuery(&b, g, q, opts.withDefaults(), "")
 	for i, part := range q.Unions {
@@ -27,7 +33,7 @@ func Explain(g *graph.Graph, src string, opts Options) (string, error) {
 		fmt.Fprintf(&b, "%s (part %d)\n", kind, i+2)
 		describeQuery(&b, g, part.Query, opts.withDefaults(), "")
 	}
-	return b.String(), nil
+	return b.String()
 }
 
 func describeQuery(b *strings.Builder, g *graph.Graph, q *Query, opts Options, indent string) {
@@ -41,12 +47,13 @@ func describeQuery(b *strings.Builder, g *graph.Graph, q *Query, opts Options, i
 			if x.Optional {
 				kw = "OPTIONAL MATCH"
 			}
+			m.hints = planMatch(g, x, opts)
 			for _, pat := range x.Patterns {
 				fmt.Fprintf(b, "%s%s %s\n", indent, kw, PatternString(pat))
 				anchor := pickAnchorWithBound(m, pat, bound)
 				np := pat.Nodes[anchor]
 				fmt.Fprintf(b, "%s  anchor: node %d %s via %s\n",
-					indent, anchor, nodePatternLabel(np), accessPath(g, np, bound, opts))
+					indent, anchor, nodePatternLabel(np), accessPath(g, np, bound, m.hints, opts))
 				hops := len(pat.Rels)
 				if hops > 0 {
 					fmt.Fprintf(b, "%s  expand: %d relationship hop(s)\n", indent, hops)
@@ -127,7 +134,7 @@ func nodePatternLabel(np *NodePattern) string {
 }
 
 // accessPath names the cheapest available scan for the anchor.
-func accessPath(g *graph.Graph, np *NodePattern, bound map[string]bool, opts Options) string {
+func accessPath(g *graph.Graph, np *NodePattern, bound map[string]bool, hints matchHints, opts Options) string {
 	if np.Var != "" && bound[np.Var] {
 		return "bound variable `" + np.Var + "`"
 	}
@@ -137,6 +144,13 @@ func accessPath(g *graph.Graph, np *NodePattern, bound map[string]bool, opts Opt
 				if g.HasIndex(label, prop) {
 					return fmt.Sprintf("property index (%s, %s)", label, prop)
 				}
+			}
+		}
+		if np.Var != "" {
+			if hs := hints[np.Var]; len(hs) > 0 {
+				h := hs[0]
+				return fmt.Sprintf("property index (%s, %s) via WHERE %s.%s = %s",
+					h.Label, h.Prop, np.Var, h.Prop, ExprString(h.Value))
 			}
 		}
 	}

@@ -10,6 +10,11 @@ import (
 type matcher struct {
 	ctx      *evalCtx
 	usedRels map[int64]bool
+	// hints are the WHERE-derived equality predicates of the enclosing
+	// MATCH clause (see plan.go); they let anchorCandidates serve the
+	// anchor from a property index instead of a label scan. nil is
+	// valid and means no hints.
+	hints matchHints
 }
 
 // match enumerates every extension of row that satisfies pat, invoking
@@ -436,6 +441,12 @@ func (m *matcher) pickAnchor(pat *Pattern, row Row) int {
 			} else {
 				score = 1
 			}
+			// A WHERE-derived index hint makes this position nearly as
+			// good as an inline-prop index anchor (the inline form also
+			// constrains interior positions, so it stays preferred).
+			if score < 95 && m.hintFor(np) != nil {
+				score = 95
+			}
 		}
 		if score > bestScore {
 			best, bestScore = i, score
@@ -478,6 +489,20 @@ func (m *matcher) anchorCandidates(np *NodePattern, row Row) ([]*graph.Node, err
 			}
 		}
 	}
+	// WHERE-derived equality hint: serve the anchor from the property
+	// index. The full WHERE filter still runs after matching, so using
+	// the (superset-safe) index lookup here cannot change results.
+	if hint := m.hintFor(np); hint != nil {
+		// A hint-value evaluation error (e.g. a missing parameter) falls
+		// back to the scan path: the WHERE filter will surface the same
+		// error if and only if rows actually reach it, keeping behavior
+		// identical to unplanned execution.
+		if want, err := m.ctx.eval(hint.Value, row); err == nil {
+			if ids, usedIndex := m.ctx.g.NodesByLabelProp(hint.Label, hint.Prop, want); usedIndex {
+				return m.resolveNodes(ids), nil
+			}
+		}
+	}
 	if len(np.Labels) > 0 {
 		// Scan the most selective label (fewest members).
 		bestLabel := np.Labels[0]
@@ -492,6 +517,19 @@ func (m *matcher) anchorCandidates(np *NodePattern, row Row) ([]*graph.Node, err
 		return m.resolveNodes(bestIDs), nil
 	}
 	return m.resolveNodes(m.ctx.g.AllNodeIDs()), nil
+}
+
+// hintFor returns the first WHERE-derived index hint usable for this
+// node pattern, or nil. Hints never apply when indexes are disabled.
+func (m *matcher) hintFor(np *NodePattern) *indexHint {
+	if m.ctx.opts.DisableIndexes || np.Var == "" {
+		return nil
+	}
+	hs := m.hints[np.Var]
+	if len(hs) == 0 {
+		return nil
+	}
+	return &hs[0]
 }
 
 func (m *matcher) resolveNodes(ids []int64) []*graph.Node {

@@ -1,0 +1,211 @@
+package cypher
+
+import (
+	"chatiyp/internal/graph"
+)
+
+// This file implements the static half of query planning: extracting
+// index-usable equality predicates from MATCH ... WHERE clauses so the
+// executor can replace a label scan with an O(1) property-index lookup.
+//
+// The matcher has always used inline property maps — MATCH (a:AS {asn:
+// $n}) — to anchor on an index. The planner extends the same access path
+// to the far more common WHERE spelling, MATCH (a:AS) WHERE a.asn = $n,
+// by hoisting row-independent equality conjuncts into anchor hints. The
+// WHERE filter itself still runs afterwards, so a hint can only narrow
+// the candidate set, never change the result.
+
+// indexHint is one WHERE-derived equality predicate the anchor scan can
+// serve from a property index: variable Var carries label Label, and
+// Var.Prop = Value where Value does not depend on any bound variable.
+type indexHint struct {
+	Label string
+	Prop  string
+	Value Expr
+}
+
+// matchHints maps node-pattern variables of one MATCH clause to their
+// usable index hints.
+type matchHints map[string][]indexHint
+
+// queryPlan is the graph-dependent planning state of a prepared query:
+// per-MATCH index hints, stamped with the graph version they were
+// derived against. A plan whose stamp no longer matches the graph is
+// stale and must be rebuilt (indexes may have appeared, and the write
+// that bumped the version may be exactly what the plan keyed on).
+type queryPlan struct {
+	graph          *graph.Graph
+	version        uint64
+	disableIndexes bool
+	hints          map[*MatchClause]matchHints
+}
+
+// planQuery derives the full plan for a query (including UNION parts)
+// against the current state of g.
+func planQuery(g *graph.Graph, q *Query, opts Options) *queryPlan {
+	p := &queryPlan{
+		graph:          g,
+		version:        g.Version(),
+		disableIndexes: opts.DisableIndexes,
+		hints:          make(map[*MatchClause]matchHints),
+	}
+	p.planInto(g, q, opts)
+	return p
+}
+
+func (p *queryPlan) planInto(g *graph.Graph, q *Query, opts Options) {
+	for _, cl := range q.Clauses {
+		if m, ok := cl.(*MatchClause); ok {
+			if h := planMatch(g, m, opts); len(h) > 0 {
+				p.hints[m] = h
+			}
+		}
+	}
+	for _, part := range q.Unions {
+		p.planInto(g, part.Query, opts)
+	}
+}
+
+// hintsFor returns the planned hints for a MATCH clause, or nil.
+func (p *queryPlan) hintsFor(m *MatchClause) matchHints {
+	if p == nil {
+		return nil
+	}
+	return p.hints[m]
+}
+
+// planMatch extracts the index-usable equality predicates of one MATCH
+// clause. A conjunct qualifies when it has the shape `v.prop = expr` (or
+// mirrored), v is a pattern node variable carrying a label with an index
+// on prop, and expr is row-independent (literals and parameters only),
+// so its value is the same for every candidate row.
+func planMatch(g *graph.Graph, m *MatchClause, opts Options) matchHints {
+	if opts.DisableIndexes || m.Where == nil {
+		return nil
+	}
+	// Collect the labels of each pattern node variable.
+	varLabels := map[string][]string{}
+	for _, pat := range m.Patterns {
+		for _, np := range pat.Nodes {
+			if np.Var != "" && len(np.Labels) > 0 {
+				varLabels[np.Var] = append(varLabels[np.Var], np.Labels...)
+			}
+		}
+	}
+	if len(varLabels) == 0 {
+		return nil
+	}
+	var hints matchHints
+	for _, conj := range conjuncts(m.Where, nil) {
+		v, prop, value, ok := equalityPredicate(conj)
+		if !ok {
+			continue
+		}
+		for _, label := range varLabels[v] {
+			if !g.HasIndex(label, prop) {
+				continue
+			}
+			if hints == nil {
+				hints = matchHints{}
+			}
+			hints[v] = append(hints[v], indexHint{Label: label, Prop: prop, Value: value})
+			break
+		}
+	}
+	return hints
+}
+
+// conjuncts splits an expression on its top-level ANDs.
+func conjuncts(e Expr, out []Expr) []Expr {
+	if b, ok := e.(*Binary); ok && b.Op == "AND" {
+		out = conjuncts(b.Left, out)
+		return conjuncts(b.Right, out)
+	}
+	return append(out, e)
+}
+
+// equalityPredicate recognizes `v.prop = expr` / `expr = v.prop` with a
+// row-independent right-hand side.
+func equalityPredicate(e Expr) (varName, prop string, value Expr, ok bool) {
+	b, isBin := e.(*Binary)
+	if !isBin || b.Op != "=" {
+		return "", "", nil, false
+	}
+	if v, p, ok := varProp(b.Left); ok && rowIndependent(b.Right) {
+		return v, p, b.Right, true
+	}
+	if v, p, ok := varProp(b.Right); ok && rowIndependent(b.Left) {
+		return v, p, b.Left, true
+	}
+	return "", "", nil, false
+}
+
+// varProp matches a direct variable property access: v.prop.
+func varProp(e Expr) (string, string, bool) {
+	pa, ok := e.(*PropertyAccess)
+	if !ok {
+		return "", "", false
+	}
+	v, ok := pa.Subject.(*Variable)
+	if !ok {
+		return "", "", false
+	}
+	return v.Name, pa.Prop, true
+}
+
+// rowIndependent reports whether evaluating e cannot observe any bound
+// variable, so its value is identical across all rows of a MATCH. The
+// check is conservative: anything that mentions a Variable (including
+// comprehension-local ones) or embeds a pattern is rejected.
+func rowIndependent(e Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return true
+	case *Literal, *Parameter:
+		return true
+	case *PropertyAccess:
+		return rowIndependent(x.Subject)
+	case *ListLiteral:
+		for _, el := range x.Elems {
+			if !rowIndependent(el) {
+				return false
+			}
+		}
+		return true
+	case *MapLiteral:
+		for _, el := range x.Elems {
+			if !rowIndependent(el) {
+				return false
+			}
+		}
+		return true
+	case *IndexExpr:
+		return rowIndependent(x.Subject) && rowIndependent(x.Index) && rowIndependent(x.To)
+	case *Unary:
+		return rowIndependent(x.Expr)
+	case *Binary:
+		return rowIndependent(x.Left) && rowIndependent(x.Right)
+	case *IsNull:
+		return rowIndependent(x.Expr)
+	case *FuncCall:
+		for _, a := range x.Args {
+			if !rowIndependent(a) {
+				return false
+			}
+		}
+		return true
+	case *CaseExpr:
+		if !rowIndependent(x.Subject) || !rowIndependent(x.Else) {
+			return false
+		}
+		for i := range x.Whens {
+			if !rowIndependent(x.Whens[i]) || !rowIndependent(x.Thens[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		// Variables, comprehensions, quantifiers, pattern predicates.
+		return false
+	}
+}

@@ -1,0 +1,204 @@
+package cypher
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultPlanCacheCapacity is the number of distinct prepared queries a
+// PlanCache retains when no explicit capacity is given. The RAG
+// pipeline's workload is template-shaped (a few dozen query skeletons
+// instantiated with different entities), so a few hundred entries cover
+// it with room to spare.
+const DefaultPlanCacheCapacity = 256
+
+// PlanCache is a concurrency-safe LRU cache of prepared queries, keyed
+// on normalized query text (see NormalizeQuery). It turns the repeated
+// parse work of template-shaped workloads — the RAG pipeline executes
+// near-identical queries for every question — into a map lookup.
+//
+// Parse failures are not cached; every Prepare of a bad query re-parses
+// and returns the syntax error.
+type PlanCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type planCacheEntry struct {
+	key string
+	pq  *PreparedQuery
+}
+
+// PlanCacheStats is a point-in-time snapshot of cache effectiveness.
+type PlanCacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+}
+
+// NewPlanCache builds a cache holding up to capacity prepared queries;
+// capacity <= 0 means DefaultPlanCacheCapacity.
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheCapacity
+	}
+	return &PlanCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Prepare returns the cached prepared query for src, parsing and
+// inserting it on a miss. Two queries that differ only in whitespace,
+// comments or a trailing semicolon share one entry.
+func (c *PlanCache) Prepare(src string) (*PreparedQuery, error) {
+	key := NormalizeQuery(src)
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		pq := el.Value.(*planCacheEntry).pq
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return pq, nil
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	// Parse outside the lock: parsing is the expensive part, and a slow
+	// parse must not serialize unrelated cache traffic.
+	pq, err := Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// A concurrent Prepare won the race; adopt its entry so all
+		// callers share one plan.
+		c.ll.MoveToFront(el)
+		return el.Value.(*planCacheEntry).pq, nil
+	}
+	c.items[key] = c.ll.PushFront(&planCacheEntry{key: key, pq: pq})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*planCacheEntry).key)
+		c.evictions.Add(1)
+	}
+	return pq, nil
+}
+
+// Len returns the number of cached queries.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the hit/miss/eviction counters.
+func (c *PlanCache) Stats() PlanCacheStats {
+	c.mu.Lock()
+	size := c.ll.Len()
+	capn := c.capacity
+	c.mu.Unlock()
+	return PlanCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Size:      size,
+		Capacity:  capn,
+	}
+}
+
+// Reset drops every cached entry and zeroes the counters.
+func (c *PlanCache) Reset() {
+	c.mu.Lock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element, c.capacity)
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+}
+
+// NormalizeQuery canonicalizes query text for use as a cache key: runs
+// of whitespace collapse to one space, // and /* */ comments are
+// removed, and trailing semicolons are dropped — all without touching
+// the contents of string literals or backtick-quoted identifiers. The
+// result parses identically to the input. Normalization is deliberately
+// conservative: it never merges two queries with different semantics,
+// at the cost of treating e.g. "MATCH(n)" and "MATCH (n)" as distinct.
+func NormalizeQuery(src string) string {
+	var b strings.Builder
+	b.Grow(len(src))
+	pendingSpace := false
+	flush := func() {
+		if pendingSpace && b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		pendingSpace = false
+	}
+	i, n := 0, len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			pendingSpace = true
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+			pendingSpace = true
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i < n && !(src[i] == '*' && i+1 < n && src[i+1] == '/') {
+				i++
+			}
+			if i < n {
+				i += 2 // closing */
+			}
+			pendingSpace = true
+		case c == '\'' || c == '"' || c == '`':
+			flush()
+			j := i + 1
+			for j < n {
+				if src[j] == '\\' && c != '`' && j+1 < n {
+					j += 2
+					continue
+				}
+				if src[j] == c {
+					j++
+					break
+				}
+				j++
+			}
+			b.WriteString(src[i:j])
+			i = j
+		default:
+			flush()
+			b.WriteByte(c)
+			i++
+		}
+	}
+	out := b.String()
+	for {
+		trimmed := strings.TrimRight(strings.TrimSuffix(strings.TrimRight(out, " "), ";"), " ")
+		if trimmed == out {
+			return out
+		}
+		out = trimmed
+	}
+}

@@ -1,0 +1,166 @@
+package cypher
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestNormalizeQuery(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"MATCH (n) RETURN n", "MATCH (n) RETURN n"},
+		{"  MATCH   (n)\n\tRETURN n  ", "MATCH (n) RETURN n"},
+		{"MATCH (n) RETURN n;", "MATCH (n) RETURN n"},
+		{"MATCH (n) RETURN n ; ", "MATCH (n) RETURN n"},
+		{"MATCH (n) // find them\nRETURN n", "MATCH (n) RETURN n"},
+		{"MATCH (n) /* block\ncomment */ RETURN n", "MATCH (n) RETURN n"},
+		// String and backtick contents are untouchable.
+		{"RETURN 'a  b'", "RETURN 'a  b'"},
+		{"RETURN \"a ; b\"", "RETURN \"a ; b\""},
+		{"RETURN 'a // not a comment'", "RETURN 'a // not a comment'"},
+		{"RETURN 'it\\'s'", "RETURN 'it\\'s'"},
+		{"MATCH (`my  var`) RETURN `my  var`", "MATCH (`my  var`) RETURN `my  var`"},
+	}
+	for _, c := range cases {
+		if got := NormalizeQuery(c.in); got != c.want {
+			t.Errorf("NormalizeQuery(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPlanCacheHitsAndNormalizedKeys(t *testing.T) {
+	c := NewPlanCache(8)
+	a, err := c.Prepare("MATCH (n:T) RETURN n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whitespace/comment/semicolon variants share the entry.
+	for _, variant := range []string{
+		"MATCH (n:T)  RETURN n",
+		"MATCH (n:T) RETURN n;",
+		"MATCH (n:T) /* hi */ RETURN n",
+	} {
+		b, err := c.Prepare(variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != a {
+			t.Fatalf("variant %q missed the cache", variant)
+		}
+	}
+	s := c.Stats()
+	if s.Hits != 3 || s.Misses != 1 || s.Size != 1 {
+		t.Fatalf("stats = %+v, want 3 hits / 1 miss / size 1", s)
+	}
+	// Different string literals must not collide.
+	b, err := c.Prepare("MATCH (n:T) RETURN 'x  y'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b == a {
+		t.Fatal("distinct queries collided")
+	}
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	c := NewPlanCache(3)
+	prep := func(i int) *PreparedQuery {
+		pq, err := c.Prepare(fmt.Sprintf("RETURN %d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pq
+	}
+	q1, _, _ := prep(1), prep(2), prep(3)
+	prep(1) // touch 1 so 2 becomes least-recently-used
+	prep(4) // evicts 2
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	if got := prep(1); got != q1 {
+		t.Fatal("1 should have survived (recently used)")
+	}
+	misses := c.Stats().Misses
+	prep(2) // must be a miss again
+	if c.Stats().Misses != misses+1 {
+		t.Fatal("2 should have been evicted")
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("eviction counter did not move")
+	}
+}
+
+func TestPlanCacheParseErrorNotCached(t *testing.T) {
+	c := NewPlanCache(4)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Prepare("MATCH (n RETURN n"); err == nil {
+			t.Fatal("expected syntax error")
+		}
+	}
+	s := c.Stats()
+	if s.Size != 0 {
+		t.Fatalf("bad query was cached: %+v", s)
+	}
+	if s.Misses != 2 {
+		t.Fatalf("misses = %d, want 2", s.Misses)
+	}
+}
+
+func TestPlanCacheConcurrentPrepare(t *testing.T) {
+	c := NewPlanCache(16)
+	g := asGraph(t, 30)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				n := 1001 + i%30
+				pq, err := c.Prepare("MATCH (a:AS) WHERE a.asn = $n RETURN a.asn")
+				if err != nil {
+					errs <- err
+					return
+				}
+				res, err := pq.Execute(g, map[string]any{"n": n}, Options{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v, _ := res.Value(); v != int64(n) {
+					errs <- fmt.Errorf("want %d got %v", n, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Size != 1 {
+		t.Fatalf("one distinct query should occupy one slot, size=%d", s.Size)
+	}
+	if s.Hits+s.Misses != 800 {
+		t.Fatalf("hits+misses = %d, want 800", s.Hits+s.Misses)
+	}
+	if s.Hits < 700 {
+		t.Fatalf("suspiciously few hits: %+v", s)
+	}
+}
+
+func TestPlanCacheReset(t *testing.T) {
+	c := NewPlanCache(4)
+	if _, err := c.Prepare("RETURN 1"); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	s := c.Stats()
+	if s.Size != 0 || s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("Reset left state behind: %+v", s)
+	}
+}

@@ -10,6 +10,18 @@
 // correctness of the reproduction: three-valued logic for null handling,
 // grouping keys derived from non-aggregate projection items, relationship
 // uniqueness within a MATCH, and deterministic result ordering.
+//
+// Execution comes in two flavors. Execute / ExecuteWith parse and run in
+// one shot; Prepare returns a PreparedQuery that parses and plans once
+// and executes many times with parameter binding, and PlanCache layers a
+// concurrency-safe LRU over Prepare for template-shaped workloads. The
+// planner (plan.go) selects each MATCH anchor's access path — property
+// indexes serve both inline property maps and row-independent WHERE
+// equality predicates — and Explain reports the chosen plan without
+// executing. Plans are stamped with the graph's version and rebuilt
+// automatically after writes.
+//
+// See docs/CYPHER.md for the supported language subset.
 package cypher
 
 import "fmt"

@@ -126,6 +126,20 @@ type Graph struct {
 	indexed   map[string]map[string]bool // label -> property -> indexed?
 	nextNode  int64
 	nextRel   int64
+	// version counts structural mutations (node/relationship writes,
+	// label/property changes, index creation). Query planners stamp
+	// their plans with it and replan when it moves.
+	version uint64
+}
+
+// Version returns the mutation counter: it increases on every write —
+// node/relationship creation and deletion, property and label changes,
+// and index creation. A cached query plan stamped with an older version
+// is stale and must be re-planned.
+func (g *Graph) Version() uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.version
 }
 
 // New returns an empty graph.
@@ -155,6 +169,7 @@ func (g *Graph) CreateNode(labels []string, props map[string]any) (*Node, error)
 	sort.Strings(ls)
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.version++
 	n := &Node{ID: g.nextNode, Labels: ls, Props: norm}
 	g.nextNode++
 	g.nodes[n.ID] = n
@@ -194,6 +209,7 @@ func (g *Graph) CreateRelationship(startID, endID int64, relType string, props m
 	if _, ok := g.nodes[endID]; !ok {
 		return nil, fmt.Errorf("%w: end %d", ErrNodeNotFound, endID)
 	}
+	g.version++
 	r := &Relationship{ID: g.nextRel, Type: relType, StartID: startID, EndID: endID, Props: norm}
 	g.nextRel++
 	g.rels[r.ID] = r
@@ -386,6 +402,7 @@ func (g *Graph) SetNodeProp(nodeID int64, key string, value any) error {
 	if n == nil {
 		return fmt.Errorf("%w: %d", ErrNodeNotFound, nodeID)
 	}
+	g.version++
 	g.unindexNodeLocked(n)
 	if nv == nil {
 		delete(n.Props, key)
@@ -408,6 +425,7 @@ func (g *Graph) SetRelProp(relID int64, key string, value any) error {
 	if r == nil {
 		return fmt.Errorf("%w: %d", ErrRelNotFound, relID)
 	}
+	g.version++
 	if nv == nil {
 		delete(r.Props, key)
 	} else {
@@ -428,6 +446,7 @@ func (g *Graph) AddNodeLabel(nodeID int64, label string) error {
 	if n.HasLabel(label) {
 		return nil
 	}
+	g.version++
 	g.unindexNodeLocked(n)
 	n.Labels = append(n.Labels, label)
 	sort.Strings(n.Labels)
@@ -452,6 +471,7 @@ func (g *Graph) RemoveNodeLabel(nodeID int64, label string) error {
 	if !n.HasLabel(label) {
 		return nil
 	}
+	g.version++
 	g.unindexNodeLocked(n)
 	out := n.Labels[:0]
 	for _, l := range n.Labels {
@@ -473,6 +493,7 @@ func (g *Graph) DeleteRelationship(relID int64) error {
 	if r == nil {
 		return fmt.Errorf("%w: %d", ErrRelNotFound, relID)
 	}
+	g.version++
 	g.out[r.StartID] = removeID(g.out[r.StartID], relID)
 	g.in[r.EndID] = removeID(g.in[r.EndID], relID)
 	delete(g.rels, relID)
@@ -500,6 +521,7 @@ func (g *Graph) DeleteNode(nodeID int64, detach bool) error {
 			}
 		}
 	}
+	g.version++
 	g.unindexNodeLocked(n)
 	for _, l := range n.Labels {
 		delete(g.byLabel[l], nodeID)

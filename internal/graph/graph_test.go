@@ -675,3 +675,45 @@ func TestJSONLinesRejectsGarbage(t *testing.T) {
 		t.Error("unknown record kind accepted")
 	}
 }
+
+func TestVersionBumpsOnWrites(t *testing.T) {
+	g := New()
+	v := g.Version()
+	n1 := g.MustCreateNode([]string{"A"}, map[string]any{"x": 1})
+	if g.Version() <= v {
+		t.Fatal("CreateNode did not bump version")
+	}
+	v = g.Version()
+	n2 := g.MustCreateNode([]string{"A"}, nil)
+	r := g.MustCreateRelationship(n1.ID, n2.ID, "R", nil)
+	if g.Version() != v+2 {
+		t.Fatalf("expected +2 after node+rel, got %d -> %d", v, g.Version())
+	}
+	steps := []func() error{
+		func() error { return g.SetNodeProp(n1.ID, "x", 2) },
+		func() error { return g.SetRelProp(r.ID, "w", 1) },
+		func() error { return g.AddNodeLabel(n2.ID, "B") },
+		func() error { return g.RemoveNodeLabel(n2.ID, "B") },
+		func() error { g.CreateIndex("A", "x"); return nil },
+		func() error { return g.DeleteRelationship(r.ID) },
+		func() error { return g.DeleteNode(n2.ID, false) },
+	}
+	for i, step := range steps {
+		v = g.Version()
+		if err := step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if g.Version() != v+1 {
+			t.Fatalf("step %d: version %d -> %d, want +1", i, v, g.Version())
+		}
+	}
+	// Idempotent no-ops do not bump.
+	v = g.Version()
+	g.CreateIndex("A", "x")
+	if err := g.AddNodeLabel(n1.ID, "A"); err != nil {
+		t.Fatal(err)
+	}
+	if g.Version() != v {
+		t.Fatalf("no-op writes bumped version: %d -> %d", v, g.Version())
+	}
+}

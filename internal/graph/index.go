@@ -16,6 +16,7 @@ func (g *Graph) CreateIndex(label, property string) {
 		return
 	}
 	props[property] = true
+	g.version++
 	// Backfill existing nodes.
 	for id := range g.byLabel[label] {
 		n := g.nodes[id]

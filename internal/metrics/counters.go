@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file adds runtime operational counters to the metrics package —
+// distinct from the answer-quality metrics above, these count events in
+// the serving path (plan-cache hits and misses, questions asked, Cypher
+// executions) so deployments can watch cache effectiveness live via the
+// server's /api/metrics endpoint.
+
+// Counter is a monotonically readable int64 event counter. The zero
+// value is ready to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Set overwrites the value — used for counters that mirror an external
+// snapshot (e.g. plan-cache hit totals maintained by the cache itself).
+func (c *Counter) Set(v int64) { c.v.Store(v) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Registry is a named set of counters. Counters are created on first
+// use and live for the registry's lifetime. Safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty counter registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Default is the process-wide registry the pipeline and server use when
+// no explicit registry is configured.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it when absent.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot returns the current value of every counter, keyed by name.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Names returns the registered counter names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset zeroes every counter (the registry keeps the names).
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		c.Set(0)
+	}
+}

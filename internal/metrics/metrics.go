@@ -2,6 +2,10 @@
 // compares (Figure 2a) — BLEU, ROUGE, BERTScore and G-Eval — plus the
 // summary statistics, histogram and correlation machinery the
 // evaluation harness uses to regenerate the figures.
+//
+// It also provides the runtime Counter/Registry the serving path
+// reports into (questions asked, Cypher executions, plan-cache hits and
+// misses); the server exposes a snapshot at /api/metrics.
 package metrics
 
 import (

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -320,5 +321,49 @@ func BenchmarkBERTScore(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Score(cand, ref)
+	}
+}
+
+func TestCounterRegistry(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d, want 5", c.Value())
+	}
+	if r.Counter("a.b") != c {
+		t.Fatal("same name must return same counter")
+	}
+	r.Counter("z").Set(7)
+	snap := r.Snapshot()
+	if snap["a.b"] != 5 || snap["z"] != 7 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a.b" || names[1] != "z" {
+		t.Fatalf("names = %v", names)
+	}
+	r.Reset()
+	if r.Counter("a.b").Value() != 0 {
+		t.Fatal("Reset did not zero counters")
+	}
+}
+
+func TestCounterRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("shared").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("value = %d, want 8000", got)
 	}
 }

@@ -1,7 +1,9 @@
 // Package server exposes ChatIYP over HTTP, mirroring the paper's
 // public web application: a JSON API for natural-language questions
-// (answers come back with the executed Cypher for transparency), a raw
-// Cypher endpoint, a schema endpoint, and a minimal embedded UI.
+// (answers come back with the executed Cypher for transparency), raw
+// Cypher and EXPLAIN endpoints, schema and graph-statistics endpoints,
+// a runtime-metrics endpoint (plan-cache hit/miss counters), and a
+// minimal embedded UI.
 package server
 
 import (
@@ -57,6 +59,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /api/health", s.handleHealth)
 	s.mux.HandleFunc("GET /api/schema", s.handleSchema)
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /api/ask", s.handleAsk)
 	s.mux.HandleFunc("POST /api/cypher", s.handleCypher)
 	s.mux.HandleFunc("POST /api/explain", s.handleExplain)
@@ -127,6 +130,16 @@ func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	stats := s.cfg.Pipeline.Graph().CollectStats()
 	writeJSON(w, http.StatusOK, stats)
+}
+
+// handleMetrics reports runtime counters: the pipeline's event counts
+// plus a structured snapshot of the prepared-query plan cache, so
+// operators can watch cache effectiveness (hits vs misses) live.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"counters":   s.cfg.Pipeline.Metrics().Snapshot(),
+		"plan_cache": s.cfg.Pipeline.PlanCacheStats(),
+	})
 }
 
 // AskRequest is the /api/ask input.

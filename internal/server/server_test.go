@@ -229,3 +229,39 @@ func TestExplainEndpoint(t *testing.T) {
 		t.Errorf("broken query status = %d", rec.Code)
 	}
 }
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, w := newTestServer(t)
+	h := s.Handler()
+	// Drive some Cypher traffic so the plan cache has counters to show.
+	query := fmt.Sprintf("MATCH (a:AS {asn: %d}) RETURN a.asn", w.ASes[0].ASN)
+	for i := 0; i < 3; i++ {
+		rec := postJSON(t, h, "/api/cypher", CypherRequest{Query: query})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("cypher status %d: %s", rec.Code, rec.Body)
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/api/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Counters  map[string]int64 `json:"counters"`
+		PlanCache struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+			Size   int    `json:"size"`
+		} `json:"plan_cache"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.PlanCache.Misses == 0 || resp.PlanCache.Hits < 2 {
+		t.Fatalf("plan cache stats missing: %+v", resp.PlanCache)
+	}
+	if resp.Counters["cypher.executions"] < 3 {
+		t.Fatalf("counters = %v", resp.Counters)
+	}
+}
