@@ -1,0 +1,105 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON report on stdout, so benchmark trajectories
+// can be tracked across PRs (see scripts/bench_streaming.sh, which
+// writes BENCH_streaming.json).
+//
+//	go test -run NONE -bench 'BenchmarkStreaming' . | go run ./cmd/benchjson
+//
+// For benchmark families with /streaming and /materialized variants,
+// the report also carries the materialized/streaming speedup factor.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	GoVersion string             `json:"go_version"`
+	GOOS      string             `json:"goos"`
+	GOARCH    string             `json:"goarch"`
+	Results   []Result           `json:"results"`
+	Speedups  map[string]float64 `json:"speedups,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+func main() {
+	rep := Report{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		// Trailing fields come in "<value> <unit>" pairs: -benchmem's
+		// B/op and allocs/op, plus any b.ReportMetric units.
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				r.BytesPerOp = &v
+			case "allocs/op":
+				r.AllocsPerOp = &v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[fields[i+1]] = v
+			}
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	// Derive materialized/streaming speedups per benchmark family.
+	byName := map[string]float64{}
+	for _, r := range rep.Results {
+		byName[r.Name] = r.NsPerOp
+	}
+	for name, ns := range byName {
+		base, ok := strings.CutSuffix(name, "/streaming")
+		if !ok || ns == 0 {
+			continue
+		}
+		if mat, ok := byName[base+"/materialized"]; ok {
+			if rep.Speedups == nil {
+				rep.Speedups = map[string]float64{}
+			}
+			rep.Speedups[strings.TrimPrefix(base, "Benchmark")] = mat / ns
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -441,7 +441,22 @@ func (p *Pipeline) AnswerFromCypher(ctx context.Context, question, query, salt s
 
 // Query executes raw Cypher against the graph (web UI passthrough).
 func (p *Pipeline) Query(query string, params map[string]any) (*cypher.Result, error) {
-	return p.execCypher(query, params)
+	return p.execCypherOpts(query, params, p.cfg.ExecOptions)
+}
+
+// QueryLimited executes raw Cypher with a result-row cap layered over
+// the pipeline's execution options: the streaming executor stops
+// pulling once rowLimit rows are produced and sets Result.Truncated
+// instead of erroring. A configured Config.ExecOptions.RowLimit that
+// is tighter wins; rowLimit <= 0 means no extra cap. This is the
+// entry point internal/server uses for POST /api/cypher, so one user
+// query cannot hold a worker for an unbounded scan.
+func (p *Pipeline) QueryLimited(query string, params map[string]any, rowLimit int) (*cypher.Result, error) {
+	opts := p.cfg.ExecOptions
+	if rowLimit > 0 && (opts.RowLimit == 0 || rowLimit < opts.RowLimit) {
+		opts.RowLimit = rowLimit
+	}
+	return p.execCypherOpts(query, params, opts)
 }
 
 // execCypher is the single Cypher entry point of the pipeline: every
@@ -449,15 +464,19 @@ func (p *Pipeline) Query(query string, params map[string]any) (*cypher.Result, e
 // prepared-query plan cache (when enabled) so repeated template shapes
 // parse once and reuse their index-aware plans.
 func (p *Pipeline) execCypher(query string, params map[string]any) (*cypher.Result, error) {
+	return p.execCypherOpts(query, params, p.cfg.ExecOptions)
+}
+
+func (p *Pipeline) execCypherOpts(query string, params map[string]any, opts cypher.Options) (*cypher.Result, error) {
 	p.metrics.Counter("cypher.executions").Inc()
 	if p.plans == nil {
-		return cypher.ExecuteWith(p.cfg.Graph, query, params, p.cfg.ExecOptions)
+		return cypher.ExecuteWith(p.cfg.Graph, query, params, opts)
 	}
 	pq, err := p.plans.Prepare(query)
 	if err != nil {
 		return nil, err
 	}
-	return pq.Execute(p.cfg.Graph, params, p.cfg.ExecOptions)
+	return pq.Execute(p.cfg.Graph, params, opts)
 }
 
 // PlanCacheStats snapshots the plan cache's effectiveness counters. The
@@ -484,6 +503,12 @@ func (p *Pipeline) Metrics() *metrics.Registry {
 		p.metrics.Counter("cypher.plan_cache.evictions").Set(int64(s.Evictions))
 		p.metrics.Counter("cypher.plan_cache.size").Set(int64(s.Size))
 	}
+	// Streaming-executor counters are process-global (like the plan
+	// cache's, they are maintained outside the registry and mirrored at
+	// read time).
+	rowsStreamed, earlyExit := cypher.StreamStats()
+	p.metrics.Counter("cypher.rows_streamed").Set(rowsStreamed)
+	p.metrics.Counter("cypher.limit_early_exit").Set(earlyExit)
 	return p.metrics
 }
 

@@ -11,47 +11,49 @@ import (
 // applications over a group of rows: aggregate calls are computed across
 // the group, everything else is evaluated on the group's representative
 // row (which, per Cypher grouping rules, is constant within the group).
-func (ex *executor) evalAggExpr(e Expr, group []Row) (graph.Value, error) {
+// It is shared by the materializing executor and the streaming
+// aggregate operator.
+func evalAggExpr(ctx *evalCtx, e Expr, group []Row) (graph.Value, error) {
 	if !containsAggregate(e) {
 		if len(group) == 0 {
 			return nil, nil
 		}
-		return ex.ctx.eval(e, group[0])
+		return ctx.eval(e, group[0])
 	}
 	switch x := e.(type) {
 	case *FuncCall:
 		if isAggregateFunc(x.Name) {
-			return ex.computeAggregate(x, group)
+			return computeAggregate(ctx, x, group)
 		}
 		// Scalar function over aggregate arguments, e.g.
 		// round(avg(p.percent)).
 		args := make([]Expr, len(x.Args))
 		for i, a := range x.Args {
-			v, err := ex.evalAggExpr(a, group)
+			v, err := evalAggExpr(ctx, a, group)
 			if err != nil {
 				return nil, err
 			}
 			args[i] = valueExpr(v)
 		}
-		return ex.ctx.evalFunc(&FuncCall{Name: x.Name, Args: args}, Row{})
+		return ctx.evalFunc(&FuncCall{Name: x.Name, Args: args}, Row{})
 	case *Binary:
-		lv, err := ex.evalAggExpr(x.Left, group)
+		lv, err := evalAggExpr(ctx, x.Left, group)
 		if err != nil {
 			return nil, err
 		}
-		rv, err := ex.evalAggExpr(x.Right, group)
+		rv, err := evalAggExpr(ctx, x.Right, group)
 		if err != nil {
 			return nil, err
 		}
-		return ex.ctx.evalBinary(&Binary{Op: x.Op, Left: valueExpr(lv), Right: valueExpr(rv)}, Row{})
+		return ctx.evalBinary(&Binary{Op: x.Op, Left: valueExpr(lv), Right: valueExpr(rv)}, Row{})
 	case *Unary:
-		v, err := ex.evalAggExpr(x.Expr, group)
+		v, err := evalAggExpr(ctx, x.Expr, group)
 		if err != nil {
 			return nil, err
 		}
-		return ex.ctx.evalUnary(&Unary{Op: x.Op, Expr: valueExpr(v)}, Row{})
+		return ctx.evalUnary(&Unary{Op: x.Op, Expr: valueExpr(v)}, Row{})
 	case *IndexExpr:
-		subj, err := ex.evalAggExpr(x.Subject, group)
+		subj, err := evalAggExpr(ctx, x.Subject, group)
 		if err != nil {
 			return nil, err
 		}
@@ -60,9 +62,9 @@ func (ex *executor) evalAggExpr(e Expr, group []Row) (graph.Value, error) {
 		if len(group) > 0 {
 			row = group[0]
 		}
-		return ex.ctx.evalIndex(ix, row)
+		return ctx.evalIndex(ix, row)
 	case *PropertyAccess:
-		subj, err := ex.evalAggExpr(x.Subject, group)
+		subj, err := evalAggExpr(ctx, x.Subject, group)
 		if err != nil {
 			return nil, err
 		}
@@ -70,7 +72,7 @@ func (ex *executor) evalAggExpr(e Expr, group []Row) (graph.Value, error) {
 		if len(group) > 0 {
 			row = group[0]
 		}
-		return ex.ctx.eval(&PropertyAccess{Subject: valueExpr(subj), Prop: x.Prop}, row)
+		return ctx.eval(&PropertyAccess{Subject: valueExpr(subj), Prop: x.Prop}, row)
 	}
 	return nil, evalErrorf("unsupported aggregate expression shape %T", e)
 }
@@ -86,7 +88,7 @@ func (*boxedValue) exprNode() {}
 func valueExpr(v graph.Value) Expr { return &boxedValue{v: v} }
 
 // computeAggregate evaluates one aggregate function over a row group.
-func (ex *executor) computeAggregate(x *FuncCall, group []Row) (graph.Value, error) {
+func computeAggregate(ctx *evalCtx, x *FuncCall, group []Row) (graph.Value, error) {
 	if x.Star {
 		if x.Name != "count" {
 			return nil, evalErrorf("%s(*) is not supported", x.Name)
@@ -101,7 +103,7 @@ func (ex *executor) computeAggregate(x *FuncCall, group []Row) (graph.Value, err
 	var vals []graph.Value
 	seen := map[string]bool{}
 	for _, row := range group {
-		v, err := ex.ctx.eval(arg, row)
+		v, err := ctx.eval(arg, row)
 		if err != nil {
 			return nil, err
 		}
@@ -185,7 +187,7 @@ func (ex *executor) computeAggregate(x *FuncCall, group []Row) (graph.Value, err
 		if len(vals) == 0 {
 			return nil, nil
 		}
-		pv, err := ex.ctx.eval(x.Args[1], group[0])
+		pv, err := ctx.eval(x.Args[1], group[0])
 		if err != nil {
 			return nil, err
 		}

@@ -20,6 +20,17 @@ type Options struct {
 	// DisableIndexes forces label scans even when a property index
 	// exists. Used by the index-ablation benchmark.
 	DisableIndexes bool
+	// RowLimit caps the number of result rows returned to the caller.
+	// When the cap cuts rows off, Result.Truncated is set instead of
+	// returning an error, and the streaming executor stops pulling —
+	// an unbounded scan behind a capped query does not run to
+	// completion. Zero means unlimited.
+	RowLimit int
+	// DisableStreaming forces the materializing executor even for
+	// read-only queries. The materializing path is the reference
+	// implementation the streaming/materialized equivalence tests
+	// compare against; the flag is also an operational escape hatch.
+	DisableStreaming bool
 }
 
 func (o Options) withDefaults() Options {
@@ -53,11 +64,13 @@ func (s WriteStats) Changed() bool {
 }
 
 // Result is the outcome of executing a query: named columns, rows of
-// values, and write statistics.
+// values, and write statistics. Truncated reports that Options.RowLimit
+// cut the result off before the query's natural end.
 type Result struct {
-	Columns []string
-	Rows    [][]graph.Value
-	Stats   WriteStats
+	Columns   []string
+	Rows      [][]graph.Value
+	Stats     WriteStats
+	Truncated bool
 }
 
 // Value returns the single value of a single-row single-column result,
@@ -92,14 +105,33 @@ func ExecuteQuery(g *graph.Graph, q *Query, params map[string]any, opts Options)
 }
 
 // executeQueryPlanned runs a query with an optional pre-built plan (nil
-// means plan each MATCH on the fly).
+// means plan now — planning is cheap and the plan carries the operator
+// pipeline the streaming executor runs). Read-only queries stream
+// through the operator pipeline with early termination; queries with
+// write clauses (and Options.DisableStreaming) run on the
+// materializing executor.
 func executeQueryPlanned(g *graph.Graph, q *Query, plan *queryPlan, params map[string]any, opts Options) (*Result, error) {
-	res, err := executeSingle(g, q, plan, params, opts)
+	opts = opts.withDefaults()
+	normParams := make(map[string]graph.Value, len(params))
+	for k, v := range params {
+		nv, err := graph.NormalizeValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("cypher: parameter $%s: %w", k, err)
+		}
+		normParams[k] = nv
+	}
+	if plan == nil {
+		plan = planQuery(g, q, opts)
+	}
+	if plan.streamable && !opts.DisableStreaming {
+		return executeStream(g, plan, normParams, opts)
+	}
+	res, err := executeSingle(g, q, plan, normParams, opts)
 	if err != nil {
 		return nil, err
 	}
 	for _, part := range q.Unions {
-		next, err := executeSingle(g, part.Query, plan, params, opts)
+		next, err := executeSingle(g, part.Query, plan, normParams, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -118,6 +150,10 @@ func executeQueryPlanned(g *graph.Graph, q *Query, plan *queryPlan, params map[s
 		if !part.All {
 			res.Rows = dedupeRows(res.Rows)
 		}
+	}
+	if opts.RowLimit > 0 && len(res.Rows) > opts.RowLimit {
+		res.Rows = res.Rows[:opts.RowLimit]
+		res.Truncated = true
 	}
 	return res, nil
 }
@@ -146,17 +182,9 @@ func dedupeRows(rows [][]graph.Value) [][]graph.Value {
 	return out
 }
 
-func executeSingle(g *graph.Graph, q *Query, plan *queryPlan, params map[string]any, opts Options) (*Result, error) {
-	normParams := make(map[string]graph.Value, len(params))
-	for k, v := range params {
-		nv, err := graph.NormalizeValue(v)
-		if err != nil {
-			return nil, fmt.Errorf("cypher: parameter $%s: %w", k, err)
-		}
-		normParams[k] = nv
-	}
+func executeSingle(g *graph.Graph, q *Query, plan *queryPlan, params map[string]graph.Value, opts Options) (*Result, error) {
 	ex := &executor{
-		ctx:  &evalCtx{g: g, params: normParams, opts: opts.withDefaults(), plan: plan},
+		ctx:  &evalCtx{g: g, params: params, opts: opts, plan: plan},
 		rows: []Row{{}},
 	}
 	for _, cl := range q.Clauses {
@@ -409,28 +437,11 @@ func (ex *executor) project(items []*ReturnItem, distinct bool, orderBy []*SortI
 
 	var projRows []projected
 	if hasAgg {
-		groups, order, err := ex.groupRows(expanded)
+		grouped, err := aggregateRows(ex.ctx, ex.rows, expanded, cols)
 		if err != nil {
 			return nil, nil, err
 		}
-		for _, key := range order {
-			g := groups[key]
-			row := make(Row, len(expanded))
-			for i, it := range expanded {
-				var v graph.Value
-				var err error
-				if containsAggregate(it.Expr) {
-					v, err = ex.evalAggExpr(it.Expr, g)
-				} else {
-					v, err = ex.ctx.eval(it.Expr, g[0])
-				}
-				if err != nil {
-					return nil, nil, err
-				}
-				row[cols[i]] = v
-			}
-			projRows = append(projRows, projected{row: row})
-		}
+		projRows = grouped
 	} else {
 		for _, src := range ex.rows {
 			row := make(Row, len(expanded))
@@ -460,7 +471,7 @@ func (ex *executor) project(items []*ReturnItem, distinct bool, orderBy []*SortI
 	}
 
 	if len(orderBy) > 0 {
-		if err := ex.sortProjected(projRows, orderBy, cols); err != nil {
+		if err := sortProjectedRows(ex.ctx, projRows, orderBy, cols); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -486,9 +497,40 @@ func rowKey(row Row, cols []string) string {
 	return graph.ValueKey(vals)
 }
 
+// aggregateRows groups the binding table by the non-aggregate
+// projection items (first-seen group order) and evaluates one output
+// row per group. Shared by the materializing executor and the
+// streaming aggregate operator.
+func aggregateRows(ctx *evalCtx, rows []Row, items []*ReturnItem, cols []string) ([]projected, error) {
+	groups, order, err := groupRows(ctx, rows, items)
+	if err != nil {
+		return nil, err
+	}
+	var out []projected
+	for _, key := range order {
+		g := groups[key]
+		row := make(Row, len(items))
+		for i, it := range items {
+			var v graph.Value
+			var err error
+			if containsAggregate(it.Expr) {
+				v, err = evalAggExpr(ctx, it.Expr, g)
+			} else {
+				v, err = ctx.eval(it.Expr, g[0])
+			}
+			if err != nil {
+				return nil, err
+			}
+			row[cols[i]] = v
+		}
+		out = append(out, projected{row: row})
+	}
+	return out, nil
+}
+
 // groupRows buckets the binding table by the values of the non-aggregate
 // projection items, preserving first-seen group order.
-func (ex *executor) groupRows(items []*ReturnItem) (map[string][]Row, []string, error) {
+func groupRows(ctx *evalCtx, rows []Row, items []*ReturnItem) (map[string][]Row, []string, error) {
 	var keyExprs []Expr
 	for _, it := range items {
 		if !containsAggregate(it.Expr) {
@@ -497,10 +539,10 @@ func (ex *executor) groupRows(items []*ReturnItem) (map[string][]Row, []string, 
 	}
 	groups := make(map[string][]Row)
 	var order []string
-	for _, row := range ex.rows {
+	for _, row := range rows {
 		keyVals := make([]graph.Value, len(keyExprs))
 		for i, e := range keyExprs {
-			v, err := ex.ctx.eval(e, row)
+			v, err := ctx.eval(e, row)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -514,47 +556,72 @@ func (ex *executor) groupRows(items []*ReturnItem) (map[string][]Row, []string, 
 	}
 	// A pure-aggregate projection over zero rows still yields one group
 	// (count(*) over nothing is 0).
-	if len(ex.rows) == 0 && len(keyExprs) == 0 {
+	if len(rows) == 0 && len(keyExprs) == 0 {
 		groups[""] = nil
 		order = append(order, "")
 	}
 	return groups, order, nil
 }
 
-func (ex *executor) sortProjected(rows []projected, orderBy []*SortItem, cols []string) error {
-	colSet := make(map[string]bool, len(cols))
-	for _, c := range cols {
-		colSet[c] = true
+// sortKeyScope is the row ORDER BY expressions evaluate against: the
+// projected values, overlaid on the source row when the source scope
+// survived projection.
+func sortKeyScope(pr projected) Row {
+	if pr.source == nil {
+		return pr.row
 	}
+	scope := pr.source.clone()
+	for k, v := range pr.row {
+		scope[k] = v
+	}
+	return scope
+}
+
+// sortKeysFor computes the ORDER BY key tuple of one projected row.
+// An ORDER BY expression that textually matches a projected column
+// (alias or identical expression) sorts on the projected value — this
+// is what makes RETURN DISTINCT c.x ORDER BY c.x legal after the
+// underlying scope is severed.
+func sortKeysFor(ctx *evalCtx, pr projected, orderBy []*SortItem, colSet map[string]bool) ([]graph.Value, error) {
+	var scope Row
+	keys := make([]graph.Value, len(orderBy))
+	for j, si := range orderBy {
+		if name := ExprString(si.Expr); colSet[name] {
+			keys[j] = pr.row[name]
+			continue
+		}
+		if scope == nil {
+			scope = sortKeyScope(pr)
+		}
+		v, err := ctx.eval(si.Expr, scope)
+		if err != nil {
+			return nil, err
+		}
+		keys[j] = v
+	}
+	return keys, nil
+}
+
+func colSetOf(cols []string) map[string]bool {
+	set := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		set[c] = true
+	}
+	return set
+}
+
+// sortProjectedRows stable-sorts rows in place on the ORDER BY keys.
+func sortProjectedRows(ctx *evalCtx, rows []projected, orderBy []*SortItem, cols []string) error {
+	colSet := colSetOf(cols)
 	type keyed struct {
 		pr   projected
 		keys []graph.Value
 	}
 	ks := make([]keyed, len(rows))
 	for i, pr := range rows {
-		scope := pr.row
-		if pr.source != nil {
-			scope = pr.source.clone()
-			for k, v := range pr.row {
-				scope[k] = v
-			}
-		}
-		keys := make([]graph.Value, len(orderBy))
-		for j, si := range orderBy {
-			// An ORDER BY expression that textually matches a projected
-			// column (alias or identical expression) sorts on the
-			// projected value — this is what makes
-			// RETURN DISTINCT c.x ORDER BY c.x legal after the
-			// underlying scope is severed.
-			if name := ExprString(si.Expr); colSet[name] {
-				keys[j] = pr.row[name]
-				continue
-			}
-			v, err := ex.ctx.eval(si.Expr, scope)
-			if err != nil {
-				return err
-			}
-			keys[j] = v
+		keys, err := sortKeysFor(ctx, pr, orderBy, colSet)
+		if err != nil {
+			return err
 		}
 		ks[i] = keyed{pr: pr, keys: keys}
 	}

@@ -7,10 +7,15 @@ import (
 	"chatiyp/internal/graph"
 )
 
-// Explain parses a query and describes the access plan the executor
-// would use — which node pattern anchors each MATCH, and through which
-// access path (bound variable, property index, label scan, full scan).
-// It does not execute the query. The cyphershell exposes it as
+// Explain parses a query and describes the execution plan: for
+// streamable (read-only) queries, the Volcano-style operator pipeline
+// the streaming executor pulls rows through — including which node
+// pattern anchors each MATCH, through which access path (bound
+// variable, property index, label scan, full scan), and where a LIMIT
+// was pushed below the projection or an ORDER BY ... LIMIT became a
+// bounded top-k sort. Queries with write clauses fall back to the
+// materializing executor and are described clause by clause. Explain
+// does not execute the query. The cyphershell exposes it as
 // `EXPLAIN <query>`.
 func Explain(g *graph.Graph, src string, opts Options) (string, error) {
 	q, err := Parse(src)
@@ -20,20 +25,134 @@ func Explain(g *graph.Graph, src string, opts Options) (string, error) {
 	return describeAll(g, q, opts), nil
 }
 
-// describeAll renders the access plan of a parsed query and its UNION
-// parts — the shared body of Explain and PreparedQuery.Describe.
+// describeAll renders the execution plan of a parsed query and its
+// UNION parts — the shared body of Explain and PreparedQuery.Describe.
 func describeAll(g *graph.Graph, q *Query, opts Options) string {
+	opts = opts.withDefaults()
+	plan := planQuery(g, q, opts)
 	var b strings.Builder
-	describeQuery(&b, g, q, opts.withDefaults(), "")
+	if plan.streamable && !opts.DisableStreaming {
+		b.WriteString("streaming operator pipeline\n")
+		renderStages(&b, g, plan.parts[0], opts)
+		for i, part := range q.Unions {
+			kind := "UNION"
+			if part.All {
+				kind = "UNION ALL"
+			}
+			dedup := " (deduplicating)"
+			if i+1 > plan.lastDedup {
+				dedup = ""
+			}
+			fmt.Fprintf(&b, "%s (part %d)%s\n", kind, i+2, dedup)
+			renderStages(&b, g, plan.parts[i+1], opts)
+		}
+		return b.String()
+	}
+	reason := "write clauses or non-final RETURN"
+	if opts.DisableStreaming {
+		reason = "Options.DisableStreaming"
+	}
+	fmt.Fprintf(&b, "materializing executor (%s)\n", reason)
+	describeQuery(&b, g, q, opts, "")
 	for i, part := range q.Unions {
 		kind := "UNION"
 		if part.All {
 			kind = "UNION ALL"
 		}
 		fmt.Fprintf(&b, "%s (part %d)\n", kind, i+2)
-		describeQuery(&b, g, part.Query, opts.withDefaults(), "")
+		describeQuery(&b, g, part.Query, opts, "")
 	}
 	return b.String()
+}
+
+// renderStages walks one part's operator chain from the seed to the
+// output and renders each operator with its planning decisions.
+func renderStages(b *strings.Builder, g *graph.Graph, sp *stagePlan, opts Options) {
+	// Collect the chain in execution order (seed first).
+	var chain []*stage
+	for s := sp.root; s != nil; s = s.input {
+		chain = append(chain, s)
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	ctx := &evalCtx{g: g, opts: opts}
+	bound := map[string]bool{}
+	for _, s := range chain {
+		switch s.kind {
+		case stageSeed:
+			// implicit single-row source; not rendered
+		case stageMatch:
+			x := s.match
+			kw := "MATCH"
+			if x.Optional {
+				kw = "OPTIONAL MATCH"
+			}
+			m := &matcher{ctx: ctx, usedRels: map[int64]bool{}, hints: s.hints}
+			for _, pat := range x.Patterns {
+				fmt.Fprintf(b, "%s %s\n", kw, PatternString(pat))
+				anchor := pickAnchorWithBound(m, pat, bound)
+				np := pat.Nodes[anchor]
+				fmt.Fprintf(b, "  anchor: node %d %s via %s\n",
+					anchor, nodePatternLabel(np), accessPath(g, np, bound, s.hints, opts))
+				if hops := len(pat.Rels); hops > 0 {
+					fmt.Fprintf(b, "  expand: %d relationship hop(s)\n", hops)
+				}
+				for _, v := range patternVars([]*Pattern{pat}) {
+					bound[v] = true
+				}
+			}
+			if x.Where != nil {
+				fmt.Fprintf(b, "  filter: %s\n", ExprString(x.Where))
+			}
+		case stageUnwind:
+			fmt.Fprintf(b, "UNWIND %s AS %s\n", ExprString(s.unwind.Expr), s.unwind.Alias)
+			bound[s.unwind.Alias] = true
+		case stageFilter:
+			fmt.Fprintf(b, "  filter: %s\n", ExprString(s.cond))
+		case stageProject:
+			kw := "WITH"
+			if s.final {
+				kw = "RETURN"
+			}
+			shape := "project"
+			if s.hasAgg {
+				shape = "aggregate"
+			}
+			fmt.Fprintf(b, "%s (%s): %s\n", kw, shape, strings.Join(s.cols, ", "))
+			if !s.final {
+				bound = map[string]bool{}
+				for _, c := range s.cols {
+					bound[c] = true
+				}
+			}
+		case stageDistinct:
+			fmt.Fprintf(b, "  distinct\n")
+		case stageSort:
+			fmt.Fprintf(b, "  sort: %d key(s)\n", len(s.orderBy))
+		case stageTopK:
+			fmt.Fprintf(b, "  top-k sort: %d key(s), keep %s row(s)\n",
+				len(s.orderBy), skipLimitString(s.skipE, s.limitE))
+		case stageSkip:
+			fmt.Fprintf(b, "  skip: %s\n", ExprString(s.skipE))
+		case stageLimit:
+			if s.pushed {
+				fmt.Fprintf(b, "LIMIT %s (pushed below projection: scan stops after %s row(s))\n",
+					ExprString(s.limitE), skipLimitString(s.skipE, s.limitE))
+			} else {
+				fmt.Fprintf(b, "  limit: %s\n", ExprString(s.limitE))
+			}
+		}
+	}
+}
+
+// skipLimitString renders the SKIP+LIMIT row budget of a pushed limit
+// or top-k stage.
+func skipLimitString(skipE, limitE Expr) string {
+	if skipE == nil {
+		return ExprString(limitE)
+	}
+	return ExprString(skipE) + "+" + ExprString(limitE)
 }
 
 func describeQuery(b *strings.Builder, g *graph.Graph, q *Query, opts Options, indent string) {

@@ -34,36 +34,50 @@ func (m *matcher) match(pat *Pattern, row Row, emit func(Row) bool) error {
 		nodes:    make([]*graph.Node, len(pat.Nodes)),
 		relBinds: make([]relBinding, len(pat.Rels)),
 	}
-	stopped := false
-	for _, cand := range candidates {
-		if stopped {
-			break
-		}
-		work := row.clone()
-		ok, undo, err := m.bindNode(pat.Nodes[anchor], cand, work)
-		if err != nil {
-			return err
-		}
-		if !ok {
+	for i := 0; i < candidates.len(); i++ {
+		cand := candidates.at(m.ctx.g, i)
+		if cand == nil {
 			continue
 		}
-		state.nodes[anchor] = cand
-		cont, err := m.expandFrom(state, anchor, work, func(final Row) bool {
-			if pat.PathVar != "" {
-				final = final.clone()
-				final[pat.PathVar] = state.buildPath()
-			}
-			return emit(final.clone())
-		})
+		cont, err := m.matchCandidate(state, anchor, cand, row, emit)
 		if err != nil {
 			return err
 		}
-		undo(work)
 		if !cont {
-			stopped = true
+			break
 		}
 	}
 	return nil
+}
+
+// matchCandidate enumerates every complete match of state.pat that
+// anchors on cand at the anchor position, extending row. It is the
+// per-candidate slice of match(), split out so the streaming executor
+// can pull candidate-by-candidate and stop a scan early. Returns false
+// when emit requested a stop.
+func (m *matcher) matchCandidate(state *matchState, anchor int, cand *graph.Node, row Row, emit func(Row) bool) (bool, error) {
+	pat := state.pat
+	work := row.clone()
+	ok, undo, err := m.bindNode(pat.Nodes[anchor], cand, work)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return true, nil
+	}
+	state.nodes[anchor] = cand
+	cont, err := m.expandFrom(state, anchor, work, func(final Row) bool {
+		if pat.PathVar != "" {
+			final = final.clone()
+			final[pat.PathVar] = state.buildPath()
+		}
+		return emit(final.clone())
+	})
+	if err != nil {
+		return false, err
+	}
+	undo(work)
+	return cont, nil
 }
 
 // matchState records the concrete entities bound at each pattern
@@ -455,19 +469,43 @@ func (m *matcher) pickAnchor(pat *Pattern, row Row) int {
 	return best
 }
 
+// candSet is the anchor candidate set: either a pre-resolved node (the
+// bound-variable path) or a list of ids resolved lazily, one node per
+// pull — so a downstream LIMIT never pays for resolving nodes the scan
+// will not reach.
+type candSet struct {
+	nodes []*graph.Node // bound-variable case; takes precedence
+	ids   []int64       // scan/index case, resolved on access
+}
+
+func (cs candSet) len() int {
+	if cs.nodes != nil {
+		return len(cs.nodes)
+	}
+	return len(cs.ids)
+}
+
+// at resolves the i-th candidate; nil means the id vanished (skip it).
+func (cs candSet) at(g *graph.Graph, i int) *graph.Node {
+	if cs.nodes != nil {
+		return cs.nodes[i]
+	}
+	return g.Node(cs.ids[i])
+}
+
 // anchorCandidates produces the starting node set for the anchor
 // position, using the cheapest available access path.
-func (m *matcher) anchorCandidates(np *NodePattern, row Row) ([]*graph.Node, error) {
+func (m *matcher) anchorCandidates(np *NodePattern, row Row) (candSet, error) {
 	if np.Var != "" {
 		if v, bound := row[np.Var]; bound {
 			if graph.KindOf(v) == graph.KindNull {
-				return nil, nil // optional-match null propagates to no matches
+				return candSet{}, nil // optional-match null propagates to no matches
 			}
 			n, ok := v.(*graph.Node)
 			if !ok {
-				return nil, evalErrorf("variable `%s` is not a node", np.Var)
+				return candSet{}, evalErrorf("variable `%s` is not a node", np.Var)
 			}
-			return []*graph.Node{n}, nil
+			return candSet{nodes: []*graph.Node{n}}, nil
 		}
 	}
 	// Indexed property lookup.
@@ -479,13 +517,13 @@ func (m *matcher) anchorCandidates(np *NodePattern, row Row) ([]*graph.Node, err
 				}
 				want, err := m.ctx.eval(expr, row)
 				if err != nil {
-					return nil, err
+					return candSet{}, err
 				}
 				ids, usedIndex := m.ctx.g.NodesByLabelProp(label, prop, want)
 				if !usedIndex {
 					continue
 				}
-				return m.resolveNodes(ids), nil
+				return candSet{ids: ids}, nil
 			}
 		}
 	}
@@ -499,7 +537,7 @@ func (m *matcher) anchorCandidates(np *NodePattern, row Row) ([]*graph.Node, err
 		// identical to unplanned execution.
 		if want, err := m.ctx.eval(hint.Value, row); err == nil {
 			if ids, usedIndex := m.ctx.g.NodesByLabelProp(hint.Label, hint.Prop, want); usedIndex {
-				return m.resolveNodes(ids), nil
+				return candSet{ids: ids}, nil
 			}
 		}
 	}
@@ -514,9 +552,9 @@ func (m *matcher) anchorCandidates(np *NodePattern, row Row) ([]*graph.Node, err
 			}
 		}
 		_ = bestLabel
-		return m.resolveNodes(bestIDs), nil
+		return candSet{ids: bestIDs}, nil
 	}
-	return m.resolveNodes(m.ctx.g.AllNodeIDs()), nil
+	return candSet{ids: m.ctx.g.AllNodeIDs()}, nil
 }
 
 // hintFor returns the first WHERE-derived index hint usable for this
@@ -530,16 +568,6 @@ func (m *matcher) hintFor(np *NodePattern) *indexHint {
 		return nil
 	}
 	return &hs[0]
-}
-
-func (m *matcher) resolveNodes(ids []int64) []*graph.Node {
-	out := make([]*graph.Node, 0, len(ids))
-	for _, id := range ids {
-		if n := m.ctx.g.Node(id); n != nil {
-			out = append(out, n)
-		}
-	}
-	return out
 }
 
 // patternVars collects the variable names a pattern would introduce —

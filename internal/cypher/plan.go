@@ -29,15 +29,27 @@ type indexHint struct {
 type matchHints map[string][]indexHint
 
 // queryPlan is the graph-dependent planning state of a prepared query:
-// per-MATCH index hints, stamped with the graph version they were
-// derived against. A plan whose stamp no longer matches the graph is
-// stale and must be rebuilt (indexes may have appeared, and the write
-// that bumped the version may be exactly what the plan keyed on).
+// per-MATCH index hints plus the logical operator tree of each query
+// part, stamped with the graph version they were derived against. A
+// plan whose stamp no longer matches the graph is stale and must be
+// rebuilt (indexes may have appeared, and the write that bumped the
+// version may be exactly what the plan keyed on).
 type queryPlan struct {
 	graph          *graph.Graph
 	version        uint64
 	disableIndexes bool
 	hints          map[*MatchClause]matchHints
+
+	// parts holds one operator pipeline per query part (the main query
+	// followed by its UNION parts); streamable reports whether every
+	// part built one, i.e. the whole query can run on the streaming
+	// executor. lastDedup is the index of the last part introduced by a
+	// plain (deduplicating) UNION, or -1: rows from parts up to and
+	// including it dedupe against everything seen so far, which is
+	// exactly what the materializing path's repeated dedup converges to.
+	parts      []*stagePlan
+	streamable bool
+	lastDedup  int
 }
 
 // planQuery derives the full plan for a query (including UNION parts)
@@ -50,7 +62,31 @@ func planQuery(g *graph.Graph, q *Query, opts Options) *queryPlan {
 		hints:          make(map[*MatchClause]matchHints),
 	}
 	p.planInto(g, q, opts)
+
+	p.streamable = true
+	p.lastDedup = -1
+	for i, part := range append([]*Query{q}, unionQueries(q)...) {
+		sp := buildStages(part, p.hints, opts)
+		if sp == nil {
+			p.streamable = false
+			p.parts = nil
+			break
+		}
+		p.parts = append(p.parts, sp)
+		if i > 0 && !q.Unions[i-1].All {
+			p.lastDedup = i
+		}
+	}
 	return p
+}
+
+// unionQueries lists the UNION part queries in order.
+func unionQueries(q *Query) []*Query {
+	out := make([]*Query, len(q.Unions))
+	for i, u := range q.Unions {
+		out[i] = u.Query
+	}
+	return out
 }
 
 func (p *queryPlan) planInto(g *graph.Graph, q *Query, opts Options) {

@@ -46,9 +46,10 @@ func (pq *PreparedQuery) AST() *Query { return pq.query }
 // change) invalidating the previous plan.
 func (pq *PreparedQuery) Replans() uint64 { return pq.replans.Load() }
 
-// Execute runs the prepared query against g. The plan (per-MATCH index
-// access paths) is built on first use and reused until the graph's
-// version moves or the index options change.
+// Execute runs the prepared query against g. The plan — per-MATCH
+// index access paths plus the streaming executor's operator pipelines
+// — is built on first use and reused until the graph's version moves
+// or the index options change.
 func (pq *PreparedQuery) Execute(g *graph.Graph, params map[string]any, opts Options) (*Result, error) {
 	return executeQueryPlanned(g, pq.query, pq.planFor(g, opts), params, opts)
 }

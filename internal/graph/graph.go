@@ -130,6 +130,17 @@ type Graph struct {
 	// label/property changes, index creation). Query planners stamp
 	// their plans with it and replan when it moves.
 	version uint64
+	// labelScans caches the sorted id list of each label, stamped with
+	// the version it was built at; label scans are the executor's
+	// hottest access path and rebuilding + sorting the list per scan
+	// dominates small queries. Entries are invalidated lazily by the
+	// version stamp, so writes stay cache-oblivious.
+	labelScans map[string]labelScanEntry
+}
+
+type labelScanEntry struct {
+	version uint64
+	ids     []int64
 }
 
 // Version returns the mutation counter: it increases on every write —
@@ -145,15 +156,16 @@ func (g *Graph) Version() uint64 {
 // New returns an empty graph.
 func New() *Graph {
 	return &Graph{
-		nodes:     make(map[int64]*Node),
-		rels:      make(map[int64]*Relationship),
-		out:       make(map[int64][]int64),
-		in:        make(map[int64][]int64),
-		byLabel:   make(map[string]map[int64]struct{}),
-		propIndex: make(map[string]map[string]map[string][]int64),
-		indexed:   make(map[string]map[string]bool),
-		nextNode:  1,
-		nextRel:   1,
+		nodes:      make(map[int64]*Node),
+		rels:       make(map[int64]*Relationship),
+		out:        make(map[int64][]int64),
+		in:         make(map[int64][]int64),
+		byLabel:    make(map[string]map[int64]struct{}),
+		propIndex:  make(map[string]map[string]map[string][]int64),
+		indexed:    make(map[string]map[string]bool),
+		labelScans: make(map[string]labelScanEntry),
+		nextNode:   1,
+		nextRel:    1,
 	}
 }
 
@@ -304,14 +316,25 @@ func (g *Graph) RelationshipTypes() []string {
 // query results).
 func (g *Graph) NodesByLabel(label string) []int64 {
 	g.mu.RLock()
-	defer g.mu.RUnlock()
-	set := g.byLabel[label]
-	out := make([]int64, 0, len(set))
-	for id := range set {
-		out = append(out, id)
+	if e, ok := g.labelScans[label]; ok && e.version == g.version {
+		out := append([]int64(nil), e.ids...)
+		g.mu.RUnlock()
+		return out
 	}
-	sortIDs(out)
-	return out
+	g.mu.RUnlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if e, ok := g.labelScans[label]; ok && e.version == g.version {
+		return append([]int64(nil), e.ids...)
+	}
+	set := g.byLabel[label]
+	ids := make([]int64, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	g.labelScans[label] = labelScanEntry{version: g.version, ids: ids}
+	return append([]int64(nil), ids...)
 }
 
 // AllNodeIDs returns every node ID in ascending order.

@@ -33,7 +33,17 @@ type Config struct {
 	Logger *log.Logger
 	// MaxQuestionLen rejects oversized inputs (default 1024 bytes).
 	MaxQuestionLen int
+	// CypherRowLimit caps the rows one POST /api/cypher query may
+	// return; the streaming executor stops the scan at the cap and the
+	// response carries "truncated": true instead of an error, so a
+	// user query cannot hold a worker for an unbounded scan. Zero
+	// means DefaultCypherRowLimit; negative disables the cap.
+	CypherRowLimit int
 }
+
+// DefaultCypherRowLimit is the /api/cypher row cap applied when
+// Config.CypherRowLimit is zero.
+const DefaultCypherRowLimit = 10_000
 
 // Server is the ChatIYP HTTP front end.
 type Server struct {
@@ -54,6 +64,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxQuestionLen == 0 {
 		cfg.MaxQuestionLen = 1024
+	}
+	if cfg.CypherRowLimit == 0 {
+		cfg.CypherRowLimit = DefaultCypherRowLimit
 	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /api/health", s.handleHealth)
@@ -217,11 +230,15 @@ type CypherRequest struct {
 	Params map[string]any `json:"params,omitempty"`
 }
 
-// CypherResponse is the /api/cypher output.
+// CypherResponse is the /api/cypher output. Truncated reports that the
+// server-side row cap (Config.CypherRowLimit) cut the result off; the
+// rows present are the query's first rows, exactly as an explicit
+// LIMIT would have produced them.
 type CypherResponse struct {
-	Columns []string          `json:"columns"`
-	Rows    [][]graph.Value   `json:"rows"`
-	Stats   cypher.WriteStats `json:"stats"`
+	Columns   []string          `json:"columns"`
+	Rows      [][]graph.Value   `json:"rows"`
+	Stats     cypher.WriteStats `json:"stats"`
+	Truncated bool              `json:"truncated"`
 }
 
 func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
@@ -234,7 +251,11 @@ func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "query is required")
 		return
 	}
-	res, err := s.cfg.Pipeline.Query(req.Query, req.Params)
+	rowLimit := s.cfg.CypherRowLimit
+	if rowLimit < 0 {
+		rowLimit = 0 // negative config disables the cap
+	}
+	res, err := s.cfg.Pipeline.QueryLimited(req.Query, req.Params, rowLimit)
 	if err != nil {
 		var syntaxErr *cypher.SyntaxError
 		if errors.As(err, &syntaxErr) {
@@ -244,7 +265,9 @@ func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, CypherResponse{Columns: res.Columns, Rows: res.Rows, Stats: res.Stats})
+	writeJSON(w, http.StatusOK, CypherResponse{
+		Columns: res.Columns, Rows: res.Rows, Stats: res.Stats, Truncated: res.Truncated,
+	})
 }
 
 // handleExplain returns the access plan for a query without executing

@@ -265,3 +265,61 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatalf("counters = %v", resp.Counters)
 	}
 }
+
+func TestCypherRowCapTruncates(t *testing.T) {
+	g, _, err := iyp.Build(iyp.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.New(core.Config{Graph: g, Model: llm.NewSim(llm.DefaultSimConfig(core.BuildLexicon(g)))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Pipeline: p, CypherRowLimit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := postJSON(t, s.Handler(), "/api/cypher", CypherRequest{Query: "MATCH (a:AS) RETURN a.asn"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp CypherResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 5 || !resp.Truncated {
+		t.Fatalf("rows=%d truncated=%v, want 5/true", len(resp.Rows), resp.Truncated)
+	}
+	// Within the cap: no truncation flag.
+	rec = postJSON(t, s.Handler(), "/api/cypher", CypherRequest{Query: "MATCH (a:AS) RETURN a.asn LIMIT 3"})
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 3 || resp.Truncated {
+		t.Fatalf("rows=%d truncated=%v, want 3/false", len(resp.Rows), resp.Truncated)
+	}
+}
+
+func TestMetricsExposeStreamingCounters(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.Handler()
+	rec := postJSON(t, h, "/api/cypher", CypherRequest{Query: "MATCH (a:AS) RETURN a.asn LIMIT 2"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cypher status %d: %s", rec.Code, rec.Body)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/api/metrics", nil)
+	mrec := httptest.NewRecorder()
+	h.ServeHTTP(mrec, req)
+	var resp struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(mrec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Counters["cypher.rows_streamed"] < 2 {
+		t.Errorf("cypher.rows_streamed = %d, want >= 2", resp.Counters["cypher.rows_streamed"])
+	}
+	if resp.Counters["cypher.limit_early_exit"] < 1 {
+		t.Errorf("cypher.limit_early_exit = %d, want >= 1", resp.Counters["cypher.limit_early_exit"])
+	}
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Runs the streaming-executor benchmarks (limited scan and top-k) and
+# writes machine-readable results to BENCH_streaming.json at the repo
+# root, so the perf trajectory is tracked across PRs. CI runs this on
+# every push; run it locally before perf-sensitive changes.
+set -eu
+cd "$(dirname "$0")/.."
+go test -run NONE -bench 'BenchmarkStreaming' -benchmem -benchtime "${BENCHTIME:-1s}" . |
+	tee /dev/stderr |
+	go run ./cmd/benchjson > BENCH_streaming.json
+echo "wrote BENCH_streaming.json" >&2
