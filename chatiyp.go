@@ -52,7 +52,14 @@ type (
 	// PlanCacheStats snapshots the prepared-query plan cache (hits,
 	// misses, evictions, size).
 	PlanCacheStats = cypher.PlanCacheStats
+	// BatchAnswer is one AskBatch result (question, answer, error).
+	BatchAnswer = core.BatchAnswer
 )
+
+// ErrCanceled matches any query execution aborted by context
+// cancellation or deadline expiry (re-exported from the Cypher engine
+// so callers need not import internal packages).
+var ErrCanceled = cypher.ErrCanceled
 
 // Options configures New.
 type Options struct {
@@ -129,15 +136,29 @@ func FromGraph(g *graph.Graph, world *iyp.World, opts Options) (*System, error) 
 }
 
 // Ask answers a natural-language question through the full RAG
-// pipeline.
+// pipeline. Cancelling ctx (or letting its deadline expire) aborts the
+// question end to end, including any in-flight Cypher scan.
 func (s *System) Ask(ctx context.Context, question string) (*Answer, error) {
 	return s.pipeline.Ask(ctx, question)
+}
+
+// AskBatch answers independent questions concurrently across a bounded
+// worker pool (workers <= 0 means GOMAXPROCS), returning one result
+// per question in input order. See core.Pipeline.AskBatch.
+func (s *System) AskBatch(ctx context.Context, questions []string, workers int) []BatchAnswer {
+	return s.pipeline.AskBatch(ctx, questions, workers)
 }
 
 // Query executes raw Cypher against the knowledge graph. Queries run
 // through the prepared-query plan cache: repeated shapes parse once.
 func (s *System) Query(query string, params map[string]any) (*Result, error) {
 	return s.pipeline.Query(query, params)
+}
+
+// QueryContext executes raw Cypher under a cancellation context: when
+// ctx ends, execution aborts early with an error matching ErrCanceled.
+func (s *System) QueryContext(ctx context.Context, query string, params map[string]any) (*Result, error) {
+	return s.pipeline.QueryContext(ctx, query, params)
 }
 
 // Explain returns the access plan a query would use — which node

@@ -2,6 +2,7 @@ package chatiyp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -117,5 +118,44 @@ func TestOptionsVariants(t *testing.T) {
 		if _, err := New(opts); err != nil {
 			t.Errorf("New(%+v): %v", opts, err)
 		}
+	}
+}
+
+func TestAskBatchFacade(t *testing.T) {
+	sys := smallSystem(t)
+	w := sys.World()
+	questions := []string{
+		fmt.Sprintf("What is the name of AS%d?", w.ASes[0].ASN),
+		fmt.Sprintf("What is the name of AS%d?", w.ASes[1].ASN),
+		fmt.Sprintf("What is the name of AS%d?", w.ASes[2].ASN),
+	}
+	out := sys.AskBatch(context.Background(), questions, 2)
+	if len(out) != 3 {
+		t.Fatalf("results = %d", len(out))
+	}
+	for i, ba := range out {
+		if ba.Err != nil {
+			t.Fatalf("question %d: %v", i, ba.Err)
+		}
+		if !strings.Contains(ba.Answer.Text, sys.World().ASes[i].Name) {
+			t.Errorf("question %d: answer = %q", i, ba.Answer.Text)
+		}
+	}
+}
+
+func TestQueryContextFacade(t *testing.T) {
+	sys := smallSystem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sys.QueryContext(ctx, "MATCH (a:AS) MATCH (b:AS) RETURN count(*)", nil)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	res, err := sys.QueryContext(context.Background(), "MATCH (a:AS) RETURN count(a)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Value(); !ok {
+		t.Fatal("no value")
 	}
 }

@@ -40,6 +40,7 @@ func main() {
 		templates = flag.Bool("templates", false, "print the per-template error analysis")
 		baseline  = flag.Bool("baseline", false, "also evaluate the closed-book (no retrieval) baseline")
 		scale     = flag.Float64("error-scale", 1.0, "backbone translation error scale (0 = perfect)")
+		workers   = flag.Int("workers", 0, "evaluation worker-pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *figure == "" && *finding == "" && !*all && !*ablation && !*templates && !*baseline {
@@ -63,6 +64,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "dataset: %d nodes; benchmark: %d questions (built in %v)\n",
 		exp.Graph.NodeCount(), len(exp.Bench.Questions), time.Since(start))
 
+	exp.Runner.Workers = *workers
 	start = time.Now()
 	rep, err := exp.Runner.Run(context.Background())
 	if err != nil {

@@ -25,10 +25,15 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		small   = flag.Bool("small", false, "use the small dataset (fast startup)")
-		perfect = flag.Bool("perfect", false, "disable the simulated model's translation noise")
-		graphIn = flag.String("graph", "", "load the knowledge graph from a snapshot")
+		addr          = flag.String("addr", ":8080", "listen address")
+		small         = flag.Bool("small", false, "use the small dataset (fast startup)")
+		perfect       = flag.Bool("perfect", false, "disable the simulated model's translation noise")
+		graphIn       = flag.String("graph", "", "load the knowledge graph from a snapshot")
+		maxConcurrent = flag.Int("max-concurrent", 0, "max concurrently executing ask/cypher requests (0 = 2x GOMAXPROCS)")
+		maxQueue      = flag.Int("max-queue", 0, "max requests waiting for a slot before 429 (0 = 4x max-concurrent, negative disables queueing)")
+		askTimeout    = flag.Duration("ask-timeout", 0, "per-question deadline, aborts execution (0 = 15s default)")
+		cypherTimeout = flag.Duration("cypher-timeout", 0, "per-query deadline on /api/cypher (0 = 10s default)")
+		drainTimeout  = flag.Duration("drain-timeout", 0, "graceful-shutdown budget for in-flight requests (0 = 5s default)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "chatiyp-server ", log.LstdFlags)
@@ -57,7 +62,15 @@ func main() {
 	logger.Printf("IYP graph ready: %d nodes, %d relationships", stats.Nodes, stats.Relationships)
 
 	var pipe *core.Pipeline = sys.Pipeline()
-	srv, err := server.New(server.Config{Pipeline: pipe, Logger: logger})
+	srv, err := server.New(server.Config{
+		Pipeline:      pipe,
+		Logger:        logger,
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		AskTimeout:    *askTimeout,
+		CypherTimeout: *cypherTimeout,
+		DrainTimeout:  *drainTimeout,
+	})
 	if err != nil {
 		logger.Fatal(err)
 	}

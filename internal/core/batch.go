@@ -1,0 +1,69 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"chatiyp/internal/cypher"
+)
+
+// BatchAnswer is one AskBatch result: the question, its answer, or the
+// error that question's pipeline run produced. A canceled batch fills
+// the unstarted entries with the context's error.
+type BatchAnswer struct {
+	Question string
+	Answer   *Answer
+	Err      error
+}
+
+// AskBatch answers independent questions concurrently across a bounded
+// worker pool and returns one BatchAnswer per question, in input order.
+// workers <= 0 means runtime.GOMAXPROCS(0). Each question runs through
+// the full Ask pipeline under ctx; one question's failure does not stop
+// the others, but a canceled ctx stops the pool from starting new
+// questions (the remaining entries carry ctx's error) and aborts the
+// in-flight ones through the execution stack's cancellation checks.
+//
+// This is the bulk entry point the parallel evaluation harness and
+// batch clients use: throughput scales with the worker count while the
+// per-question path stays identical to Ask.
+func (p *Pipeline) AskBatch(ctx context.Context, questions []string, workers int) []BatchAnswer {
+	p.metrics.Counter("pipeline.ask_batch").Inc()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(questions) {
+		workers = len(questions)
+	}
+	out := make([]BatchAnswer, len(questions))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(questions) {
+					return
+				}
+				out[i].Question = questions[i]
+				if err := ctx.Err(); err != nil {
+					// Wrap so every canceled entry — started or not —
+					// matches the one cancellation identity callers
+					// check, cypher.ErrCanceled. (Constructed directly:
+					// no execution was aborted, so the engine's cancel
+					// counters must not move.)
+					out[i].Err = &cypher.CanceledError{Cause: err}
+					continue
+				}
+				ans, err := p.Ask(ctx, questions[i])
+				out[i].Answer, out[i].Err = ans, err
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

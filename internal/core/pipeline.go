@@ -238,6 +238,11 @@ func (p *Pipeline) Ask(ctx context.Context, question string) (*Answer, error) {
 	var records []ContextRecord
 	query, res, terr := p.textToCypher(ctx, question, ans)
 	switch {
+	case terr != nil && (errors.Is(terr, cypher.ErrCanceled) || ctx.Err() != nil):
+		// Cancellation is not a retrieval failure: falling back to
+		// vector search (and then generation) would keep a dead request
+		// burning workers. Surface the abort to the caller instead.
+		return nil, fmt.Errorf("core: text2cypher: %w", cancellationError(ctx, terr))
 	case terr != nil:
 		ans.CypherError = terr.Error()
 		ans.Trace = append(ans.Trace, StageTrace{Stage: "text2cypher", Err: terr.Error(), Duration: time.Since(t0)})
@@ -281,7 +286,7 @@ func (p *Pipeline) Ask(ctx context.Context, question string) (*Answer, error) {
 		t2 := time.Now()
 		reranked, err := p.rerank(ctx, question, records, ans)
 		if err != nil {
-			return nil, err
+			return nil, cancellationError(ctx, err)
 		}
 		records = reranked
 		ans.Trace = append(ans.Trace, StageTrace{
@@ -304,7 +309,7 @@ func (p *Pipeline) Ask(ctx context.Context, question string) (*Answer, error) {
 		Context:  texts,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("core: generation: %w", err)
+		return nil, fmt.Errorf("core: generation: %w", cancellationError(ctx, err))
 	}
 	ans.Text = resp.Text
 	ans.TokensIn += resp.TokensIn
@@ -312,6 +317,21 @@ func (p *Pipeline) Ask(ctx context.Context, question string) (*Answer, error) {
 	ans.Trace = append(ans.Trace, StageTrace{Stage: "generate", Detail: fmt.Sprintf("%d context records", len(records)), Duration: time.Since(t3)})
 	ans.Duration = time.Since(started)
 	return ans, nil
+}
+
+// cancellationError normalizes a stage failure that happened under a
+// done context onto the engine's cancellation identity: the result
+// matches cypher.ErrCanceled (and unwraps to the context cause), so
+// Ask/AskBatch callers and the server's timeout shape see one error
+// identity no matter which stage — Cypher scan or LLM call — the abort
+// surfaced in. Errors unrelated to cancellation pass through, and the
+// engine's cancel counters are untouched (no execution was aborted
+// here that the engine didn't already count).
+func cancellationError(ctx context.Context, err error) error {
+	if err == nil || errors.Is(err, cypher.ErrCanceled) || ctx.Err() == nil {
+		return err
+	}
+	return fmt.Errorf("%w (%v)", &cypher.CanceledError{Cause: ctx.Err()}, err)
 }
 
 // textToCypher translates and executes; it returns the executed query
@@ -329,7 +349,7 @@ func (p *Pipeline) textToCypher(ctx context.Context, question string, ans *Answe
 	ans.TokensIn += resp.TokensIn
 	ans.TokensOut += resp.TokensOut
 	query := strings.TrimSpace(resp.Text)
-	res, err := p.execCypher(query, nil)
+	res, err := p.execCypher(ctx, query, nil)
 	if err != nil {
 		return query, nil, fmt.Errorf("executing generated query: %w", err)
 	}
@@ -412,7 +432,7 @@ func (p *Pipeline) AskClosedBook(ctx context.Context, question string) (*Answer,
 // reference answers from gold queries, and the engine behind the web
 // UI's direct-query mode.
 func (p *Pipeline) AnswerFromCypher(ctx context.Context, question, query, salt string) (*Answer, error) {
-	res, err := p.execCypher(query, nil)
+	res, err := p.execCypher(ctx, query, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -439,44 +459,65 @@ func (p *Pipeline) AnswerFromCypher(ctx context.Context, question, query, salt s
 	return ans, nil
 }
 
-// Query executes raw Cypher against the graph (web UI passthrough).
-func (p *Pipeline) Query(query string, params map[string]any) (*cypher.Result, error) {
-	return p.execCypherOpts(query, params, p.cfg.ExecOptions)
+// QueryContext executes raw Cypher against the graph under a
+// cancellation context: when ctx is canceled or its deadline expires,
+// execution aborts early with an error matching cypher.ErrCanceled.
+// This is the web UI passthrough.
+func (p *Pipeline) QueryContext(ctx context.Context, query string, params map[string]any) (*cypher.Result, error) {
+	return p.execCypherOpts(ctx, query, params, p.cfg.ExecOptions)
 }
 
-// QueryLimited executes raw Cypher with a result-row cap layered over
-// the pipeline's execution options: the streaming executor stops
+// Query executes raw Cypher without a cancellation context.
+//
+// Deprecated: use QueryContext so server deadlines can stop the scan.
+func (p *Pipeline) Query(query string, params map[string]any) (*cypher.Result, error) {
+	return p.QueryContext(context.Background(), query, params)
+}
+
+// QueryLimitedContext executes raw Cypher with a result-row cap layered
+// over the pipeline's execution options: the streaming executor stops
 // pulling once rowLimit rows are produced and sets Result.Truncated
 // instead of erroring. A configured Config.ExecOptions.RowLimit that
 // is tighter wins; rowLimit <= 0 means no extra cap. This is the
 // entry point internal/server uses for POST /api/cypher, so one user
-// query cannot hold a worker for an unbounded scan.
-func (p *Pipeline) QueryLimited(query string, params map[string]any, rowLimit int) (*cypher.Result, error) {
+// query cannot hold a worker for an unbounded scan — and with ctx
+// carrying the endpoint deadline, not even for the capped one.
+func (p *Pipeline) QueryLimitedContext(ctx context.Context, query string, params map[string]any, rowLimit int) (*cypher.Result, error) {
 	opts := p.cfg.ExecOptions
 	if rowLimit > 0 && (opts.RowLimit == 0 || rowLimit < opts.RowLimit) {
 		opts.RowLimit = rowLimit
 	}
-	return p.execCypherOpts(query, params, opts)
+	return p.execCypherOpts(ctx, query, params, opts)
+}
+
+// QueryLimited executes raw Cypher with a row cap and no cancellation
+// context.
+//
+// Deprecated: use QueryLimitedContext so server deadlines can stop the
+// scan.
+func (p *Pipeline) QueryLimited(query string, params map[string]any, rowLimit int) (*cypher.Result, error) {
+	return p.QueryLimitedContext(context.Background(), query, params, rowLimit)
 }
 
 // execCypher is the single Cypher entry point of the pipeline: every
 // query — LLM-generated, gold, or user-supplied — goes through the
 // prepared-query plan cache (when enabled) so repeated template shapes
-// parse once and reuse their index-aware plans.
-func (p *Pipeline) execCypher(query string, params map[string]any) (*cypher.Result, error) {
-	return p.execCypherOpts(query, params, p.cfg.ExecOptions)
+// parse once and reuse their index-aware plans. ctx bounds execution;
+// cancellation surfaces as an error matching cypher.ErrCanceled.
+func (p *Pipeline) execCypher(ctx context.Context, query string, params map[string]any) (*cypher.Result, error) {
+	return p.execCypherOpts(ctx, query, params, p.cfg.ExecOptions)
 }
 
-func (p *Pipeline) execCypherOpts(query string, params map[string]any, opts cypher.Options) (*cypher.Result, error) {
+func (p *Pipeline) execCypherOpts(ctx context.Context, query string, params map[string]any, opts cypher.Options) (*cypher.Result, error) {
 	p.metrics.Counter("cypher.executions").Inc()
 	if p.plans == nil {
-		return cypher.ExecuteWith(p.cfg.Graph, query, params, opts)
+		return cypher.ExecuteWithContext(ctx, p.cfg.Graph, query, params, opts)
 	}
 	pq, err := p.plans.Prepare(query)
 	if err != nil {
 		return nil, err
 	}
-	return pq.Execute(p.cfg.Graph, params, opts)
+	return pq.ExecuteContext(ctx, p.cfg.Graph, params, opts)
 }
 
 // PlanCacheStats snapshots the plan cache's effectiveness counters. The
@@ -509,6 +550,9 @@ func (p *Pipeline) Metrics() *metrics.Registry {
 	rowsStreamed, earlyExit := cypher.StreamStats()
 	p.metrics.Counter("cypher.rows_streamed").Set(rowsStreamed)
 	p.metrics.Counter("cypher.limit_early_exit").Set(earlyExit)
+	canceled, deadlineExceeded := cypher.CancelStats()
+	p.metrics.Counter("cypher.canceled").Set(canceled)
+	p.metrics.Counter("cypher.deadline_exceeded").Set(deadlineExceeded)
 	return p.metrics
 }
 

@@ -1,6 +1,7 @@
 package cypher
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"regexp"
@@ -30,6 +31,11 @@ type evalCtx struct {
 	// hints); nil for ad-hoc execution, which plans each MATCH on the
 	// fly.
 	plan *queryPlan
+	// ctx is the execution's cancellation context (nil means
+	// uncancelable); cancelSteps counts executor steps toward the next
+	// periodic poll (see checkCancel in context.go).
+	ctx         context.Context
+	cancelSteps int
 }
 
 // EvalError is a runtime evaluation error (type mismatch, unknown
@@ -558,6 +564,11 @@ func (c *evalCtx) evalListComprehension(x *ListComprehension, row Row) (graph.Va
 	inner := row.clone()
 	var out []graph.Value
 	for _, el := range list {
+		// One eval step per element: comprehensions over large lists
+		// (e.g. built by range()) must stay cancelable.
+		if err := c.checkCancel(); err != nil {
+			return nil, err
+		}
 		inner[x.Var] = el
 		if x.Where != nil {
 			pass, err := c.eval(x.Where, inner)
@@ -599,6 +610,9 @@ func (c *evalCtx) evalQuantified(x *QuantifiedExpr, row Row) (graph.Value, error
 	inner := row.clone()
 	matches := 0
 	for _, el := range list {
+		if err := c.checkCancel(); err != nil {
+			return nil, err
+		}
 		inner[x.Var] = el
 		pass, err := c.eval(x.Where, inner)
 		if err != nil {

@@ -1,6 +1,7 @@
 package cypher
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -88,20 +89,40 @@ func Execute(g *graph.Graph, src string, params map[string]any) (*Result, error)
 	return ExecuteWith(g, src, params, Options{})
 }
 
+// ExecuteContext parses and runs a query with default options under a
+// cancellation context: when ctx is canceled or its deadline expires,
+// execution aborts early (within one check interval, see
+// cancelCheckInterval) with an error matching ErrCanceled.
+func ExecuteContext(ctx context.Context, g *graph.Graph, src string, params map[string]any) (*Result, error) {
+	return ExecuteWithContext(ctx, g, src, params, Options{})
+}
+
 // ExecuteWith parses and runs a query with explicit options.
 func ExecuteWith(g *graph.Graph, src string, params map[string]any, opts Options) (*Result, error) {
+	return ExecuteWithContext(context.Background(), g, src, params, opts)
+}
+
+// ExecuteWithContext parses and runs a query with explicit options
+// under a cancellation context (see ExecuteContext).
+func ExecuteWithContext(ctx context.Context, g *graph.Graph, src string, params map[string]any, opts Options) (*Result, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return ExecuteQuery(g, q, params, opts)
+	return ExecuteQueryContext(ctx, g, q, params, opts)
 }
 
 // ExecuteQuery runs a pre-parsed query, including any UNION parts. Each
 // MATCH clause is planned on the fly; use Prepare / PlanCache to plan
 // once and execute many times.
 func ExecuteQuery(g *graph.Graph, q *Query, params map[string]any, opts Options) (*Result, error) {
-	return executeQueryPlanned(g, q, nil, params, opts)
+	return executeQueryPlanned(context.Background(), g, q, nil, params, opts)
+}
+
+// ExecuteQueryContext runs a pre-parsed query under a cancellation
+// context (see ExecuteContext).
+func ExecuteQueryContext(ctx context.Context, g *graph.Graph, q *Query, params map[string]any, opts Options) (*Result, error) {
+	return executeQueryPlanned(ctx, g, q, nil, params, opts)
 }
 
 // executeQueryPlanned runs a query with an optional pre-built plan (nil
@@ -110,7 +131,7 @@ func ExecuteQuery(g *graph.Graph, q *Query, params map[string]any, opts Options)
 // through the operator pipeline with early termination; queries with
 // write clauses (and Options.DisableStreaming) run on the
 // materializing executor.
-func executeQueryPlanned(g *graph.Graph, q *Query, plan *queryPlan, params map[string]any, opts Options) (*Result, error) {
+func executeQueryPlanned(ctx context.Context, g *graph.Graph, q *Query, plan *queryPlan, params map[string]any, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	normParams := make(map[string]graph.Value, len(params))
 	for k, v := range params {
@@ -124,14 +145,14 @@ func executeQueryPlanned(g *graph.Graph, q *Query, plan *queryPlan, params map[s
 		plan = planQuery(g, q, opts)
 	}
 	if plan.streamable && !opts.DisableStreaming {
-		return executeStream(g, plan, normParams, opts)
+		return executeStream(ctx, g, plan, normParams, opts)
 	}
-	res, err := executeSingle(g, q, plan, normParams, opts)
+	res, err := executeSingle(ctx, g, q, plan, normParams, opts)
 	if err != nil {
 		return nil, err
 	}
 	for _, part := range q.Unions {
-		next, err := executeSingle(g, part.Query, plan, normParams, opts)
+		next, err := executeSingle(ctx, g, part.Query, plan, normParams, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -182,12 +203,15 @@ func dedupeRows(rows [][]graph.Value) [][]graph.Value {
 	return out
 }
 
-func executeSingle(g *graph.Graph, q *Query, plan *queryPlan, params map[string]graph.Value, opts Options) (*Result, error) {
+func executeSingle(ctx context.Context, g *graph.Graph, q *Query, plan *queryPlan, params map[string]graph.Value, opts Options) (*Result, error) {
 	ex := &executor{
-		ctx:  &evalCtx{g: g, params: params, opts: opts, plan: plan},
+		ctx:  &evalCtx{g: g, params: params, opts: opts, plan: plan, ctx: ctx},
 		rows: []Row{{}},
 	}
 	for _, cl := range q.Clauses {
+		if err := ex.ctx.pollCancel(); err != nil {
+			return nil, err
+		}
 		if err := ex.execClause(cl); err != nil {
 			return nil, err
 		}
@@ -271,6 +295,9 @@ func (ex *executor) execMatch(m *MatchClause) error {
 		hints = planMatch(ex.ctx.g, m, ex.ctx.opts)
 	}
 	for _, row := range ex.rows {
+		if err := ex.ctx.checkCancel(); err != nil {
+			return err
+		}
 		matcher := &matcher{ctx: ex.ctx, usedRels: map[int64]bool{}, hints: hints}
 		matches := []Row{row}
 		for _, pat := range m.Patterns {
@@ -323,6 +350,9 @@ func (ex *executor) execMatch(m *MatchClause) error {
 func (ex *executor) execUnwind(u *UnwindClause) error {
 	var out []Row
 	for _, row := range ex.rows {
+		if err := ex.ctx.checkCancel(); err != nil {
+			return err
+		}
 		v, err := ex.ctx.eval(u.Expr, row)
 		if err != nil {
 			return err
@@ -332,6 +362,9 @@ func (ex *executor) execUnwind(u *UnwindClause) error {
 			continue
 		case []graph.Value:
 			for _, el := range list {
+				if err := ex.ctx.checkCancel(); err != nil {
+					return err
+				}
 				nr := row.clone()
 				nr[u.Alias] = el
 				out = append(out, nr)
@@ -444,6 +477,9 @@ func (ex *executor) project(items []*ReturnItem, distinct bool, orderBy []*SortI
 		projRows = grouped
 	} else {
 		for _, src := range ex.rows {
+			if err := ex.ctx.checkCancel(); err != nil {
+				return nil, nil, err
+			}
 			row := make(Row, len(expanded))
 			for i, it := range expanded {
 				v, err := ex.ctx.eval(it.Expr, src)
@@ -540,6 +576,9 @@ func groupRows(ctx *evalCtx, rows []Row, items []*ReturnItem) (map[string][]Row,
 	groups := make(map[string][]Row)
 	var order []string
 	for _, row := range rows {
+		if err := ctx.checkCancel(); err != nil {
+			return nil, nil, err
+		}
 		keyVals := make([]graph.Value, len(keyExprs))
 		for i, e := range keyExprs {
 			v, err := ctx.eval(e, row)

@@ -212,13 +212,22 @@ func (c *evalCtx) evalFunc(x *FuncCall, row Row) (graph.Value, error) {
 		if !ok1 || !ok2 {
 			return nil, evalErrorf("range() bounds must be integers")
 		}
+		// range() is the one expression that generates unbounded work
+		// from constant inputs, so it polls for cancellation itself —
+		// the executors' per-row checks never see inside a single eval.
 		var out []graph.Value
 		if step > 0 {
 			for i := from; i <= to; i += step {
+				if err := c.checkCancel(); err != nil {
+					return nil, err
+				}
 				out = append(out, i)
 			}
 		} else {
 			for i := from; i >= to; i += step {
+				if err := c.checkCancel(); err != nil {
+					return nil, err
+				}
 				out = append(out, i)
 			}
 		}

@@ -56,6 +56,11 @@ func (m *matcher) match(pat *Pattern, row Row, emit func(Row) bool) error {
 // can pull candidate-by-candidate and stop a scan early. Returns false
 // when emit requested a stop.
 func (m *matcher) matchCandidate(state *matchState, anchor int, cand *graph.Node, row Row, emit func(Row) bool) (bool, error) {
+	// One step per anchor candidate: a canceled context stops a label
+	// or full scan within cancelCheckInterval candidates.
+	if err := m.ctx.checkCancel(); err != nil {
+		return false, err
+	}
 	pat := state.pat
 	work := row.clone()
 	ok, undo, err := m.bindNode(pat.Nodes[anchor], cand, work)
@@ -271,6 +276,11 @@ func (m *matcher) traverseVarLength(state *matchState, row Row, rp *RelPattern, 
 
 	var dfs func(node *graph.Node, depth int) (bool, error)
 	dfs = func(node *graph.Node, depth int) (bool, error) {
+		// Var-length expansion can fan out exponentially between anchor
+		// candidates, so it polls for cancellation on its own.
+		if err := m.ctx.checkCancel(); err != nil {
+			return false, err
+		}
 		if depth >= vl.Min {
 			keep, err := finish(node)
 			if err != nil || !keep {

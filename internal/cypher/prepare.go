@@ -1,6 +1,7 @@
 package cypher
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -51,7 +52,15 @@ func (pq *PreparedQuery) Replans() uint64 { return pq.replans.Load() }
 // — is built on first use and reused until the graph's version moves
 // or the index options change.
 func (pq *PreparedQuery) Execute(g *graph.Graph, params map[string]any, opts Options) (*Result, error) {
-	return executeQueryPlanned(g, pq.query, pq.planFor(g, opts), params, opts)
+	return pq.ExecuteContext(context.Background(), g, params, opts)
+}
+
+// ExecuteContext runs the prepared query under a cancellation context:
+// when ctx is canceled or its deadline expires, execution aborts early
+// with an error matching ErrCanceled (see ExecuteContext at package
+// level for the check-interval guarantee).
+func (pq *PreparedQuery) ExecuteContext(ctx context.Context, g *graph.Graph, params map[string]any, opts Options) (*Result, error) {
+	return executeQueryPlanned(ctx, g, pq.query, pq.planFor(g, opts), params, opts)
 }
 
 // Describe returns the EXPLAIN-style access plan this prepared query

@@ -2,6 +2,7 @@ package cypher
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 	"sync/atomic"
 
@@ -58,8 +59,8 @@ type streamExec struct {
 // operator pipeline is pulled in sequence, with UNION dedup applied to
 // the parts the plan marked (see queryPlan.lastDedup) and
 // Options.RowLimit enforced across the whole output.
-func executeStream(g *graph.Graph, plan *queryPlan, params map[string]graph.Value, opts Options) (*Result, error) {
-	se := &streamExec{ctx: &evalCtx{g: g, params: params, opts: opts, plan: plan}}
+func executeStream(ctx context.Context, g *graph.Graph, plan *queryPlan, params map[string]graph.Value, opts Options) (*Result, error) {
+	se := &streamExec{ctx: &evalCtx{g: g, params: params, opts: opts, plan: plan, ctx: ctx}}
 	cols := plan.parts[0].cols
 	for _, sp := range plan.parts[1:] {
 		if len(sp.cols) != len(cols) {
@@ -80,12 +81,18 @@ func executeStream(g *graph.Graph, plan *queryPlan, params map[string]graph.Valu
 	}
 parts:
 	for pi, sp := range plan.parts {
+		if err := se.ctx.pollCancel(); err != nil {
+			return nil, err
+		}
 		it, err := se.build(sp.root)
 		if err != nil {
 			return nil, err
 		}
 		dedup := pi <= plan.lastDedup
 		for {
+			if err := se.ctx.checkCancel(); err != nil {
+				return nil, err
+			}
 			row, ok, err := it.Next()
 			if err != nil {
 				return nil, err
@@ -562,7 +569,7 @@ type projectIter struct {
 func (it *projectIter) Next() (projected, bool, error) {
 	if it.hasAgg {
 		if !it.built {
-			rows, err := drainRows(it.input, it.se.ctx.opts.MaxRows)
+			rows, err := drainRows(it.se.ctx, it.input, it.se.ctx.opts.MaxRows)
 			if err != nil {
 				return projected{}, false, err
 			}
@@ -595,10 +602,15 @@ func (it *projectIter) Next() (projected, bool, error) {
 }
 
 // drainRows pulls an iterator to exhaustion, erroring past maxRows —
-// the memory bound on blocking operators.
-func drainRows(it rowIter, maxRows int) ([]Row, error) {
+// the memory bound on blocking operators. ctx polls for cancellation
+// per drained row, so a blocking aggregate over an unbounded scan
+// still aborts promptly.
+func drainRows(ctx *evalCtx, it rowIter, maxRows int) ([]Row, error) {
 	var rows []Row
 	for {
+		if err := ctx.checkCancel(); err != nil {
+			return nil, err
+		}
 		row, ok, err := it.Next()
 		if err != nil {
 			return nil, err
@@ -652,6 +664,9 @@ type sortIter struct {
 func (it *sortIter) Next() (projected, bool, error) {
 	if !it.built {
 		for {
+			if err := it.se.ctx.checkCancel(); err != nil {
+				return projected{}, false, err
+			}
 			pr, ok, err := it.in.Next()
 			if err != nil {
 				return projected{}, false, err
@@ -722,6 +737,9 @@ func (it *topKIter) Next() (projected, bool, error) {
 		h := &topKHeap{orderBy: it.orderBy}
 		seq := 0
 		for {
+			if err := it.se.ctx.checkCancel(); err != nil {
+				return projected{}, false, err
+			}
 			pr, ok, err := it.in.Next()
 			if err != nil {
 				return projected{}, false, err

@@ -3,9 +3,11 @@ package eval
 import (
 	"bytes"
 	"context"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"chatiyp/internal/cyphereval"
 	"chatiyp/internal/iyp"
@@ -277,5 +279,22 @@ func TestClosedBookBaseline(t *testing.T) {
 	}
 	if s := cmp.Render(); !strings.Contains(s, "closed-book") {
 		t.Errorf("render broken:\n%s", s)
+	}
+}
+
+func TestRunCanceledContext(t *testing.T) {
+	_, exp := smallReport(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	rep, err := exp.Runner.Run(ctx)
+	if err == nil || rep != nil {
+		t.Fatalf("Run = (%v, %v), want cancellation error", rep, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want to wrap context.Canceled", err)
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Errorf("canceled run took %v", el)
 	}
 }

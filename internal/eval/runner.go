@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"chatiyp/internal/core"
 	"chatiyp/internal/cyphereval"
@@ -65,8 +66,14 @@ type Runner struct {
 	Workers int
 }
 
-// Run evaluates every benchmark question. Records retain benchmark
-// order regardless of worker scheduling.
+// Run evaluates every benchmark question across a bounded worker pool.
+// Records retain benchmark order regardless of worker scheduling.
+//
+// The pool is cancellation-aware end to end: workers stop claiming new
+// questions once ctx is done (Run then returns ctx's error), and the
+// in-flight ones abort through the pipeline's own cancellation checks —
+// the underlying Cypher executions stop scanning, not just the harness
+// loop.
 func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	if r.Pipeline == nil || r.Judge == nil || r.Bench == nil {
 		return nil, fmt.Errorf("eval: Runner requires Pipeline, Judge and Bench")
@@ -75,25 +82,35 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(r.Bench.Questions) {
+		workers = len(r.Bench.Questions)
+	}
 	bert := metrics.NewBERTScorer()
 	geval := metrics.NewGEval(r.Judge)
 
 	records := make([]Record, len(r.Bench.Questions))
 	errs := make([]error, len(r.Bench.Questions))
-	sem := make(chan struct{}, workers)
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i, q := range r.Bench.Questions {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, q cyphereval.Question) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rec, err := r.evalOne(ctx, q, bert, geval)
-			records[i] = rec
-			errs[i] = err
-		}(i, q)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(r.Bench.Questions) || ctx.Err() != nil {
+					return
+				}
+				rec, err := r.evalOne(ctx, r.Bench.Questions[i], bert, geval)
+				records[i] = rec
+				errs[i] = err
+			}
+		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("eval: run canceled: %w", err)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -123,7 +140,7 @@ func (r *Runner) evalOne(ctx context.Context, q cyphereval.Question, bert *metri
 	rec.UsedFallback = ans.UsedVectorFallback
 
 	// Gold label: execution accuracy.
-	rec.ExecAccurate = r.executionAccurate(q.GoldCypher, ans)
+	rec.ExecAccurate = r.executionAccurate(ctx, q.GoldCypher, ans)
 
 	// Metrics.
 	rec.BLEU = metrics.BLEU(rec.Candidate, rec.Reference)
@@ -140,11 +157,11 @@ func (r *Runner) evalOne(ctx context.Context, q cyphereval.Question, bert *metri
 
 // executionAccurate compares the predicted query's result set against
 // the gold query's result set as multisets of row values.
-func (r *Runner) executionAccurate(gold string, ans *core.Answer) bool {
+func (r *Runner) executionAccurate(ctx context.Context, gold string, ans *core.Answer) bool {
 	if ans.CypherError != "" || ans.Cypher == "" {
 		return false
 	}
-	goldRes, err := r.Pipeline.Query(gold, nil)
+	goldRes, err := r.Pipeline.QueryContext(ctx, gold, nil)
 	if err != nil {
 		return false
 	}

@@ -31,16 +31,47 @@ func (c *Counter) Set(v int64) { c.v.Store(v) }
 // Value reads the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
-// Registry is a named set of counters. Counters are created on first
-// use and live for the registry's lifetime. Safe for concurrent use.
+// Gauge is an instantaneous level — in-flight requests, scheduler queue
+// depth — that moves both ways, unlike the monotonic Counter. The zero
+// value is ready to use; all methods are safe for concurrent use.
+// Inc/Dec/Add return the post-update value. Note that registry gauges
+// are externally mutable (Registry.Reset zeroes them), so control
+// decisions should key on private state and only mirror into a gauge.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one and returns the new level.
+func (g *Gauge) Inc() int64 { return g.v.Add(1) }
+
+// Dec subtracts one and returns the new level.
+func (g *Gauge) Dec() int64 { return g.v.Add(-1) }
+
+// Add adds delta and returns the new level.
+func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
+
+// Set overwrites the level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value reads the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry is a named set of counters and gauges. Instruments are
+// created on first use and live for the registry's lifetime; counter
+// and gauge namespaces are shared (one name is either a counter or a
+// gauge, and Snapshot merges both). Safe for concurrent use.
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 }
 
 // NewRegistry returns an empty counter registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: make(map[string]*Counter)}
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
 }
 
 // Default is the process-wide registry the pipeline and server use when
@@ -64,30 +95,63 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
-// Snapshot returns the current value of every counter, keyed by name.
+// Gauge returns the named gauge, creating it when absent.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Snapshot returns the current value of every counter and gauge, keyed
+// by name. When a name is registered as both, the gauge wins (levels
+// are the more informative reading).
 func (r *Registry) Snapshot() map[string]int64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make(map[string]int64, len(r.counters))
+	out := make(map[string]int64, len(r.counters)+len(r.gauges))
 	for name, c := range r.counters {
 		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
 	}
 	return out
 }
 
-// Names returns the registered counter names, sorted.
+// Names returns the registered counter and gauge names, sorted.
 func (r *Registry) Names() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.counters))
+	seen := make(map[string]bool, len(r.counters)+len(r.gauges))
+	out := make([]string, 0, len(r.counters)+len(r.gauges))
 	for name := range r.counters {
+		seen[name] = true
 		out = append(out, name)
+	}
+	for name := range r.gauges {
+		if !seen[name] {
+			out = append(out, name)
+		}
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Reset zeroes every counter (the registry keeps the names).
+// Reset zeroes every counter (the registry keeps the names). Gauges
+// are left alone: they are live levels maintained by Inc/Dec deltas
+// (in-flight requests, queue depth), and zeroing one mid-flight would
+// desynchronize it from reality permanently — the pending Dec calls
+// would drive it negative with no resync path.
 func (r *Registry) Reset() {
 	r.mu.RLock()
 	defer r.mu.RUnlock()

@@ -367,3 +367,52 @@ func TestCounterRegistryConcurrent(t *testing.T) {
 		t.Fatalf("value = %d, want 8000", got)
 	}
 }
+
+func TestGaugeRegistry(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("srv.inflight")
+	if g.Inc() != 1 || g.Inc() != 2 || g.Dec() != 1 {
+		t.Fatalf("gauge arithmetic broken, value = %d", g.Value())
+	}
+	if r.Gauge("srv.inflight") != g {
+		t.Fatal("same name must return same gauge")
+	}
+	g.Add(9)
+	r.Counter("srv.total").Set(3)
+	snap := r.Snapshot()
+	if snap["srv.inflight"] != 10 || snap["srv.total"] != 3 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "srv.inflight" || names[1] != "srv.total" {
+		t.Fatalf("names = %v", names)
+	}
+	r.Reset()
+	if r.Counter("srv.total").Value() != 0 {
+		t.Fatal("Reset did not zero counters")
+	}
+	// Gauges are live levels: Reset must NOT touch them, or pending
+	// Dec calls would drive them negative permanently.
+	if g.Value() != 10 {
+		t.Fatalf("Reset changed gauge level to %d, want 10", g.Value())
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Gauge("level").Inc()
+				r.Gauge("level").Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Gauge("level").Value(); got != 0 {
+		t.Fatalf("value = %d, want 0", got)
+	}
+}

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"chatiyp/internal/metrics"
+)
+
+func TestSchedulerAdmitsUpToCapacity(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := newScheduler(2, 0, reg)
+	r1, err := s.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge("server.inflight").Value(); got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+	// No queue: a third caller is rejected immediately.
+	if _, err := s.acquire(context.Background()); !errors.Is(err, errOverloaded) {
+		t.Fatalf("err = %v, want errOverloaded", err)
+	}
+	if got := reg.Counter("server.rejected").Value(); got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+	r1()
+	r1() // release is idempotent
+	r2()
+	if got := reg.Gauge("server.inflight").Value(); got != 0 {
+		t.Fatalf("inflight after release = %d, want 0", got)
+	}
+}
+
+func TestSchedulerQueueHandsOffSlot(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := newScheduler(1, 1, reg)
+	r1, err := s.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	var r2 func()
+	go func() {
+		var err error
+		r2, err = s.acquire(context.Background())
+		got <- err
+	}()
+	// Wait until the second caller is actually queued.
+	waitFor(t, func() bool { return reg.Gauge("server.queued").Value() == 1 })
+	// Queue full: third caller rejected.
+	if _, err := s.acquire(context.Background()); !errors.Is(err, errOverloaded) {
+		t.Fatalf("err = %v, want errOverloaded", err)
+	}
+	r1()
+	if err := <-got; err != nil {
+		t.Fatalf("queued acquire = %v", err)
+	}
+	r2()
+	if reg.Gauge("server.queued").Value() != 0 || reg.Gauge("server.inflight").Value() != 0 {
+		t.Fatalf("levels not restored: %v", reg.Snapshot())
+	}
+}
+
+func TestSchedulerQueuedCallerHonorsContext(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := newScheduler(1, 4, reg)
+	r1, err := s.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := s.acquire(ctx)
+		got <- err
+	}()
+	waitFor(t, func() bool { return reg.Gauge("server.queued").Value() == 1 })
+	cancel()
+	select {
+	case err := <-got:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued caller did not give up on cancel")
+	}
+	if got := reg.Counter("server.queue_canceled").Value(); got != 1 {
+		t.Fatalf("queue_canceled = %d, want 1", got)
+	}
+}
+
+func TestSchedulerDrain(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := newScheduler(1, 4, reg)
+	r1, err := s.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A queued waiter aborts when drain begins.
+	queued := make(chan error, 1)
+	go func() {
+		_, err := s.acquire(context.Background())
+		queued <- err
+	}()
+	waitFor(t, func() bool { return reg.Gauge("server.queued").Value() == 1 })
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.drain(context.Background()) }()
+	select {
+	case err := <-queued:
+		if !errors.Is(err, errDraining) {
+			t.Fatalf("queued err = %v, want errDraining", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued caller not aborted by drain")
+	}
+	// Drain blocks on the in-flight request.
+	select {
+	case <-drained:
+		t.Fatal("drain returned while a request was in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	r1()
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("drain = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("drain did not complete after release")
+	}
+	// Post-drain arrivals are rejected; drain is idempotent.
+	if _, err := s.acquire(context.Background()); !errors.Is(err, errDraining) {
+		t.Fatalf("post-drain acquire = %v, want errDraining", err)
+	}
+	if err := s.drain(context.Background()); err != nil {
+		t.Fatalf("second drain = %v", err)
+	}
+}
+
+func TestSchedulerDrainTimeout(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := newScheduler(1, 0, reg)
+	r1, err := s.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestSchedulerSaturatedConcurrency hammers the scheduler from many
+// goroutines (run under -race in CI) and checks the books balance.
+func TestSchedulerSaturatedConcurrency(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := newScheduler(4, 2, reg)
+	var wg sync.WaitGroup
+	var admitted, rejected metrics.Counter
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				release, err := s.acquire(context.Background())
+				if err != nil {
+					rejected.Inc()
+					continue
+				}
+				if lvl := reg.Gauge("server.inflight").Value(); lvl > 4 {
+					t.Errorf("inflight = %d, exceeds capacity", lvl)
+				}
+				admitted.Inc()
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted.Value() == 0 {
+		t.Fatal("nothing admitted under saturation")
+	}
+	if reg.Gauge("server.inflight").Value() != 0 || reg.Gauge("server.queued").Value() != 0 {
+		t.Fatalf("levels not restored: %v", reg.Snapshot())
+	}
+	if reg.Counter("server.admitted").Value() != admitted.Value() {
+		t.Fatalf("admitted counter = %d, want %d", reg.Counter("server.admitted").Value(), admitted.Value())
+	}
+	// Drain must terminate cleanly after the storm.
+	if err := s.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -8,12 +8,16 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -21,14 +25,21 @@ import (
 	"chatiyp/internal/cypher"
 	"chatiyp/internal/graph"
 	"chatiyp/internal/iyp"
+	"chatiyp/internal/metrics"
 )
 
 // Config assembles a Server.
 type Config struct {
 	// Pipeline answers questions. Required.
 	Pipeline *core.Pipeline
-	// AskTimeout bounds one question's processing (default 15s).
+	// AskTimeout bounds one question's processing (default 15s). The
+	// deadline genuinely aborts execution: the Cypher engine's
+	// cancellation checks stop in-flight scans, and the handler
+	// answers 504 with the timeout error shape.
 	AskTimeout time.Duration
+	// CypherTimeout bounds one POST /api/cypher execution (default
+	// 10s), with the same abort semantics as AskTimeout.
+	CypherTimeout time.Duration
 	// Logger receives request logs; nil disables logging.
 	Logger *log.Logger
 	// MaxQuestionLen rejects oversized inputs (default 1024 bytes).
@@ -39,16 +50,42 @@ type Config struct {
 	// user query cannot hold a worker for an unbounded scan. Zero
 	// means DefaultCypherRowLimit; negative disables the cap.
 	CypherRowLimit int
+	// MaxBodyBytes caps the request body on the POST endpoints;
+	// oversized bodies get 413 with a JSON error. Zero means
+	// DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// MaxConcurrent caps how many /api/ask and /api/cypher requests
+	// execute at once (the expensive endpoints share one scheduler).
+	// Zero means 2×GOMAXPROCS.
+	MaxConcurrent int
+	// MaxQueue caps how many requests may wait for an execution slot;
+	// beyond it the server answers 429 with Retry-After. Zero means
+	// 4×MaxConcurrent; negative disables queueing (reject as soon as
+	// all slots are busy).
+	MaxQueue int
+	// RetryAfter is the backoff hint sent with 429/503 responses
+	// (default 1s).
+	RetryAfter time.Duration
+	// DrainTimeout bounds the graceful shutdown: how long
+	// ListenAndServe waits for in-flight requests after its context
+	// ends (default 5s).
+	DrainTimeout time.Duration
 }
 
 // DefaultCypherRowLimit is the /api/cypher row cap applied when
 // Config.CypherRowLimit is zero.
 const DefaultCypherRowLimit = 10_000
 
+// DefaultMaxBodyBytes is the POST body cap applied when
+// Config.MaxBodyBytes is zero.
+const DefaultMaxBodyBytes = 1 << 20
+
 // Server is the ChatIYP HTTP front end.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg   Config
+	mux   *http.ServeMux
+	sched *scheduler
+	reg   *metrics.Registry
 }
 
 // ErrNoPipeline rejects a Config without a pipeline.
@@ -62,13 +99,35 @@ func New(cfg Config) (*Server, error) {
 	if cfg.AskTimeout == 0 {
 		cfg.AskTimeout = 15 * time.Second
 	}
+	if cfg.CypherTimeout == 0 {
+		cfg.CypherTimeout = 10 * time.Second
+	}
 	if cfg.MaxQuestionLen == 0 {
 		cfg.MaxQuestionLen = 1024
 	}
 	if cfg.CypherRowLimit == 0 {
 		cfg.CypherRowLimit = DefaultCypherRowLimit
 	}
-	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case cfg.MaxQueue == 0:
+		cfg.MaxQueue = 4 * cfg.MaxConcurrent
+	case cfg.MaxQueue < 0:
+		cfg.MaxQueue = 0
+	}
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), reg: cfg.Pipeline.Metrics()}
+	s.sched = newScheduler(cfg.MaxConcurrent, cfg.MaxQueue, s.reg)
 	s.mux.HandleFunc("GET /api/health", s.handleHealth)
 	s.mux.HandleFunc("GET /api/schema", s.handleSchema)
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
@@ -85,8 +144,10 @@ func (s *Server) Handler() http.Handler {
 	return s.logged(s.mux)
 }
 
-// ListenAndServe runs the server until the context is cancelled; it
-// performs a graceful shutdown with a 5-second drain.
+// ListenAndServe runs the server until the context is cancelled, then
+// shuts down gracefully: the scheduler drains first (queued requests
+// abort, new arrivals get 503, in-flight ones finish within
+// Config.DrainTimeout), and the HTTP server closes after.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	httpSrv := &http.Server{
 		Addr:              addr,
@@ -103,18 +164,111 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 		defer cancel()
-		return httpSrv.Shutdown(shutdownCtx)
+		if err := s.sched.drain(drainCtx); err != nil && s.cfg.Logger != nil {
+			s.cfg.Logger.Printf("drain incomplete: %v", err)
+		}
+		// Shutdown gets its own small budget: a drain that spent the
+		// whole DrainTimeout must not turn the connection close on the
+		// cheap endpoints into an instant abort.
+		shutCtx, cancel2 := context.WithTimeout(context.Background(), time.Second)
+		defer cancel2()
+		return httpSrv.Shutdown(shutCtx)
 	}
 }
 
+// Drain stops admitting /api/ask and /api/cypher requests and waits for
+// the in-flight ones (bounded by ctx). Exposed for embedders that run
+// their own http.Server around Handler().
+func (s *Server) Drain(ctx context.Context) error { return s.sched.drain(ctx) }
+
+// statusWriter records the status code and body size the handler
+// produced, so access logs show what was actually sent.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer so streaming handlers keep
+// working through the logging wrapper.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// optional interfaces (Hijacker, ReaderFrom, deadlines).
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// newRequestID mints a 12-hex-char request identifier.
+func newRequestID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// validRequestID restricts inbound X-Request-ID values to a safe
+// charset before they are echoed into headers and access logs — an
+// unrestricted value could forge log fields (spaces let a client embed
+// a fake "status duration id=" tail in the log line).
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// logged wraps every request with a status-recording writer and a
+// request ID: the ID is taken from an inbound X-Request-ID (so proxies
+// can correlate) or minted fresh, echoed back in the response header,
+// and included in the access log alongside the real status code.
 func (s *Server) logged(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if !validRequestID(id) {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
-		next.ServeHTTP(w, r)
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			// Nothing was written: net/http will send 200 on return.
+			sw.status = http.StatusOK
+		}
 		if s.cfg.Logger != nil {
-			s.cfg.Logger.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start))
+			s.cfg.Logger.Printf("%s %s %d %dB %s id=%s",
+				r.Method, r.URL.Path, sw.status, sw.bytes, time.Since(start), id)
 		}
 	})
 }
@@ -127,6 +281,88 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// decodeJSON decodes a body bounded by Config.MaxBodyBytes. Oversized
+// bodies answer 413 with a JSON error (not a silent decode failure);
+// malformed ones answer 400. It reports whether decoding succeeded.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(v)
+	if err == nil {
+		return true
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+		return false
+	}
+	writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+	return false
+}
+
+// admit asks the scheduler for an execution slot, translating
+// rejections into HTTP responses: 429 + Retry-After when the queue is
+// full, 503 + Retry-After while draining, 504 when the endpoint
+// deadline expired while waiting. ctx is the request's full deadline
+// context — queue wait burns the same budget execution would. It
+// reports whether the request may proceed; on true the caller must
+// invoke the release closure when done.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, timeout time.Duration) (func(), bool) {
+	release, err := s.sched.acquire(ctx)
+	if err == nil {
+		return release, true
+	}
+	// Retry-After is whole seconds; never emit 0 (it would invite an
+	// immediate retry, the opposite of backoff).
+	secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	retry := strconv.Itoa(secs)
+	switch {
+	case errors.Is(err, errOverloaded):
+		w.Header().Set("Retry-After", retry)
+		writeError(w, http.StatusTooManyRequests, "server overloaded: request queue is full")
+	case errors.Is(err, errDraining):
+		w.Header().Set("Retry-After", retry)
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+	case errors.Is(err, context.DeadlineExceeded):
+		// The endpoint deadline expired before a slot freed up: same
+		// timeout shape as an execution that ran out of time.
+		s.reg.Counter("server.deadline_exceeded").Inc()
+		writeJSON(w, http.StatusGatewayTimeout, map[string]any{
+			"error":   fmt.Sprintf("no execution slot within the %s deadline", timeout),
+			"timeout": true,
+		})
+	default:
+		// The client went away while queued.
+		writeError(w, http.StatusServiceUnavailable, "request canceled while queued: "+err.Error())
+	}
+	return nil, false
+}
+
+// writeExecError maps an execution failure to the response shape:
+// deadline expiry answers 504 with {"error": ..., "timeout": true},
+// other cancellations 503 with {"error": ..., "canceled": true}, and
+// anything else falls through to fallback.
+func (s *Server) writeExecError(w http.ResponseWriter, err error, timeout time.Duration, fallback func()) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.reg.Counter("server.deadline_exceeded").Inc()
+		writeJSON(w, http.StatusGatewayTimeout, map[string]any{
+			"error":   fmt.Sprintf("execution exceeded the %s deadline", timeout),
+			"timeout": true,
+		})
+	case errors.Is(err, cypher.ErrCanceled), errors.Is(err, context.Canceled):
+		s.reg.Counter("server.exec_canceled").Inc()
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":    "execution canceled: " + err.Error(),
+			"canceled": true,
+		})
+	default:
+		fallback()
+	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -184,8 +420,7 @@ type traceEntry struct {
 
 func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	var req AskRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	q := strings.TrimSpace(req.Question)
@@ -199,9 +434,16 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AskTimeout)
 	defer cancel()
+	release, ok := s.admit(ctx, w, s.cfg.AskTimeout)
+	if !ok {
+		return
+	}
+	defer release()
 	ans, err := s.cfg.Pipeline.Ask(ctx, q)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		s.writeExecError(w, err, s.cfg.AskTimeout, func() {
+			writeError(w, http.StatusInternalServerError, err.Error())
+		})
 		return
 	}
 	resp := AskResponse{
@@ -243,26 +485,34 @@ type CypherResponse struct {
 
 func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
 	var req CypherRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if strings.TrimSpace(req.Query) == "" {
 		writeError(w, http.StatusBadRequest, "query is required")
 		return
 	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.CypherTimeout)
+	defer cancel()
+	release, ok := s.admit(ctx, w, s.cfg.CypherTimeout)
+	if !ok {
+		return
+	}
+	defer release()
 	rowLimit := s.cfg.CypherRowLimit
 	if rowLimit < 0 {
 		rowLimit = 0 // negative config disables the cap
 	}
-	res, err := s.cfg.Pipeline.QueryLimited(req.Query, req.Params, rowLimit)
+	res, err := s.cfg.Pipeline.QueryLimitedContext(ctx, req.Query, req.Params, rowLimit)
 	if err != nil {
-		var syntaxErr *cypher.SyntaxError
-		if errors.As(err, &syntaxErr) {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		s.writeExecError(w, err, s.cfg.CypherTimeout, func() {
+			var syntaxErr *cypher.SyntaxError
+			if errors.As(err, &syntaxErr) {
+				writeError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			writeError(w, http.StatusUnprocessableEntity, err.Error())
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, CypherResponse{
@@ -274,8 +524,7 @@ func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
 // it.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var req CypherRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if strings.TrimSpace(req.Query) == "" {

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Runs the concurrent-serving benchmarks (parallel ask, batch ask,
+# parallel cypher, against their serial baselines) and writes
+# machine-readable results to BENCH_concurrency.json at the repo root,
+# so the concurrency trajectory is tracked across PRs. CI runs this on
+# every push; run it locally before scheduler or executor changes.
+set -eu
+cd "$(dirname "$0")/.."
+go test -run NONE -bench 'BenchmarkConcurrent' -benchmem -benchtime "${BENCHTIME:-1s}" . |
+	tee /dev/stderr |
+	go run ./cmd/benchjson > BENCH_concurrency.json
+echo "wrote BENCH_concurrency.json" >&2
