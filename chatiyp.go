@@ -54,6 +54,9 @@ type (
 	PlanCacheStats = cypher.PlanCacheStats
 	// BatchAnswer is one AskBatch result (question, answer, error).
 	BatchAnswer = core.BatchAnswer
+	// Stream is a pull iterator over one query's result rows (see
+	// QueryStream).
+	Stream = cypher.Stream
 )
 
 // ErrCanceled matches any query execution aborted by context
@@ -159,6 +162,16 @@ func (s *System) Query(query string, params map[string]any) (*Result, error) {
 // ctx ends, execution aborts early with an error matching ErrCanceled.
 func (s *System) QueryContext(ctx context.Context, query string, params map[string]any) (*Result, error) {
 	return s.pipeline.QueryContext(ctx, query, params)
+}
+
+// QueryStream executes raw Cypher and returns a pull iterator instead
+// of a materialized result: rows come off the streaming operator
+// pipeline as the scan produces them, so callers can process (or
+// forward) the first row before the last one exists. Callers must
+// Close the stream; canceling ctx aborts the in-flight pull with an
+// error matching ErrCanceled.
+func (s *System) QueryStream(ctx context.Context, query string, params map[string]any) (*Stream, error) {
+	return s.pipeline.QueryStreamContext(ctx, query, params, 0)
 }
 
 // Explain returns the access plan a query would use — which node

@@ -159,3 +159,33 @@ func TestQueryContextFacade(t *testing.T) {
 		t.Fatal("no value")
 	}
 }
+
+func TestQueryStreamFacade(t *testing.T) {
+	sys := smallSystem(t)
+	st, err := sys.QueryStream(context.Background(), "MATCH (a:AS) RETURN a.asn", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if cols := st.Columns(); len(cols) != 1 || cols[0] != "a.asn" {
+		t.Fatalf("columns = %v", cols)
+	}
+	var n int
+	for {
+		_, ok, err := st.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	res, err := sys.Query("MATCH (a:AS) RETURN count(a)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Value(); v != int64(n) {
+		t.Fatalf("streamed %d rows, count(a) = %v", n, v)
+	}
+}

@@ -1,0 +1,344 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chatiyp/internal/api"
+	"chatiyp/internal/core"
+	"chatiyp/internal/iyp"
+	"chatiyp/internal/llm"
+	"chatiyp/internal/metrics"
+	"chatiyp/internal/server"
+)
+
+// newBackend boots a real ChatIYP server over the small synthetic
+// graph and returns a client pointed at it.
+func newBackend(t testing.TB, tune func(*server.Config)) (*Client, *iyp.World) {
+	t.Helper()
+	g, w, err := iyp.Build(iyp.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCfg := llm.DefaultSimConfig(core.BuildLexicon(g))
+	simCfg.ErrorScale = 0
+	p, err := core.New(core.Config{Graph: g, Model: llm.NewSim(simCfg), Metrics: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := server.Config{Pipeline: p}
+	if tune != nil {
+		tune(&cfg)
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, w
+}
+
+func TestNewRejectsBadURL(t *testing.T) {
+	for _, u := range []string{"://nope", "ftp://host", ""} {
+		if _, err := New(u); err == nil {
+			t.Errorf("New(%q) accepted", u)
+		}
+	}
+}
+
+func TestClientAsk(t *testing.T) {
+	c, w := newBackend(t, nil)
+	ans, err := c.Ask(context.Background(), fmt.Sprintf("What is the name of AS%d?", w.ASes[0].ASN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ans.Answer, w.ASes[0].Name) {
+		t.Errorf("answer = %q", ans.Answer)
+	}
+	if ans.Cypher == "" {
+		t.Error("executed Cypher missing from answer")
+	}
+}
+
+func TestClientAskBatch(t *testing.T) {
+	c, w := newBackend(t, nil)
+	questions := []string{
+		fmt.Sprintf("What is the name of AS%d?", w.ASes[0].ASN),
+		fmt.Sprintf("What is the name of AS%d?", w.ASes[1].ASN),
+	}
+	results, err := c.AskBatch(context.Background(), questions, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, res := range results {
+		if res.Error != nil {
+			t.Errorf("result %d: %+v", i, res.Error)
+			continue
+		}
+		if !strings.Contains(res.Answer.Answer, w.ASes[i].Name) {
+			t.Errorf("result %d answer = %q", i, res.Answer.Answer)
+		}
+	}
+}
+
+func TestClientQueryAndExplain(t *testing.T) {
+	c, w := newBackend(t, nil)
+	res, err := c.Query(context.Background(), "MATCH (a:AS {asn: $asn}) RETURN a.name", map[string]any{"asn": w.ASes[0].ASN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != w.ASes[0].Name {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	plan, err := c.Explain(context.Background(), fmt.Sprintf("MATCH (a:AS {asn: %d}) RETURN a.asn", w.ASes[0].ASN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "property index") {
+		t.Errorf("plan = %q", plan)
+	}
+	if err := c.Health(context.Background()); err != nil {
+		t.Errorf("health: %v", err)
+	}
+}
+
+func TestClientAPIErrorTyped(t *testing.T) {
+	c, _ := newBackend(t, nil)
+	_, err := c.Query(context.Background(), "NOT CYPHER", nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %T (%v), want *APIError", err, err)
+	}
+	if apiErr.Status != http.StatusBadRequest || apiErr.Code != api.CodeParseError {
+		t.Errorf("apiErr = %+v", apiErr)
+	}
+	if apiErr.RequestID == "" {
+		t.Error("request ID missing")
+	}
+	if apiErr.Temporary() {
+		t.Error("parse error reported temporary")
+	}
+}
+
+func TestClientQueryPageWalksAllPages(t *testing.T) {
+	c, _ := newBackend(t, nil)
+	ctx := context.Background()
+	full, err := c.Query(ctx, "MATCH (a:AS) RETURN a.asn ORDER BY a.asn", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows int
+	cursor := ""
+	pages := 0
+	for {
+		page, err := c.QueryPage(ctx, "MATCH (a:AS) RETURN a.asn ORDER BY a.asn", nil, cursor, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows += len(page.Rows)
+		pages++
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if rows != len(full.Rows) || pages < 2 {
+		t.Errorf("rows = %d (want %d), pages = %d", rows, len(full.Rows), pages)
+	}
+}
+
+func TestClientQueryStream(t *testing.T) {
+	c, _ := newBackend(t, nil)
+	rows, err := c.QueryStream(context.Background(), "UNWIND range(1, 1000) AS x RETURN x, x * 2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if cols := rows.Columns(); len(cols) != 2 || cols[0] != "x" {
+		t.Fatalf("columns = %v", cols)
+	}
+	var n int
+	for rows.Next() {
+		row := rows.Row()
+		if len(row) != 2 {
+			t.Fatalf("row = %v", row)
+		}
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 || rows.Count() != 1000 {
+		t.Errorf("rows = %d", n)
+	}
+	if rows.Truncated() {
+		t.Error("unexpected truncation")
+	}
+}
+
+func TestClientQueryStreamServerError(t *testing.T) {
+	c, _ := newBackend(t, nil)
+	_, err := c.QueryStream(context.Background(), "NOT CYPHER", nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeParseError {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestClientRetriesHonorRetryAfter drives the retry loop against a
+// stub that rejects twice with 429 + Retry-After before succeeding,
+// and checks the client slept what the server asked.
+func TestClientRetriesHonorRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "3")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintf(w, `{"error": {"code": %q, "message": "busy", "retry_after": 3}}`, api.CodeOverloaded)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"columns": ["x"], "rows": [[1]], "stats": {}, "truncated": false}`)
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept []time.Duration
+	c.sleep = func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	res, err := c.Query(context.Background(), "RETURN 1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("calls = %d, want 3", calls.Load())
+	}
+	if len(slept) != 2 || slept[0] != 3*time.Second || slept[1] != 3*time.Second {
+		t.Errorf("slept = %v, want two 3s waits", slept)
+	}
+}
+
+func TestClientRetriesExhaust(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, `{"error": {"code": %q, "message": "draining"}}`, api.CodeUnavailable)
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL, WithRetries(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.sleep = func(context.Context, time.Duration) error { return nil }
+	_, err = c.Query(context.Background(), "RETURN 1", nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v", err)
+	}
+	if !apiErr.Temporary() {
+		t.Error("503 not Temporary")
+	}
+	if calls.Load() != 3 { // initial + 2 retries
+		t.Errorf("calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestClientDoesNotRetryTimeouts(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGatewayTimeout)
+		fmt.Fprintf(w, `{"error": {"code": %q, "message": "too slow"}}`, api.CodeTimeout)
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(context.Background(), "RETURN 1", nil); err == nil {
+		t.Fatal("no error")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d, want 1 (504 must not be retried)", calls.Load())
+	}
+}
+
+// BenchmarkStreamHTTP measures the full client-to-server NDJSON path
+// over a 100k-row scan. The reported allocations are per-iteration for
+// the whole stream: per-row memory is decode-and-drop, so client-side
+// row retention stays O(1) regardless of result size.
+func BenchmarkStreamHTTP(b *testing.B) {
+	c, _ := newBackend(b, func(cfg *server.Config) {
+		cfg.CypherRowLimit = -1
+		cfg.CypherTimeout = 5 * time.Minute
+	})
+	const query = "UNWIND range(1, 100000) AS x RETURN x"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := c.QueryStream(context.Background(), query, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for rows.Next() {
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			b.Fatal(err)
+		}
+		rows.Close()
+		if n != 100000 {
+			b.Fatalf("rows = %d", n)
+		}
+	}
+}
+
+// BenchmarkQueryJSON is the materialized-JSON counterpart of
+// BenchmarkStreamHTTP over the same scan, for comparing the
+// transports.
+func BenchmarkQueryJSON(b *testing.B) {
+	c, _ := newBackend(b, func(cfg *server.Config) {
+		cfg.CypherRowLimit = -1
+		cfg.CypherTimeout = 5 * time.Minute
+	})
+	const query = "UNWIND range(1, 100000) AS x RETURN x"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.Query(context.Background(), query, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 100000 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}

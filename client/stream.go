@@ -1,0 +1,144 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"chatiyp/internal/api"
+	"chatiyp/internal/graph"
+)
+
+// Rows iterates one NDJSON result stream. It holds only the current
+// row — a 100k-row scan costs the client O(1) rows of memory no matter
+// how large the result — and surfaces the server's trailer (stats,
+// truncation, mid-stream errors) once the stream ends.
+//
+//	rows, err := c.QueryStream(ctx, "MATCH (a:AS) RETURN a.asn", nil)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//	    use(rows.Row())
+//	}
+//	if err := rows.Err(); err != nil { ... }
+type Rows struct {
+	body    io.ReadCloser
+	dec     *json.Decoder
+	cols    []string
+	cur     []graph.Value
+	count   int
+	trailer *api.StreamRecord
+	err     error
+	done    bool
+}
+
+// QueryStream executes raw Cypher with the NDJSON transport: the
+// returned Rows yields rows as the server's scan produces them, so the
+// first row is available long before a large result finishes. The
+// stream honors ctx — cancel it to abandon the query server-side.
+func (c *Client) QueryStream(ctx context.Context, query string, params map[string]any) (*Rows, error) {
+	resp, err := c.post(ctx, "/v1/cypher", api.CypherRequest{Query: query, Params: params}, api.MediaNDJSON)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeAPIError(resp)
+	}
+	r := &Rows{body: resp.Body, dec: json.NewDecoder(resp.Body)}
+	// Preserve numeric literals: row values decode as json.Number, so
+	// an int64 the server streamed renders as "5067", not "5067.0" —
+	// callers doing arithmetic call Int64/Float64 on it explicitly.
+	r.dec.UseNumber()
+	var header api.StreamRecord
+	if err := r.dec.Decode(&header); err != nil || header.Type != api.RecordHeader {
+		resp.Body.Close()
+		if err == nil {
+			err = fmt.Errorf("client: stream began with %q record, want header", header.Type)
+		}
+		return nil, fmt.Errorf("client: reading stream header: %w", err)
+	}
+	r.cols = header.Columns
+	return r, nil
+}
+
+// Columns returns the result column names (available immediately).
+func (r *Rows) Columns() []string { return r.cols }
+
+// Next advances to the next row, reporting false at end of stream or
+// on error (check Err afterwards, exactly like database/sql).
+func (r *Rows) Next() bool {
+	if r.done {
+		return false
+	}
+	var rec api.StreamRecord
+	if err := r.dec.Decode(&rec); err != nil {
+		r.err = fmt.Errorf("client: stream broken after %d rows: %w", r.count, err)
+		r.finish()
+		return false
+	}
+	switch rec.Type {
+	case api.RecordRow:
+		r.cur = rec.Row
+		r.count++
+		return true
+	case api.RecordTrailer:
+		r.trailer = &rec
+		if rec.Error != nil {
+			r.err = &APIError{
+				Status:    http.StatusOK, // the failure arrived after the 200 was committed
+				Code:      rec.Error.Code,
+				Message:   rec.Error.Message,
+				RequestID: rec.Error.RequestID,
+			}
+		}
+		r.finish()
+		return false
+	default:
+		r.err = fmt.Errorf("client: unexpected %q record mid-stream", rec.Type)
+		r.finish()
+		return false
+	}
+}
+
+// Row returns the current row. Valid until the next call to Next; the
+// caller owns the values.
+func (r *Rows) Row() []graph.Value { return r.cur }
+
+// Count reports how many rows Next has yielded so far.
+func (r *Rows) Count() int { return r.count }
+
+// Err returns the error that ended the stream, if any: transport
+// failures, malformed framing, or a server-side failure delivered in
+// the trailer (an *APIError with the stable code).
+func (r *Rows) Err() error { return r.err }
+
+// Truncated reports whether the server's row cap cut the stream off.
+// Meaningful once Next returned false.
+func (r *Rows) Truncated() bool { return r.trailer != nil && r.trailer.Truncated }
+
+// Stats returns the server-reported write statistics from the trailer
+// (zero for read queries or an unfinished stream).
+func (r *Rows) Stats() api.WriteStats {
+	if r.trailer == nil || r.trailer.Stats == nil {
+		return api.WriteStats{}
+	}
+	return *r.trailer.Stats
+}
+
+// Close abandons the stream. Safe to call at any point and after
+// Next returned false; iterating to the end and closing are both fine.
+func (r *Rows) Close() error {
+	r.finish()
+	return nil
+}
+
+func (r *Rows) finish() {
+	if !r.done {
+		r.done = true
+		r.body.Close()
+	}
+	r.cur = nil
+}

@@ -1,0 +1,158 @@
+// Command apismoke drives a running chatiyp-server through the client
+// SDK and verifies the v1 surface end to end: health, JSON Cypher,
+// cursor pagination, the streaming NDJSON transport, ask, batch ask,
+// explain, and the error envelope. It exits non-zero on the first
+// failed check — CI runs it against a freshly booted server (see
+// scripts/smoke_api.sh).
+//
+// Usage:
+//
+//	apismoke -server http://127.0.0.1:18080 -wait 30s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"chatiyp/client"
+)
+
+func main() {
+	var (
+		server = flag.String("server", "http://127.0.0.1:18080", "ChatIYP server base URL")
+		wait   = flag.Duration("wait", 30*time.Second, "how long to wait for the server to come up")
+	)
+	flag.Parse()
+
+	c, err := client.New(*server)
+	if err != nil {
+		fatal("client: %v", err)
+	}
+	ctx := context.Background()
+
+	// Wait for the server to come up.
+	deadline := time.Now().Add(*wait)
+	for {
+		if err = c.Health(ctx); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatal("server did not become healthy within %v: %v", *wait, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	pass("health")
+
+	// JSON mode.
+	res, err := c.Query(ctx, "MATCH (a:AS) RETURN a.asn ORDER BY a.asn", nil)
+	if err != nil {
+		fatal("json query: %v", err)
+	}
+	if len(res.Columns) != 1 || len(res.Rows) == 0 {
+		fatal("json query: unexpected result %d cols / %d rows", len(res.Columns), len(res.Rows))
+	}
+	total := len(res.Rows)
+	pass("json query (%d rows)", total)
+
+	// Parameters.
+	firstASN := res.Rows[0][0]
+	pres, err := c.Query(ctx, "MATCH (a:AS {asn: $asn}) RETURN a.name", map[string]any{"asn": firstASN})
+	if err != nil || len(pres.Rows) != 1 {
+		fatal("parameterized query: rows=%v err=%v", pres, err)
+	}
+	pass("parameterized query")
+
+	// Cursor pagination: walk all pages and compare against the full
+	// result.
+	var paged, pages int
+	cursor := ""
+	for {
+		page, err := c.QueryPage(ctx, "MATCH (a:AS) RETURN a.asn ORDER BY a.asn", nil, cursor, 7)
+		if err != nil {
+			fatal("pagination page %d: %v", pages, err)
+		}
+		paged += len(page.Rows)
+		pages++
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if paged != total || pages < 2 {
+		fatal("pagination: %d rows over %d pages, want %d rows over >= 2 pages", paged, pages, total)
+	}
+	pass("cursor pagination (%d pages)", pages)
+
+	// NDJSON streaming.
+	rows, err := c.QueryStream(ctx, "UNWIND range(1, 5000) AS x RETURN x, x * x", nil)
+	if err != nil {
+		fatal("stream open: %v", err)
+	}
+	for rows.Next() {
+	}
+	if err := rows.Err(); err != nil {
+		fatal("stream: %v", err)
+	}
+	if rows.Count() != 5000 {
+		fatal("stream: %d rows, want 5000", rows.Count())
+	}
+	rows.Close()
+	pass("ndjson stream (%d rows)", 5000)
+
+	// Ask + batch.
+	ans, err := c.Ask(ctx, "How many ASes are in the graph?")
+	if err != nil {
+		fatal("ask: %v", err)
+	}
+	if ans.Answer == "" {
+		fatal("ask: empty answer")
+	}
+	pass("ask")
+	results, err := c.AskBatch(ctx, []string{
+		"How many ASes are in the graph?",
+		"How many IXPs are in the graph?",
+	}, 2)
+	if err != nil {
+		fatal("batch: %v", err)
+	}
+	if len(results) != 2 {
+		fatal("batch: %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Error != nil {
+			fatal("batch[%d]: %s: %s", i, r.Error.Code, r.Error.Message)
+		}
+	}
+	pass("ask batch")
+
+	// Explain.
+	plan, err := c.Explain(ctx, "MATCH (a:AS {asn: 2497}) RETURN a.asn")
+	if err != nil || plan == "" {
+		fatal("explain: plan=%q err=%v", plan, err)
+	}
+	pass("explain")
+
+	// Error envelope: a parse error must come back typed with the
+	// stable code.
+	_, err = c.Query(ctx, "NOT CYPHER", nil)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "parse_error" {
+		fatal("error envelope: err=%v", err)
+	}
+	pass("error envelope (code=%s, request=%s)", apiErr.Code, apiErr.RequestID)
+
+	fmt.Println("apismoke: all checks passed")
+}
+
+func pass(format string, args ...any) {
+	fmt.Printf("ok   "+format+"\n", args...)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "FAIL "+format+"\n", args...)
+	os.Exit(1)
+}

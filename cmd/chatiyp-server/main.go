@@ -1,7 +1,8 @@
-// Command chatiyp-server runs the ChatIYP web application: the JSON API
-// (/api/ask, /api/cypher, /api/explain, /api/schema, /api/stats,
-// /api/metrics) plus the embedded single-page UI, mirroring the paper's
-// public deployment.
+// Command chatiyp-server runs the ChatIYP web application: the
+// versioned /v1/ API (ask, batch ask, Cypher over JSON / paginated
+// JSON / streaming NDJSON, explain, schema, stats, metrics — see
+// docs/API.md), the deprecated /api/* shims, and the embedded
+// single-page UI, mirroring the paper's public deployment.
 //
 // Usage:
 //

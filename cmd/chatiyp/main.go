@@ -1,12 +1,15 @@
 // Command chatiyp is the interactive ChatIYP client: ask natural-
 // language questions about the IYP graph from the terminal and see the
-// answer alongside the executed Cypher query.
+// answer alongside the executed Cypher query. With -server it runs in
+// remote mode, talking to a chatiyp-server over the v1 API through the
+// client SDK instead of building a local system.
 //
 // Usage:
 //
 //	chatiyp -q "What is the percentage of Japan's population in AS2497?"
 //	chatiyp            # REPL mode: one question per line
 //	chatiyp -trace -q "..."
+//	chatiyp -server http://localhost:8080 -q "..."
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"strings"
 
 	"chatiyp"
+	"chatiyp/client"
 	"chatiyp/internal/iyp"
 )
 
@@ -29,19 +33,36 @@ func main() {
 		seed     = flag.Int64("seed", 0, "simulated model seed (0 = default)")
 		small    = flag.Bool("small", false, "use the small dataset (fast startup)")
 		graphIn  = flag.String("graph", "", "load the knowledge graph from a snapshot instead of generating it")
+		remote   = flag.String("server", "", "remote mode: ChatIYP server base URL (e.g. http://localhost:8080)")
 	)
 	flag.Parse()
 
-	sys, err := buildSystem(*graphIn, *small, *perfect, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "chatiyp:", err)
-		os.Exit(1)
+	var askFn func(question string, trace bool) error
+	if *remote != "" {
+		c, err := client.New(*remote)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chatiyp:", err)
+			os.Exit(1)
+		}
+		if err := c.Health(context.Background()); err != nil {
+			fmt.Fprintln(os.Stderr, "chatiyp: server unreachable:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "connected to %s\n", *remote)
+		askFn = func(q string, trace bool) error { return askRemote(c, q, trace) }
+	} else {
+		sys, err := buildSystem(*graphIn, *small, *perfect, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chatiyp:", err)
+			os.Exit(1)
+		}
+		stats := sys.Graph().CollectStats()
+		fmt.Fprintf(os.Stderr, "IYP graph ready: %d nodes, %d relationships\n", stats.Nodes, stats.Relationships)
+		askFn = func(q string, trace bool) error { return ask(sys, q, trace) }
 	}
-	stats := sys.Graph().CollectStats()
-	fmt.Fprintf(os.Stderr, "IYP graph ready: %d nodes, %d relationships\n", stats.Nodes, stats.Relationships)
 
 	if *question != "" {
-		if err := ask(sys, *question, *trace); err != nil {
+		if err := askFn(*question, *trace); err != nil {
 			fmt.Fprintln(os.Stderr, "chatiyp:", err)
 			os.Exit(1)
 		}
@@ -59,10 +80,44 @@ func main() {
 		if line == "" {
 			continue
 		}
-		if err := ask(sys, line, *trace); err != nil {
+		if err := askFn(line, *trace); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
 	}
+}
+
+// askRemote answers one question through the v1 API, mirroring the
+// local renderer.
+func askRemote(c *client.Client, question string, trace bool) error {
+	ans, err := c.Ask(context.Background(), question)
+	if err != nil {
+		return err
+	}
+	fmt.Println(ans.Answer)
+	if ans.Cypher != "" {
+		fmt.Printf("\n  cypher: %s\n", ans.Cypher)
+	}
+	if ans.CypherError != "" {
+		fmt.Printf("\n  structured retrieval failed: %s\n", ans.CypherError)
+	}
+	if ans.Fallback {
+		fmt.Println("  (semantic fallback contributed context)")
+	}
+	if trace {
+		fmt.Println("\n  trace:")
+		for _, st := range ans.Trace {
+			line := fmt.Sprintf("    %-12s %.1fms", st.Stage, st.DurationMS)
+			if st.Detail != "" {
+				line += "  " + st.Detail
+			}
+			if st.Err != "" {
+				line += "  ERR: " + st.Err
+			}
+			fmt.Println(line)
+		}
+	}
+	fmt.Println()
+	return nil
 }
 
 func buildSystem(graphPath string, small, perfect bool, seed int64) (*chatiyp.System, error) {

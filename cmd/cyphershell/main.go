@@ -1,22 +1,27 @@
 // Command cyphershell is an interactive Cypher shell over the synthetic
 // IYP graph — the expert-mode access path that ChatIYP exists to make
-// unnecessary.
+// unnecessary. With -server it runs in remote mode: queries go to a
+// chatiyp-server over the v1 API's streaming NDJSON transport through
+// the client SDK, and rows print as the server produces them.
 //
 // Usage:
 //
 //	cyphershell
 //	cyphershell -c "MATCH (a:AS {asn: 2497}) RETURN a"
 //	cyphershell -graph snapshot.bin
+//	cyphershell -server http://localhost:8080
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"chatiyp/client"
 	"chatiyp/internal/cypher"
 	"chatiyp/internal/graph"
 	"chatiyp/internal/iyp"
@@ -27,20 +32,37 @@ func main() {
 		command = flag.String("c", "", "one-shot query (omit for REPL mode)")
 		small   = flag.Bool("small", false, "use the small dataset")
 		graphIn = flag.String("graph", "", "load the graph from a snapshot")
+		remote  = flag.String("server", "", "remote mode: ChatIYP server base URL (e.g. http://localhost:8080)")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*graphIn, *small)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cyphershell:", err)
-		os.Exit(1)
+	var runFn func(query string) error
+	if *remote != "" {
+		c, err := client.New(*remote)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cyphershell:", err)
+			os.Exit(1)
+		}
+		if err := c.Health(context.Background()); err != nil {
+			fmt.Fprintln(os.Stderr, "cyphershell: server unreachable:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "connected to %s — rows stream as the server produces them\n", *remote)
+		runFn = func(q string) error { return runRemote(c, q) }
+	} else {
+		g, err := loadGraph(*graphIn, *small)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cyphershell:", err)
+			os.Exit(1)
+		}
+		stats := g.CollectStats()
+		fmt.Fprintf(os.Stderr, "graph ready: %d nodes, %d relationships — type Cypher, end with ';' or newline\n",
+			stats.Nodes, stats.Relationships)
+		runFn = func(q string) error { return run(g, q) }
 	}
-	stats := g.CollectStats()
-	fmt.Fprintf(os.Stderr, "graph ready: %d nodes, %d relationships — type Cypher, end with ';' or newline\n",
-		stats.Nodes, stats.Relationships)
 
 	if *command != "" {
-		if err := run(g, *command); err != nil {
+		if err := runFn(*command); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -60,10 +82,58 @@ func main() {
 		if line == "exit" || line == "quit" {
 			break
 		}
-		if err := run(g, line); err != nil {
+		if err := runFn(line); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
 	}
+}
+
+// runRemote executes one query against the server. EXPLAIN goes to
+// /v1/explain; everything else streams over NDJSON and prints rows
+// incrementally, so a large result starts rendering before the scan
+// finishes.
+func runRemote(c *client.Client, query string) error {
+	ctx := context.Background()
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(query), "EXPLAIN "); ok {
+		plan, err := c.Explain(ctx, rest)
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return nil
+	}
+	start := time.Now()
+	rows, err := c.QueryStream(ctx, query, nil)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	if cols := rows.Columns(); len(cols) > 0 {
+		fmt.Println(strings.Join(cols, " | "))
+		fmt.Println(strings.Repeat("-", len(strings.Join(cols, " | "))))
+	}
+	for rows.Next() {
+		row := rows.Row()
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = graph.FormatValue(v)
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	summary := fmt.Sprintf("%d rows in %v", rows.Count(), time.Since(start))
+	if rows.Truncated() {
+		summary += " (truncated by the server row cap)"
+	}
+	if st := rows.Stats(); st.Changed() {
+		summary += fmt.Sprintf(" (created %d nodes, %d rels; set %d props; deleted %d nodes, %d rels)",
+			st.NodesCreated, st.RelationshipsCreated, st.PropertiesSet,
+			st.NodesDeleted, st.RelationshipsDeleted)
+	}
+	fmt.Fprintln(os.Stderr, summary)
+	return nil
 }
 
 func loadGraph(path string, small bool) (*graph.Graph, error) {

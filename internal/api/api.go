@@ -1,0 +1,231 @@
+// Package api defines the wire contract of the versioned ChatIYP HTTP
+// API (v1): the request/response structs shared by internal/server and
+// the public client SDK, the uniform error envelope every v1 handler
+// answers with, the stable error-code vocabulary, the NDJSON stream
+// framing, and the opaque pagination cursor.
+//
+// The contract is the product: clients program against these types and
+// codes, not against handler-specific shapes, so everything here is
+// additive-only once released — fields may be added, never renamed or
+// repurposed.
+package api
+
+import (
+	"chatiyp/internal/graph"
+)
+
+// Media types the v1 surface negotiates.
+const (
+	// MediaJSON is the default response encoding: one materialized
+	// JSON body per request.
+	MediaJSON = "application/json"
+	// MediaNDJSON is the streaming response encoding: one JSON record
+	// per line (header, rows, trailer — see StreamRecord), written as
+	// the query engine produces rows.
+	MediaNDJSON = "application/x-ndjson"
+)
+
+// Stable v1 error codes. Clients switch on these, not on message text.
+const (
+	// CodeBadRequest: malformed body, missing/invalid fields.
+	CodeBadRequest = "bad_request"
+	// CodeParseError: the Cypher query failed to parse.
+	CodeParseError = "parse_error"
+	// CodeExecError: the query parsed but execution failed (unknown
+	// parameter, type error, intermediate-result bound).
+	CodeExecError = "exec_error"
+	// CodeTimeout: the per-endpoint deadline expired (queued or
+	// executing). Mapped to HTTP 504.
+	CodeTimeout = "timeout"
+	// CodeCanceled: the client went away and execution was aborted.
+	// Mapped to HTTP 499 (client closed request).
+	CodeCanceled = "canceled"
+	// CodeOverloaded: the admission queue is full; retry after the
+	// advertised backoff. Mapped to HTTP 429.
+	CodeOverloaded = "overloaded"
+	// CodeUnavailable: the server is draining for shutdown. Mapped to
+	// HTTP 503.
+	CodeUnavailable = "unavailable"
+	// CodeBodyTooLarge: the request body exceeded the server's cap.
+	// Mapped to HTTP 413.
+	CodeBodyTooLarge = "body_too_large"
+	// CodeNotFound: no route matches the path. Mapped to HTTP 404.
+	CodeNotFound = "not_found"
+	// CodeUnsupportedMedia: the request Content-Type is not JSON.
+	// Mapped to HTTP 415.
+	CodeUnsupportedMedia = "unsupported_media_type"
+	// CodeNotAcceptable: the Accept header admits neither JSON nor
+	// NDJSON. Mapped to HTTP 406.
+	CodeNotAcceptable = "not_acceptable"
+	// CodeBadCursor: the pagination cursor is malformed or belongs to
+	// a different query. Mapped to HTTP 400.
+	CodeBadCursor = "bad_cursor"
+	// CodeStaleCursor: the graph changed since the cursor was issued;
+	// the client must restart from the first page. Mapped to HTTP 410.
+	CodeStaleCursor = "stale_cursor"
+	// CodeInternal: an unexpected server-side failure. Mapped to HTTP
+	// 500.
+	CodeInternal = "internal"
+)
+
+// StatusClientClosedRequest is the non-standard (nginx-convention)
+// status v1 answers when execution was aborted because the client went
+// away: no standard 4xx says "you hung up", and 5xx would page the
+// wrong people.
+const StatusClientClosedRequest = 499
+
+// ErrorDetail is the body of the uniform error envelope.
+type ErrorDetail struct {
+	// Code is one of the stable Code* constants.
+	Code string `json:"code"`
+	// Message is human-readable detail. Not part of the stable
+	// contract; clients must switch on Code.
+	Message string `json:"message"`
+	// RetryAfter is the server's backoff hint in whole seconds,
+	// present on overloaded/unavailable responses (it mirrors the
+	// Retry-After header for clients that only see the body).
+	RetryAfter int `json:"retry_after,omitempty"`
+	// RequestID correlates the failure with the server's access log
+	// (the X-Request-ID header carries the same value).
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// ErrorEnvelope is the one error shape every v1 handler writes:
+//
+//	{"error": {"code": "...", "message": "...", ...}}
+type ErrorEnvelope struct {
+	Err ErrorDetail `json:"error"`
+}
+
+// WriteStats counts the side effects of write clauses, in wire form
+// (snake_case; mirrors cypher.WriteStats field for field).
+type WriteStats struct {
+	NodesCreated         int `json:"nodes_created"`
+	NodesDeleted         int `json:"nodes_deleted"`
+	RelationshipsCreated int `json:"relationships_created"`
+	RelationshipsDeleted int `json:"relationships_deleted"`
+	PropertiesSet        int `json:"properties_set"`
+	LabelsAdded          int `json:"labels_added"`
+	LabelsRemoved        int `json:"labels_removed"`
+}
+
+// Changed reports whether any write happened.
+func (s WriteStats) Changed() bool { return s != WriteStats{} }
+
+// AskRequest is the POST /v1/ask input.
+type AskRequest struct {
+	Question string `json:"question"`
+}
+
+// TraceEntry is one pipeline stage of an answer's trace.
+type TraceEntry struct {
+	Stage      string  `json:"stage"`
+	Detail     string  `json:"detail,omitempty"`
+	Err        string  `json:"error,omitempty"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// ContextRecord is one retrieved context unit handed to generation.
+type ContextRecord struct {
+	Source string  `json:"source"`
+	Text   string  `json:"text"`
+	Score  float64 `json:"score,omitempty"`
+}
+
+// AskResponse is the POST /v1/ask output: the answer, the executed
+// Cypher (transparency, per the paper), result rows, context and trace.
+type AskResponse struct {
+	Question    string          `json:"question"`
+	Answer      string          `json:"answer"`
+	Cypher      string          `json:"cypher,omitempty"`
+	CypherError string          `json:"cypher_error,omitempty"`
+	Columns     []string        `json:"columns,omitempty"`
+	Rows        [][]graph.Value `json:"rows,omitempty"`
+	Context     []ContextRecord `json:"context,omitempty"`
+	Fallback    bool            `json:"used_vector_fallback"`
+	DurationMS  float64         `json:"duration_ms"`
+	Trace       []TraceEntry    `json:"trace,omitempty"`
+}
+
+// AskBatchRequest is the POST /v1/ask/batch input. Workers bounds the
+// batch's internal concurrency; zero lets the server choose.
+type AskBatchRequest struct {
+	Questions []string `json:"questions"`
+	Workers   int      `json:"workers,omitempty"`
+}
+
+// AskBatchResult is one question's outcome within a batch: exactly one
+// of Answer and Error is set.
+type AskBatchResult struct {
+	Question string       `json:"question"`
+	Answer   *AskResponse `json:"answer,omitempty"`
+	Error    *ErrorDetail `json:"error,omitempty"`
+}
+
+// AskBatchResponse is the POST /v1/ask/batch output, one result per
+// question in input order.
+type AskBatchResponse struct {
+	Results []AskBatchResult `json:"results"`
+}
+
+// CypherRequest is the POST /v1/cypher (and /v1/explain) input. Cursor
+// and PageSize select JSON-mode pagination: PageSize > 0 asks for a
+// page; Cursor resumes a prior page's position (it is opaque — clients
+// pass back NextCursor verbatim).
+type CypherRequest struct {
+	Query    string         `json:"query"`
+	Params   map[string]any `json:"params,omitempty"`
+	Cursor   string         `json:"cursor,omitempty"`
+	PageSize int            `json:"page_size,omitempty"`
+}
+
+// CypherResponse is the POST /v1/cypher JSON-mode output. NextCursor is
+// set when pagination was requested and more rows exist; Truncated
+// reports the server-side row cap cut a non-paginated result off.
+type CypherResponse struct {
+	Columns    []string        `json:"columns"`
+	Rows       [][]graph.Value `json:"rows"`
+	Stats      WriteStats      `json:"stats"`
+	Truncated  bool            `json:"truncated"`
+	NextCursor string          `json:"next_cursor,omitempty"`
+}
+
+// ExplainResponse is the POST /v1/explain output.
+type ExplainResponse struct {
+	Plan string `json:"plan"`
+}
+
+// StreamRecord is one line of an NDJSON response. Type discriminates:
+//
+//	"header"  — first record: column names (and nothing else)
+//	"row"     — one result row, in column order
+//	"trailer" — last record: row count, truncation flag, stats, and —
+//	            when execution failed mid-stream, after the 200 status
+//	            was already committed — the error that ended it
+//
+// Ask streams carry the final AskResponse (minus rows/columns, which
+// were already streamed) in the trailer's Ask field.
+type StreamRecord struct {
+	Type string `json:"type"`
+
+	// header
+	Columns []string `json:"columns,omitempty"`
+
+	// row
+	Row []graph.Value `json:"row,omitempty"`
+
+	// trailer
+	Rows       int          `json:"rows,omitempty"`
+	Truncated  bool         `json:"truncated,omitempty"`
+	Stats      *WriteStats  `json:"stats,omitempty"`
+	DurationMS float64      `json:"duration_ms,omitempty"`
+	Error      *ErrorDetail `json:"error,omitempty"`
+	Ask        *AskResponse `json:"ask,omitempty"`
+}
+
+// Stream record types.
+const (
+	RecordHeader  = "header"
+	RecordRow     = "row"
+	RecordTrailer = "trailer"
+)

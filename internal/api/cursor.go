@@ -1,0 +1,87 @@
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Cursor pagination works by re-executing the query and skipping the
+// rows already delivered — the graph store has no persistent result
+// sets to pin. That is only sound while the data cannot have shifted
+// under the client, so the cursor carries the graph version it was
+// minted against and the server rejects it (CodeStaleCursor, HTTP 410)
+// once any write has moved the version. It also carries a hash of the
+// query text and parameters, so a cursor cannot be replayed against a
+// different query (CodeBadCursor).
+//
+// The encoded form is opaque to clients: base64url of
+// "v1:<hash>:<version>:<offset>".
+
+// Cursor is the decoded pagination state.
+type Cursor struct {
+	// QueryHash binds the cursor to one (query, params) pair.
+	QueryHash string
+	// Version is the graph version the first page executed against.
+	Version uint64
+	// Offset is how many result rows prior pages delivered.
+	Offset int
+}
+
+// ErrBadCursor reports a cursor that is malformed or was minted for a
+// different query.
+var ErrBadCursor = errors.New("api: malformed or mismatched cursor")
+
+// cursorPrefix versions the encoding itself, so a future layout change
+// cleanly invalidates old cursors instead of misparsing them.
+const cursorPrefix = "v1"
+
+// HashQuery fingerprints a (query, params) pair for cursor binding.
+// Parameter maps serialize with sorted keys (encoding/json's map
+// behavior), so equal bindings hash equal regardless of insertion
+// order.
+func HashQuery(query string, params map[string]any) string {
+	h := sha256.New()
+	h.Write([]byte(query))
+	h.Write([]byte{0})
+	if len(params) > 0 {
+		// Errors are impossible for the JSON-decoded maps this receives;
+		// a non-serializable param still yields a stable (empty) suffix.
+		b, _ := json.Marshal(params)
+		h.Write(b)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// EncodeCursor renders a cursor into its opaque wire form.
+func EncodeCursor(c Cursor) string {
+	raw := fmt.Sprintf("%s:%s:%d:%d", cursorPrefix, c.QueryHash, c.Version, c.Offset)
+	return base64.RawURLEncoding.EncodeToString([]byte(raw))
+}
+
+// DecodeCursor parses an opaque cursor. It returns ErrBadCursor for
+// anything that did not come out of EncodeCursor.
+func DecodeCursor(s string) (Cursor, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return Cursor{}, ErrBadCursor
+	}
+	parts := strings.Split(string(raw), ":")
+	if len(parts) != 4 || parts[0] != cursorPrefix || parts[1] == "" {
+		return Cursor{}, ErrBadCursor
+	}
+	version, err := strconv.ParseUint(parts[2], 10, 64)
+	if err != nil {
+		return Cursor{}, ErrBadCursor
+	}
+	offset, err := strconv.Atoi(parts[3])
+	if err != nil || offset < 0 {
+		return Cursor{}, ErrBadCursor
+	}
+	return Cursor{QueryHash: parts[1], Version: version, Offset: offset}, nil
+}

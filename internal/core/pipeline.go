@@ -499,6 +499,31 @@ func (p *Pipeline) QueryLimited(query string, params map[string]any, rowLimit in
 	return p.QueryLimitedContext(context.Background(), query, params, rowLimit)
 }
 
+// QueryStreamContext executes raw Cypher and returns a pull iterator
+// over the result rows instead of a materialized Result: rows come off
+// the streaming operator pipeline as the scan produces them, so a
+// transport can ship the first row before the last one exists. The
+// row cap layers over Config.ExecOptions exactly as in
+// QueryLimitedContext (the tighter limit wins; rowLimit <= 0 adds no
+// cap), queries go through the prepared-query plan cache, and ctx
+// cancellation aborts the in-flight pull with an error matching
+// cypher.ErrCanceled. Callers must Close the stream.
+func (p *Pipeline) QueryStreamContext(ctx context.Context, query string, params map[string]any, rowLimit int) (*cypher.Stream, error) {
+	opts := p.cfg.ExecOptions
+	if rowLimit > 0 && (opts.RowLimit == 0 || rowLimit < opts.RowLimit) {
+		opts.RowLimit = rowLimit
+	}
+	p.metrics.Counter("cypher.executions").Inc()
+	if p.plans == nil {
+		return cypher.ExecuteStreamContext(ctx, p.cfg.Graph, query, params, opts)
+	}
+	pq, err := p.plans.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return pq.StreamContext(ctx, p.cfg.Graph, params, opts)
+}
+
 // execCypher is the single Cypher entry point of the pipeline: every
 // query — LLM-generated, gold, or user-supplied — goes through the
 // prepared-query plan cache (when enabled) so repeated template shapes

@@ -1,0 +1,171 @@
+package cypher
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"chatiyp/internal/graph"
+)
+
+// drainStream pulls a Stream to its end and returns the collected rows.
+func drainStream(t *testing.T, s *Stream) [][]graph.Value {
+	t.Helper()
+	rows := [][]graph.Value{}
+	for {
+		row, ok, err := s.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if !ok {
+			return rows
+		}
+		rows = append(rows, row)
+	}
+}
+
+// TestStreamAPIEquivalenceCorpus drives the whole conformance corpus
+// through the public pull iterator and checks the collected rows are
+// bit-identical to the materializing executor's.
+func TestStreamAPIEquivalenceCorpus(t *testing.T) {
+	g := fixture(t)
+	for _, src := range streamEquivCorpus {
+		mres, merr := ExecuteWith(g, src, nil, Options{DisableStreaming: true})
+		st, serr := ExecuteStream(g, src, nil)
+		if (serr == nil) != (merr == nil) {
+			// Plan-time errors must surface from ExecuteStream itself;
+			// runtime errors are checked below.
+			if serr != nil {
+				continue
+			}
+			_, _, nerr := st.Next()
+			if (nerr == nil) != (merr == nil) {
+				t.Fatalf("%s: error divergence: stream=%v materialized=%v", src, nerr, merr)
+			}
+			continue
+		}
+		if serr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(st.Columns(), mres.Columns) {
+			t.Fatalf("%s: columns diverge: %v vs %v", src, st.Columns(), mres.Columns)
+		}
+		rows := drainStream(t, st)
+		if !reflect.DeepEqual(rows, mres.Rows) {
+			t.Fatalf("%s: rows diverge:\nstream:       %v\nmaterialized: %v", src, rows, mres.Rows)
+		}
+		st.Close()
+	}
+}
+
+func TestStreamAPIRowLimitTruncates(t *testing.T) {
+	g := fixture(t)
+	st, err := ExecuteStreamContext(context.Background(), g, "MATCH (a:AS) RETURN a.asn", nil, Options{RowLimit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drainStream(t, st)
+	if len(rows) != 2 || !st.Truncated() {
+		t.Fatalf("rows=%d truncated=%v, want 2/true", len(rows), st.Truncated())
+	}
+	// Exhausted streams keep reporting end of stream.
+	if _, ok, err := st.Next(); ok || err != nil {
+		t.Fatalf("post-end Next = ok:%v err:%v", ok, err)
+	}
+}
+
+func TestStreamAPIMaterializedFallback(t *testing.T) {
+	g := fixture(t)
+	// A write query cannot stream; the fallback must replay the
+	// materialized result and carry its stats.
+	st, err := ExecuteStream(g, "CREATE (x:Thing {name: 'streamed'}) RETURN x.name", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drainStream(t, st)
+	if len(rows) != 1 || rows[0][0] != "streamed" {
+		t.Fatalf("rows = %v", rows)
+	}
+	if st.Stats().NodesCreated != 1 {
+		t.Fatalf("stats = %+v", st.Stats())
+	}
+}
+
+func TestStreamAPICancellation(t *testing.T) {
+	g := fixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	st, err := ExecuteStreamContext(ctx, g, "MATCH (a:AS) MATCH (b:AS) MATCH (c:AS) RETURN count(*)", nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	_, _, err = st.Next()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	// A failed stream keeps returning its error.
+	if _, _, err2 := st.Next(); !errors.Is(err2, ErrCanceled) {
+		t.Fatalf("repeat err = %v", err2)
+	}
+}
+
+func TestStreamAPIPlanTimeErrors(t *testing.T) {
+	g := fixture(t)
+	if _, err := ExecuteStream(g, "RETURN 1 AS a UNION RETURN 2 AS b", nil); err == nil {
+		t.Fatal("UNION column mismatch not reported at ExecuteStream time")
+	}
+	var syntaxErr *SyntaxError
+	if _, err := ExecuteStream(g, "NOT CYPHER", nil); !errors.As(err, &syntaxErr) {
+		t.Fatalf("err = %v, want *SyntaxError", err)
+	}
+}
+
+func TestStreamAPICountsRows(t *testing.T) {
+	g := fixture(t)
+	before, exitBefore := StreamStats()
+	st, err := ExecuteStream(g, "MATCH (a:AS) RETURN a.asn", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(drainStream(t, st))
+	if n == 0 {
+		t.Fatal("no rows")
+	}
+	after, _ := StreamStats()
+	if after-before != int64(n) {
+		t.Errorf("rows_streamed moved by %d, want %d", after-before, n)
+	}
+	// Close after natural end must not double-count.
+	st.Close()
+	again, _ := StreamStats()
+	if again != after {
+		t.Errorf("Close double-counted: %d -> %d", after, again)
+	}
+	// An early-exited stream bumps the early-exit counter on Close.
+	st2, err := ExecuteStreamContext(context.Background(), g, "MATCH (a:AS) RETURN a.asn", nil, Options{RowLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainStream(t, st2)
+	_, exitAfter := StreamStats()
+	if exitAfter <= exitBefore {
+		t.Errorf("limit_early_exit did not move: %d -> %d", exitBefore, exitAfter)
+	}
+}
+
+func TestStreamAPIPrepared(t *testing.T) {
+	g := fixture(t)
+	pq, err := Prepare("MATCH (a:AS) WHERE a.asn = $n RETURN a.name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pq.StreamContext(context.Background(), g, map[string]any{"n": 2497}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drainStream(t, st)
+	if len(rows) != 1 || rows[0][0] != "IIJ" {
+		t.Fatalf("rows = %v", rows)
+	}
+}

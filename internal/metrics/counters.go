@@ -56,14 +56,45 @@ func (g *Gauge) Set(v int64) { g.v.Store(v) }
 // Value reads the current level.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
-// Registry is a named set of counters and gauges. Instruments are
-// created on first use and live for the registry's lifetime; counter
-// and gauge namespaces are shared (one name is either a counter or a
-// gauge, and Snapshot merges both). Safe for concurrent use.
+// Timing is a latency summary: count, sum, and max of observed
+// durations, all in microseconds. It is the cheapest shape that still
+// answers "how many, how slow on average, how slow at worst" per
+// route; the zero value is ready to use and all methods are safe for
+// concurrent use.
+type Timing struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	max   atomic.Int64
+}
+
+// Observe records one duration in microseconds.
+func (t *Timing) Observe(us int64) {
+	t.count.Add(1)
+	t.sum.Add(us)
+	for {
+		cur := t.max.Load()
+		if us <= cur || t.max.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// Snapshot reads the summary: observation count, total and max
+// microseconds.
+func (t *Timing) Snapshot() (count, sumUS, maxUS int64) {
+	return t.count.Load(), t.sum.Load(), t.max.Load()
+}
+
+// Registry is a named set of counters, gauges and timings. Instruments
+// are created on first use and live for the registry's lifetime;
+// counter and gauge namespaces are shared (one name is either a
+// counter or a gauge, and Snapshot merges both), while timings expand
+// into <name>.count/.sum_us/.max_us entries. Safe for concurrent use.
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	timings  map[string]*Timing
 }
 
 // NewRegistry returns an empty counter registry.
@@ -71,6 +102,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		timings:  make(map[string]*Timing),
 	}
 }
 
@@ -112,18 +144,45 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Timing returns the named latency summary, creating it when absent.
+func (r *Registry) Timing(name string) *Timing {
+	r.mu.RLock()
+	t := r.timings[name]
+	r.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t = r.timings[name]; t == nil {
+		t = &Timing{}
+		if r.timings == nil {
+			r.timings = make(map[string]*Timing)
+		}
+		r.timings[name] = t
+	}
+	return t
+}
+
 // Snapshot returns the current value of every counter and gauge, keyed
-// by name. When a name is registered as both, the gauge wins (levels
-// are the more informative reading).
+// by name, plus each timing expanded into <name>.count, <name>.sum_us
+// and <name>.max_us. When a name is registered as both counter and
+// gauge, the gauge wins (levels are the more informative reading).
 func (r *Registry) Snapshot() map[string]int64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make(map[string]int64, len(r.counters)+len(r.gauges))
+	out := make(map[string]int64, len(r.counters)+len(r.gauges)+3*len(r.timings))
 	for name, c := range r.counters {
 		out[name] = c.Value()
 	}
 	for name, g := range r.gauges {
 		out[name] = g.Value()
+	}
+	for name, t := range r.timings {
+		count, sum, max := t.Snapshot()
+		out[name+".count"] = count
+		out[name+".sum_us"] = sum
+		out[name+".max_us"] = max
 	}
 	return out
 }

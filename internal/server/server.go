@@ -1,9 +1,15 @@
 // Package server exposes ChatIYP over HTTP, mirroring the paper's
-// public web application: a JSON API for natural-language questions
-// (answers come back with the executed Cypher for transparency), raw
-// Cypher and EXPLAIN endpoints, schema and graph-statistics endpoints,
-// a runtime-metrics endpoint (plan-cache hit/miss counters), and a
-// minimal embedded UI.
+// public web application: a versioned /v1/ JSON API for natural-
+// language questions (answers come back with the executed Cypher for
+// transparency), raw Cypher with streaming NDJSON and cursor-paginated
+// JSON transports, EXPLAIN, batch ask, schema and graph-statistics
+// endpoints, a runtime-metrics endpoint, and a minimal embedded UI.
+// The pre-versioning /api/* routes remain as deprecated shims with
+// their original response shapes.
+//
+// Every /v1/ error answers with the uniform envelope defined in
+// internal/api: {"error": {"code", "message", "retry_after?",
+// "request_id"}}.
 package server
 
 import (
@@ -21,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"chatiyp/internal/api"
 	"chatiyp/internal/core"
 	"chatiyp/internal/cypher"
 	"chatiyp/internal/graph"
@@ -70,6 +77,15 @@ type Config struct {
 	// ListenAndServe waits for in-flight requests after its context
 	// ends (default 5s).
 	DrainTimeout time.Duration
+	// DefaultPageSize is the page size used when a /v1/cypher request
+	// asks for pagination (a cursor without page_size). Zero means 100.
+	DefaultPageSize int
+	// MaxPageSize caps the page_size a /v1/cypher request may ask for
+	// (default 5000).
+	MaxPageSize int
+	// MaxBatch caps how many questions one /v1/ask/batch request may
+	// carry (default 32).
+	MaxBatch int
 }
 
 // DefaultCypherRowLimit is the /api/cypher row cap applied when
@@ -126,17 +142,50 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DrainTimeout == 0 {
 		cfg.DrainTimeout = 5 * time.Second
 	}
+	if cfg.DefaultPageSize <= 0 {
+		cfg.DefaultPageSize = 100
+	}
+	if cfg.MaxPageSize <= 0 {
+		cfg.MaxPageSize = 5000
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 32
+	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux(), reg: cfg.Pipeline.Metrics()}
 	s.sched = newScheduler(cfg.MaxConcurrent, cfg.MaxQueue, s.reg)
-	s.mux.HandleFunc("GET /api/health", s.handleHealth)
-	s.mux.HandleFunc("GET /api/schema", s.handleSchema)
-	s.mux.HandleFunc("GET /api/stats", s.handleStats)
-	s.mux.HandleFunc("GET /api/metrics", s.handleMetrics)
-	s.mux.HandleFunc("POST /api/ask", s.handleAsk)
-	s.mux.HandleFunc("POST /api/cypher", s.handleCypher)
-	s.mux.HandleFunc("POST /api/explain", s.handleExplain)
-	s.mux.HandleFunc("GET /", s.handleIndex)
+	// v1: the versioned surface. Every error is the uniform envelope.
+	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/schema", s.handleSchema)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/ask", s.handleAskV1)
+	s.mux.HandleFunc("POST /v1/ask/batch", s.handleAskBatchV1)
+	s.mux.HandleFunc("POST /v1/cypher", s.handleCypherV1)
+	s.mux.HandleFunc("POST /v1/explain", s.handleExplainV1)
+	// Legacy: deprecated shims keeping the pre-versioning shapes.
+	s.mux.HandleFunc("GET /api/health", s.deprecated(s.handleHealth))
+	s.mux.HandleFunc("GET /api/schema", s.deprecated(s.handleSchema))
+	s.mux.HandleFunc("GET /api/stats", s.deprecated(s.handleStats))
+	s.mux.HandleFunc("GET /api/metrics", s.deprecated(s.handleMetrics))
+	s.mux.HandleFunc("POST /api/ask", s.deprecated(s.handleAsk))
+	s.mux.HandleFunc("POST /api/cypher", s.deprecated(s.handleCypher))
+	s.mux.HandleFunc("POST /api/explain", s.deprecated(s.handleExplain))
+	// The index matches exactly "/"; everything unrouted 404s with the
+	// envelope instead of silently serving the index page.
+	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+	s.mux.HandleFunc("/", s.handleNotFound)
 	return s, nil
+}
+
+// deprecated marks a legacy /api/* response with the standard
+// deprecation headers pointing clients at the /v1/ successor. Bodies
+// are untouched — existing JSON clients keep working byte for byte.
+func (s *Server) deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "</v1"+strings.TrimPrefix(r.URL.Path, "/api")+">; rel=\"successor-version\"")
+		h(w, r)
+	}
 }
 
 // Handler returns the HTTP handler with logging middleware applied.
@@ -248,10 +297,28 @@ func validRequestID(id string) bool {
 	return true
 }
 
+// requestIDKey carries the request's correlation ID through the
+// context so handlers can echo it into error envelopes.
+type requestIDKey struct{}
+
+// requestID returns the correlation ID the logging middleware minted
+// (or accepted) for this request; empty outside the middleware.
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(requestIDKey{}).(string)
+	return id
+}
+
 // logged wraps every request with a status-recording writer and a
 // request ID: the ID is taken from an inbound X-Request-ID (so proxies
 // can correlate) or minted fresh, echoed back in the response header,
-// and included in the access log alongside the real status code.
+// stored in the request context (error envelopes carry it), and
+// included in the access log alongside the real status code.
+//
+// The middleware is also the per-route instrumentation point: after
+// the mux dispatches, r.Pattern names the matched route, and the
+// middleware bumps server.requests{route,status} and observes the
+// request latency into the route's timing summary — so /api/metrics
+// distinguishes v1 from legacy traffic without any per-handler code.
 func (s *Server) logged(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-ID")
@@ -259,6 +326,7 @@ func (s *Server) logged(next http.Handler) http.Handler {
 			id = newRequestID()
 		}
 		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
@@ -266,9 +334,16 @@ func (s *Server) logged(next http.Handler) http.Handler {
 			// Nothing was written: net/http will send 200 on return.
 			sw.status = http.StatusOK
 		}
+		elapsed := time.Since(start)
+		route := r.Pattern
+		if route == "" {
+			route = "(unmatched)"
+		}
+		s.reg.Counter(fmt.Sprintf("server.requests{route=%s,status=%d}", route, sw.status)).Inc()
+		s.reg.Timing("server.latency{route=" + route + "}").Observe(elapsed.Microseconds())
 		if s.cfg.Logger != nil {
 			s.cfg.Logger.Printf("%s %s %d %dB %s id=%s",
-				r.Method, r.URL.Path, sw.status, sw.bytes, time.Since(start), id)
+				r.Method, r.URL.Path, sw.status, sw.bytes, elapsed, id)
 		}
 	})
 }
@@ -283,60 +358,114 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
 }
 
-// decodeJSON decodes a body bounded by Config.MaxBodyBytes. Oversized
-// bodies answer 413 with a JSON error (not a silent decode failure);
-// malformed ones answer 400. It reports whether decoding succeeded.
-func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+// jsonContentType reports whether the request's declared body type is
+// JSON. An absent Content-Type is accepted (curl-style clients); any
+// other declared type is a 415.
+func jsonContentType(r *http.Request) bool {
+	ct := strings.TrimSpace(r.Header.Get("Content-Type"))
+	if ct == "" {
+		return true
+	}
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = strings.TrimSpace(ct[:i])
+	}
+	ct = strings.ToLower(ct)
+	return ct == "application/json" || ct == "text/json" || strings.HasSuffix(ct, "+json")
+}
+
+// decodeJSON decodes a body bounded by Config.MaxBodyBytes, answering
+// the mode-appropriate error shape: non-JSON Content-Type is 415,
+// oversized bodies 413, malformed JSON 400. It reports whether
+// decoding succeeded.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any, v1 bool) bool {
+	if !jsonContentType(r) {
+		s.httpError(w, r, v1, http.StatusUnsupportedMediaType, api.CodeUnsupportedMedia,
+			"Content-Type must be application/json", 0)
+		return false
+	}
 	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(v)
 	if err == nil {
 		return true
 	}
 	var mbe *http.MaxBytesError
 	if errors.As(err, &mbe) {
-		writeError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+		s.httpError(w, r, v1, http.StatusRequestEntityTooLarge, api.CodeBodyTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", mbe.Limit), 0)
 		return false
 	}
-	writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+	s.httpError(w, r, v1, http.StatusBadRequest, api.CodeBadRequest, "invalid JSON body: "+err.Error(), 0)
 	return false
 }
 
-// admit asks the scheduler for an execution slot, translating
-// rejections into HTTP responses: 429 + Retry-After when the queue is
-// full, 503 + Retry-After while draining, 504 when the endpoint
-// deadline expired while waiting. ctx is the request's full deadline
-// context — queue wait burns the same budget execution would. It
-// reports whether the request may proceed; on true the caller must
-// invoke the release closure when done.
-func (s *Server) admit(ctx context.Context, w http.ResponseWriter, timeout time.Duration) (func(), bool) {
-	release, err := s.sched.acquire(ctx)
-	if err == nil {
-		return release, true
+// httpError writes one error in the mode's shape. v1 mode always
+// writes the uniform envelope (code, message, retry hint, request ID);
+// legacy mode reproduces the pre-versioning shapes byte for byte —
+// {"error": msg}, plus the timeout/canceled boolean variants — so
+// existing clients never see a new shape on /api/* routes.
+func (s *Server) httpError(w http.ResponseWriter, r *http.Request, v1 bool, status int, code, msg string, retrySecs int) {
+	if retrySecs > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retrySecs))
 	}
-	// Retry-After is whole seconds; never emit 0 (it would invite an
-	// immediate retry, the opposite of backoff).
+	if v1 {
+		writeJSON(w, status, api.ErrorEnvelope{Err: api.ErrorDetail{
+			Code:       code,
+			Message:    msg,
+			RetryAfter: retrySecs,
+			RequestID:  requestID(r),
+		}})
+		return
+	}
+	switch code {
+	case api.CodeTimeout:
+		writeJSON(w, status, map[string]any{"error": msg, "timeout": true})
+	case api.CodeCanceled:
+		writeJSON(w, status, map[string]any{"error": msg, "canceled": true})
+	default:
+		writeError(w, status, msg)
+	}
+}
+
+// retrySecs is the whole-second Retry-After hint; never 0 (that would
+// invite an immediate retry, the opposite of backoff).
+func (s *Server) retrySecs() int {
 	secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
-	retry := strconv.Itoa(secs)
+	return secs
+}
+
+// admit asks the scheduler for an execution slot, translating
+// rejections into the mode's HTTP responses: 429 + Retry-After when
+// the queue is full, 503 + Retry-After while draining, 504 when the
+// endpoint deadline expired while waiting, and — for a client that
+// went away while queued — 499 (v1) or the legacy 503. ctx is the
+// request's full deadline context: queue wait burns the same budget
+// execution would. It reports whether the request may proceed; on true
+// the caller must invoke the release closure when done.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, r *http.Request, timeout time.Duration, v1 bool) (func(), bool) {
+	release, err := s.sched.acquire(ctx)
+	if err == nil {
+		return release, true
+	}
 	switch {
 	case errors.Is(err, errOverloaded):
-		w.Header().Set("Retry-After", retry)
-		writeError(w, http.StatusTooManyRequests, "server overloaded: request queue is full")
+		s.httpError(w, r, v1, http.StatusTooManyRequests, api.CodeOverloaded,
+			"server overloaded: request queue is full", s.retrySecs())
 	case errors.Is(err, errDraining):
-		w.Header().Set("Retry-After", retry)
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		s.httpError(w, r, v1, http.StatusServiceUnavailable, api.CodeUnavailable,
+			"server is shutting down", s.retrySecs())
 	case errors.Is(err, context.DeadlineExceeded):
 		// The endpoint deadline expired before a slot freed up: same
 		// timeout shape as an execution that ran out of time.
 		s.reg.Counter("server.deadline_exceeded").Inc()
-		writeJSON(w, http.StatusGatewayTimeout, map[string]any{
-			"error":   fmt.Sprintf("no execution slot within the %s deadline", timeout),
-			"timeout": true,
-		})
-	default:
+		s.httpError(w, r, v1, http.StatusGatewayTimeout, api.CodeTimeout,
+			fmt.Sprintf("no execution slot within the %s deadline", timeout), 0)
+	case v1:
 		// The client went away while queued.
+		s.httpError(w, r, true, api.StatusClientClosedRequest, api.CodeCanceled,
+			"request canceled while queued: "+err.Error(), 0)
+	default:
 		writeError(w, http.StatusServiceUnavailable, "request canceled while queued: "+err.Error())
 	}
 	return nil, false
@@ -391,10 +520,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// AskRequest is the /api/ask input.
-type AskRequest struct {
-	Question string `json:"question"`
-}
+// AskRequest is the /api/ask and /v1/ask input (one shared wire type;
+// see internal/api).
+type AskRequest = api.AskRequest
 
 // AskResponse is the /api/ask output: the answer, the executed Cypher
 // (transparency, per the paper), context and trace.
@@ -418,32 +546,48 @@ type traceEntry struct {
 	DurationMS float64 `json:"duration_ms"`
 }
 
-func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+// runAsk is the shared core of the legacy and v1 ask handlers: decode,
+// validate, admit, execute. Mode-appropriate errors are written on
+// failure; on success the caller renders its wire shape.
+func (s *Server) runAsk(w http.ResponseWriter, r *http.Request, v1 bool) (*core.Answer, bool) {
 	var req AskRequest
-	if !s.decodeJSON(w, r, &req) {
-		return
+	if !s.decodeJSON(w, r, &req, v1) {
+		return nil, false
 	}
 	q := strings.TrimSpace(req.Question)
 	if q == "" {
-		writeError(w, http.StatusBadRequest, "question is required")
-		return
+		s.httpError(w, r, v1, http.StatusBadRequest, api.CodeBadRequest, "question is required", 0)
+		return nil, false
 	}
 	if len(q) > s.cfg.MaxQuestionLen {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("question exceeds %d bytes", s.cfg.MaxQuestionLen))
-		return
+		s.httpError(w, r, v1, http.StatusBadRequest, api.CodeBadRequest,
+			fmt.Sprintf("question exceeds %d bytes", s.cfg.MaxQuestionLen), 0)
+		return nil, false
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AskTimeout)
 	defer cancel()
-	release, ok := s.admit(ctx, w, s.cfg.AskTimeout)
+	release, ok := s.admit(ctx, w, r, s.cfg.AskTimeout, v1)
 	if !ok {
-		return
+		return nil, false
 	}
 	defer release()
 	ans, err := s.cfg.Pipeline.Ask(ctx, q)
 	if err != nil {
-		s.writeExecError(w, err, s.cfg.AskTimeout, func() {
-			writeError(w, http.StatusInternalServerError, err.Error())
-		})
+		if v1 {
+			s.writeExecErrorV1(w, r, err, s.cfg.AskTimeout, api.CodeInternal, http.StatusInternalServerError)
+		} else {
+			s.writeExecError(w, err, s.cfg.AskTimeout, func() {
+				writeError(w, http.StatusInternalServerError, err.Error())
+			})
+		}
+		return nil, false
+	}
+	return ans, true
+}
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	ans, ok := s.runAsk(w, r, false)
+	if !ok {
 		return
 	}
 	resp := AskResponse{
@@ -466,11 +610,10 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// CypherRequest is the /api/cypher input.
-type CypherRequest struct {
-	Query  string         `json:"query"`
-	Params map[string]any `json:"params,omitempty"`
-}
+// CypherRequest is the /api/cypher and /v1/cypher input (one shared
+// wire type; see internal/api). The legacy endpoint ignores the
+// pagination fields.
+type CypherRequest = api.CypherRequest
 
 // CypherResponse is the /api/cypher output. Truncated reports that the
 // server-side row cap (Config.CypherRowLimit) cut the result off; the
@@ -483,27 +626,41 @@ type CypherResponse struct {
 	Truncated bool              `json:"truncated"`
 }
 
-func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
+// decodeCypherRequest is the shared decode+validate step of every
+// Cypher-shaped handler (legacy and v1, cypher and explain).
+func (s *Server) decodeCypherRequest(w http.ResponseWriter, r *http.Request, v1 bool) (*CypherRequest, bool) {
 	var req CypherRequest
-	if !s.decodeJSON(w, r, &req) {
-		return
+	if !s.decodeJSON(w, r, &req, v1) {
+		return nil, false
 	}
 	if strings.TrimSpace(req.Query) == "" {
-		writeError(w, http.StatusBadRequest, "query is required")
+		s.httpError(w, r, v1, http.StatusBadRequest, api.CodeBadRequest, "query is required", 0)
+		return nil, false
+	}
+	return &req, true
+}
+
+// serverRowLimit is the effective /v1/cypher and /api/cypher row cap.
+func (s *Server) serverRowLimit() int {
+	if s.cfg.CypherRowLimit < 0 {
+		return 0 // negative config disables the cap
+	}
+	return s.cfg.CypherRowLimit
+}
+
+func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeCypherRequest(w, r, false)
+	if !ok {
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.CypherTimeout)
 	defer cancel()
-	release, ok := s.admit(ctx, w, s.cfg.CypherTimeout)
+	release, ok := s.admit(ctx, w, r, s.cfg.CypherTimeout, false)
 	if !ok {
 		return
 	}
 	defer release()
-	rowLimit := s.cfg.CypherRowLimit
-	if rowLimit < 0 {
-		rowLimit = 0 // negative config disables the cap
-	}
-	res, err := s.cfg.Pipeline.QueryLimitedContext(ctx, req.Query, req.Params, rowLimit)
+	res, err := s.cfg.Pipeline.QueryLimitedContext(ctx, req.Query, req.Params, s.serverRowLimit())
 	if err != nil {
 		s.writeExecError(w, err, s.cfg.CypherTimeout, func() {
 			var syntaxErr *cypher.SyntaxError
@@ -523,12 +680,8 @@ func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
 // handleExplain returns the access plan for a query without executing
 // it.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	var req CypherRequest
-	if !s.decodeJSON(w, r, &req) {
-		return
-	}
-	if strings.TrimSpace(req.Query) == "" {
-		writeError(w, http.StatusBadRequest, "query is required")
+	req, ok := s.decodeCypherRequest(w, r, false)
+	if !ok {
 		return
 	}
 	plan, err := cypher.Explain(s.cfg.Pipeline.Graph(), req.Query, cypher.Options{})
@@ -539,13 +692,17 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"plan": plan})
 }
 
-func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/" {
-		http.NotFound(w, r)
-		return
-	}
+func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	_, _ = w.Write([]byte(indexHTML))
+}
+
+// handleNotFound answers every unrouted path with the v1 error
+// envelope: before the /{$} split, GET / matched every path, so a typo
+// like /api/askk got the index page with a 200.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	s.httpError(w, r, true, http.StatusNotFound, api.CodeNotFound,
+		fmt.Sprintf("no route for %s %s", r.Method, r.URL.Path), 0)
 }
 
 // indexHTML is the embedded single-page UI: a question box, the answer,
@@ -578,9 +735,9 @@ async function ask() {
   const out = document.getElementById('out');
   out.innerHTML = '<p class="muted">thinking…</p>';
   try {
-    const r = await fetch('/api/ask', {method: 'POST', headers: {'Content-Type': 'application/json'}, body: JSON.stringify({question: q})});
+    const r = await fetch('/v1/ask', {method: 'POST', headers: {'Content-Type': 'application/json'}, body: JSON.stringify({question: q})});
     const d = await r.json();
-    if (d.error) { out.innerHTML = '<div class="answer err">' + d.error + '</div>'; return; }
+    if (d.error) { out.innerHTML = '<div class="answer err">' + (d.error.message || d.error) + ' <span class="muted">(' + (d.error.code || 'error') + ')</span></div>'; return; }
     let html = '<div class="answer">' + d.answer + '</div>';
     if (d.cypher) html += '<p class="muted">executed Cypher:</p><pre>' + d.cypher + '</pre>';
     if (d.cypher_error) html += '<p class="muted">structured retrieval failed (' + d.cypher_error + '); semantic fallback used.</p>';

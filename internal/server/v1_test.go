@@ -1,0 +1,735 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"chatiyp/internal/api"
+	"chatiyp/internal/core"
+	"chatiyp/internal/cypher"
+	"chatiyp/internal/iyp"
+	"chatiyp/internal/llm"
+	"chatiyp/internal/metrics"
+)
+
+// postWith builds and serves one POST with explicit headers.
+func postWith(t *testing.T, h http.Handler, path, body, contentType, accept string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeEnvelope(t *testing.T, body []byte) api.ErrorDetail {
+	t.Helper()
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("non-envelope error body: %s", body)
+	}
+	return env.Err
+}
+
+func TestV1AskEndToEnd(t *testing.T) {
+	s, w := newTestServer(t)
+	q := fmt.Sprintf("What is the name of AS%d?", w.ASes[0].ASN)
+	rec := postJSON(t, s.Handler(), "/v1/ask", AskRequest{Question: q})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", rec.Code, rec.Body.String())
+	}
+	var resp api.AskResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Answer, w.ASes[0].Name) {
+		t.Errorf("answer %q missing %q", resp.Answer, w.ASes[0].Name)
+	}
+	if len(resp.Trace) == 0 {
+		t.Error("trace missing")
+	}
+}
+
+func TestV1CypherJSONMode(t *testing.T) {
+	s, w := newTestServer(t)
+	rec := postJSON(t, s.Handler(), "/v1/cypher", CypherRequest{
+		Query:  "MATCH (a:AS {asn: $asn}) RETURN a.name",
+		Params: map[string]any{"asn": w.ASes[0].ASN},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", rec.Code, rec.Body.String())
+	}
+	var resp api.CypherResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 1 || resp.Rows[0][0] != w.ASes[0].Name {
+		t.Errorf("rows = %v", resp.Rows)
+	}
+	if resp.NextCursor != "" {
+		t.Errorf("non-paginated response carries a cursor: %q", resp.NextCursor)
+	}
+}
+
+// TestV1ErrorEnvelopeMatrix is the full error-shape contract: for each
+// failure class, the v1 route answers the documented status and stable
+// code in the uniform envelope, and the legacy shim answers its
+// pre-versioning shape and status — both asserted from one table.
+func TestV1ErrorEnvelopeMatrix(t *testing.T) {
+	drainSrv := newCustomServer(t, nil)
+	if err := drainSrv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	tinyBody := newCustomServer(t, func(c *Config) { c.MaxBodyBytes = 64 })
+	shortTimeout := newCustomServer(t, func(c *Config) {
+		c.CypherTimeout = 20 * time.Millisecond
+		c.AskTimeout = 20 * time.Millisecond
+	})
+	overloaded := newCustomServer(t, func(c *Config) {
+		c.MaxConcurrent = 1
+		c.MaxQueue = -1
+		c.RetryAfter = 2 * time.Second
+		c.CypherTimeout = 5 * time.Second
+	})
+	// Hold overloaded's only slot with a slow query for the duration of
+	// the test.
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		postJSON(t, overloaded.Handler(), "/api/cypher", CypherRequest{Query: slowCrossJoin})
+	}()
+	waitFor(t, func() bool { return overloaded.reg.Gauge("server.inflight").Value() == 1 })
+
+	plain := newCustomServer(t, nil)
+	canceledReq := func(path, body string) *http.Request {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body)).WithContext(ctx)
+		req.Header.Set("Content-Type", "application/json")
+		return req
+	}
+
+	cases := []struct {
+		name string
+		srv  *Server
+		// request
+		method, path, body, contentType string
+		ctxCanceled                     bool
+		// v1 expectations
+		wantStatus int
+		wantCode   string
+		retryAfter bool
+		// legacy expectations (path rewritten to /api/...); legacyStatus
+		// 0 means the case has no legacy counterpart.
+		legacyPath   string
+		legacyStatus int
+		legacyField  string // extra boolean field the legacy shape carries
+	}{
+		{
+			name: "parse error", srv: plain,
+			method: "POST", path: "/v1/cypher", body: `{"query": "NOT CYPHER"}`, contentType: "application/json",
+			wantStatus: http.StatusBadRequest, wantCode: api.CodeParseError,
+			legacyPath: "/api/cypher", legacyStatus: http.StatusBadRequest,
+		},
+		{
+			name: "exec error", srv: plain,
+			method: "POST", path: "/v1/cypher", body: `{"query": "MATCH (a:AS {asn: $nope}) RETURN a"}`, contentType: "application/json",
+			wantStatus: http.StatusUnprocessableEntity, wantCode: api.CodeExecError,
+			legacyPath: "/api/cypher", legacyStatus: http.StatusUnprocessableEntity,
+		},
+		{
+			name: "timeout", srv: shortTimeout,
+			method: "POST", path: "/v1/cypher", body: `{"query": "` + slowCrossJoin + `"}`, contentType: "application/json",
+			wantStatus: http.StatusGatewayTimeout, wantCode: api.CodeTimeout,
+			legacyPath: "/api/cypher", legacyStatus: http.StatusGatewayTimeout, legacyField: "timeout",
+		},
+		{
+			name: "canceled (client gone)", srv: plain,
+			method: "POST", path: "/v1/cypher", body: `{"query": "MATCH (c:Country) RETURN count(c)"}`, contentType: "application/json",
+			ctxCanceled: true,
+			wantStatus:  api.StatusClientClosedRequest, wantCode: api.CodeCanceled,
+		},
+		{
+			name: "overloaded", srv: overloaded,
+			method: "POST", path: "/v1/cypher", body: `{"query": "MATCH (c:Country) RETURN count(c)"}`, contentType: "application/json",
+			wantStatus: http.StatusTooManyRequests, wantCode: api.CodeOverloaded, retryAfter: true,
+			legacyPath: "/api/cypher", legacyStatus: http.StatusTooManyRequests,
+		},
+		{
+			name: "draining", srv: drainSrv,
+			method: "POST", path: "/v1/ask", body: `{"question": "What is the name of AS1?"}`, contentType: "application/json",
+			wantStatus: http.StatusServiceUnavailable, wantCode: api.CodeUnavailable, retryAfter: true,
+			legacyPath: "/api/ask", legacyStatus: http.StatusServiceUnavailable,
+		},
+		{
+			name: "body too large", srv: tinyBody,
+			method: "POST", path: "/v1/cypher", body: `{"query": "` + strings.Repeat("x", 200) + `"}`, contentType: "application/json",
+			wantStatus: http.StatusRequestEntityTooLarge, wantCode: api.CodeBodyTooLarge,
+			legacyPath: "/api/cypher", legacyStatus: http.StatusRequestEntityTooLarge,
+		},
+		{
+			name: "unknown path", srv: plain,
+			method: "POST", path: "/v1/cypherr", body: `{}`, contentType: "application/json",
+			wantStatus: http.StatusNotFound, wantCode: api.CodeNotFound,
+		},
+		{
+			name: "unsupported media type", srv: plain,
+			method: "POST", path: "/v1/cypher", body: `query=x`, contentType: "application/x-www-form-urlencoded",
+			wantStatus: http.StatusUnsupportedMediaType, wantCode: api.CodeUnsupportedMedia,
+			legacyPath: "/api/cypher", legacyStatus: http.StatusUnsupportedMediaType,
+		},
+		{
+			name: "bad request", srv: plain,
+			method: "POST", path: "/v1/ask", body: `{"question": ""}`, contentType: "application/json",
+			wantStatus: http.StatusBadRequest, wantCode: api.CodeBadRequest,
+			legacyPath: "/api/ask", legacyStatus: http.StatusBadRequest,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var req *http.Request
+			if tc.ctxCanceled {
+				req = canceledReq(tc.path, tc.body)
+			} else {
+				req = httptest.NewRequest(tc.method, tc.path, strings.NewReader(tc.body))
+				req.Header.Set("Content-Type", tc.contentType)
+			}
+			rec := httptest.NewRecorder()
+			tc.srv.Handler().ServeHTTP(rec, req)
+			if rec.Code != tc.wantStatus {
+				t.Fatalf("v1 status = %d body = %s, want %d", rec.Code, rec.Body.String(), tc.wantStatus)
+			}
+			detail := decodeEnvelope(t, rec.Body.Bytes())
+			if detail.Code != tc.wantCode {
+				t.Errorf("code = %q, want %q", detail.Code, tc.wantCode)
+			}
+			if detail.Message == "" {
+				t.Error("envelope message empty")
+			}
+			if detail.RequestID == "" {
+				t.Error("envelope missing request_id")
+			}
+			if tc.retryAfter {
+				if rec.Header().Get("Retry-After") == "" {
+					t.Error("missing Retry-After header")
+				}
+				if detail.RetryAfter < 1 {
+					t.Errorf("envelope retry_after = %d", detail.RetryAfter)
+				}
+			}
+
+			if tc.legacyStatus == 0 {
+				return
+			}
+			// The legacy shim answers its pre-versioning shape.
+			lreq := httptest.NewRequest(tc.method, tc.legacyPath, strings.NewReader(tc.body))
+			lreq.Header.Set("Content-Type", tc.contentType)
+			lrec := httptest.NewRecorder()
+			tc.srv.Handler().ServeHTTP(lrec, lreq)
+			if lrec.Code != tc.legacyStatus {
+				t.Fatalf("legacy status = %d body = %s, want %d", lrec.Code, lrec.Body.String(), tc.legacyStatus)
+			}
+			var legacy map[string]any
+			if err := json.Unmarshal(lrec.Body.Bytes(), &legacy); err != nil {
+				t.Fatalf("legacy body not JSON: %s", lrec.Body.String())
+			}
+			if msg, ok := legacy["error"].(string); !ok || msg == "" {
+				t.Errorf("legacy error not a plain string: %s", lrec.Body.String())
+			}
+			if tc.legacyField != "" && legacy[tc.legacyField] != true {
+				t.Errorf("legacy shape missing %q: %s", tc.legacyField, lrec.Body.String())
+			}
+			if lrec.Header().Get("Deprecation") != "true" {
+				t.Error("legacy response missing Deprecation header")
+			}
+		})
+	}
+	<-slowDone
+}
+
+func TestV1NotAcceptable(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := postWith(t, s.Handler(), "/v1/cypher", `{"query": "RETURN 1"}`, "application/json", "text/html")
+	if rec.Code != http.StatusNotAcceptable {
+		t.Fatalf("status = %d, want 406", rec.Code)
+	}
+	if detail := decodeEnvelope(t, rec.Body.Bytes()); detail.Code != api.CodeNotAcceptable {
+		t.Errorf("code = %q", detail.Code)
+	}
+	// Wildcards and JSON keep working.
+	for _, accept := range []string{"", "*/*", "application/*", "application/json", "application/json; charset=utf-8"} {
+		rec := postWith(t, s.Handler(), "/v1/cypher", `{"query": "RETURN 1"}`, "application/json", accept)
+		if rec.Code != http.StatusOK {
+			t.Errorf("Accept %q: status = %d", accept, rec.Code)
+		}
+	}
+}
+
+func TestCatchAllRouting(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.Handler()
+	// The index is still served at exactly "/".
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ChatIYP") {
+		t.Errorf("index: %d", rec.Code)
+	}
+	// Typo'd paths 404 with the envelope instead of serving the index.
+	for _, path := range []string{"/api/askk", "/v1/nope", "/index.html", "/apiask"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("%s: status = %d, want 404", path, rec.Code)
+			continue
+		}
+		if detail := decodeEnvelope(t, rec.Body.Bytes()); detail.Code != api.CodeNotFound {
+			t.Errorf("%s: code = %q", path, detail.Code)
+		}
+	}
+}
+
+// pipeResponseWriter adapts an io.Pipe into an http.ResponseWriter:
+// every Write blocks until the test side reads it, which makes
+// streaming incrementality provable — the handler cannot run ahead of
+// the reader, so if the reader gets the first row while the handler is
+// still alive, bytes genuinely left the handler before the result set
+// was drained.
+type pipeResponseWriter struct {
+	h  http.Header
+	pw *io.PipeWriter
+}
+
+func (p *pipeResponseWriter) Header() http.Header         { return p.h }
+func (p *pipeResponseWriter) WriteHeader(int)             {}
+func (p *pipeResponseWriter) Write(b []byte) (int, error) { return p.pw.Write(b) }
+
+// TestV1CypherNDJSONStreamsIncrementally proves the streaming
+// acceptance criterion: the first row's bytes are written before the
+// full result set is drained. The handler writes through a synchronous
+// pipe; the test reads the header and first row while the handler is
+// demonstrably still mid-stream, then drains the rest and checks the
+// trailer.
+func TestV1CypherNDJSONStreamsIncrementally(t *testing.T) {
+	const totalRows = 50_000
+	s := newCustomServer(t, func(c *Config) { c.CypherRowLimit = totalRows + 1 })
+	pr, pw := io.Pipe()
+	w := &pipeResponseWriter{h: make(http.Header), pw: pw}
+	body := fmt.Sprintf(`{"query": "UNWIND range(1, %d) AS x RETURN x"}`, totalRows)
+	req := httptest.NewRequest(http.MethodPost, "/v1/cypher", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-ndjson")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Handler().ServeHTTP(w, req)
+		pw.Close()
+	}()
+
+	sc := bufio.NewScanner(pr)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatal("no header record")
+	}
+	var header api.StreamRecord
+	if err := json.Unmarshal(sc.Bytes(), &header); err != nil || header.Type != api.RecordHeader {
+		t.Fatalf("header = %s (err %v)", sc.Bytes(), err)
+	}
+	if len(header.Columns) != 1 || header.Columns[0] != "x" {
+		t.Fatalf("columns = %v", header.Columns)
+	}
+	if !sc.Scan() {
+		t.Fatal("no first row record")
+	}
+	var first api.StreamRecord
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil || first.Type != api.RecordRow {
+		t.Fatalf("first record = %s (err %v)", sc.Bytes(), err)
+	}
+	// The proof: we hold the first row while the handler is still
+	// running — it cannot have buffered 50k rows past the synchronous
+	// pipe.
+	select {
+	case <-done:
+		t.Fatal("handler finished before the first row was consumed; response was not streamed")
+	default:
+	}
+	rows := 1
+	var trailer api.StreamRecord
+	for sc.Scan() {
+		var rec api.StreamRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad record: %s", sc.Bytes())
+		}
+		switch rec.Type {
+		case api.RecordRow:
+			rows++
+		case api.RecordTrailer:
+			trailer = rec
+		}
+	}
+	<-done
+	if rows != totalRows {
+		t.Errorf("rows = %d, want %d", rows, totalRows)
+	}
+	if trailer.Type != api.RecordTrailer || trailer.Rows != totalRows || trailer.Truncated {
+		t.Errorf("trailer = %+v", trailer)
+	}
+	if trailer.Stats == nil || trailer.Stats.Changed() {
+		t.Errorf("trailer stats = %+v", trailer.Stats)
+	}
+}
+
+func TestV1CypherNDJSONTruncation(t *testing.T) {
+	s := newCustomServer(t, func(c *Config) { c.CypherRowLimit = 5 })
+	rec := postWith(t, s.Handler(), "/v1/cypher",
+		`{"query": "UNWIND range(1, 100) AS x RETURN x"}`, "application/json", "application/x-ndjson")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("Content-Type"); got != api.MediaNDJSON {
+		t.Errorf("Content-Type = %q", got)
+	}
+	var rows int
+	var trailer *api.StreamRecord
+	for _, line := range strings.Split(strings.TrimSpace(rec.Body.String()), "\n") {
+		var r api.StreamRecord
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad line %q: %v", line, err)
+		}
+		switch r.Type {
+		case api.RecordRow:
+			rows++
+		case api.RecordTrailer:
+			rec := r
+			trailer = &rec
+		}
+	}
+	if rows != 5 {
+		t.Errorf("rows = %d, want 5", rows)
+	}
+	if trailer == nil || !trailer.Truncated || trailer.Rows != 5 {
+		t.Errorf("trailer = %+v", trailer)
+	}
+}
+
+// TestV1CypherNDJSONMidStreamError checks a failure after the 200 is
+// committed arrives as a trailer error record rather than a truncated
+// or silently-complete stream.
+func TestV1CypherNDJSONMidStreamError(t *testing.T) {
+	s := newCustomServer(t, func(c *Config) { c.CypherTimeout = 30 * time.Millisecond })
+	rec := postWith(t, s.Handler(), "/v1/cypher",
+		`{"query": "`+slowCrossJoin+`"}`, "application/json", "application/x-ndjson")
+	if rec.Code != http.StatusOK {
+		// The deadline may fire before the first byte, in which case the
+		// clean enveloped 504 is also correct.
+		if rec.Code != http.StatusGatewayTimeout {
+			t.Fatalf("status = %d", rec.Code)
+		}
+		return
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	var last api.StreamRecord
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Type != api.RecordTrailer || last.Error == nil || last.Error.Code != api.CodeTimeout {
+		t.Fatalf("trailer = %+v", last)
+	}
+}
+
+func TestV1CypherPagination(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.Handler()
+	query := "MATCH (a:AS) RETURN a.asn ORDER BY a.asn"
+
+	// Reference: the whole result unpaginated.
+	rec := postJSON(t, h, "/v1/cypher", CypherRequest{Query: query})
+	var full api.CypherResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &full); err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Rows) < 10 {
+		t.Fatalf("fixture too small: %d rows", len(full.Rows))
+	}
+
+	// Page through with page_size 7 and reassemble.
+	var pages int
+	var collected [][]any
+	cursor := ""
+	for {
+		rec := postJSON(t, h, "/v1/cypher", CypherRequest{Query: query, PageSize: 7, Cursor: cursor})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("page %d: status %d: %s", pages, rec.Code, rec.Body.String())
+		}
+		var page struct {
+			Rows       [][]any `json:"rows"`
+			NextCursor string  `json:"next_cursor"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+			t.Fatal(err)
+		}
+		pages++
+		collected = append(collected, page.Rows...)
+		if page.NextCursor == "" {
+			break
+		}
+		if len(page.Rows) != 7 {
+			t.Fatalf("non-final page has %d rows", len(page.Rows))
+		}
+		cursor = page.NextCursor
+	}
+	if len(collected) != len(full.Rows) {
+		t.Fatalf("pagination lost rows: %d vs %d", len(collected), len(full.Rows))
+	}
+	if pages < 2 {
+		t.Fatalf("pages = %d, want multi-page", pages)
+	}
+
+	// A cursor minted for one query cannot drive another.
+	rec = postJSON(t, h, "/v1/cypher", CypherRequest{Query: query + " LIMIT 9", Cursor: cursor, PageSize: 7})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("mismatched cursor: status = %d", rec.Code)
+	}
+	if detail := decodeEnvelope(t, rec.Body.Bytes()); detail.Code != api.CodeBadCursor {
+		t.Errorf("code = %q", detail.Code)
+	}
+
+	// Garbage cursors are rejected.
+	rec = postJSON(t, h, "/v1/cypher", CypherRequest{Query: query, Cursor: "garbage", PageSize: 7})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("garbage cursor: status = %d", rec.Code)
+	}
+
+	// A write invalidates outstanding cursors: stale_cursor, 410.
+	first := postJSON(t, h, "/v1/cypher", CypherRequest{Query: query, PageSize: 7})
+	var firstPage api.CypherResponse
+	if err := json.Unmarshal(first.Body.Bytes(), &firstPage); err != nil {
+		t.Fatal(err)
+	}
+	if firstPage.NextCursor == "" {
+		t.Fatal("no cursor to invalidate")
+	}
+	if rec := postJSON(t, h, "/v1/cypher", CypherRequest{Query: "CREATE (x:Scratch {name: 'bump'})"}); rec.Code != http.StatusOK {
+		t.Fatalf("write failed: %s", rec.Body.String())
+	}
+	rec = postJSON(t, h, "/v1/cypher", CypherRequest{Query: query, Cursor: firstPage.NextCursor, PageSize: 7})
+	if rec.Code != http.StatusGone {
+		t.Fatalf("stale cursor: status = %d body = %s", rec.Code, rec.Body.String())
+	}
+	if detail := decodeEnvelope(t, rec.Body.Bytes()); detail.Code != api.CodeStaleCursor {
+		t.Errorf("code = %q", detail.Code)
+	}
+}
+
+// TestV1PaginationSurfacesEngineTruncation: a pipeline-level row cap
+// (Config.ExecOptions.RowLimit) that ends a paginated walk early must
+// mark the final page truncated, not present it as the complete
+// result.
+func TestV1PaginationSurfacesEngineTruncation(t *testing.T) {
+	g, _, err := iyp.Build(iyp.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.New(core.Config{
+		Graph:       g,
+		Model:       llm.NewSim(llm.DefaultSimConfig(core.BuildLexicon(g))),
+		Metrics:     metrics.NewRegistry(),
+		ExecOptions: cypher.Options{RowLimit: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Pipeline: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := postJSON(t, s.Handler(), "/v1/cypher", CypherRequest{
+		Query: "MATCH (a:AS) RETURN a.asn ORDER BY a.asn", PageSize: 10,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var page api.CypherResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Rows) != 5 || !page.Truncated || page.NextCursor != "" {
+		t.Fatalf("rows=%d truncated=%v next=%q, want 5/true/empty",
+			len(page.Rows), page.Truncated, page.NextCursor)
+	}
+}
+
+func TestV1AskBatch(t *testing.T) {
+	s, w := newTestServer(t)
+	questions := []string{
+		fmt.Sprintf("What is the name of AS%d?", w.ASes[0].ASN),
+		fmt.Sprintf("What is the name of AS%d?", w.ASes[1].ASN),
+		fmt.Sprintf("What is the name of AS%d?", w.ASes[2].ASN),
+	}
+	rec := postJSON(t, s.Handler(), "/v1/ask/batch", api.AskBatchRequest{Questions: questions, Workers: 2})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", rec.Code, rec.Body.String())
+	}
+	var resp api.AskBatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("results = %d", len(resp.Results))
+	}
+	for i, res := range resp.Results {
+		if res.Question != questions[i] {
+			t.Errorf("result %d out of order: %q", i, res.Question)
+		}
+		if res.Error != nil {
+			t.Errorf("result %d failed: %+v", i, res.Error)
+			continue
+		}
+		if !strings.Contains(res.Answer.Answer, w.ASes[i].Name) {
+			t.Errorf("result %d answer %q missing %q", i, res.Answer.Answer, w.ASes[i].Name)
+		}
+	}
+
+	// Validation.
+	for _, body := range []any{
+		api.AskBatchRequest{},
+		api.AskBatchRequest{Questions: []string{""}},
+		api.AskBatchRequest{Questions: make([]string, 100)},
+	} {
+		rec := postJSON(t, s.Handler(), "/v1/ask/batch", body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("batch %+v: status = %d, want 400", body, rec.Code)
+		}
+	}
+}
+
+func TestV1AskNDJSON(t *testing.T) {
+	s, w := newTestServer(t)
+	body := fmt.Sprintf(`{"question": "What is the name of AS%d?"}`, w.ASes[0].ASN)
+	rec := postWith(t, s.Handler(), "/v1/ask", body, "application/json", "application/x-ndjson")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("stream = %q", rec.Body.String())
+	}
+	var trailer api.StreamRecord
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil {
+		t.Fatal(err)
+	}
+	if trailer.Type != api.RecordTrailer || trailer.Ask == nil {
+		t.Fatalf("trailer = %+v", trailer)
+	}
+	if !strings.Contains(trailer.Ask.Answer, w.ASes[0].Name) {
+		t.Errorf("answer = %q", trailer.Ask.Answer)
+	}
+	if trailer.Ask.Rows != nil {
+		t.Error("trailer duplicates rows already streamed")
+	}
+}
+
+func TestV1ExplainEndpoint(t *testing.T) {
+	s, w := newTestServer(t)
+	rec := postJSON(t, s.Handler(), "/v1/explain", CypherRequest{
+		Query: fmt.Sprintf("MATCH (a:AS {asn: %d}) RETURN a.asn", w.ASes[0].ASN),
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp api.ExplainResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Plan, "property index (AS, asn)") {
+		t.Errorf("plan = %q", resp.Plan)
+	}
+	rec = postJSON(t, s.Handler(), "/v1/explain", CypherRequest{Query: "BROKEN"})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("broken query status = %d", rec.Code)
+	}
+	if detail := decodeEnvelope(t, rec.Body.Bytes()); detail.Code != api.CodeParseError {
+		t.Errorf("code = %q", detail.Code)
+	}
+}
+
+func TestPerRouteMetrics(t *testing.T) {
+	s := newCustomServer(t, nil)
+	h := s.Handler()
+	postWith(t, h, "/v1/cypher", `{"query": "RETURN 1"}`, "application/json", "")
+	postWith(t, h, "/api/cypher", `{"query": "RETURN 1"}`, "application/json", "")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/nope", nil))
+
+	snap := s.reg.Snapshot()
+	for _, name := range []string{
+		"server.requests{route=POST /v1/cypher,status=200}",
+		"server.requests{route=POST /api/cypher,status=200}",
+		"server.requests{route=/,status=404}",
+		"server.latency{route=POST /v1/cypher}.count",
+		"server.latency{route=POST /v1/cypher}.sum_us",
+		"server.latency{route=POST /v1/cypher}.max_us",
+	} {
+		if snap[name] < 1 {
+			t.Errorf("%s = %d, want >= 1 (snapshot: %v)", name, snap[name], snap)
+		}
+	}
+}
+
+// TestLegacyResponsesByteCompatible pins the legacy success shapes: the
+// exact JSON keys (and their order) the pre-v1 endpoints produced.
+func TestLegacyResponsesByteCompatible(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := postJSON(t, s.Handler(), "/api/cypher", CypherRequest{Query: "MATCH (c:Country) RETURN count(c) LIMIT 1"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	// Key order is struct-field order: columns, rows, stats, truncated —
+	// and stats uses the engine's Go field names, not snake_case.
+	wantPrefix := `{"columns":["count(c)"],"rows":[[`
+	if !strings.HasPrefix(body, wantPrefix) {
+		t.Errorf("legacy /api/cypher body = %q, want prefix %q", body, wantPrefix)
+	}
+	for _, key := range []string{`"stats":{"NodesCreated":0`, `"truncated":false`} {
+		if !strings.Contains(body, key) {
+			t.Errorf("legacy body missing %q: %s", key, body)
+		}
+	}
+}
+
+func TestBenchmarkStyleStreamVsJSON(t *testing.T) {
+	// Sanity companion to BenchmarkStreamHTTP (client package): the
+	// NDJSON body is well-formed line JSON for a non-trivial result.
+	s, _ := newTestServer(t)
+	rec := postWith(t, s.Handler(), "/v1/cypher",
+		`{"query": "UNWIND range(1, 500) AS x RETURN x, x * 2"}`, "application/json", "application/x-ndjson")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 502 { // header + 500 rows + trailer
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var bad int
+	for _, l := range lines {
+		if !json.Valid([]byte(l)) {
+			bad++
+		}
+	}
+	if bad > 0 {
+		t.Errorf("%d invalid NDJSON lines", bad)
+	}
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# smoke_api.sh — build the server, boot it on a small example graph,
+# and drive the v1 API end to end (JSON, cursor pagination, streaming
+# NDJSON, ask, batch, explain, error envelope) through the client SDK
+# via cmd/apismoke. CI runs this as the api-smoke job.
+set -eu
+
+ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
+BIN="${TMPDIR:-/tmp}/chatiyp-smoke"
+mkdir -p "$BIN"
+
+echo "building server and smoke driver..."
+go build -o "$BIN/chatiyp-server" ./cmd/chatiyp-server
+go build -o "$BIN/apismoke" ./cmd/apismoke
+
+echo "starting chatiyp-server on $ADDR (small dataset)..."
+"$BIN/chatiyp-server" -small -addr "$ADDR" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT INT TERM
+
+"$BIN/apismoke" -server "http://$ADDR" -wait 60s
+
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+trap - EXIT INT TERM
+echo "smoke_api: OK"
