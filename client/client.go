@@ -154,11 +154,13 @@ func (c *Client) Query(ctx context.Context, query string, params map[string]any)
 	return &resp, nil
 }
 
-// QueryPage fetches one page of a paginated result. Start with an
-// empty cursor; pass NextCursor back verbatim for the following page
-// (an empty NextCursor means the result is exhausted). The server
-// invalidates cursors when the graph changes — an *APIError with code
-// "stale_cursor" means restart from the first page.
+// QueryPage fetches one page of a paginated result. The query must be
+// read-only (the server answers bad_request for write clauses — each
+// page re-executes the query, which would apply writes again). Start
+// with an empty cursor; pass NextCursor back verbatim for the
+// following page (an empty NextCursor means the result is exhausted).
+// The server invalidates cursors when the graph changes — an *APIError
+// with code "stale_cursor" means restart from the first page.
 func (c *Client) QueryPage(ctx context.Context, query string, params map[string]any, cursor string, pageSize int) (*api.CypherResponse, error) {
 	if pageSize <= 0 {
 		pageSize = 100

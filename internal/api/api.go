@@ -205,6 +205,12 @@ type ExplainResponse struct {
 //
 // Ask streams carry the final AskResponse (minus rows/columns, which
 // were already streamed) in the trailer's Ask field.
+//
+// All fields but Type are omitempty (one struct frames all three
+// record kinds, and row records dominate the bytes on the wire), so a
+// zero value is absent: a trailer for an empty result has no "rows"
+// key and an untruncated one no "truncated" key. Consumers must treat
+// absent as zero/false, exactly as encoding/json decodes it.
 type StreamRecord struct {
 	Type string `json:"type"`
 

@@ -41,6 +41,15 @@ var ErrBadCursor = errors.New("api: malformed or mismatched cursor")
 // cleanly invalidates old cursors instead of misparsing them.
 const cursorPrefix = "v1"
 
+// MaxCursorOffset bounds the offset a decoded cursor may carry.
+// Cursors are opaque but not authenticated, so a client can forge one;
+// an absurd offset must not reach the pagination arithmetic, where
+// offset+page_size could overflow (a negative loop bound reads as an
+// instantly-exhausted result) or command a pointlessly huge skip scan.
+// 1<<30 rows is far beyond any page walk the row caps allow and still
+// fits comfortably in a 32-bit int.
+const MaxCursorOffset = 1 << 30
+
 // HashQuery fingerprints a (query, params) pair for cursor binding.
 // Parameter maps serialize with sorted keys (encoding/json's map
 // behavior), so equal bindings hash equal regardless of insertion
@@ -79,9 +88,9 @@ func DecodeCursor(s string) (Cursor, error) {
 	if err != nil {
 		return Cursor{}, ErrBadCursor
 	}
-	offset, err := strconv.Atoi(parts[3])
-	if err != nil || offset < 0 {
+	offset, err := strconv.ParseInt(parts[3], 10, 64)
+	if err != nil || offset < 0 || offset > MaxCursorOffset {
 		return Cursor{}, ErrBadCursor
 	}
-	return Cursor{QueryHash: parts[1], Version: version, Offset: offset}, nil
+	return Cursor{QueryHash: parts[1], Version: version, Offset: int(offset)}, nil
 }

@@ -22,6 +22,25 @@ type UnionPart struct {
 	Query *Query
 }
 
+// ReadOnly reports whether the query (including all UNION parts)
+// contains no write clauses. Callers that re-execute a query — cursor
+// pagination re-runs it for every page — must check this first: each
+// re-execution of a write query would apply its writes again.
+func (q *Query) ReadOnly() bool {
+	for _, cl := range q.Clauses {
+		switch cl.(type) {
+		case *CreateClause, *MergeClause, *SetClause, *DeleteClause, *RemoveClause:
+			return false
+		}
+	}
+	for _, u := range q.Unions {
+		if !u.Query.ReadOnly() {
+			return false
+		}
+	}
+	return true
+}
+
 // Clause is one top-level query clause.
 type Clause interface{ clauseNode() }
 

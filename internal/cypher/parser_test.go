@@ -347,3 +347,23 @@ func TestMeasureComplexity(t *testing.T) {
 		t.Error("var-length not detected")
 	}
 }
+
+func TestQueryReadOnly(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"MATCH (a:AS) RETURN a.asn", true},
+		{"MATCH (a:AS) RETURN a.asn UNION MATCH (b:AS) RETURN b.asn", true},
+		{"CREATE (x:Scratch {name: 'w'})", false},
+		{"MATCH (a:AS) CREATE (l:Log {asn: a.asn}) RETURN a.asn", false},
+		{"MATCH (a:AS {asn: 1}) SET a.seen = true RETURN a.asn", false},
+		{"MATCH (a:AS {asn: 1}) DELETE a", false},
+	}
+	for _, tc := range cases {
+		q := mustParse(t, tc.src)
+		if got := q.ReadOnly(); got != tc.want {
+			t.Errorf("ReadOnly(%q) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}

@@ -360,7 +360,7 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 
 // jsonContentType reports whether the request's declared body type is
 // JSON. An absent Content-Type is accepted (curl-style clients); any
-// other declared type is a 415.
+// other declared type is a 415 on the v1 routes.
 func jsonContentType(r *http.Request) bool {
 	ct := strings.TrimSpace(r.Header.Get("Content-Type"))
 	if ct == "" {
@@ -374,11 +374,13 @@ func jsonContentType(r *http.Request) bool {
 }
 
 // decodeJSON decodes a body bounded by Config.MaxBodyBytes, answering
-// the mode-appropriate error shape: non-JSON Content-Type is 415,
-// oversized bodies 413, malformed JSON 400. It reports whether
-// decoding succeeded.
+// the mode-appropriate error shape: non-JSON Content-Type is 415 (v1
+// routes only — the pre-versioning endpoints never checked the header,
+// and the deprecated shims must keep accepting whatever declared type
+// existing clients send), oversized bodies 413, malformed JSON 400. It
+// reports whether decoding succeeded.
 func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any, v1 bool) bool {
-	if !jsonContentType(r) {
+	if v1 && !jsonContentType(r) {
 		s.httpError(w, r, v1, http.StatusUnsupportedMediaType, api.CodeUnsupportedMedia,
 			"Content-Type must be application/json", 0)
 		return false

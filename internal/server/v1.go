@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -33,38 +34,75 @@ const streamFlushInterval = 64
 // internal concurrency must stay modest.
 const batchWorkersCap = 8
 
+// acceptable parses an Accept header into the set of media ranges the
+// client will take. q-values are honored to the extent negotiation
+// needs them: q=0 is an explicit refusal (RFC 9110 §12.4.2) and drops
+// the entry from the set; any other q means acceptable.
+func acceptable(accept string) map[string]bool {
+	set := map[string]bool{}
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(part)
+		refused := false
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			for _, param := range strings.Split(mt[i+1:], ";") {
+				k, v, ok := strings.Cut(strings.TrimSpace(param), "=")
+				if !ok || !strings.EqualFold(strings.TrimSpace(k), "q") {
+					continue
+				}
+				if q, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil && q == 0 {
+					refused = true
+				}
+			}
+			mt = strings.TrimSpace(mt[:i])
+		}
+		if !refused {
+			set[strings.ToLower(mt)] = true
+		}
+	}
+	return set
+}
+
+// acceptsJSON reports whether a parsed Accept set admits a JSON body.
+func acceptsJSON(acc map[string]bool) bool {
+	return acc[api.MediaJSON] || acc["application/*"] || acc["*/*"] || acc["text/json"]
+}
+
 // negotiate picks the response encoding for a v1 request from its
-// Accept header: NDJSON when application/x-ndjson is listed (an
-// explicit opt-in always wins), JSON for json, application/*, */* or
-// an absent header, and failure — 406 with the envelope — when the
-// client accepts neither.
+// Accept header: NDJSON when application/x-ndjson is listed with a
+// non-zero q (an explicit opt-in always wins), JSON for json,
+// application/*, */* or an absent header, and failure — 406 with the
+// envelope — when the client accepts neither.
 func (s *Server) negotiate(w http.ResponseWriter, r *http.Request) (string, bool) {
 	accept := r.Header.Get("Accept")
 	if strings.TrimSpace(accept) == "" {
 		return api.MediaJSON, true
 	}
-	wantJSON, wantND := false, false
-	for _, part := range strings.Split(accept, ",") {
-		mt := strings.TrimSpace(part)
-		if i := strings.IndexByte(mt, ';'); i >= 0 {
-			mt = strings.TrimSpace(mt[:i])
-		}
-		switch strings.ToLower(mt) {
-		case api.MediaNDJSON:
-			wantND = true
-		case api.MediaJSON, "application/*", "*/*", "text/json":
-			wantJSON = true
-		}
-	}
+	acc := acceptable(accept)
 	switch {
-	case wantND:
+	case acc[api.MediaNDJSON]:
 		return api.MediaNDJSON, true
-	case wantJSON:
+	case acceptsJSON(acc):
 		return api.MediaJSON, true
 	}
 	s.httpError(w, r, true, http.StatusNotAcceptable, api.CodeNotAcceptable,
 		fmt.Sprintf("no acceptable representation: this endpoint produces %s and %s", api.MediaJSON, api.MediaNDJSON), 0)
 	return "", false
+}
+
+// negotiateJSON guards the JSON-only v1 endpoints (/v1/ask/batch,
+// /v1/explain): their sole representation is application/json, so an
+// Accept header that refuses it — e.g. one listing only
+// application/x-ndjson — answers 406 instead of a body the client said
+// it would not take, keeping the 406 contract consistent across the v1
+// surface.
+func (s *Server) negotiateJSON(w http.ResponseWriter, r *http.Request) bool {
+	accept := r.Header.Get("Accept")
+	if strings.TrimSpace(accept) == "" || acceptsJSON(acceptable(accept)) {
+		return true
+	}
+	s.httpError(w, r, true, http.StatusNotAcceptable, api.CodeNotAcceptable,
+		fmt.Sprintf("no acceptable representation: this endpoint produces %s only", api.MediaJSON), 0)
+	return false
 }
 
 // writeExecErrorV1 maps an execution failure onto the envelope:
@@ -156,6 +194,7 @@ func (s *Server) handleAskV1(w http.ResponseWriter, r *http.Request) {
 	rows, cols := resp.Rows, resp.Columns
 	resp.Rows, resp.Columns = nil, nil
 	st := s.startStream(w, cols, time.Now().Add(s.cfg.AskTimeout))
+	defer st.close()
 	for _, row := range rows {
 		if !st.row(row) {
 			return
@@ -170,6 +209,9 @@ func (s *Server) handleAskV1(w http.ResponseWriter, r *http.Request) {
 // question in input order (per-question failures carry their own
 // ErrorDetail; the batch itself still answers 200).
 func (s *Server) handleAskBatchV1(w http.ResponseWriter, r *http.Request) {
+	if !s.negotiateJSON(w, r) {
+		return
+	}
 	var req api.AskBatchRequest
 	if !s.decodeJSON(w, r, &req, true) {
 		return
@@ -284,6 +326,7 @@ func (s *Server) streamCypherV1(ctx context.Context, w http.ResponseWriter, r *h
 	defer st.Close()
 	deadline, _ := ctx.Deadline()
 	out := s.startStream(w, st.Columns(), deadline)
+	defer out.close()
 	for {
 		row, ok, err := st.Next()
 		if err != nil {
@@ -315,6 +358,22 @@ func (s *Server) streamCypherV1(ctx context.Context, w http.ResponseWriter, r *h
 // write since the first page answers stale_cursor (410) — offsets into
 // a shifted result set would silently skip or duplicate rows.
 func (s *Server) pageCypherV1(ctx context.Context, w http.ResponseWriter, r *http.Request, req *CypherRequest) {
+	// Pagination re-executes the query for every page, so write queries
+	// are rejected up front: each page request (and each "restart from
+	// the first page" after the write itself bumps the graph version)
+	// would apply the writes again. This also keeps every paginated
+	// execution on the streaming path, whose pull model bounds the
+	// per-page work.
+	parsed, err := cypher.Parse(req.Query)
+	if err != nil {
+		s.writeExecErrorV1(w, r, err, s.cfg.CypherTimeout, api.CodeExecError, http.StatusUnprocessableEntity)
+		return
+	}
+	if !parsed.ReadOnly() {
+		s.httpError(w, r, true, http.StatusBadRequest, api.CodeBadRequest,
+			"cursor pagination supports read-only queries; run write queries without cursor/page_size", 0)
+		return
+	}
 	pageSize := req.PageSize
 	switch {
 	case pageSize <= 0:
@@ -345,8 +404,15 @@ func (s *Server) pageCypherV1(ctx context.Context, w http.ResponseWriter, r *htt
 	}
 	// The pull model bounds the work: the scan stops after
 	// offset+pageSize+1 rows (the +1 probes for another page) no matter
-	// how large the full result would be.
-	st, err := s.cfg.Pipeline.QueryStreamContext(ctx, req.Query, req.Params, 0)
+	// how large the full result would be. DecodeCursor caps Offset at
+	// api.MaxCursorOffset, so a forged cursor cannot overflow this bound
+	// into a negative (never-entered) loop. The server row cap applies
+	// to the underlying result exactly as in the other transports: a
+	// page walk windows into the first CypherRowLimit rows and the
+	// final page reports truncated — without the cap, a plan that falls
+	// off the streaming path would materialize the entire result
+	// uncapped on every page request.
+	st, err := s.cfg.Pipeline.QueryStreamContext(ctx, req.Query, req.Params, s.serverRowLimit())
 	if err != nil {
 		s.writeExecErrorV1(w, r, err, s.cfg.CypherTimeout, api.CodeExecError, http.StatusUnprocessableEntity)
 		return
@@ -385,6 +451,9 @@ func (s *Server) pageCypherV1(ctx context.Context, w http.ResponseWriter, r *htt
 // handleExplainV1 is POST /v1/explain: the access plan without
 // execution.
 func (s *Server) handleExplainV1(w http.ResponseWriter, r *http.Request) {
+	if !s.negotiateJSON(w, r) {
+		return
+	}
 	req, ok := s.decodeCypherRequest(w, r, true)
 	if !ok {
 		return
@@ -420,7 +489,9 @@ type ndjsonWriter struct {
 // client that opens a stream and stops reading would otherwise block
 // the handler inside Write once the socket buffer fills — past any
 // execution deadline, since the context only interrupts Next between
-// writes — and hold its scheduler slot forever.
+// writes — and hold its scheduler slot forever. Callers must defer
+// close() so the deadline does not leak onto the next request of a
+// keep-alive connection.
 func (s *Server) startStream(w http.ResponseWriter, cols []string, deadline time.Time) *ndjsonWriter {
 	w.Header().Set("Content-Type", api.MediaNDJSON)
 	// Tell buffering reverse proxies not to defeat the streaming.
@@ -439,6 +510,18 @@ func (s *Server) startStream(w http.ResponseWriter, cols []string, deadline time
 	}
 	_ = out.rc.Flush()
 	return out
+}
+
+// close clears the connection write deadline startStream installed, so
+// it cannot outlive the response. Current Go's serve loop also clears
+// the deadline after every request, but older releases only did so
+// when Server.WriteTimeout was positive — there, the next request on a
+// reused keep-alive connection inherited the stale deadline and, once
+// it passed, every later write on that connection failed (an exceeded
+// deadline cannot be extended). Clearing it here keeps the handler
+// correct independent of the serve loop's internals.
+func (o *ndjsonWriter) close() {
+	_ = o.rc.SetWriteDeadline(time.Time{})
 }
 
 // row writes one row record; false means the client is gone and the

@@ -186,10 +186,13 @@ func TestV1ErrorEnvelopeMatrix(t *testing.T) {
 			wantStatus: http.StatusNotFound, wantCode: api.CodeNotFound,
 		},
 		{
+			// 415 is a v1-only contract: the pre-versioning endpoints never
+			// checked Content-Type, so the legacy shim attempts the decode
+			// and answers its usual 400 for the non-JSON payload.
 			name: "unsupported media type", srv: plain,
 			method: "POST", path: "/v1/cypher", body: `query=x`, contentType: "application/x-www-form-urlencoded",
 			wantStatus: http.StatusUnsupportedMediaType, wantCode: api.CodeUnsupportedMedia,
-			legacyPath: "/api/cypher", legacyStatus: http.StatusUnsupportedMediaType,
+			legacyPath: "/api/cypher", legacyStatus: http.StatusBadRequest,
 		},
 		{
 			name: "bad request", srv: plain,
@@ -275,6 +278,176 @@ func TestV1NotAcceptable(t *testing.T) {
 		if rec.Code != http.StatusOK {
 			t.Errorf("Accept %q: status = %d", accept, rec.Code)
 		}
+	}
+}
+
+// TestLegacyShimsIgnoreContentType: the pre-versioning endpoints never
+// checked Content-Type, so a pre-existing client posting JSON under
+// e.g. text/plain must keep working on the deprecated shims — the 415
+// contract is v1-only.
+func TestLegacyShimsIgnoreContentType(t *testing.T) {
+	s, _ := newTestServer(t)
+	for _, ct := range []string{"text/plain", "application/x-www-form-urlencoded", "application/octet-stream"} {
+		rec := postWith(t, s.Handler(), "/api/cypher", `{"query": "RETURN 1"}`, ct, "")
+		if rec.Code != http.StatusOK {
+			t.Errorf("Content-Type %q: status = %d body = %s", ct, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// TestV1NegotiateQValues: a q=0 entry explicitly refuses that media
+// type (RFC 9110 §12.4.2) — it must not count as an opt-in.
+func TestV1NegotiateQValues(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.Handler()
+	cases := []struct {
+		accept     string
+		wantStatus int
+		wantCT     string
+	}{
+		{"application/x-ndjson;q=0, application/json", http.StatusOK, "application/json"},
+		{"application/x-ndjson;q=0.5", http.StatusOK, api.MediaNDJSON},
+		{"application/x-ndjson; q=0 , */*", http.StatusOK, "application/json"},
+		{"application/json;q=0", http.StatusNotAcceptable, ""},
+		{"*/*;q=0", http.StatusNotAcceptable, ""},
+	}
+	for _, tc := range cases {
+		rec := postWith(t, h, "/v1/cypher", `{"query": "RETURN 1"}`, "application/json", tc.accept)
+		if rec.Code != tc.wantStatus {
+			t.Errorf("Accept %q: status = %d, want %d", tc.accept, rec.Code, tc.wantStatus)
+			continue
+		}
+		if tc.wantCT != "" && rec.Header().Get("Content-Type") != tc.wantCT {
+			t.Errorf("Accept %q: Content-Type = %q, want %q", tc.accept, rec.Header().Get("Content-Type"), tc.wantCT)
+		}
+		if tc.wantStatus == http.StatusNotAcceptable {
+			if detail := decodeEnvelope(t, rec.Body.Bytes()); detail.Code != api.CodeNotAcceptable {
+				t.Errorf("Accept %q: code = %q", tc.accept, detail.Code)
+			}
+		}
+	}
+}
+
+// TestV1JSONOnlyEndpointsNegotiate: /v1/ask/batch and /v1/explain only
+// produce JSON, so an Accept header that admits only NDJSON gets the
+// same 406 contract as the streaming-capable endpoints instead of a
+// body the client refused.
+func TestV1JSONOnlyEndpointsNegotiate(t *testing.T) {
+	s, w := newTestServer(t)
+	h := s.Handler()
+	for _, path := range []string{"/v1/ask/batch", "/v1/explain"} {
+		rec := postWith(t, h, path, `{}`, "application/json", api.MediaNDJSON)
+		if rec.Code != http.StatusNotAcceptable {
+			t.Errorf("%s: status = %d, want 406", path, rec.Code)
+			continue
+		}
+		if detail := decodeEnvelope(t, rec.Body.Bytes()); detail.Code != api.CodeNotAcceptable {
+			t.Errorf("%s: code = %q", path, detail.Code)
+		}
+	}
+	body := fmt.Sprintf(`{"query": "MATCH (a:AS {asn: %d}) RETURN a.asn"}`, w.ASes[0].ASN)
+	for _, accept := range []string{"", "*/*", "application/json"} {
+		rec := postWith(t, h, "/v1/explain", body, "application/json", accept)
+		if rec.Code != http.StatusOK {
+			t.Errorf("explain with Accept %q: status = %d", accept, rec.Code)
+		}
+	}
+}
+
+// deadlineRecorder augments the recorder with a SetWriteDeadline the
+// handlers reach through http.ResponseController, standing in for the
+// real connection so deadline hygiene is observable.
+type deadlineRecorder struct {
+	*httptest.ResponseRecorder
+	deadlines []time.Time
+}
+
+func (d *deadlineRecorder) SetWriteDeadline(t time.Time) error {
+	d.deadlines = append(d.deadlines, t)
+	return nil
+}
+
+// TestStreamClearsWriteDeadline pins the contract behind
+// ndjsonWriter.close: a streaming handler that installs a connection
+// write deadline must clear it when the stream ends. Older Go serve
+// loops only reset write deadlines between keep-alive requests when
+// Server.WriteTimeout was positive, so a leaked deadline broke every
+// later response on the reused connection once it passed.
+func TestStreamClearsWriteDeadline(t *testing.T) {
+	s, w := newTestServer(t)
+	cases := []struct{ path, body string }{
+		{"/v1/cypher", `{"query": "RETURN 1"}`},
+		{"/v1/ask", fmt.Sprintf(`{"question": "What is the name of AS%d?"}`, w.ASes[0].ASN)},
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest(http.MethodPost, tc.path, strings.NewReader(tc.body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Accept", api.MediaNDJSON)
+		rec := &deadlineRecorder{ResponseRecorder: httptest.NewRecorder()}
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status = %d body = %s", tc.path, rec.Code, rec.Body.String())
+		}
+		if len(rec.deadlines) < 2 || rec.deadlines[0].IsZero() {
+			t.Fatalf("%s: SetWriteDeadline calls = %v, want a real deadline then a clear", tc.path, rec.deadlines)
+		}
+		if last := rec.deadlines[len(rec.deadlines)-1]; !last.IsZero() {
+			t.Errorf("%s: stream left the write deadline set: %v", tc.path, last)
+		}
+	}
+}
+
+// TestStreamDeadlineDoesNotLeakToNextRequest drives the same contract
+// end-to-end over a real keep-alive connection: after a streamed
+// response whose write deadline has since passed, the next request on
+// the reused connection must still succeed. (On current Go the serve
+// loop also clears the deadline between requests, so this alone cannot
+// catch a handler regression — TestStreamClearsWriteDeadline does —
+// but it keeps the full client-visible path honest.) POSTs are not
+// transparently retried on a fresh connection, so a leak would surface
+// as a client-side error here.
+func TestStreamDeadlineDoesNotLeakToNextRequest(t *testing.T) {
+	s := newCustomServer(t, func(c *Config) { c.CypherTimeout = 250 * time.Millisecond })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(accept string) (*http.Response, error) {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/cypher", strings.NewReader(`{"query": "RETURN 1"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		return ts.Client().Do(req)
+	}
+
+	// A short NDJSON stream whose write deadline (now+CypherTimeout)
+	// outlives the response. Fully draining the body returns the
+	// connection to the keep-alive pool.
+	resp, err := post(api.MediaNDJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Let the streamed request's deadline pass, then reuse the
+	// connection.
+	time.Sleep(400 * time.Millisecond)
+	resp2, err := post("")
+	if err != nil {
+		t.Fatalf("second request on reused connection: %v", err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second request status = %d", resp2.StatusCode)
+	}
+	if _, err := io.ReadAll(resp2.Body); err != nil {
+		t.Fatalf("reading second response: %v", err)
 	}
 }
 
@@ -530,6 +703,71 @@ func TestV1CypherPagination(t *testing.T) {
 	}
 	if detail := decodeEnvelope(t, rec.Body.Bytes()); detail.Code != api.CodeStaleCursor {
 		t.Errorf("code = %q", detail.Code)
+	}
+}
+
+// TestV1PaginationRejectsWrites: pagination re-executes the query for
+// every page, so a write query must be rejected before anything runs —
+// otherwise each page request (and each restart after the write's own
+// version bump staled the cursor) would apply the writes again.
+func TestV1PaginationRejectsWrites(t *testing.T) {
+	s, _ := newTestServer(t)
+	before := s.cfg.Pipeline.Graph().Version()
+	for _, q := range []string{
+		"CREATE (x:Scratch {name: 'paged'})",
+		"MATCH (a:AS) CREATE (l:Log {asn: a.asn}) RETURN a.asn",
+	} {
+		rec := postJSON(t, s.Handler(), "/v1/cypher", CypherRequest{Query: q, PageSize: 5})
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%q: status = %d body = %s, want 400", q, rec.Code, rec.Body.String())
+			continue
+		}
+		if detail := decodeEnvelope(t, rec.Body.Bytes()); detail.Code != api.CodeBadRequest {
+			t.Errorf("%q: code = %q", q, detail.Code)
+		}
+	}
+	if after := s.cfg.Pipeline.Graph().Version(); after != before {
+		t.Errorf("graph version moved %d -> %d: a rejected paginated write still executed", before, after)
+	}
+	// The same write without pagination still works.
+	if rec := postJSON(t, s.Handler(), "/v1/cypher", CypherRequest{Query: "CREATE (x:Scratch {name: 'plain'})"}); rec.Code != http.StatusOK {
+		t.Errorf("unpaginated write: status = %d body = %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestV1PaginationBoundedByServerRowCap: the CypherRowLimit cap
+// applies to paginated results exactly as to the other transports —
+// pages window into the first CypherRowLimit rows, the final page
+// reports truncated, and no cursor is minted past the cap.
+func TestV1PaginationBoundedByServerRowCap(t *testing.T) {
+	s := newCustomServer(t, func(c *Config) { c.CypherRowLimit = 10 })
+	var rows int
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > 10 {
+			t.Fatal("pagination did not terminate under the row cap")
+		}
+		rec := postJSON(t, s.Handler(), "/v1/cypher", CypherRequest{
+			Query: "UNWIND range(1, 100) AS x RETURN x", PageSize: 4, Cursor: cursor,
+		})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("page %d: status = %d body = %s", pages, rec.Code, rec.Body.String())
+		}
+		var page api.CypherResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+			t.Fatal(err)
+		}
+		rows += len(page.Rows)
+		if page.NextCursor == "" {
+			if !page.Truncated {
+				t.Error("final page under the cap not marked truncated")
+			}
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if rows != 10 {
+		t.Errorf("paged rows = %d, want the 10-row cap", rows)
 	}
 }
 
