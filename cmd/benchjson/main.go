@@ -30,11 +30,14 @@ type Result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the full JSON document.
+// Report is the full JSON document. NumCPU qualifies concurrency
+// results: goroutine-scaling numbers are bounded by the cores the
+// machine actually has.
 type Report struct {
 	GoVersion string             `json:"go_version"`
 	GOOS      string             `json:"goos"`
 	GOARCH    string             `json:"goarch"`
+	NumCPU    int                `json:"num_cpu"`
 	Results   []Result           `json:"results"`
 	Speedups  map[string]float64 `json:"speedups,omitempty"`
 }
@@ -42,7 +45,7 @@ type Report struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
 
 func main() {
-	rep := Report{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	rep := Report{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU()}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -79,21 +82,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	// Derive materialized/streaming speedups per benchmark family.
+	// Derive per-family speedups: materialized/streaming pairs,
+	// locked/view pairs (the lock-free snapshot read path), and
+	// goroutine-scaling factors (1 → 8 workers, same fixed work unit).
 	byName := map[string]float64{}
 	for _, r := range rep.Results {
 		byName[r.Name] = r.NsPerOp
 	}
+	addSpeedup := func(key string, factor float64) {
+		if rep.Speedups == nil {
+			rep.Speedups = map[string]float64{}
+		}
+		rep.Speedups[key] = factor
+	}
 	for name, ns := range byName {
-		base, ok := strings.CutSuffix(name, "/streaming")
-		if !ok || ns == 0 {
+		if ns == 0 {
 			continue
 		}
-		if mat, ok := byName[base+"/materialized"]; ok {
-			if rep.Speedups == nil {
-				rep.Speedups = map[string]float64{}
+		if base, ok := strings.CutSuffix(name, "/streaming"); ok {
+			if mat, ok := byName[base+"/materialized"]; ok {
+				addSpeedup(strings.TrimPrefix(base, "Benchmark"), mat/ns)
 			}
-			rep.Speedups[strings.TrimPrefix(base, "Benchmark")] = mat / ns
+		}
+		if base, ok := strings.CutSuffix(name, "/view"); ok {
+			if locked, ok := byName[base+"/locked"]; ok {
+				addSpeedup(strings.TrimPrefix(base, "Benchmark")+"/locked_over_view", locked/ns)
+			}
+		}
+		if base, ok := strings.CutSuffix(name, "/goroutines=8"); ok {
+			if one, ok := byName[base+"/goroutines=1"]; ok {
+				addSpeedup(strings.TrimPrefix(base, "Benchmark")+"/scaling_1to8", one/ns)
+			}
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)

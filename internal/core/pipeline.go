@@ -145,8 +145,11 @@ func (p *Pipeline) Lexicon() *llm.Lexicon { return p.lexicon }
 func (p *Pipeline) Graph() *graph.Graph { return p.cfg.Graph }
 
 // BuildLexicon derives the text-to-Cypher entity vocabulary from the
-// live graph, the way ChatIYP's prompt chain carries schema examples.
-func BuildLexicon(g *graph.Graph) *llm.Lexicon {
+// graph, the way ChatIYP's prompt chain carries schema examples. It
+// reads one pinned snapshot, so a graph being mutated while a pipeline
+// is constructed still yields a self-consistent lexicon.
+func BuildLexicon(src *graph.Graph) *llm.Lexicon {
+	g := src.View()
 	lx := &llm.Lexicon{
 		Countries:    map[string]string{},
 		CountryCodes: map[string]bool{},
@@ -578,6 +581,14 @@ func (p *Pipeline) Metrics() *metrics.Registry {
 	canceled, deadlineExceeded := cypher.CancelStats()
 	p.metrics.Counter("cypher.canceled").Set(canceled)
 	p.metrics.Counter("cypher.deadline_exceeded").Set(deadlineExceeded)
+	// Snapshot-read-path counters (per-graph, mirrored like the rest):
+	// view_pins counts epoch pins (one per read-only execution, plus
+	// construction-time walks); snapshot_publishes counts epochs
+	// actually rebuilt — the write-churn readers observed. A large
+	// pins/publishes ratio means reads are running lock-free.
+	pins, publishes := p.cfg.Graph.SnapshotStats()
+	p.metrics.Counter("graph.view_pins").Set(pins)
+	p.metrics.Counter("graph.snapshot_publishes").Set(publishes)
 	return p.metrics
 }
 

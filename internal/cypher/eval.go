@@ -24,7 +24,14 @@ func (r Row) clone() Row {
 // evalCtx carries everything expression evaluation needs: the graph (for
 // pattern predicates), the parameters, and executor options.
 type evalCtx struct {
-	g      *graph.Graph
+	g *graph.Graph
+	// r is the read path of this execution. The streaming executor pins
+	// one immutable graph.View per query — every hop, label scan, and
+	// index lookup of the whole execution then reads one consistent
+	// epoch, lock-free. The materializing executor (write queries, the
+	// DisableStreaming reference path) sets r = g so reads observe the
+	// query's own writes through the locked live graph.
+	r      graph.Reader
 	params map[string]graph.Value
 	opts   Options
 	// plan carries the prepared query's planning state (per-MATCH index

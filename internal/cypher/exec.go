@@ -205,7 +205,10 @@ func dedupeRows(rows [][]graph.Value) [][]graph.Value {
 
 func executeSingle(ctx context.Context, g *graph.Graph, q *Query, plan *queryPlan, params map[string]graph.Value, opts Options) (*Result, error) {
 	ex := &executor{
-		ctx:  &evalCtx{g: g, params: params, opts: opts, plan: plan, ctx: ctx},
+		// r = g: the materializing executor runs write clauses, whose
+		// later reads (MERGE, MATCH after CREATE) must observe the
+		// query's own writes through the live locked graph.
+		ctx:  &evalCtx{g: g, r: g, params: params, opts: opts, plan: plan, ctx: ctx},
 		rows: []Row{{}},
 	}
 	for _, cl := range q.Clauses {

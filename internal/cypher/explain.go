@@ -76,7 +76,7 @@ func renderStages(b *strings.Builder, g *graph.Graph, sp *stagePlan, opts Option
 	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
 		chain[i], chain[j] = chain[j], chain[i]
 	}
-	ctx := &evalCtx{g: g, opts: opts}
+	ctx := &evalCtx{g: g, r: g, opts: opts}
 	bound := map[string]bool{}
 	for _, s := range chain {
 		switch s.kind {
@@ -156,7 +156,7 @@ func skipLimitString(skipE, limitE Expr) string {
 }
 
 func describeQuery(b *strings.Builder, g *graph.Graph, q *Query, opts Options, indent string) {
-	ctx := &evalCtx{g: g, opts: opts}
+	ctx := &evalCtx{g: g, r: g, opts: opts}
 	m := &matcher{ctx: ctx, usedRels: map[int64]bool{}}
 	bound := map[string]bool{}
 	for _, cl := range q.Clauses {

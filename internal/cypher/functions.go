@@ -252,7 +252,7 @@ func (c *evalCtx) evalFunc(x *FuncCall, row Row) (graph.Value, error) {
 			return nil, err
 		}
 		if r, ok := args[0].(*graph.Relationship); ok {
-			return c.g.Node(r.StartID), nil
+			return c.r.Node(r.StartID), nil
 		}
 		return nil, nil
 	case "endnode":
@@ -260,7 +260,7 @@ func (c *evalCtx) evalFunc(x *FuncCall, row Row) (graph.Value, error) {
 			return nil, err
 		}
 		if r, ok := args[0].(*graph.Relationship); ok {
-			return c.g.Node(r.EndID), nil
+			return c.r.Node(r.EndID), nil
 		}
 		return nil, nil
 	case "nodes":

@@ -35,7 +35,7 @@ func (m *matcher) match(pat *Pattern, row Row, emit func(Row) bool) error {
 		relBinds: make([]relBinding, len(pat.Rels)),
 	}
 	for i := 0; i < candidates.len(); i++ {
-		cand := candidates.at(m.ctx.g, i)
+		cand := candidates.at(m.ctx.r, i)
 		if cand == nil {
 			continue
 		}
@@ -163,16 +163,21 @@ func (m *matcher) traverse(state *matchState, row Row, rp *RelPattern, relPos in
 		return m.traverseVarLength(state, row, rp, relPos, current, targetNP, forward, cont)
 	}
 	dir := traversalDirection(rp.Direction, forward)
-	for _, r := range m.ctx.g.Incident(current.ID, dir, rp.Types...) {
+	// Expansion iterates the reader's pre-bucketed adjacency in place:
+	// one callback per candidate relationship, no per-hop slices, maps
+	// or sorting (see graph.View.IncidentDo).
+	var stepErr error
+	completed := m.ctx.r.IncidentDo(current.ID, dir, rp.Types, func(r *graph.Relationship) bool {
 		if m.usedRels[r.ID] {
-			continue
+			return true
 		}
 		ok, err := m.relPropsMatch(rp, r, row)
 		if err != nil {
-			return false, err
+			stepErr = err
+			return false
 		}
 		if !ok {
-			continue
+			return true
 		}
 		var otherID int64
 		if r.StartID == current.ID {
@@ -180,24 +185,26 @@ func (m *matcher) traverse(state *matchState, row Row, rp *RelPattern, relPos in
 		} else {
 			otherID = r.StartID
 		}
-		other := m.ctx.g.Node(otherID)
+		other := m.ctx.r.Node(otherID)
 		if other == nil {
-			continue
+			return true
 		}
 		okNode, undoNode, err := m.bindNode(targetNP, other, row)
 		if err != nil {
-			return false, err
+			stepErr = err
+			return false
 		}
 		if !okNode {
-			continue
+			return true
 		}
 		okRel, undoRel, err := m.bindRel(rp, r, row)
 		if err != nil {
-			return false, err
+			stepErr = err
+			return false
 		}
 		if !okRel {
 			undoNode(row)
-			continue
+			return true
 		}
 		m.usedRels[r.ID] = true
 		state.relBinds[relPos] = relBinding{single: r}
@@ -206,13 +213,15 @@ func (m *matcher) traverse(state *matchState, row Row, rp *RelPattern, relPos in
 		undoRel(row)
 		undoNode(row)
 		if err != nil {
-			return false, err
+			stepErr = err
+			return false
 		}
-		if !keep {
-			return false, nil
-		}
+		return keep
+	})
+	if stepErr != nil {
+		return false, stepErr
 	}
-	return true, nil
+	return completed, nil
 }
 
 // traverseVarLength enumerates simple relationship chains of length
@@ -290,16 +299,18 @@ func (m *matcher) traverseVarLength(state *matchState, row Row, rp *RelPattern, 
 		if depth == maxLen {
 			return true, nil
 		}
-		for _, r := range m.ctx.g.Incident(node.ID, dir, rp.Types...) {
+		var stepErr error
+		completed := m.ctx.r.IncidentDo(node.ID, dir, rp.Types, func(r *graph.Relationship) bool {
 			if m.usedRels[r.ID] {
-				continue
+				return true
 			}
 			ok, err := m.relPropsMatch(rp, r, row)
 			if err != nil {
-				return false, err
+				stepErr = err
+				return false
 			}
 			if !ok {
-				continue
+				return true
 			}
 			var otherID int64
 			if r.StartID == node.ID {
@@ -307,28 +318,31 @@ func (m *matcher) traverseVarLength(state *matchState, row Row, rp *RelPattern, 
 			} else {
 				otherID = r.StartID
 			}
-			other := m.ctx.g.Node(otherID)
+			other := m.ctx.r.Node(otherID)
 			if other == nil {
-				continue
+				return true
 			}
 			m.usedRels[r.ID] = true
 			chain = append(chain, r)
-			pushedInterim := false
 			// The far endpoint is interior unless this hop completes a
 			// candidate path; interior tracking is append-only per depth.
 			interim = append(interim, other)
-			pushedInterim = true
 			keep, err := dfs(other, depth+1)
-			if pushedInterim {
-				interim = interim[:len(interim)-1]
-			}
+			interim = interim[:len(interim)-1]
 			chain = chain[:len(chain)-1]
 			delete(m.usedRels, r.ID)
-			if err != nil || !keep {
-				return keep, err
+			if err != nil {
+				stepErr = err
+				return false
 			}
+			return keep
+		})
+		if stepErr != nil {
+			return false, stepErr
 		}
-		return true, nil
+		// A stop without an error can only come from keep==false: the
+		// emit chain asked to end enumeration.
+		return completed, nil
 	}
 	return dfs(current, 0)
 }
@@ -452,7 +466,7 @@ func (m *matcher) pickAnchor(pat *Pattern, row Row) int {
 				if !m.ctx.opts.DisableIndexes {
 					for _, l := range np.Labels {
 						for p := range np.Props {
-							if m.ctx.g.HasIndex(l, p) {
+							if m.ctx.r.HasIndex(l, p) {
 								score = 100
 							}
 						}
@@ -496,11 +510,11 @@ func (cs candSet) len() int {
 }
 
 // at resolves the i-th candidate; nil means the id vanished (skip it).
-func (cs candSet) at(g *graph.Graph, i int) *graph.Node {
+func (cs candSet) at(r graph.Reader, i int) *graph.Node {
 	if cs.nodes != nil {
 		return cs.nodes[i]
 	}
-	return g.Node(cs.ids[i])
+	return r.Node(cs.ids[i])
 }
 
 // anchorCandidates produces the starting node set for the anchor
@@ -522,14 +536,14 @@ func (m *matcher) anchorCandidates(np *NodePattern, row Row) (candSet, error) {
 	if !m.ctx.opts.DisableIndexes {
 		for _, label := range np.Labels {
 			for prop, expr := range np.Props {
-				if !m.ctx.g.HasIndex(label, prop) {
+				if !m.ctx.r.HasIndex(label, prop) {
 					continue
 				}
 				want, err := m.ctx.eval(expr, row)
 				if err != nil {
 					return candSet{}, err
 				}
-				ids, usedIndex := m.ctx.g.NodesByLabelProp(label, prop, want)
+				ids, usedIndex := m.ctx.r.NodesByLabelProp(label, prop, want)
 				if !usedIndex {
 					continue
 				}
@@ -546,7 +560,7 @@ func (m *matcher) anchorCandidates(np *NodePattern, row Row) (candSet, error) {
 		// error if and only if rows actually reach it, keeping behavior
 		// identical to unplanned execution.
 		if want, err := m.ctx.eval(hint.Value, row); err == nil {
-			if ids, usedIndex := m.ctx.g.NodesByLabelProp(hint.Label, hint.Prop, want); usedIndex {
+			if ids, usedIndex := m.ctx.r.NodesByLabelProp(hint.Label, hint.Prop, want); usedIndex {
 				return candSet{ids: ids}, nil
 			}
 		}
@@ -554,9 +568,9 @@ func (m *matcher) anchorCandidates(np *NodePattern, row Row) (candSet, error) {
 	if len(np.Labels) > 0 {
 		// Scan the most selective label (fewest members).
 		bestLabel := np.Labels[0]
-		bestIDs := m.ctx.g.NodesByLabel(bestLabel)
+		bestIDs := m.ctx.r.NodesByLabel(bestLabel)
 		for _, l := range np.Labels[1:] {
-			ids := m.ctx.g.NodesByLabel(l)
+			ids := m.ctx.r.NodesByLabel(l)
 			if len(ids) < len(bestIDs) {
 				bestLabel, bestIDs = l, ids
 			}
@@ -564,7 +578,7 @@ func (m *matcher) anchorCandidates(np *NodePattern, row Row) (candSet, error) {
 		_ = bestLabel
 		return candSet{ids: bestIDs}, nil
 	}
-	return candSet{ids: m.ctx.g.AllNodeIDs()}, nil
+	return candSet{ids: m.ctx.r.AllNodeIDs()}, nil
 }
 
 // hintFor returns the first WHERE-derived index hint usable for this

@@ -60,7 +60,10 @@ type streamExec struct {
 // the parts the plan marked (see queryPlan.lastDedup) and
 // Options.RowLimit enforced across the whole output.
 func executeStream(ctx context.Context, g *graph.Graph, plan *queryPlan, params map[string]graph.Value, opts Options) (*Result, error) {
-	se := &streamExec{ctx: &evalCtx{g: g, params: params, opts: opts, plan: plan, ctx: ctx}}
+	// Pin one immutable snapshot for the whole execution (all UNION
+	// parts included): every hop and scan is lock-free against one
+	// consistent epoch, and concurrent writers are never blocked.
+	se := &streamExec{ctx: &evalCtx{g: g, r: g.View(), params: params, opts: opts, plan: plan, ctx: ctx}}
 	cols := plan.parts[0].cols
 	for _, sp := range plan.parts[1:] {
 		if len(sp.cols) != len(cols) {
@@ -362,7 +365,7 @@ func (it *matchIter) Next() (Row, bool, error) {
 			}
 			continue
 		}
-		cand := it.cands.at(it.se.ctx.g, it.candIdx)
+		cand := it.cands.at(it.se.ctx.r, it.candIdx)
 		it.candIdx++
 		if cand == nil {
 			continue // id vanished between planning and resolution

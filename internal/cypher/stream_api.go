@@ -109,8 +109,12 @@ func executeQueryStream(ctx context.Context, g *graph.Graph, q *Query, plan *que
 		}
 	}
 	s := &Stream{
-		cols:      cols,
-		se:        &streamExec{ctx: &evalCtx{g: g, params: normParams, opts: opts, plan: plan, ctx: ctx}},
+		cols: cols,
+		// The snapshot is pinned here, when the stream is created — a
+		// long-lived cursor page or NDJSON response then reads one
+		// consistent graph epoch for its entire lifetime, no matter how
+		// many writes land while rows trickle out.
+		se: &streamExec{ctx: &evalCtx{g: g, r: g.View(), params: normParams, opts: opts, plan: plan, ctx: ctx}},
 		parts:     plan.parts,
 		lastDedup: plan.lastDedup,
 		rowLimit:  opts.RowLimit,

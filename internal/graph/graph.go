@@ -3,9 +3,11 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Errors returned by store operations.
@@ -115,11 +117,17 @@ const (
 // Graph is an in-memory property graph. All exported methods are safe for
 // concurrent use. The zero value is not usable; call New.
 type Graph struct {
-	mu      sync.RWMutex
-	nodes   map[int64]*Node
-	rels    map[int64]*Relationship
-	out     map[int64][]int64 // node ID -> outgoing rel IDs
-	in      map[int64][]int64 // node ID -> incoming rel IDs
+	mu    sync.RWMutex
+	nodes map[int64]*Node
+	rels  map[int64]*Relationship
+	// out and in map node ID -> incident rel IDs, kept in ascending
+	// rel-ID order: IDs are assigned monotonically and removal
+	// preserves relative order. Incident/Degree and the snapshot
+	// builder (view.go) rely on this invariant to merge and bucket
+	// without sorting; bulk loaders that bypass CreateRelationship
+	// must call normalizeAdjacencyLocked.
+	out     map[int64][]int64
+	in      map[int64][]int64
 	byLabel map[string]map[int64]struct{}
 	// propIndex maps label -> property -> valueKey -> node IDs.
 	propIndex map[string]map[string]map[string][]int64
@@ -128,14 +136,36 @@ type Graph struct {
 	nextRel   int64
 	// version counts structural mutations (node/relationship writes,
 	// label/property changes, index creation). Query planners stamp
-	// their plans with it and replan when it moves.
-	version uint64
+	// their plans with it and replan when it moves. Writers bump it
+	// while holding mu; it is atomic so the lock-free snapshot path
+	// (View) can compare it against the published epoch without
+	// blocking.
+	version atomic.Uint64
 	// labelScans caches the sorted id list of each label, stamped with
 	// the version it was built at; label scans are the executor's
 	// hottest access path and rebuilding + sorting the list per scan
 	// dominates small queries. Entries are invalidated lazily by the
 	// version stamp, so writes stay cache-oblivious.
 	labelScans map[string]labelScanEntry
+
+	// Lock-free read path (see view.go): the last published immutable
+	// epoch, the dirty sets accumulated since it was built, and the
+	// snapshot observability counters.
+	published         atomic.Pointer[readState]
+	dirtyNodes        map[int64]struct{} // created/deleted/relabeled/reproped nodes
+	dirtyRels         map[int64]struct{} // created/deleted/reproped rels
+	dirtyAdj          map[int64]struct{} // nodes whose adjacency (or incident rel copies) changed
+	relTypeCount map[string]int // live rels per type; keeps RelationshipTypes and epoch builds O(#types)
+	// labelsDirty and indexDirty are deliberately coarse: one flag per
+	// table, so the next publish rebuilds that whole table (O(labeled
+	// nodes) / O(index size)) rather than tracking per-bucket churn.
+	// See the CONCURRENCY.md cost model; batch indexed writes on huge
+	// graphs.
+	labelsDirty   bool
+	relTypesDirty bool
+	indexDirty    bool
+	viewPins          atomic.Int64
+	snapshotPublishes atomic.Int64
 }
 
 type labelScanEntry struct {
@@ -148,24 +178,26 @@ type labelScanEntry struct {
 // and index creation. A cached query plan stamped with an older version
 // is stale and must be re-planned.
 func (g *Graph) Version() uint64 {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.version
+	return g.version.Load()
 }
 
 // New returns an empty graph.
 func New() *Graph {
 	return &Graph{
-		nodes:      make(map[int64]*Node),
-		rels:       make(map[int64]*Relationship),
-		out:        make(map[int64][]int64),
-		in:         make(map[int64][]int64),
-		byLabel:    make(map[string]map[int64]struct{}),
-		propIndex:  make(map[string]map[string]map[string][]int64),
-		indexed:    make(map[string]map[string]bool),
-		labelScans: make(map[string]labelScanEntry),
-		nextNode:   1,
-		nextRel:    1,
+		nodes:        make(map[int64]*Node),
+		rels:         make(map[int64]*Relationship),
+		out:          make(map[int64][]int64),
+		in:           make(map[int64][]int64),
+		byLabel:      make(map[string]map[int64]struct{}),
+		propIndex:    make(map[string]map[string]map[string][]int64),
+		indexed:      make(map[string]map[string]bool),
+		labelScans:   make(map[string]labelScanEntry),
+		relTypeCount: make(map[string]int),
+		dirtyNodes:   make(map[int64]struct{}),
+		dirtyRels:    make(map[int64]struct{}),
+		dirtyAdj:     make(map[int64]struct{}),
+		nextNode:     1,
+		nextRel:      1,
 	}
 }
 
@@ -181,7 +213,7 @@ func (g *Graph) CreateNode(labels []string, props map[string]any) (*Node, error)
 	sort.Strings(ls)
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	g.version++
+	g.version.Add(1)
 	n := &Node{ID: g.nextNode, Labels: ls, Props: norm}
 	g.nextNode++
 	g.nodes[n.ID] = n
@@ -194,6 +226,10 @@ func (g *Graph) CreateNode(labels []string, props map[string]any) (*Node, error)
 		set[n.ID] = struct{}{}
 	}
 	g.indexNodeLocked(n)
+	g.noteNodeLocked(n.ID)
+	if len(ls) > 0 {
+		g.labelsDirty = true
+	}
 	return n, nil
 }
 
@@ -221,12 +257,14 @@ func (g *Graph) CreateRelationship(startID, endID int64, relType string, props m
 	if _, ok := g.nodes[endID]; !ok {
 		return nil, fmt.Errorf("%w: end %d", ErrNodeNotFound, endID)
 	}
-	g.version++
+	g.version.Add(1)
 	r := &Relationship{ID: g.nextRel, Type: relType, StartID: startID, EndID: endID, Props: norm}
 	g.nextRel++
 	g.rels[r.ID] = r
 	g.out[startID] = append(g.out[startID], r.ID)
 	g.in[endID] = append(g.in[endID], r.ID)
+	g.noteRelLocked(r)
+	g.addRelTypeLocked(relType)
 	return r, nil
 }
 
@@ -299,16 +337,37 @@ func (g *Graph) Labels() []string {
 func (g *Graph) RelationshipTypes() []string {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	seen := make(map[string]struct{})
-	for _, r := range g.rels {
-		seen[r.Type] = struct{}{}
-	}
-	out := make([]string, 0, len(seen))
-	for t := range seen {
+	return relTypesLocked(g.relTypeCount)
+}
+
+// relTypesLocked renders the live per-type refcounts as a sorted type
+// list. Caller holds g.mu (any mode).
+func relTypesLocked(counts map[string]int) []string {
+	out := make([]string, 0, len(counts))
+	for t := range counts {
 		out = append(out, t)
 	}
 	sort.Strings(out)
 	return out
+}
+
+// addRelTypeLocked and dropRelTypeLocked maintain the per-type
+// refcounts; the epoch's type list only needs rebuilding when a type
+// appears or disappears, not on every relationship write. Caller
+// holds g.mu.
+func (g *Graph) addRelTypeLocked(typ string) {
+	g.relTypeCount[typ]++
+	if g.relTypeCount[typ] == 1 {
+		g.relTypesDirty = true
+	}
+}
+
+func (g *Graph) dropRelTypeLocked(typ string) {
+	g.relTypeCount[typ]--
+	if g.relTypeCount[typ] <= 0 {
+		delete(g.relTypeCount, typ)
+		g.relTypesDirty = true
+	}
 }
 
 // NodesByLabel returns the IDs of all nodes with the given label, in
@@ -316,7 +375,7 @@ func (g *Graph) RelationshipTypes() []string {
 // query results).
 func (g *Graph) NodesByLabel(label string) []int64 {
 	g.mu.RLock()
-	if e, ok := g.labelScans[label]; ok && e.version == g.version {
+	if e, ok := g.labelScans[label]; ok && e.version == g.version.Load() {
 		out := append([]int64(nil), e.ids...)
 		g.mu.RUnlock()
 		return out
@@ -324,7 +383,7 @@ func (g *Graph) NodesByLabel(label string) []int64 {
 	g.mu.RUnlock()
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if e, ok := g.labelScans[label]; ok && e.version == g.version {
+	if e, ok := g.labelScans[label]; ok && e.version == g.version.Load() {
 		return append([]int64(nil), e.ids...)
 	}
 	set := g.byLabel[label]
@@ -333,7 +392,7 @@ func (g *Graph) NodesByLabel(label string) []int64 {
 		ids = append(ids, id)
 	}
 	sortIDs(ids)
-	g.labelScans[label] = labelScanEntry{version: g.version, ids: ids}
+	g.labelScans[label] = labelScanEntry{version: g.version.Load(), ids: ids}
 	return append([]int64(nil), ids...)
 }
 
@@ -367,49 +426,98 @@ func sortIDs(ids []int64) {
 
 // Incident returns the relationships incident to the node in the given
 // direction, optionally filtered to a set of types (empty means all).
-// Results are in ascending relationship-ID order.
+// Results are in ascending relationship-ID order. The adjacency lists
+// are maintained in that order already, so this is a filter (single
+// direction) or a two-way merge (Both, deduplicating self-loops) with
+// no sorting and no scratch maps.
 func (g *Graph) Incident(nodeID int64, dir Direction, types ...string) []*Relationship {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	var ids []int64
+	var outIDs, inIDs []int64
 	switch dir {
 	case Outgoing:
-		ids = g.out[nodeID]
+		outIDs = g.out[nodeID]
 	case Incoming:
-		ids = g.in[nodeID]
+		inIDs = g.in[nodeID]
 	case Both:
-		ids = make([]int64, 0, len(g.out[nodeID])+len(g.in[nodeID]))
-		ids = append(ids, g.out[nodeID]...)
-		ids = append(ids, g.in[nodeID]...)
+		outIDs, inIDs = g.out[nodeID], g.in[nodeID]
 	}
-	var typeSet map[string]bool
-	if len(types) > 0 {
-		typeSet = make(map[string]bool, len(types))
-		for _, t := range types {
-			typeSet[t] = true
+	res := make([]*Relationship, 0, len(outIDs)+len(inIDs))
+	i, j := 0, 0
+	for i < len(outIDs) || j < len(inIDs) {
+		var id int64
+		switch {
+		case j >= len(inIDs):
+			id = outIDs[i]
+			i++
+		case i >= len(outIDs):
+			id = inIDs[j]
+			j++
+		case outIDs[i] < inIDs[j]:
+			id = outIDs[i]
+			i++
+		case inIDs[j] < outIDs[i]:
+			id = inIDs[j]
+			j++
+		default: // self-loop: same rel in both lists, emit once
+			id = outIDs[i]
+			i++
+			j++
 		}
-	}
-	out := make([]*Relationship, 0, len(ids))
-	seen := make(map[int64]bool, len(ids))
-	for _, id := range ids {
-		if seen[id] {
-			continue // self-loop appears in both out and in
-		}
-		seen[id] = true
 		r := g.rels[id]
-		if typeSet != nil && !typeSet[r.Type] {
+		if r == nil {
 			continue
 		}
-		out = append(out, r)
+		if len(types) > 0 && !slices.Contains(types, r.Type) {
+			continue
+		}
+		res = append(res, r)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return res
+}
+
+// IncidentDo calls fn for every incident relationship in ascending ID
+// order, stopping early when fn returns false (see Reader). Unlike a
+// View, the locked graph materializes the list first so fn never runs
+// under the mutex — callbacks are free to read the graph again.
+func (g *Graph) IncidentDo(nodeID int64, dir Direction, types []string, fn func(*Relationship) bool) bool {
+	for _, r := range g.Incident(nodeID, dir, types...) {
+		if !fn(r) {
+			return false
+		}
+	}
+	return true
 }
 
 // Degree returns the number of incident relationships in the given
-// direction, optionally filtered by type.
+// direction, optionally filtered by type — a direct count, with no
+// slice materialization, dedup maps, or sorting.
 func (g *Graph) Degree(nodeID int64, dir Direction, types ...string) int {
-	return len(g.Incident(nodeID, dir, types...))
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	count := 0
+	if dir != Incoming {
+		for _, id := range g.out[nodeID] {
+			r := g.rels[id]
+			if r == nil || (len(types) > 0 && !slices.Contains(types, r.Type)) {
+				continue
+			}
+			count++
+		}
+	}
+	if dir != Outgoing {
+		for _, id := range g.in[nodeID] {
+			r := g.rels[id]
+			if r == nil || (len(types) > 0 && !slices.Contains(types, r.Type)) {
+				continue
+			}
+			if dir == Both && r.StartID == nodeID {
+				continue // self-loop, already counted on the out side
+			}
+			count++
+		}
+	}
+	return count
 }
 
 // SetNodeProp sets (or, with a nil value, removes) a node property and
@@ -425,15 +533,36 @@ func (g *Graph) SetNodeProp(nodeID int64, key string, value any) error {
 	if n == nil {
 		return fmt.Errorf("%w: %d", ErrNodeNotFound, nodeID)
 	}
-	g.version++
+	g.version.Add(1)
 	g.unindexNodeLocked(n)
-	if nv == nil {
+	if g.tracking() {
+		// Copy-on-write: a published epoch may share this props map, so
+		// replace it wholesale rather than mutate it under a lock-free
+		// reader. Before the first snapshot, in-place is fine.
+		n.Props = propsWith(n.Props, key, nv)
+	} else if nv == nil {
 		delete(n.Props, key)
 	} else {
 		n.Props[key] = nv
 	}
 	g.indexNodeLocked(n)
+	g.noteNodeLocked(nodeID)
 	return nil
+}
+
+// propsWith returns a fresh map equal to props with key set to nv (or
+// removed when nv is nil).
+func propsWith(props map[string]Value, key string, nv Value) map[string]Value {
+	out := make(map[string]Value, len(props)+1)
+	for k, v := range props {
+		out[k] = v
+	}
+	if nv == nil {
+		delete(out, key)
+	} else {
+		out[key] = nv
+	}
+	return out
 }
 
 // SetRelProp sets (or removes, with nil) a relationship property.
@@ -448,11 +577,19 @@ func (g *Graph) SetRelProp(relID int64, key string, value any) error {
 	if r == nil {
 		return fmt.Errorf("%w: %d", ErrRelNotFound, relID)
 	}
-	g.version++
-	if nv == nil {
+	g.version.Add(1)
+	if g.tracking() {
+		r.Props = propsWith(r.Props, key, nv) // COW, see SetNodeProp
+	} else if nv == nil {
 		delete(r.Props, key)
 	} else {
 		r.Props[key] = nv
+	}
+	// Only the relationship copy is stale: adjacency buckets hold rel
+	// IDs resolved through the epoch's relationship table, so a
+	// prop-only change needs no adjacency rebuild on either endpoint.
+	if g.tracking() {
+		g.dirtyRels[relID] = struct{}{}
 	}
 	return nil
 }
@@ -469,10 +606,15 @@ func (g *Graph) AddNodeLabel(nodeID int64, label string) error {
 	if n.HasLabel(label) {
 		return nil
 	}
-	g.version++
+	g.version.Add(1)
 	g.unindexNodeLocked(n)
-	n.Labels = append(n.Labels, label)
-	sort.Strings(n.Labels)
+	// Fresh slice, not append-in-place: a published epoch may share the
+	// old backing array with lock-free readers.
+	labels := make([]string, 0, len(n.Labels)+1)
+	labels = append(labels, n.Labels...)
+	labels = append(labels, label)
+	sort.Strings(labels)
+	n.Labels = labels
 	set := g.byLabel[label]
 	if set == nil {
 		set = make(map[int64]struct{})
@@ -480,6 +622,8 @@ func (g *Graph) AddNodeLabel(nodeID int64, label string) error {
 	}
 	set[nodeID] = struct{}{}
 	g.indexNodeLocked(n)
+	g.noteNodeLocked(nodeID)
+	g.labelsDirty = true
 	return nil
 }
 
@@ -494,9 +638,11 @@ func (g *Graph) RemoveNodeLabel(nodeID int64, label string) error {
 	if !n.HasLabel(label) {
 		return nil
 	}
-	g.version++
+	g.version.Add(1)
 	g.unindexNodeLocked(n)
-	out := n.Labels[:0]
+	// Filter into a fresh slice (not n.Labels[:0]) for the same
+	// epoch-sharing reason as AddNodeLabel.
+	out := make([]string, 0, len(n.Labels))
 	for _, l := range n.Labels {
 		if l != label {
 			out = append(out, l)
@@ -505,6 +651,8 @@ func (g *Graph) RemoveNodeLabel(nodeID int64, label string) error {
 	n.Labels = out
 	delete(g.byLabel[label], nodeID)
 	g.indexNodeLocked(n)
+	g.noteNodeLocked(nodeID)
+	g.labelsDirty = true
 	return nil
 }
 
@@ -516,10 +664,12 @@ func (g *Graph) DeleteRelationship(relID int64) error {
 	if r == nil {
 		return fmt.Errorf("%w: %d", ErrRelNotFound, relID)
 	}
-	g.version++
+	g.version.Add(1)
 	g.out[r.StartID] = removeID(g.out[r.StartID], relID)
 	g.in[r.EndID] = removeID(g.in[r.EndID], relID)
 	delete(g.rels, relID)
+	g.noteRelLocked(r)
+	g.dropRelTypeLocked(r.Type)
 	return nil
 }
 
@@ -541,10 +691,12 @@ func (g *Graph) DeleteNode(nodeID int64, detach bool) error {
 				g.out[r.StartID] = removeID(g.out[r.StartID], id)
 				g.in[r.EndID] = removeID(g.in[r.EndID], id)
 				delete(g.rels, id)
+				g.noteRelLocked(r)
+				g.dropRelTypeLocked(r.Type)
 			}
 		}
 	}
-	g.version++
+	g.version.Add(1)
 	g.unindexNodeLocked(n)
 	for _, l := range n.Labels {
 		delete(g.byLabel[l], nodeID)
@@ -552,7 +704,57 @@ func (g *Graph) DeleteNode(nodeID int64, detach bool) error {
 	delete(g.out, nodeID)
 	delete(g.in, nodeID)
 	delete(g.nodes, nodeID)
+	g.noteNodeLocked(nodeID)
+	if len(n.Labels) > 0 {
+		g.labelsDirty = true
+	}
 	return nil
+}
+
+// withdrawRelLocked removes a loaded relationship's side effects —
+// adjacency entries and type refcount — so a later duplicate record
+// can replace it cleanly. Caller holds g.mu; bulk loaders only.
+func (g *Graph) withdrawRelLocked(r *Relationship) {
+	g.out[r.StartID] = removeID(g.out[r.StartID], r.ID)
+	g.in[r.EndID] = removeID(g.in[r.EndID], r.ID)
+	g.dropRelTypeLocked(r.Type)
+}
+
+// withdrawNodeLocked removes a loaded node's label-set and
+// property-index entries so a later duplicate record can replace it
+// cleanly. Caller holds g.mu; bulk loaders only.
+func (g *Graph) withdrawNodeLocked(n *Node) {
+	g.unindexNodeLocked(n)
+	for _, l := range n.Labels {
+		delete(g.byLabel[l], n.ID)
+	}
+}
+
+// normalizeAdjacencyLocked restores the ascending-ID invariant on the
+// adjacency lists. CreateRelationship maintains it for free (IDs are
+// monotonic), but bulk loaders that insert relationships directly in
+// file order must call this before the graph escapes. Caller holds
+// g.mu (or exclusively owns the graph).
+func (g *Graph) normalizeAdjacencyLocked() {
+	for _, ids := range g.out {
+		if !sortedIDs(ids) {
+			sortIDs(ids)
+		}
+	}
+	for _, ids := range g.in {
+		if !sortedIDs(ids) {
+			sortIDs(ids)
+		}
+	}
+}
+
+func sortedIDs(ids []int64) bool {
+	for i := 1; i < len(ids); i++ {
+		if ids[i] < ids[i-1] {
+			return false
+		}
+	}
+	return true
 }
 
 func removeID(ids []int64, id int64) []int64 {

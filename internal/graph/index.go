@@ -1,5 +1,7 @@
 package graph
 
+import "sort"
+
 // CreateIndex declares a property index on (label, property). All current
 // and future nodes carrying the label are indexed by that property's
 // value, making anchored pattern scans — MATCH (:AS {asn: 2497}) — O(1)
@@ -16,7 +18,8 @@ func (g *Graph) CreateIndex(label, property string) {
 		return
 	}
 	props[property] = true
-	g.version++
+	g.version.Add(1)
+	g.indexDirty = true
 	// Backfill existing nodes.
 	for id := range g.byLabel[label] {
 		n := g.nodes[id]
@@ -51,18 +54,12 @@ func (g *Graph) Indexes() [][2]string {
 }
 
 func sortPairs(ps [][2]string) {
-	for i := 1; i < len(ps); i++ {
-		for j := i; j > 0 && less2(ps[j], ps[j-1]); j-- {
-			ps[j], ps[j-1] = ps[j-1], ps[j]
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i][0] != ps[j][0] {
+			return ps[i][0] < ps[j][0]
 		}
-	}
-}
-
-func less2(a, b [2]string) bool {
-	if a[0] != b[0] {
-		return a[0] < b[0]
-	}
-	return a[1] < b[1]
+		return ps[i][1] < ps[j][1]
+	})
 }
 
 // NodesByLabelProp returns the IDs of nodes with the given label whose
@@ -124,6 +121,7 @@ func (g *Graph) unindexNodeLocked(n *Node) {
 				key := ValueKey(v)
 				bucket := g.propIndex[label][p][key]
 				g.propIndex[label][p][key] = removeID(bucket, n.ID)
+				g.indexDirty = true
 			}
 		}
 	}
@@ -142,4 +140,5 @@ func (g *Graph) addToIndexLocked(label, property string, v Value, id int64) {
 	}
 	key := ValueKey(v)
 	byVal[key] = append(byVal[key], id)
+	g.indexDirty = true
 }

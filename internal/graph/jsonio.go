@@ -86,6 +86,12 @@ func ReadJSONLines(r io.Reader) (*Graph, error) {
 		case "index":
 			g.CreateIndex(rec.Label, rec.Property)
 		case "node":
+			if rec.ID < 1 {
+				// Epoch tables (view.go) are ID-indexed, so IDs must be
+				// positive; the map-based live graph would tolerate
+				// them, but the first View() pin would not.
+				return nil, fmt.Errorf("graph: json line %d: invalid node id %d", line, rec.ID)
+			}
 			props, err := jsonToProps(rec.Props)
 			if err != nil {
 				return nil, fmt.Errorf("graph: json line %d: %w", line, err)
@@ -95,6 +101,9 @@ func ReadJSONLines(r io.Reader) (*Graph, error) {
 				n.Labels = []string{}
 			}
 			g.mu.Lock()
+			if prev := g.nodes[n.ID]; prev != nil {
+				g.withdrawNodeLocked(prev) // duplicate node ID: last record wins
+			}
 			g.nodes[n.ID] = n
 			for _, l := range n.Labels {
 				set := g.byLabel[l]
@@ -110,6 +119,9 @@ func ReadJSONLines(r io.Reader) (*Graph, error) {
 				maxNode = rec.ID
 			}
 		case "rel":
+			if rec.ID < 1 {
+				return nil, fmt.Errorf("graph: json line %d: invalid rel id %d", line, rec.ID)
+			}
 			props, err := jsonToProps(rec.Props)
 			if err != nil {
 				return nil, fmt.Errorf("graph: json line %d: %w", line, err)
@@ -124,9 +136,17 @@ func ReadJSONLines(r io.Reader) (*Graph, error) {
 				return nil, fmt.Errorf("graph: json line %d: rel %d references missing node %d", line, rec.ID, rec.End)
 			}
 			rel := &Relationship{ID: rec.ID, Type: rec.Type, StartID: rec.Start, EndID: rec.End, Props: props}
+			if prev := g.rels[rel.ID]; prev != nil {
+				// Duplicate rel ID: last record wins, with the earlier
+				// record's adjacency entries and type count withdrawn —
+				// the dedup the old Incident seen-map used to provide at
+				// query time now happens at load time.
+				g.withdrawRelLocked(prev)
+			}
 			g.rels[rel.ID] = rel
 			g.out[rel.StartID] = append(g.out[rel.StartID], rel.ID)
 			g.in[rel.EndID] = append(g.in[rel.EndID], rel.ID)
+			g.relTypeCount[rel.Type]++
 			g.mu.Unlock()
 			if rec.ID > maxRel {
 				maxRel = rec.ID
@@ -141,6 +161,10 @@ func ReadJSONLines(r io.Reader) (*Graph, error) {
 	g.mu.Lock()
 	g.nextNode = maxNode + 1
 	g.nextRel = maxRel + 1
+	// Relationship records may arrive in any ID order; restore the
+	// ascending-ID adjacency invariant Incident and the snapshot
+	// builder rely on.
+	g.normalizeAdjacencyLocked()
 	g.mu.Unlock()
 	return g, nil
 }

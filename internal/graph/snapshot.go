@@ -96,12 +96,18 @@ func ReadSnapshot(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: unsupported snapshot version %d", snap.Version)
 	}
 	g := New()
-	g.nextNode = snap.NextNode
-	g.nextRel = snap.NextRel
 	for _, sn := range snap.Nodes {
+		if sn.ID < 1 {
+			// Epoch tables (view.go) are ID-indexed; non-positive IDs
+			// would crash the first View() pin.
+			return nil, fmt.Errorf("graph: snapshot node has invalid id %d", sn.ID)
+		}
 		n := &Node{ID: sn.ID, Labels: sn.Labels, Props: sn.Props}
 		if n.Props == nil {
 			n.Props = make(map[string]Value)
+		}
+		if prev := g.nodes[n.ID]; prev != nil {
+			g.withdrawNodeLocked(prev) // duplicate node ID: last record wins
 		}
 		g.nodes[n.ID] = n
 		for _, l := range n.Labels {
@@ -114,6 +120,9 @@ func ReadSnapshot(r io.Reader) (*Graph, error) {
 		}
 	}
 	for _, sr := range snap.Rels {
+		if sr.ID < 1 {
+			return nil, fmt.Errorf("graph: snapshot relationship has invalid id %d", sr.ID)
+		}
 		r := &Relationship{ID: sr.ID, Type: sr.Type, StartID: sr.StartID, EndID: sr.EndID, Props: sr.Props}
 		if r.Props == nil {
 			r.Props = make(map[string]Value)
@@ -124,10 +133,33 @@ func ReadSnapshot(r io.Reader) (*Graph, error) {
 		if _, ok := g.nodes[r.EndID]; !ok {
 			return nil, fmt.Errorf("graph: snapshot relationship %d references missing end node %d", r.ID, r.EndID)
 		}
+		if prev := g.rels[r.ID]; prev != nil {
+			// Duplicate rel ID in a hand-built file: last record wins
+			// (see ReadJSONLines).
+			g.withdrawRelLocked(prev)
+		}
 		g.rels[r.ID] = r
 		g.out[r.StartID] = append(g.out[r.StartID], r.ID)
 		g.in[r.EndID] = append(g.in[r.EndID], r.ID)
+		g.relTypeCount[r.Type]++
 	}
+	// Trust the stored counters only as a floor: a hand-built file may
+	// carry IDs at or above them, and the epoch tables size off next*.
+	g.nextNode = snap.NextNode
+	g.nextRel = snap.NextRel
+	for id := range g.nodes {
+		if id >= g.nextNode {
+			g.nextNode = id + 1
+		}
+	}
+	for id := range g.rels {
+		if id >= g.nextRel {
+			g.nextRel = id + 1
+		}
+	}
+	// WriteSnapshot emits relationships in ascending ID order, but the
+	// adjacency invariant must hold for any well-formed decodable file.
+	g.normalizeAdjacencyLocked()
 	for _, ix := range snap.Indexes {
 		g.CreateIndex(ix[0], ix[1])
 	}

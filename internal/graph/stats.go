@@ -132,6 +132,20 @@ func (g *Graph) CheckIntegrity() []string {
 			}
 		}
 	}
+	counts := make(map[string]int, len(g.relTypeCount))
+	for _, r := range g.rels {
+		counts[r.Type]++
+	}
+	for t, want := range counts {
+		if g.relTypeCount[t] != want {
+			problems = append(problems, fmt.Sprintf("rel type %s: refcount %d, want %d", t, g.relTypeCount[t], want))
+		}
+	}
+	for t := range g.relTypeCount {
+		if counts[t] == 0 {
+			problems = append(problems, fmt.Sprintf("rel type %s: stale refcount %d for absent type", t, g.relTypeCount[t]))
+		}
+	}
 	return problems
 }
 

@@ -21,7 +21,11 @@ type Description struct {
 // deliberately excluded: they are numerous and retrieval over them is
 // anchored (exact-match) rather than semantic, matching how ChatIYP
 // builds its vector context over node descriptions.
-func Describe(g *graph.Graph) []Description {
+func Describe(graphSrc *graph.Graph) []Description {
+	// One pinned snapshot serves the whole walk: every Degree/Incident
+	// call below is lock-free, and a concurrent writer cannot make the
+	// descriptions observe two different graph states.
+	g := graphSrc.View()
 	var out []Description
 	for _, id := range g.NodesByLabel(LabelAS) {
 		out = append(out, describeAS(g, g.Node(id)))
@@ -42,7 +46,7 @@ func Describe(g *graph.Graph) []Description {
 	return out
 }
 
-func describeAS(g *graph.Graph, n *graph.Node) Description {
+func describeAS(g *graph.View, n *graph.Node) Description {
 	var b strings.Builder
 	asn, _ := n.Prop("asn").(int64)
 	name, _ := n.Prop("name").(string)
@@ -79,7 +83,7 @@ func describeAS(g *graph.Graph, n *graph.Node) Description {
 	return Description{NodeID: n.ID, Label: LabelAS, Text: b.String()}
 }
 
-func describeIXP(g *graph.Graph, n *graph.Node) Description {
+func describeIXP(g *graph.View, n *graph.Node) Description {
 	var b strings.Builder
 	name, _ := n.Prop("name").(string)
 	fmt.Fprintf(&b, "%s is an Internet Exchange Point", name)
@@ -95,7 +99,7 @@ func describeIXP(g *graph.Graph, n *graph.Node) Description {
 	return Description{NodeID: n.ID, Label: LabelIXP, Text: b.String()}
 }
 
-func describeOrg(g *graph.Graph, n *graph.Node) Description {
+func describeOrg(g *graph.View, n *graph.Node) Description {
 	var b strings.Builder
 	name, _ := n.Prop("name").(string)
 	fmt.Fprintf(&b, "%s is an organization", name)
@@ -115,7 +119,7 @@ func describeOrg(g *graph.Graph, n *graph.Node) Description {
 	return Description{NodeID: n.ID, Label: LabelOrganization, Text: b.String()}
 }
 
-func describeCountry(g *graph.Graph, n *graph.Node) Description {
+func describeCountry(g *graph.View, n *graph.Node) Description {
 	var b strings.Builder
 	name, _ := n.Prop("name").(string)
 	code, _ := n.Prop("country_code").(string)
@@ -130,7 +134,7 @@ func describeCountry(g *graph.Graph, n *graph.Node) Description {
 	return Description{NodeID: n.ID, Label: LabelCountry, Text: b.String()}
 }
 
-func describeDomain(g *graph.Graph, n *graph.Node) Description {
+func describeDomain(g *graph.View, n *graph.Node) Description {
 	var b strings.Builder
 	name, _ := n.Prop("name").(string)
 	fmt.Fprintf(&b, "%s is a domain name", name)
@@ -148,7 +152,7 @@ func describeDomain(g *graph.Graph, n *graph.Node) Description {
 	return Description{NodeID: n.ID, Label: LabelDomainName, Text: b.String()}
 }
 
-func relTargetProp(g *graph.Graph, id int64, relType, prop string) string {
+func relTargetProp(g *graph.View, id int64, relType, prop string) string {
 	for _, r := range g.Incident(id, graph.Outgoing, relType) {
 		if s := nodeProp(g, r.EndID, prop); s != "" {
 			return s
@@ -157,7 +161,7 @@ func relTargetProp(g *graph.Graph, id int64, relType, prop string) string {
 	return ""
 }
 
-func relTargetProps(g *graph.Graph, id int64, relType, prop string, limit int) []string {
+func relTargetProps(g *graph.View, id int64, relType, prop string, limit int) []string {
 	var out []string
 	for _, r := range g.Incident(id, graph.Outgoing, relType) {
 		if s := nodeProp(g, r.EndID, prop); s != "" {
@@ -170,12 +174,12 @@ func relTargetProps(g *graph.Graph, id int64, relType, prop string, limit int) [
 	return out
 }
 
-func nodeProp(g *graph.Graph, id int64, prop string) string {
+func nodeProp(g *graph.View, id int64, prop string) string {
 	s, _ := nodePropValue(g, id, prop).(string)
 	return s
 }
 
-func nodePropValue(g *graph.Graph, id int64, prop string) graph.Value {
+func nodePropValue(g *graph.View, id int64, prop string) graph.Value {
 	n := g.Node(id)
 	if n == nil {
 		return nil

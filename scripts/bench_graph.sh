@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Runs the graph read-path benchmarks (typed/untyped hop expansion on
+# the lock-free snapshot view vs the locked live graph, degree fast
+# path, view pinning, and multi-goroutine traversal scaling) and
+# writes machine-readable results to BENCH_graph.json at the repo
+# root, so the perf trajectory is tracked across PRs. CI runs this on
+# every push; run it locally before touching the graph read path.
+#
+# Interpretation notes: TypedHop/view must report 0 allocs/op;
+# speedups carry locked_over_view per-hop factors and scaling_1to8
+# goroutine-scaling factors, which are bounded by num_cpu (a 1-core
+# machine shows ~1.0 scaling by construction).
+set -eu
+cd "$(dirname "$0")/.."
+go test -run NONE -bench 'BenchmarkTypedHop|BenchmarkUntypedHop|BenchmarkDegreeTyped|BenchmarkViewPin|BenchmarkConcurrentTraversal' \
+	-benchmem -benchtime "${BENCHTIME:-1s}" ./internal/graph |
+	tee /dev/stderr |
+	go run ./cmd/benchjson > BENCH_graph.json
+echo "wrote BENCH_graph.json" >&2
