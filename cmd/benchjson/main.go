@@ -114,6 +114,19 @@ func main() {
 				addSpeedup(strings.TrimPrefix(base, "Benchmark")+"/scaling_1to8", one/ns)
 			}
 		}
+		// Morsel-executor families: workers=N variants force the
+		// parallel path; serial_over_1worker near 1.0 means the morsel
+		// machinery costs ~nothing when it cannot help.
+		if base, ok := strings.CutSuffix(name, "/workers=8"); ok {
+			if one, ok := byName[base+"/workers=1"]; ok {
+				addSpeedup(strings.TrimPrefix(base, "Benchmark")+"/scaling_1to8", one/ns)
+			}
+		}
+		if base, ok := strings.CutSuffix(name, "/workers=1"); ok {
+			if serial, ok := byName[base+"/serial"]; ok {
+				addSpeedup(strings.TrimPrefix(base, "Benchmark")+"/serial_over_1worker", serial/ns)
+			}
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -35,6 +35,7 @@ func main() {
 		askTimeout    = flag.Duration("ask-timeout", 0, "per-question deadline, aborts execution (0 = 15s default)")
 		cypherTimeout = flag.Duration("cypher-timeout", 0, "per-query deadline on /api/cypher (0 = 10s default)")
 		drainTimeout  = flag.Duration("drain-timeout", 0, "graceful-shutdown budget for in-flight requests (0 = 5s default)")
+		maxPar        = flag.Int("max-parallelism", 0, "max morsel workers per query (0 = GOMAXPROCS, 1 = serial execution)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "chatiyp-server ", log.LstdFlags)
@@ -64,13 +65,14 @@ func main() {
 
 	var pipe *core.Pipeline = sys.Pipeline()
 	srv, err := server.New(server.Config{
-		Pipeline:      pipe,
-		Logger:        logger,
-		MaxConcurrent: *maxConcurrent,
-		MaxQueue:      *maxQueue,
-		AskTimeout:    *askTimeout,
-		CypherTimeout: *cypherTimeout,
-		DrainTimeout:  *drainTimeout,
+		Pipeline:       pipe,
+		Logger:         logger,
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		AskTimeout:     *askTimeout,
+		CypherTimeout:  *cypherTimeout,
+		DrainTimeout:   *drainTimeout,
+		MaxParallelism: *maxPar,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -557,6 +557,23 @@ func (p *Pipeline) PlanCacheStats() cypher.PlanCacheStats {
 	return p.plans.Stats()
 }
 
+// ExecOptions returns the Cypher options this pipeline executes with,
+// so plan descriptions (EXPLAIN endpoints) can reflect the decisions —
+// like the parallel-vs-serial scan choice — the pipeline's own
+// executions would actually make.
+func (p *Pipeline) ExecOptions() cypher.Options {
+	return p.cfg.ExecOptions
+}
+
+// SetMaxParallelism caps intra-query morsel parallelism for every
+// execution this pipeline runs (see cypher.Options.MaxParallelism: 0
+// restores the GOMAXPROCS default, 1 pins the serial path). Call it
+// during setup, before the pipeline starts serving queries — it is not
+// synchronized against in-flight Query calls.
+func (p *Pipeline) SetMaxParallelism(n int) {
+	p.cfg.ExecOptions.MaxParallelism = n
+}
+
 // Metrics returns the runtime counter registry this pipeline reports
 // into, after mirroring the plan cache's current counters into it.
 // Mirroring at read time (rather than per query) keeps the hot path
@@ -581,6 +598,9 @@ func (p *Pipeline) Metrics() *metrics.Registry {
 	canceled, deadlineExceeded := cypher.CancelStats()
 	p.metrics.Counter("cypher.canceled").Set(canceled)
 	p.metrics.Counter("cypher.deadline_exceeded").Set(deadlineExceeded)
+	parallelQueries, morsels := cypher.ParallelStats()
+	p.metrics.Counter("cypher.parallel_queries").Set(parallelQueries)
+	p.metrics.Counter("cypher.morsels_dispatched").Set(morsels)
 	// Snapshot-read-path counters (per-graph, mirrored like the rest):
 	// view_pins counts epoch pins (one per read-only execution, plus
 	// construction-time walks); snapshot_publishes counts epochs

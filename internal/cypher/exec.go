@@ -32,6 +32,20 @@ type Options struct {
 	// implementation the streaming/materialized equivalence tests
 	// compare against; the flag is also an operational escape hatch.
 	DisableStreaming bool
+	// MaxParallelism caps morsel-driven intra-query parallelism: how
+	// many workers one streamable query may fan its anchor scan out to
+	// (see parallel.go and docs/CONCURRENCY.md). Zero means GOMAXPROCS;
+	// 1 disables intra-query parallelism.
+	MaxParallelism int
+	// ParallelMorselSize is the anchor-candidate ID-range chunk handed
+	// to one worker per dispatch. Zero means the default of 128.
+	ParallelMorselSize int
+	// ParallelThreshold is the minimum anchor cardinality before the
+	// planner picks the parallel path — below it, fan-out overhead
+	// exceeds the win. Zero means the default of 256; negative forces
+	// the parallel path regardless of cardinality (the equivalence
+	// suites use this to exercise the morsel machinery on tiny graphs).
+	ParallelThreshold int
 }
 
 func (o Options) withDefaults() Options {

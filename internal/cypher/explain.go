@@ -105,6 +105,9 @@ func renderStages(b *strings.Builder, g *graph.Graph, sp *stagePlan, opts Option
 			if x.Where != nil {
 				fmt.Fprintf(b, "  filter: %s\n", ExprString(x.Where))
 			}
+			if sp.par != nil && sp.par.match == s {
+				renderParallelDecision(b, ctx, s, opts)
+			}
 		case stageUnwind:
 			fmt.Fprintf(b, "UNWIND %s AS %s\n", ExprString(s.unwind.Expr), s.unwind.Alias)
 			bound[s.unwind.Alias] = true
@@ -144,6 +147,55 @@ func renderStages(b *strings.Builder, g *graph.Graph, sp *stagePlan, opts Option
 			}
 		}
 	}
+}
+
+// renderParallelDecision prints the planner's parallel-vs-serial
+// choice for a morsel-eligible anchor scan: the anchor cardinality
+// estimate from the label/property index stats against the threshold.
+// Nothing is printed when parallelism is unavailable (one core, or
+// MaxParallelism 1) — the pipeline is then unconditionally serial.
+func renderParallelDecision(b *strings.Builder, ctx *evalCtx, s *stage, opts Options) {
+	workers := resolveParallelism(opts)
+	force := opts.ParallelThreshold < 0
+	if workers < 2 && !force {
+		return
+	}
+	threshold := opts.ParallelThreshold
+	if threshold == 0 {
+		threshold = defaultParallelThreshold
+	}
+	msize := opts.ParallelMorselSize
+	if msize <= 0 {
+		msize = defaultParallelMorselSize
+	}
+	pat := s.match.Patterns[0]
+	m := &matcher{ctx: ctx, usedRels: map[int64]bool{}, hints: s.hints}
+	anchor := m.pickAnchor(pat, Row{})
+	est := estimateAnchorRows(m, pat.Nodes[anchor])
+	switch {
+	case force:
+		fmt.Fprintf(b, "  parallel scan: up to %d worker(s), morsel size %d (forced)\n",
+			workers, msize)
+	case est >= threshold:
+		fmt.Fprintf(b, "  parallel scan: up to %d worker(s), morsel size %d (est. %d anchor rows >= threshold %d)\n",
+			workers, msize, est, threshold)
+	default:
+		fmt.Fprintf(b, "  serial scan: est. %d anchor rows < parallel threshold %d\n",
+			est, threshold)
+	}
+}
+
+// estimateAnchorRows is the planner's static anchor-cardinality
+// estimate: the size of the access path anchorCandidates would choose,
+// from the label/property index stats. Access paths that cannot be
+// resolved statically (e.g. a parameterized index probe) estimate as a
+// single-row point lookup.
+func estimateAnchorRows(m *matcher, np *NodePattern) int {
+	cands, err := m.anchorCandidates(np, Row{})
+	if err != nil {
+		return 1
+	}
+	return cands.len()
 }
 
 // skipLimitString renders the SKIP+LIMIT row budget of a pushed limit

@@ -517,6 +517,15 @@ func (cs candSet) at(r graph.Reader, i int) *graph.Node {
 	return r.Node(cs.ids[i])
 }
 
+// sub returns the [lo, hi) subrange of the candidate set — the morsel
+// unit of the parallel executor (see parallel.go).
+func (cs candSet) sub(lo, hi int) candSet {
+	if cs.nodes != nil {
+		return candSet{nodes: cs.nodes[lo:hi]}
+	}
+	return candSet{ids: cs.ids[lo:hi]}
+}
+
 // anchorCandidates produces the starting node set for the anchor
 // position, using the cheapest available access path.
 func (m *matcher) anchorCandidates(np *NodePattern, row Row) (candSet, error) {

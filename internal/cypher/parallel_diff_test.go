@@ -1,0 +1,166 @@
+package cypher
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"chatiyp/internal/graph"
+)
+
+// Randomized differential testing of the parallel executor: a seeded
+// query generator (anchors × predicates × expansions × ORDER BY /
+// LIMIT / UNION) over a seeded random graph, each query executed
+// serially and with the morsel executor forced on. Without ORDER BY
+// the diff is order-insensitive (openCypher leaves the order
+// unspecified, even though this implementation happens to be
+// deterministic); with ORDER BY it is exact, tie-order included. On
+// mismatch the failing seed is logged so the case replays exactly.
+
+// diffGraph builds a seeded random graph: two labels, duplicate-heavy
+// properties (the worst case for tie-breaking and DISTINCT), and two
+// relationship types with random fan-out.
+func diffGraph(rng *rand.Rand) *graph.Graph {
+	g := graph.New()
+	n := 20 + rng.Intn(60)
+	var ids []int64
+	for i := 0; i < n; i++ {
+		label := "A"
+		if rng.Intn(3) == 0 {
+			label = "B"
+		}
+		node := g.MustCreateNode([]string{label}, map[string]any{
+			"i": i,
+			"x": rng.Intn(6), // few distinct values => many ties
+			"y": rng.Intn(100),
+		})
+		ids = append(ids, node.ID)
+	}
+	for i := 0; i < n*2; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		typ := "R"
+		if rng.Intn(4) == 0 {
+			typ = "S"
+		}
+		g.MustCreateRelationship(ids[a], ids[b], typ, map[string]any{"w": rng.Intn(10)})
+	}
+	return g
+}
+
+// genDiffQuery derives one random query part and whether its result
+// order is pinned by an ORDER BY.
+func genDiffQuery(rng *rand.Rand) (src string, ordered bool) {
+	anchors := []string{"(a:A)", "(a:B)", "(a)"}
+	expansions := []string{
+		"",
+		"-[:R]->(b)",
+		"-[:R]-(b)",
+		"-[:R]->(b)-[:S]->(c)",
+		"-[:R*1..2]->(b)",
+	}
+	preds := []string{
+		"",
+		" WHERE a.x < 3",
+		" WHERE a.x % 2 = 0",
+		" WHERE a.y >= 40",
+		" WHERE a.x = 1 OR a.y < 25",
+	}
+	exp := expansions[rng.Intn(len(expansions))]
+	pat := anchors[rng.Intn(len(anchors))] + exp
+	where := preds[rng.Intn(len(preds))]
+
+	ret := "RETURN a.i AS r1, a.x AS r2"
+	orderable := []string{"r2", "r1"}
+	if exp != "" {
+		ret = "RETURN a.i AS r1, b.x AS r2"
+	}
+	if rng.Intn(4) == 0 {
+		ret = "RETURN DISTINCT a.x AS r1, a.x + 1 AS r2"
+	}
+
+	src = "MATCH " + pat + where + " " + ret
+	switch rng.Intn(3) {
+	case 0: // ORDER BY, maybe LIMIT/SKIP
+		dir := ""
+		if rng.Intn(2) == 0 {
+			dir = " DESC"
+		}
+		src += " ORDER BY " + orderable[rng.Intn(len(orderable))] + dir
+		ordered = true
+		if rng.Intn(2) == 0 {
+			if rng.Intn(3) == 0 {
+				src += fmt.Sprintf(" SKIP %d", rng.Intn(4))
+			}
+			src += fmt.Sprintf(" LIMIT %d", 1+rng.Intn(8))
+		}
+	case 1: // bare LIMIT (pushed below the projection)
+		if rng.Intn(2) == 0 {
+			src += fmt.Sprintf(" LIMIT %d", 1+rng.Intn(10))
+		}
+	}
+	if !ordered && rng.Intn(4) == 0 {
+		kw := " UNION "
+		if rng.Intn(2) == 0 {
+			kw = " UNION ALL "
+		}
+		src += kw + "MATCH (u:B) RETURN u.i AS r1, u.x AS r2"
+	}
+	return src, ordered
+}
+
+// sortedRowKeys canonicalizes a result for order-insensitive diffing.
+func sortedRowKeys(res *Result) []string {
+	keys := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		keys[i] = graph.ValueKey(row)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestParallelRandomizedDifferential(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(9000 + trial)
+		rng := rand.New(rand.NewSource(seed))
+		g := diffGraph(rng)
+		for q := 0; q < 6; q++ {
+			src, ordered := genDiffQuery(rng)
+			popts := forcedParallel(1 + rng.Intn(4))
+			sopts := popts
+			sopts.MaxParallelism = 1
+			sopts.ParallelThreshold = 0
+			pres, perr := ExecuteWith(g, src, nil, popts)
+			sres, serr := ExecuteWith(g, src, nil, sopts)
+			if (perr == nil) != (serr == nil) {
+				t.Fatalf("seed %d: %s\nerror divergence: parallel=%v serial=%v", seed, src, perr, serr)
+			}
+			if perr != nil {
+				continue
+			}
+			if !reflect.DeepEqual(pres.Columns, sres.Columns) {
+				t.Fatalf("seed %d: %s\ncolumns diverge: %v vs %v", seed, src, pres.Columns, sres.Columns)
+			}
+			if ordered {
+				if !reflect.DeepEqual(pres.Rows, sres.Rows) {
+					t.Fatalf("seed %d: %s\nordered rows diverge:\nparallel: %v\nserial:   %v",
+						seed, src, pres.Rows, sres.Rows)
+				}
+				continue
+			}
+			pk, sk := sortedRowKeys(pres), sortedRowKeys(sres)
+			if !reflect.DeepEqual(pk, sk) {
+				t.Fatalf("seed %d: %s\nrow multisets diverge (%d vs %d rows):\nparallel: %v\nserial:   %v",
+					seed, src, len(pres.Rows), len(sres.Rows), pres.Rows, sres.Rows)
+			}
+		}
+	}
+}

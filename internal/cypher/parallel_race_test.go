@@ -1,0 +1,157 @@
+package cypher
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"chatiyp/internal/graph"
+)
+
+// Race and cancellation coverage for the parallel executor. These run
+// under -race in CI (the parallel-exec job sets GOMAXPROCS=4 so
+// workers genuinely interleave): morsel workers share only the pinned
+// immutable View with each other and with concurrent writers, and a
+// canceled context must wind down every worker.
+
+// TestParallelStreamsAndWriters races forced-parallel streaming reads
+// against a writer: every stream must see one consistent epoch (no
+// duplicates, never fewer rows than the floor population) while morsel
+// workers of several queries run concurrently with graph writes.
+func TestParallelStreamsAndWriters(t *testing.T) {
+	const floor = 120
+	g := snapshotTestGraph(t, floor)
+	iters := 15
+	writes := 200
+	if testing.Short() {
+		iters, writes = 4, 50
+	}
+	opts := forcedParallel(8)
+
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for i := 0; i < writes; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := Execute(g, "CREATE (:AS {asn: "+strconv.Itoa(7000+i)+"})", nil); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < 3; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for i := 0; i < iters; i++ {
+				s, err := ExecuteStreamContext(context.Background(), g, "MATCH (a:AS) RETURN id(a)", nil, opts)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				seen := map[int64]bool{}
+				for {
+					row, ok, err := s.Next()
+					if err != nil {
+						t.Error(err)
+						s.Close()
+						return
+					}
+					if !ok {
+						break
+					}
+					id, _ := row[0].(int64)
+					if seen[id] {
+						t.Errorf("duplicate node %d within one parallel stream", id)
+						s.Close()
+						return
+					}
+					seen[id] = true
+				}
+				s.Close()
+				if len(seen) < floor {
+					t.Errorf("parallel stream saw %d nodes, fewer than the floor population", len(seen))
+					return
+				}
+			}
+		}()
+	}
+	readerWG.Wait()
+	close(stop)
+	writerWG.Wait()
+	waitParallelWorkersSettled(t)
+}
+
+// parallelCancelGraph is a ring with chords: enough var-length fan-out
+// that a *1..3 expansion over every anchor takes real time, so a
+// cancel lands while morsels are in flight.
+func parallelCancelGraph(t testing.TB, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	ids := make([]int64, n)
+	for i := 0; i < n; i++ {
+		ids[i] = g.MustCreateNode([]string{"AS"}, map[string]any{"asn": i}).ID
+	}
+	for i := 0; i < n; i++ {
+		g.MustCreateRelationship(ids[i], ids[(i+1)%n], "PEERS_WITH", nil)
+		g.MustCreateRelationship(ids[i], ids[(i*7+13)%n], "PEERS_WITH", nil)
+	}
+	return g
+}
+
+// TestParallelCancellationStopsWorkers cancels a context mid-query:
+// the execution must abort with an error matching ErrCanceled and
+// every morsel worker must exit — the no-goroutine-leak guarantee.
+func TestParallelCancellationStopsWorkers(t *testing.T) {
+	g := parallelCancelGraph(t, 400)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	done := make(chan error, 1)
+	go func() {
+		// Var-length expansion over the AS clique-ish graph is slow
+		// enough that cancel lands while morsels are in flight.
+		_, err := ExecuteWithContext(ctx, g, "MATCH (a:AS) OPTIONAL MATCH (a)-[*1..3]-(b) RETURN count(b)", nil,
+			forcedParallel(1))
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			// The query may legitimately finish before cancel on a fast
+			// box; the worker-exit assertion below still applies.
+			break
+		}
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("error = %v, want ErrCanceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled parallel query did not return")
+	}
+	waitParallelWorkersSettled(t)
+}
+
+// TestParallelDeadlineStopsWorkers is the deadline flavor: the morsel
+// pool must drain after a context deadline fires mid-scan.
+func TestParallelDeadlineStopsWorkers(t *testing.T) {
+	g := parallelCancelGraph(t, 400)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Millisecond)
+	defer cancel()
+	_, err := ExecuteWithContext(ctx, g, "MATCH (a:AS) OPTIONAL MATCH (a)-[*1..3]-(b) RETURN count(b)", nil,
+		forcedParallel(1))
+	if err != nil && !errors.Is(err, ErrCanceled) {
+		t.Fatalf("error = %v, want ErrCanceled (or completion)", err)
+	}
+	waitParallelWorkersSettled(t)
+}

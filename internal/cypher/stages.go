@@ -71,6 +71,10 @@ type stage struct {
 type stagePlan struct {
 	root *stage
 	cols []string // RETURN column names
+	// par is the statically-eligible parallel prefix of the chain, or
+	// nil; whether an execution actually engages it is a per-run
+	// cardinality decision (see parallel.go).
+	par *parallelSegment
 }
 
 // buildStages derives the operator pipeline for one query part, or nil
@@ -123,7 +127,9 @@ func buildStages(q *Query, hints map[*MatchClause]matchHints, opts Options) *sta
 			if !ok {
 				return nil
 			}
-			return &stagePlan{root: proj, cols: cols}
+			sp := &stagePlan{root: proj, cols: cols}
+			sp.par = analyzeParallel(sp)
+			return sp
 		default:
 			return nil // write clauses execute on the materializing path
 		}

@@ -53,6 +53,14 @@ func StreamStats() (rowsStreamed, limitEarlyExit int64) {
 type streamExec struct {
 	ctx      *evalCtx
 	limitHit bool // some limit reached its cap and stopped the pull
+
+	// Morsel-driven parallel state (see parallel.go). par is the
+	// current part's statically-eligible segment; runs tracks the live
+	// morsel runs so every exit path can stop their workers; pre is set
+	// only on per-worker clones and pins the anchor to one morsel.
+	par  *parallelSegment
+	runs []*parallelRun
+	pre  *morselPreset
 }
 
 // executeStream runs a fully-planned streamable query: every part's
@@ -64,6 +72,7 @@ func executeStream(ctx context.Context, g *graph.Graph, plan *queryPlan, params 
 	// parts included): every hop and scan is lock-free against one
 	// consistent epoch, and concurrent writers are never blocked.
 	se := &streamExec{ctx: &evalCtx{g: g, r: g.View(), params: params, opts: opts, plan: plan, ctx: ctx}}
+	defer se.stopRuns()
 	cols := plan.parts[0].cols
 	for _, sp := range plan.parts[1:] {
 		if len(sp.cols) != len(cols) {
@@ -87,6 +96,7 @@ parts:
 		if err := se.ctx.pollCancel(); err != nil {
 			return nil, err
 		}
+		se.par = sp.par
 		it, err := se.build(sp.root)
 		if err != nil {
 			return nil, err
@@ -132,6 +142,14 @@ parts:
 
 // build assembles the iterator chain for a stage pipeline, rooted at s.
 func (se *streamExec) build(s *stage) (rowIter, error) {
+	// Sink-side parallel substitution: when s tops an eligible segment
+	// and the run engages, the whole prefix below runs on the worker
+	// pool instead (see parallel.go). On fallback, build serially.
+	if se.par != nil && s == se.par.top && se.par.mode == parRows {
+		if it, ok := se.tryParallel(); ok {
+			return it, nil
+		}
+	}
 	switch s.kind {
 	case stageSeed:
 		return &seedIter{}, nil
@@ -140,8 +158,12 @@ func (se *streamExec) build(s *stage) (rowIter, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &matchIter{se: se, m: s.match, hints: s.hints, input: in,
-			newVars: patternVars(s.match.Patterns)}, nil
+		mi := &matchIter{se: se, m: s.match, hints: s.hints, input: in,
+			newVars: patternVars(s.match.Patterns)}
+		if se.pre != nil && se.pre.match == s {
+			mi.pre = se.pre
+		}
+		return mi, nil
 	case stageUnwind:
 		in, err := se.build(s.input)
 		if err != nil {
@@ -178,6 +200,11 @@ func (se *streamExec) build(s *stage) (rowIter, error) {
 
 // buildProj assembles the projection sub-pipeline rooted at s.
 func (se *streamExec) buildProj(s *stage) (projIter, error) {
+	if se.par != nil && s == se.par.top && se.par.mode != parRows {
+		if it, ok := se.tryParallelProj(); ok {
+			return it, nil
+		}
+	}
 	switch s.kind {
 	case stageProject:
 		in, err := se.build(s.input)
@@ -300,6 +327,10 @@ type matchIter struct {
 	input   rowIter
 	newVars []string
 
+	// pre pins the anchor choice and candidate set to one morsel's
+	// subrange — set only on parallel-worker chains (see parallel.go).
+	pre *morselPreset
+
 	// state for the input row currently being expanded
 	haveIn     bool
 	inRow      Row
@@ -345,12 +376,17 @@ func (it *matchIter) Next() (Row, bool, error) {
 			if len(pat.Nodes) == 0 {
 				return nil, false, evalErrorf("empty pattern")
 			}
-			it.anchor = it.matcher.pickAnchor(pat, row)
-			cands, err := it.matcher.anchorCandidates(pat.Nodes[it.anchor], row)
-			if err != nil {
-				return nil, false, err
+			if it.pre != nil {
+				it.anchor = it.pre.anchor
+				it.cands = it.pre.cands
+			} else {
+				it.anchor = it.matcher.pickAnchor(pat, row)
+				cands, err := it.matcher.anchorCandidates(pat.Nodes[it.anchor], row)
+				if err != nil {
+					return nil, false, err
+				}
+				it.cands = cands
 			}
-			it.cands = cands
 			it.candIdx = 0
 			it.state = &matchState{
 				pat:      pat,
@@ -695,16 +731,20 @@ func (it *sortIter) Next() (projected, bool, error) {
 	return pr, true, nil
 }
 
-// keyedRow is one row plus its ORDER BY key tuple and arrival index;
-// (keys, seq) is the total order the stable sort produces.
+// keyedRow is one row plus its ORDER BY key tuple and arrival rank;
+// (keys, seq, seq2) is the total order the stable sort produces. The
+// serial executor ranks by a single arrival counter (seq2 stays 0);
+// parallel workers rank by (morsel index, position within the morsel),
+// which is the same global arrival order the serial scan would see.
 type keyedRow struct {
 	pr   projected
 	keys []graph.Value
 	seq  int
+	seq2 int
 }
 
 // sortsAfter reports whether a comes strictly after b in the stable
-// ORDER BY order (ties broken by arrival).
+// ORDER BY order (ties broken by arrival rank).
 func sortsAfter(orderBy []*SortItem, a, b keyedRow) bool {
 	for j, si := range orderBy {
 		ka, kb := a.keys[j], b.keys[j]
@@ -715,7 +755,10 @@ func sortsAfter(orderBy []*SortItem, a, b keyedRow) bool {
 			return !si.Desc
 		}
 	}
-	return a.seq > b.seq
+	if a.seq != b.seq {
+		return a.seq > b.seq
+	}
+	return a.seq2 > b.seq2
 }
 
 // topKIter retains the first k rows of the stable ORDER BY order using

@@ -154,6 +154,7 @@ func (s *Stream) Next() ([]graph.Value, bool, error) {
 			if err := s.se.ctx.pollCancel(); err != nil {
 				return s.fail(err)
 			}
+			s.se.par = s.parts[s.partIdx].par
 			it, err := s.se.build(s.parts[s.partIdx].root)
 			if err != nil {
 				return s.fail(err)
@@ -211,22 +212,32 @@ func (s *Stream) Stats() WriteStats {
 	return WriteStats{}
 }
 
-// Close ends the stream early, flushing the executor's row counters
-// for the rows already emitted. It never errs and may be called any
-// number of times, including after the stream ended naturally.
+// Close ends the stream early, stopping any parallel morsel workers
+// and flushing the executor's row counters for the rows already
+// emitted. It never errs and may be called any number of times,
+// including after the stream ended naturally.
 func (s *Stream) Close() {
 	s.done = true
+	if s.se != nil {
+		s.se.stopRuns()
+	}
 	s.flushCounters()
 }
 
 func (s *Stream) finish() {
 	s.done = true
+	if s.se != nil {
+		s.se.stopRuns()
+	}
 	s.flushCounters()
 }
 
 func (s *Stream) fail(err error) ([]graph.Value, bool, error) {
 	s.err = err
 	s.done = true
+	if s.se != nil {
+		s.se.stopRuns()
+	}
 	s.flushCounters()
 	return nil, false, err
 }

@@ -157,7 +157,11 @@ func TestStreamingEquivalenceChainGraph(t *testing.T) {
 // top-k tie-breaking and DISTINCT.
 func TestStreamingEquivalenceRandomized(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
-	for trial := 0; trial < 8; trial++ {
+	trials := 8
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
 		g := graph.New()
 		n := 8 + rng.Intn(24)
 		var nodes []*graph.Node

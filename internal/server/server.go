@@ -86,6 +86,12 @@ type Config struct {
 	// MaxBatch caps how many questions one /v1/ask/batch request may
 	// carry (default 32).
 	MaxBatch int
+	// MaxParallelism caps intra-query morsel parallelism for queries
+	// the pipeline executes on this server's behalf (applied via
+	// Pipeline.SetMaxParallelism at construction). Zero leaves the
+	// pipeline's setting untouched (the engine defaults to GOMAXPROCS);
+	// 1 pins every query to the serial executor.
+	MaxParallelism int
 }
 
 // DefaultCypherRowLimit is the /api/cypher row cap applied when
@@ -126,6 +132,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.MaxParallelism != 0 {
+		cfg.Pipeline.SetMaxParallelism(cfg.MaxParallelism)
 	}
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
@@ -686,7 +695,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	plan, err := cypher.Explain(s.cfg.Pipeline.Graph(), req.Query, cypher.Options{})
+	plan, err := cypher.Explain(s.cfg.Pipeline.Graph(), req.Query, s.cfg.Pipeline.ExecOptions())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return

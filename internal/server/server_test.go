@@ -327,6 +327,28 @@ func TestMetricsExposeStreamingCounters(t *testing.T) {
 	}
 }
 
+// TestMetricsExposeParallelCounters checks the morsel-executor gauges
+// are mirrored at /api/metrics. Their values are process-global and
+// depend on GOMAXPROCS (a 1-core run never engages the parallel path),
+// so this asserts presence, not magnitude.
+func TestMetricsExposeParallelCounters(t *testing.T) {
+	s, _ := newTestServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/api/metrics", nil)
+	mrec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(mrec, req)
+	var resp struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(mrec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"cypher.parallel_queries", "cypher.morsels_dispatched"} {
+		if _, ok := resp.Counters[k]; !ok {
+			t.Errorf("metrics response missing %q", k)
+		}
+	}
+}
+
 // newCustomServer builds a server over its own metrics registry (so
 // scheduler gauges don't bleed between tests) with caller-tuned config.
 func newCustomServer(t testing.TB, tune func(*Config)) *Server {

@@ -458,7 +458,7 @@ func (s *Server) handleExplainV1(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	plan, err := cypher.Explain(s.cfg.Pipeline.Graph(), req.Query, cypher.Options{})
+	plan, err := cypher.Explain(s.cfg.Pipeline.Graph(), req.Query, s.cfg.Pipeline.ExecOptions())
 	if err != nil {
 		var syntaxErr *cypher.SyntaxError
 		code := api.CodeExecError

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Runs the morsel-driven parallel executor benchmarks (anchor scan,
+# relationship expansion, ORDER BY ... LIMIT top-k merge; each serial
+# and forced-parallel at 1/2/4/8 workers) and writes machine-readable
+# results to BENCH_parallel.json at the repo root, so the parallel
+# speedup trajectory is tracked across PRs. CI's parallel-exec job runs
+# this on every push; run it locally before touching the morsel path.
+#
+# Interpretation notes: speedups carry scaling_1to8 (workers=1 over
+# workers=8) and serial_over_1worker (the morsel machinery's overhead
+# when parallelism cannot help — should stay ~1.0). Both are bounded by
+# num_cpu; a 1-core machine shows ~1.0 scaling by construction.
+set -eu
+cd "$(dirname "$0")/.."
+go test -run NONE -bench 'BenchmarkParallel(Scan|Expand|TopK)' \
+	-benchmem -benchtime "${BENCHTIME:-1s}" ./internal/cypher |
+	tee /dev/stderr |
+	go run ./cmd/benchjson > BENCH_parallel.json
+echo "wrote BENCH_parallel.json" >&2
