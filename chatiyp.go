@@ -85,6 +85,17 @@ type Options struct {
 	// PlanCacheSize caps the prepared-query plan cache: 0 means the
 	// default capacity, negative disables caching entirely.
 	PlanCacheSize int
+	// ANNRetrieval serves vector-fallback retrieval from the
+	// approximate HNSW index instead of the exact scan (sub-linear in
+	// corpus size; see docs/RETRIEVAL.md).
+	ANNRetrieval bool
+	// SemCacheThreshold enables the semantic answer cache when > 0:
+	// questions at least this cosine-similar to a previously answered
+	// one (at the current graph version) are served from the cache.
+	SemCacheThreshold float64
+	// SemCacheSize bounds the semantic cache's LRU entry count: 0 means
+	// the default capacity, negative disables the cache.
+	SemCacheSize int
 }
 
 // System is a ready-to-use ChatIYP instance: dataset, pipeline and
@@ -131,6 +142,9 @@ func FromGraph(g *graph.Graph, world *iyp.World, opts Options) (*System, error) 
 		DisableVectorFallback: opts.DisableVectorFallback,
 		DisableReranker:       opts.DisableReranker,
 		PlanCacheSize:         opts.PlanCacheSize,
+		ANNRetrieval:          opts.ANNRetrieval,
+		SemCacheThreshold:     opts.SemCacheThreshold,
+		SemCacheSize:          opts.SemCacheSize,
 	})
 	if err != nil {
 		return nil, err

@@ -127,6 +127,19 @@ func main() {
 				addSpeedup(strings.TrimPrefix(base, "Benchmark")+"/serial_over_1worker", serial/ns)
 			}
 		}
+		// Retrieval families: exact/hnsw pairs (brute-force scan vs the
+		// approximate graph index, per corpus size) and cold/warm Ask
+		// pairs (full pipeline vs a semantic-cache hit).
+		if base, ok := strings.CutSuffix(name, "/hnsw"); ok {
+			if exact, ok := byName[base+"/exact"]; ok {
+				addSpeedup(strings.TrimPrefix(base, "Benchmark")+"/exact_over_hnsw", exact/ns)
+			}
+		}
+		if base, ok := strings.CutSuffix(name, "/warm"); ok {
+			if cold, ok := byName[base+"/cold"]; ok {
+				addSpeedup(strings.TrimPrefix(base, "Benchmark")+"/cold_over_warm_ask", cold/ns)
+			}
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -36,11 +36,14 @@ func main() {
 		cypherTimeout = flag.Duration("cypher-timeout", 0, "per-query deadline on /api/cypher (0 = 10s default)")
 		drainTimeout  = flag.Duration("drain-timeout", 0, "graceful-shutdown budget for in-flight requests (0 = 5s default)")
 		maxPar        = flag.Int("max-parallelism", 0, "max morsel workers per query (0 = GOMAXPROCS, 1 = serial execution)")
+		annRetr       = flag.Bool("ann-retrieval", false, "serve vector retrieval from the approximate HNSW index instead of the exact scan")
+		semThr        = flag.Float64("semcache-threshold", 0, "enable the semantic answer cache at this similarity threshold, e.g. 0.97 (0 = disabled)")
+		semSize       = flag.Int("semcache-size", 0, "semantic cache LRU capacity (0 = default)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "chatiyp-server ", log.LstdFlags)
 
-	opts := chatiyp.Options{Perfect: *perfect}
+	opts := chatiyp.Options{Perfect: *perfect, ANNRetrieval: *annRetr}
 	if *small {
 		opts.Dataset = iyp.SmallConfig()
 	}
@@ -65,14 +68,16 @@ func main() {
 
 	var pipe *core.Pipeline = sys.Pipeline()
 	srv, err := server.New(server.Config{
-		Pipeline:       pipe,
-		Logger:         logger,
-		MaxConcurrent:  *maxConcurrent,
-		MaxQueue:       *maxQueue,
-		AskTimeout:     *askTimeout,
-		CypherTimeout:  *cypherTimeout,
-		DrainTimeout:   *drainTimeout,
-		MaxParallelism: *maxPar,
+		Pipeline:          pipe,
+		Logger:            logger,
+		MaxConcurrent:     *maxConcurrent,
+		MaxQueue:          *maxQueue,
+		AskTimeout:        *askTimeout,
+		CypherTimeout:     *cypherTimeout,
+		DrainTimeout:      *drainTimeout,
+		MaxParallelism:    *maxPar,
+		SemCacheThreshold: *semThr,
+		SemCacheSize:      *semSize,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -34,6 +34,9 @@ func main() {
 		small    = flag.Bool("small", false, "use the small dataset (fast startup)")
 		graphIn  = flag.String("graph", "", "load the knowledge graph from a snapshot instead of generating it")
 		remote   = flag.String("server", "", "remote mode: ChatIYP server base URL (e.g. http://localhost:8080)")
+		annRetr  = flag.Bool("ann-retrieval", false, "serve vector retrieval from the approximate HNSW index instead of the exact scan")
+		semThr   = flag.Float64("semcache-threshold", 0, "enable the semantic answer cache at this similarity threshold, e.g. 0.97 (0 = disabled)")
+		semSize  = flag.Int("semcache-size", 0, "semantic cache LRU capacity (0 = default)")
 	)
 	flag.Parse()
 
@@ -51,7 +54,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "connected to %s\n", *remote)
 		askFn = func(q string, trace bool) error { return askRemote(c, q, trace) }
 	} else {
-		sys, err := buildSystem(*graphIn, *small, *perfect, *seed)
+		sys, err := buildSystem(*graphIn, *small, chatiyp.Options{
+			Perfect:           *perfect,
+			Seed:              *seed,
+			ANNRetrieval:      *annRetr,
+			SemCacheThreshold: *semThr,
+			SemCacheSize:      *semSize,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "chatiyp:", err)
 			os.Exit(1)
@@ -120,8 +129,7 @@ func askRemote(c *client.Client, question string, trace bool) error {
 	return nil
 }
 
-func buildSystem(graphPath string, small, perfect bool, seed int64) (*chatiyp.System, error) {
-	opts := chatiyp.Options{Perfect: perfect, Seed: seed}
+func buildSystem(graphPath string, small bool, opts chatiyp.Options) (*chatiyp.System, error) {
 	if graphPath != "" {
 		g, err := chatiyp.LoadGraph(graphPath)
 		if err != nil {

@@ -143,6 +143,7 @@ type AskResponse struct {
 	Rows        [][]graph.Value `json:"rows,omitempty"`
 	Context     []ContextRecord `json:"context,omitempty"`
 	Fallback    bool            `json:"used_vector_fallback"`
+	CacheHit    bool            `json:"cache_hit,omitempty"`
 	DurationMS  float64         `json:"duration_ms"`
 	Trace       []TraceEntry    `json:"trace,omitempty"`
 }

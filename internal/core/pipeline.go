@@ -55,6 +55,23 @@ type Config struct {
 	// MaxContextRows caps how many result rows are rendered into the
 	// generation context (default 12).
 	MaxContextRows int
+	// ANNRetrieval serves the vector-fallback retriever from the
+	// approximate HNSW index instead of the exact brute-force scan.
+	// Retrieval cost becomes sub-linear in corpus size (see
+	// docs/RETRIEVAL.md); the exact index remains the recall reference.
+	ANNRetrieval bool
+	// SemCacheThreshold enables the semantic answer cache in front of
+	// Ask when > 0: a question whose embedding is at least this
+	// cosine-similar to a previously answered one (and whose cached
+	// entry was computed against the current graph version) is answered
+	// from the cache, skipping retrieval and generation entirely.
+	// 0 disables the cache. Sensible values are close to 1 (e.g. 0.97):
+	// lower thresholds trade answer fidelity for hit rate.
+	SemCacheThreshold float64
+	// SemCacheSize bounds the semantic cache's LRU entry count. Zero
+	// means DefaultSemCacheCapacity; negative disables the cache even
+	// when a threshold is set.
+	SemCacheSize int
 	// ExecOptions tunes Cypher execution.
 	ExecOptions cypher.Options
 	// PlanCacheSize caps the prepared-query plan cache. Zero means
@@ -96,9 +113,10 @@ var (
 type Pipeline struct {
 	cfg      Config
 	embedder *embed.Embedder
-	index    *vector.Index
+	index    vector.Searcher // exact Index, or HNSW when ANNRetrieval
 	lexicon  *llm.Lexicon
 	plans    *cypher.PlanCache // nil when caching is disabled
+	semcache *semCache         // nil when the semantic cache is disabled
 	metrics  *metrics.Registry
 }
 
@@ -128,13 +146,35 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	p.embedder = embed.NewDefault()
 	p.embedder.Fit(corpus)
-	p.index = vector.NewIndex(p.embedder.Dim())
+	if cfg.ANNRetrieval {
+		p.index = vector.NewHNSW(vector.HNSWConfig{Dim: p.embedder.Dim()})
+	} else {
+		p.index = vector.NewIndex(p.embedder.Dim())
+	}
 	for _, d := range descs {
 		if err := p.index.Add(vector.Doc{ID: d.NodeID, Text: d.Text, Kind: d.Label, Vec: p.embedder.Embed(d.Text)}); err != nil {
 			return nil, fmt.Errorf("core: indexing descriptions: %w", err)
 		}
 	}
+	if cfg.SemCacheThreshold > 0 && cfg.SemCacheSize >= 0 {
+		p.semcache = newSemCache(cfg.SemCacheThreshold, cfg.SemCacheSize, p.embedder.Dim())
+	}
 	return p, nil
+}
+
+// EnableSemCache switches the semantic answer cache on (or retunes it)
+// after construction: questions whose embeddings clear threshold
+// against a cached one are answered without retrieval or generation.
+// size <= 0 means DefaultSemCacheCapacity; threshold <= 0 disables the
+// cache. Like SetMaxParallelism, call it during setup — it is not
+// synchronized against in-flight Asks.
+func (p *Pipeline) EnableSemCache(threshold float64, size int) {
+	if threshold <= 0 {
+		p.semcache = nil
+		return
+	}
+	p.cfg.SemCacheThreshold = threshold
+	p.semcache = newSemCache(threshold, size, p.embedder.Dim())
 }
 
 // Lexicon exposes the derived entity lexicon (the simulated model needs
@@ -228,12 +268,37 @@ type Answer struct {
 	// UsedVectorFallback reports whether semantic retrieval contributed
 	// context.
 	UsedVectorFallback bool
+	// CacheHit reports that the answer was served from the semantic
+	// cache: no retrieval or generation ran for this request, and the
+	// trace's semcache stage names the question the answer was
+	// originally computed for.
+	CacheHit bool
 }
 
-// Ask runs the full pipeline on one question.
+// Ask runs the full pipeline on one question. With the semantic cache
+// enabled, a question similar enough to a previously answered one (and
+// whose cached answer is stamped with the current graph version) is
+// served from the cache without touching retrieval or the model.
 func (p *Pipeline) Ask(ctx context.Context, question string) (*Answer, error) {
 	started := time.Now()
 	p.metrics.Counter("pipeline.ask").Inc()
+
+	// The version stamp is read before any retrieval so that a write
+	// racing this Ask invalidates the entry we are about to cache: a
+	// stale stamp can only under-serve, never over-serve.
+	var qvec embed.Vector
+	version := p.cfg.Graph.Version()
+	if p.semcache != nil {
+		qvec = p.embedder.Embed(question)
+		if hit, orig, score, ok := p.semcache.get(ctx, qvec, version); ok {
+			ans := cachedAnswer(question, hit, orig, score)
+			ans.Duration = time.Since(started)
+			return ans, nil
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("core: semcache probe: %w", cancellationError(ctx, context.Cause(ctx)))
+		}
+	}
 	ans := &Answer{Question: question}
 
 	// --- Stage 1: TextToCypherRetriever ---
@@ -268,10 +333,15 @@ func (p *Pipeline) Ask(ctx context.Context, question string) (*Answer, error) {
 	sparse := terr != nil || len(ans.Rows) == 0
 	if sparse && !p.cfg.DisableVectorFallback {
 		t1 := time.Now()
-		hits, err := p.vectorRetrieve(question)
-		if err != nil {
+		hits, err := p.vectorRetrieve(ctx, question)
+		switch {
+		case err != nil && ctx.Err() != nil:
+			// Same rule as stage 1: a canceled retrieval must abort the
+			// request, not degrade into context-free generation.
+			return nil, fmt.Errorf("core: vector retrieve: %w", cancellationError(ctx, err))
+		case err != nil:
 			ans.Trace = append(ans.Trace, StageTrace{Stage: "vector", Err: err.Error(), Duration: time.Since(t1)})
-		} else {
+		default:
 			for _, h := range hits {
 				records = append(records, ContextRecord{Source: "vector", Text: h.Doc.Text, Score: h.Score})
 			}
@@ -319,6 +389,9 @@ func (p *Pipeline) Ask(ctx context.Context, question string) (*Answer, error) {
 	ans.TokensOut += resp.TokensOut
 	ans.Trace = append(ans.Trace, StageTrace{Stage: "generate", Detail: fmt.Sprintf("%d context records", len(records)), Duration: time.Since(t3)})
 	ans.Duration = time.Since(started)
+	if p.semcache != nil {
+		p.semcache.put(question, qvec, ans, version)
+	}
 	return ans, nil
 }
 
@@ -360,9 +433,10 @@ func (p *Pipeline) textToCypher(ctx context.Context, question string, ans *Answe
 }
 
 // vectorRetrieve embeds the question and fetches the nearest node
-// descriptions.
-func (p *Pipeline) vectorRetrieve(question string) ([]vector.Hit, error) {
-	return p.index.Search(p.embedder.Embed(question), p.cfg.VectorTopK, nil)
+// descriptions. ctx bounds the scan: a dead request stops paying for
+// the rest of the corpus at the next cancellation check.
+func (p *Pipeline) vectorRetrieve(ctx context.Context, question string) ([]vector.Hit, error) {
+	return p.index.SearchContext(ctx, p.embedder.Embed(question), p.cfg.VectorTopK, nil)
 }
 
 // rerank scores every record with the shallow LLM scorer and keeps the
@@ -609,7 +683,29 @@ func (p *Pipeline) Metrics() *metrics.Registry {
 	pins, publishes := p.cfg.Graph.SnapshotStats()
 	p.metrics.Counter("graph.view_pins").Set(pins)
 	p.metrics.Counter("graph.snapshot_publishes").Set(publishes)
+	// Retrieval-tier counters: ann_searches is process-global (every
+	// HNSW search, retrieval or cache probe); the semcache counters are
+	// per-pipeline and read zero while the cache is disabled so the
+	// metrics surface stays stable.
+	p.metrics.Counter("vector.ann_searches").Set(int64(vector.AnnSearchStats()))
+	var scs SemCacheStats
+	if p.semcache != nil {
+		scs = p.semcache.stats()
+	}
+	p.metrics.Counter("semcache.hits").Set(int64(scs.Hits))
+	p.metrics.Counter("semcache.misses").Set(int64(scs.Misses))
+	p.metrics.Counter("semcache.stale").Set(int64(scs.Stale))
+	p.metrics.Counter("semcache.size").Set(int64(scs.Size))
 	return p.metrics
+}
+
+// SemCacheStats snapshots the semantic answer cache's counters. The
+// zero value is returned when the cache is disabled.
+func (p *Pipeline) SemCacheStats() SemCacheStats {
+	if p.semcache == nil {
+		return SemCacheStats{}
+	}
+	return p.semcache.stats()
 }
 
 // FormatRows renders result rows into compact context records. A

@@ -1,0 +1,206 @@
+// The semantic answer cache sits in front of Pipeline.Ask: at millions
+// of users, question traffic is heavily repetitive, and two questions
+// that embed close together get the same answer from the same graph.
+// Instead of re-running retrieval and generation, Ask embeds the
+// question, probes an approximate (HNSW) index over previously answered
+// questions, and serves the cached answer when
+//
+//  1. the best cached question's cosine similarity clears the
+//     configured threshold, AND
+//  2. the entry's stamped graph.Version() is still current — the plan-
+//     cache invalidation rule from PR 1 applied verbatim, so a cached
+//     answer computed against an older graph is never served after a
+//     write (it is evicted on sight and counted as stale).
+//
+// The cache is a bounded LRU; the HNSW index cannot delete nodes, so
+// evicted/stale entries linger as ghosts that probes skip, and the
+// index is rebuilt from the live set once ghosts outnumber capacity —
+// amortized O(1) per insert, memory bounded at ~2x capacity.
+package core
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"chatiyp/internal/embed"
+	"chatiyp/internal/vector"
+)
+
+// DefaultSemCacheCapacity bounds the semantic cache when
+// Config.SemCacheSize is zero. A thousand distinct hot questions cover
+// a heavily repetitive traffic mix while keeping the probe index tiny.
+const DefaultSemCacheCapacity = 1024
+
+// semProbeK is how many nearest cached questions one probe considers:
+// deep enough to step over ghost entries, cheap enough to be free.
+const semProbeK = 8
+
+// SemCacheStats is a point-in-time snapshot of cache effectiveness.
+type SemCacheStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Stale    uint64 `json:"stale"`
+	Size     int    `json:"size"`
+	Capacity int    `json:"capacity"`
+}
+
+type semEntry struct {
+	id       int64 // probe-index doc ID
+	question string
+	vec      embed.Vector
+	ans      *Answer
+	version  uint64 // graph.Version() the answer was computed against
+}
+
+// semCache is the bounded LRU semantic answer cache. Safe for
+// concurrent use.
+type semCache struct {
+	threshold float64
+	capacity  int
+	dim       int
+
+	mu      sync.Mutex
+	index   *vector.HNSW
+	entries map[int64]*list.Element
+	ll      *list.List // front = most recently used; values are *semEntry
+	nextID  int64
+	ghosts  int // index docs whose entry was evicted (HNSW can't delete)
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	stale  atomic.Uint64
+}
+
+func newSemCache(threshold float64, capacity, dim int) *semCache {
+	if capacity <= 0 {
+		capacity = DefaultSemCacheCapacity
+	}
+	return &semCache{
+		threshold: threshold,
+		capacity:  capacity,
+		dim:       dim,
+		index:     vector.NewHNSW(vector.HNSWConfig{Dim: dim}),
+		entries:   make(map[int64]*list.Element),
+		ll:        list.New(),
+	}
+}
+
+// get probes the cache with an embedded question. It returns the cached
+// answer, the question it was originally computed for, and the
+// similarity score on a hit. Entries whose stamped version differs from
+// current are evicted on sight (counted stale) — they can never satisfy
+// this or any later probe.
+func (c *semCache) get(ctx context.Context, qvec embed.Vector, current uint64) (*Answer, string, float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ll.Len() == 0 {
+		c.misses.Add(1)
+		return nil, "", 0, false
+	}
+	hits, err := c.index.SearchContext(ctx, qvec, semProbeK, nil)
+	if err != nil {
+		// A canceled probe is not a miss worth recording; the caller's
+		// own ctx checks will surface the abort.
+		return nil, "", 0, false
+	}
+	for _, h := range hits {
+		if h.Score < c.threshold {
+			break // scores descend: nothing below can hit
+		}
+		el, live := c.entries[h.Doc.ID]
+		if !live {
+			continue // ghost: evicted earlier, index node lingers
+		}
+		e := el.Value.(*semEntry)
+		if e.version != current {
+			c.removeLocked(el)
+			c.stale.Add(1)
+			continue // a fresher near-duplicate may still rank below
+		}
+		c.ll.MoveToFront(el)
+		c.hits.Add(1)
+		return e.ans, e.question, h.Score, true
+	}
+	c.misses.Add(1)
+	return nil, "", 0, false
+}
+
+// put inserts an answered question stamped with the graph version its
+// answer was computed against, evicting the least-recently-used entry
+// past capacity.
+func (c *semCache) put(question string, qvec embed.Vector, ans *Answer, version uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	id := c.nextID
+	if err := c.index.Add(vector.Doc{ID: id, Text: question, Vec: qvec}); err != nil {
+		return // dimension mismatch cannot happen with the owning embedder
+	}
+	c.entries[id] = c.ll.PushFront(&semEntry{id: id, question: question, vec: qvec, ans: ans, version: version})
+	for c.ll.Len() > c.capacity {
+		c.removeLocked(c.ll.Back())
+	}
+	if c.ghosts > c.capacity {
+		c.rebuildLocked()
+	}
+}
+
+// removeLocked drops an entry from the LRU book-keeping. The index node
+// stays behind as a ghost until the next rebuild.
+func (c *semCache) removeLocked(el *list.Element) {
+	e := el.Value.(*semEntry)
+	c.ll.Remove(el)
+	delete(c.entries, e.id)
+	c.ghosts++
+}
+
+// rebuildLocked reconstructs the probe index from the live entries,
+// shedding accumulated ghosts. Cost is one bulk HNSW build over at most
+// capacity vectors, amortized over the capacity evictions that got us
+// here.
+func (c *semCache) rebuildLocked() {
+	fresh := vector.NewHNSW(vector.HNSWConfig{Dim: c.dim})
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*semEntry)
+		if err := fresh.Add(vector.Doc{ID: e.id, Text: e.question, Vec: e.vec}); err != nil {
+			return // unreachable: entries were validated on insert
+		}
+	}
+	c.index = fresh
+	c.ghosts = 0
+}
+
+// stats snapshots the counters.
+func (c *semCache) stats() SemCacheStats {
+	c.mu.Lock()
+	size := c.ll.Len()
+	capn := c.capacity
+	c.mu.Unlock()
+	return SemCacheStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Stale:    c.stale.Load(),
+		Size:     size,
+		Capacity: capn,
+	}
+}
+
+// cachedAnswer shapes a cache hit for the caller: the stored answer's
+// content under the asker's question, zero token spend (nothing was
+// generated for this request), and a trace that names the cache, the
+// similarity, and the question the answer was originally computed for.
+func cachedAnswer(question string, hit *Answer, origQuestion string, score float64) *Answer {
+	ans := *hit // shallow copy; rows/context slices are shared read-only
+	ans.Question = question
+	ans.CacheHit = true
+	ans.TokensIn = 0
+	ans.TokensOut = 0
+	ans.Trace = []StageTrace{{
+		Stage:  "semcache",
+		Detail: fmt.Sprintf("hit (similarity %.3f) for cached question %q", score, origQuestion),
+	}}
+	return &ans
+}

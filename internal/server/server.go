@@ -92,6 +92,16 @@ type Config struct {
 	// pipeline's setting untouched (the engine defaults to GOMAXPROCS);
 	// 1 pins every query to the serial executor.
 	MaxParallelism int
+	// SemCacheThreshold enables the pipeline's semantic answer cache
+	// (applied via Pipeline.EnableSemCache at construction, the same
+	// pattern as MaxParallelism): questions at least this cosine-
+	// similar to a previously answered one — cached at the current
+	// graph version — are answered without retrieval or generation.
+	// Zero leaves the pipeline's own setting untouched.
+	SemCacheThreshold float64
+	// SemCacheSize bounds the semantic cache's LRU entry count when
+	// SemCacheThreshold engages it here (0 = the core default).
+	SemCacheSize int
 }
 
 // DefaultCypherRowLimit is the /api/cypher row cap applied when
@@ -135,6 +145,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxParallelism != 0 {
 		cfg.Pipeline.SetMaxParallelism(cfg.MaxParallelism)
+	}
+	if cfg.SemCacheThreshold > 0 {
+		cfg.Pipeline.EnableSemCache(cfg.SemCacheThreshold, cfg.SemCacheSize)
 	}
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)

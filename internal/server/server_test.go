@@ -607,3 +607,71 @@ func TestForgedRequestIDReplaced(t *testing.T) {
 		t.Errorf("forged id reached the log: %q", buf.String())
 	}
 }
+
+// TestMetricsExposeRetrievalCounters checks the retrieval-tier gauges —
+// ANN searches and the semantic answer cache — are mirrored at
+// /v1/metrics even while the cache is disabled (presence, not
+// magnitude; ann_searches is process-global).
+func TestMetricsExposeRetrievalCounters(t *testing.T) {
+	s, _ := newTestServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/v1/metrics", nil)
+	mrec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(mrec, req)
+	var resp struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(mrec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"vector.ann_searches", "semcache.hits", "semcache.misses", "semcache.stale", "semcache.size"} {
+		if _, ok := resp.Counters[k]; !ok {
+			t.Errorf("metrics response missing %q", k)
+		}
+	}
+}
+
+// TestSemCacheWarmAskOverHTTP drives the cache end to end through the
+// v1 surface: the second identical question answers cache_hit true and
+// the hit shows up at /v1/metrics.
+func TestSemCacheWarmAskOverHTTP(t *testing.T) {
+	s := newCustomServer(t, func(c *Config) { c.SemCacheThreshold = 0.97 })
+	h := s.Handler()
+	const body = `{"question": "Which country code is AS2497 registered in?"}`
+	var warm struct {
+		CacheHit   bool    `json:"cache_hit"`
+		Answer     string  `json:"answer"`
+		DurationMS float64 `json:"duration_ms"`
+	}
+	for i := 0; i < 2; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/ask", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("ask %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &warm); err != nil {
+			t.Fatal(err)
+		}
+		if want := i == 1; warm.CacheHit != want {
+			t.Fatalf("ask %d: cache_hit = %v, want %v", i, warm.CacheHit, want)
+		}
+	}
+	if warm.Answer == "" {
+		t.Error("cached answer empty")
+	}
+	mrec := httptest.NewRecorder()
+	h.ServeHTTP(mrec, httptest.NewRequest(http.MethodGet, "/v1/metrics", nil))
+	var resp struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(mrec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Counters["semcache.hits"] < 1 {
+		t.Errorf("semcache.hits = %d, want >= 1", resp.Counters["semcache.hits"])
+	}
+	if resp.Counters["semcache.size"] < 1 {
+		t.Errorf("semcache.size = %d, want >= 1", resp.Counters["semcache.size"])
+	}
+}

@@ -157,6 +157,7 @@ func wireAnswer(ans *core.Answer) *api.AskResponse {
 		Columns:     ans.Columns,
 		Rows:        ans.Rows,
 		Fallback:    ans.UsedVectorFallback,
+		CacheHit:    ans.CacheHit,
 		DurationMS:  float64(ans.Duration.Microseconds()) / 1000,
 	}
 	for _, c := range ans.Context {

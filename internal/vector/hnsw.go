@@ -1,0 +1,450 @@
+// HNSW is the approximate half of the retrieval tier: a Hierarchical
+// Navigable Small World graph (Malkov & Yashunin) — a layered skip-list
+// of proximity graphs. Every document lands on layer 0; each higher
+// layer keeps an exponentially thinning subset, so a search greedily
+// descends coarse layers in O(log N) hops and then runs a best-first
+// beam (efSearch) over the dense bottom layer. Search cost is governed
+// by ef and M, not corpus size — the brute-force scan's O(N·dim) per
+// query becomes a few hundred dot products.
+//
+// Design choices for this reproduction:
+//
+//   - Vectors are L2-normalized at insert and queries at search, so
+//     similarity is a pure dot product (shared with the exact Index).
+//   - Layer assignment is a deterministic hash of the document ID
+//     (not an RNG), so an index built from the same corpus is always
+//     the same graph regardless of build order or concurrency.
+//   - All orderings break score ties on ascending document ID, making
+//     results reproducible and directly comparable against the exact
+//     Index in the recall harness.
+//   - Reads are concurrent (RWMutex): searches share the read lock,
+//     inserts serialize on the write lock. Inserts are incremental —
+//     no bulk rebuild step.
+package vector
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"chatiyp/internal/embed"
+)
+
+// HNSWConfig tunes the graph. The zero value gets sensible defaults;
+// see docs/RETRIEVAL.md for the tuning guide.
+type HNSWConfig struct {
+	// Dim is the vector width. Required.
+	Dim int
+	// M is the maximum neighbor count per node on layers ≥ 1; layer 0
+	// allows 2M. Higher M raises recall and memory. Default 16.
+	M int
+	// EfConstruction is the beam width used while inserting. Higher
+	// values build a better graph, slower. Default 128.
+	EfConstruction int
+	// EfSearch is the default beam width at query time (the effective
+	// beam is max(EfSearch, k)). Higher values raise recall, slower.
+	// Default 64.
+	EfSearch int
+}
+
+func (c HNSWConfig) withDefaults() HNSWConfig {
+	if c.M <= 1 {
+		c.M = 16
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = 128
+	}
+	if c.EfSearch <= 0 {
+		c.EfSearch = 64
+	}
+	return c
+}
+
+// annSearches counts HNSW searches process-wide, mirrored into the
+// metrics registry as vector.ann_searches (the same read-time
+// mirroring pattern as cypher.StreamStats).
+var annSearches atomic.Uint64
+
+// AnnSearchStats returns the process-wide count of approximate
+// (HNSW) searches executed.
+func AnnSearchStats() uint64 { return annSearches.Load() }
+
+type hnswNode struct {
+	doc   Doc
+	vec   embed.Vector // normalized
+	level int
+	// links[l] holds the neighbor node indices on layer l, kept pruned
+	// to the layer's degree cap in ranking order (best first).
+	links [][]int32
+}
+
+// HNSW is an approximate nearest-neighbor index. Safe for concurrent
+// use.
+type HNSW struct {
+	cfg HNSWConfig
+	mL  float64 // level-generation factor 1/ln(M)
+
+	mu       sync.RWMutex
+	nodes    []hnswNode
+	byID     map[int64]int32
+	entry    int32 // entry-point node index, -1 when empty
+	maxLevel int
+}
+
+var _ Searcher = (*HNSW)(nil)
+
+// NewHNSW returns an empty HNSW index for vectors of width cfg.Dim.
+func NewHNSW(cfg HNSWConfig) *HNSW {
+	cfg = cfg.withDefaults()
+	return &HNSW{
+		cfg:   cfg,
+		mL:    1 / math.Log(float64(cfg.M)),
+		byID:  make(map[int64]int32),
+		entry: -1,
+	}
+}
+
+// Len returns the number of indexed documents.
+func (h *HNSW) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.nodes)
+}
+
+// Dim returns the vector width.
+func (h *HNSW) Dim() int { return h.cfg.Dim }
+
+// Get returns the document with the given ID.
+func (h *HNSW) Get(id int64) (Doc, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if i, ok := h.byID[id]; ok {
+		return h.nodes[i].doc, true
+	}
+	return Doc{}, false
+}
+
+// levelFor deterministically assigns a node's top layer from its doc
+// ID: a splitmix64 hash feeds the standard exponential level draw
+// floor(-ln(u)·mL). Same ID → same level, always.
+func (h *HNSW) levelFor(id int64) int {
+	z := uint64(id) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	// 53 high bits → uniform in [0,1); nudge 0 so the log is finite.
+	u := float64(z>>11) / float64(1<<53)
+	if u <= 0 {
+		u = 1e-12
+	}
+	lvl := int(-math.Log(u) * h.mL)
+	if lvl > 30 {
+		lvl = 30
+	}
+	return lvl
+}
+
+// maxDegree is the per-layer neighbor cap: 2M on the dense bottom
+// layer, M above.
+func (h *HNSW) maxDegree(layer int) int {
+	if layer == 0 {
+		return 2 * h.cfg.M
+	}
+	return h.cfg.M
+}
+
+// Add inserts a document, linking it into every layer up to its
+// deterministic level. Re-adding an existing ID replaces the stored
+// document and vector in place; the node keeps its links (the graph
+// self-heals as neighbors are inserted around the new position), which
+// trades a little recall on heavily-updated IDs for O(1) updates.
+func (h *HNSW) Add(d Doc) error {
+	if len(d.Vec) != h.cfg.Dim {
+		return fmt.Errorf("%w: got %d, index is %d", ErrDimMismatch, len(d.Vec), h.cfg.Dim)
+	}
+	nv := normalized(d.Vec)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if i, ok := h.byID[d.ID]; ok {
+		h.nodes[i].doc = d
+		h.nodes[i].vec = nv
+		return nil
+	}
+	level := h.levelFor(d.ID)
+	idx := int32(len(h.nodes))
+	node := hnswNode{doc: d, vec: nv, level: level, links: make([][]int32, level+1)}
+	h.nodes = append(h.nodes, node)
+	h.byID[d.ID] = idx
+
+	if h.entry < 0 {
+		h.entry = idx
+		h.maxLevel = level
+		return nil
+	}
+
+	sc := scratchPool.Get().(*searchScratch)
+	defer scratchPool.Put(sc)
+	sc.begin(len(h.nodes))
+	ep := []scoredNode{h.scored(h.entry, nv)}
+	// Greedy descent through the layers above the new node's level.
+	for l := h.maxLevel; l > level; l-- {
+		ep = h.searchLayer(nv, ep, 1, l, sc)
+		sc.nextGen()
+	}
+	// Link the new node on each shared layer, best-first beam of
+	// efConstruction.
+	for l := min(level, h.maxLevel); l >= 0; l-- {
+		found := h.searchLayer(nv, ep, h.cfg.EfConstruction, l, sc)
+		sc.nextGen()
+		neighbors := found
+		if cap := h.maxDegree(l); len(neighbors) > cap {
+			neighbors = neighbors[:cap]
+		}
+		links := make([]int32, len(neighbors))
+		for i, n := range neighbors {
+			links[i] = n.idx
+		}
+		h.nodes[idx].links[l] = links
+		// Back-links, pruning each neighbor to its degree cap.
+		for _, n := range neighbors {
+			h.linkBack(n.idx, idx, l)
+		}
+		ep = found
+	}
+	if level > h.maxLevel {
+		h.maxLevel = level
+		h.entry = idx
+	}
+	return nil
+}
+
+// linkBack adds `from` to node `to`'s layer-l neighbor list, keeping
+// the list in ranking order and pruned to the layer's degree cap.
+func (h *HNSW) linkBack(to, from int32, l int) {
+	node := &h.nodes[to]
+	links := node.links[l]
+	fromScore := node.vec.Dot(h.nodes[from].vec)
+	fromID := h.nodes[from].doc.ID
+	// Insert in ranking order (score desc, ID asc) so pruning always
+	// drops the worst edge deterministically.
+	pos := len(links)
+	for i, other := range links {
+		s := node.vec.Dot(h.nodes[other].vec)
+		if fromScore > s || (fromScore == s && fromID < h.nodes[other].doc.ID) {
+			pos = i
+			break
+		}
+	}
+	links = append(links, 0)
+	copy(links[pos+1:], links[pos:])
+	links[pos] = from
+	if cap := h.maxDegree(l); len(links) > cap {
+		links = links[:cap]
+	}
+	node.links[l] = links
+}
+
+// scoredNode pairs a node index with its similarity to the current
+// query; ranking order is score desc, doc ID asc.
+type scoredNode struct {
+	idx   int32
+	id    int64
+	score float64
+}
+
+func betterNode(a, b scoredNode) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.id < b.id
+}
+
+func (h *HNSW) scored(idx int32, q embed.Vector) scoredNode {
+	n := &h.nodes[idx]
+	return scoredNode{idx: idx, id: n.doc.ID, score: q.Dot(n.vec)}
+}
+
+// searchScratch is the per-search working memory — visited set and the
+// two beam heaps — pooled so the hot path allocates only the result
+// slices. The visited set is generation-stamped: advancing the
+// generation invalidates every mark in O(1), so moving between layers
+// costs nothing even on a 100k-node graph.
+type searchScratch struct {
+	gen  uint32
+	mark []uint32
+	cand []scoredNode // max-heap: best candidate at root
+	res  []scoredNode // min-heap: worst result at root
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+// begin sizes the visited set for n nodes and starts a fresh
+// generation.
+func (s *searchScratch) begin(n int) {
+	if len(s.mark) < n {
+		s.mark = make([]uint32, n)
+		s.gen = 0
+	}
+	s.nextGen()
+}
+
+// nextGen invalidates all marks; on the (rare) 32-bit wrap the marks
+// are cleared for real.
+func (s *searchScratch) nextGen() {
+	s.gen++
+	if s.gen == 0 {
+		clear(s.mark)
+		s.gen = 1
+	}
+}
+
+func (s *searchScratch) visited(i int32) bool { return s.mark[i] == s.gen }
+func (s *searchScratch) visit(i int32)        { s.mark[i] = s.gen }
+
+// worseNode is betterNode reversed (min-heap ordering).
+func worseNode(a, b scoredNode) bool { return betterNode(b, a) }
+
+// pushNode/popNode are container/heap without the interface boxing —
+// the per-push allocation was the dominant cost of a search.
+func pushNode(h *[]scoredNode, x scoredNode, before func(a, b scoredNode) bool) {
+	*h = append(*h, x)
+	hs := *h
+	for i := len(hs) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !before(hs[i], hs[p]) {
+			break
+		}
+		hs[i], hs[p] = hs[p], hs[i]
+		i = p
+	}
+}
+
+func popNode(h *[]scoredNode, before func(a, b scoredNode) bool) scoredNode {
+	hs := *h
+	top := hs[0]
+	n := len(hs) - 1
+	hs[0] = hs[n]
+	hs = hs[:n]
+	*h = hs
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && before(hs[l], hs[best]) {
+			best = l
+		}
+		if r < n && before(hs[r], hs[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		hs[i], hs[best] = hs[best], hs[i]
+		i = best
+	}
+	return top
+}
+
+// searchLayer runs the best-first beam search of width ef on one layer
+// starting from eps, returning up to ef results in ranking order. The
+// caller owns sc (generation already advanced for this layer); holding
+// at least a read lock is required.
+func (h *HNSW) searchLayer(q embed.Vector, eps []scoredNode, ef, layer int, sc *searchScratch) []scoredNode {
+	sc.cand = sc.cand[:0]
+	sc.res = sc.res[:0]
+	for _, ep := range eps {
+		if sc.visited(ep.idx) {
+			continue
+		}
+		sc.visit(ep.idx)
+		pushNode(&sc.cand, ep, betterNode)
+		pushNode(&sc.res, ep, worseNode)
+	}
+	for len(sc.cand) > 0 {
+		c := popNode(&sc.cand, betterNode)
+		if len(sc.res) >= ef && betterNode(sc.res[0], c) {
+			break
+		}
+		node := &h.nodes[c.idx]
+		if layer >= len(node.links) {
+			continue
+		}
+		for _, nb := range node.links[layer] {
+			if sc.visited(nb) {
+				continue
+			}
+			sc.visit(nb)
+			sn := h.scored(nb, q)
+			if len(sc.res) < ef || betterNode(sn, sc.res[0]) {
+				pushNode(&sc.cand, sn, betterNode)
+				pushNode(&sc.res, sn, worseNode)
+				if len(sc.res) > ef {
+					popNode(&sc.res, worseNode)
+				}
+			}
+		}
+	}
+	out := make([]scoredNode, len(sc.res))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = popNode(&sc.res, worseNode)
+	}
+	return out
+}
+
+// Search returns the k documents most similar to the query, in
+// descending score order (approximate: recall depends on M/ef tuning).
+func (h *HNSW) Search(query embed.Vector, k int, filter Filter) ([]Hit, error) {
+	return h.SearchContext(context.Background(), query, k, filter)
+}
+
+// SearchContext is Search under a cancellation context. The descent
+// checks ctx between layers and before the bottom-layer beam; the beam
+// itself is bounded by ~ef·M distance evaluations, so cancellation
+// latency stays microseconds regardless of corpus size.
+func (h *HNSW) SearchContext(ctx context.Context, query embed.Vector, k int, filter Filter) ([]Hit, error) {
+	if len(query) != h.cfg.Dim {
+		return nil, fmt.Errorf("%w: query %d, index %d", ErrDimMismatch, len(query), h.cfg.Dim)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	annSearches.Add(1)
+	q := normalized(query)
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if h.entry < 0 {
+		return nil, nil
+	}
+	sc := scratchPool.Get().(*searchScratch)
+	defer scratchPool.Put(sc)
+	sc.begin(len(h.nodes))
+	ep := []scoredNode{h.scored(h.entry, q)}
+	for l := h.maxLevel; l > 0; l-- {
+		if ctx.Err() != nil {
+			return nil, canceled(ctx)
+		}
+		ep = h.searchLayer(q, ep, 1, l, sc)
+		sc.nextGen()
+	}
+	ef := h.cfg.EfSearch
+	if ef < k {
+		ef = k
+	}
+	if ctx.Err() != nil {
+		return nil, canceled(ctx)
+	}
+	found := h.searchLayer(q, ep, ef, 0, sc)
+	out := make([]Hit, 0, k)
+	for _, n := range found {
+		d := h.nodes[n.idx].doc
+		if filter != nil && !filter(d) {
+			continue
+		}
+		out = append(out, Hit{Doc: d, Score: n.score})
+		if len(out) == k {
+			break
+		}
+	}
+	return out, nil
+}

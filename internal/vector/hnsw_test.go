@@ -1,0 +1,317 @@
+package vector
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"chatiyp/internal/embed"
+)
+
+// clusteredCorpus generates n unit vectors of the given width drawn
+// from `clusters` Gaussian clusters — the shape real embedding corpora
+// have (node descriptions of one label share vocabulary). Deterministic
+// for a seed.
+func clusteredCorpus(seed int64, n, dim, clusters int) []embed.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]embed.Vector, clusters)
+	for i := range centers {
+		centers[i] = randomUnit(rng, dim)
+	}
+	out := make([]embed.Vector, n)
+	for i := range out {
+		c := centers[rng.Intn(clusters)]
+		v := make(embed.Vector, dim)
+		for j := range v {
+			v[j] = c[j] + float32(rng.NormFloat64()*0.25)
+		}
+		out[i] = normalized(v)
+	}
+	return out
+}
+
+func randomUnit(rng *rand.Rand, dim int) embed.Vector {
+	v := make(embed.Vector, dim)
+	for j := range v {
+		v[j] = float32(rng.NormFloat64())
+	}
+	return normalized(v)
+}
+
+// TestHNSWRecall is the recall harness: on a seeded 10k-doc corpus the
+// approximate index must agree with the exact scan on at least 95% of
+// the top-10 (averaged over queries). This is the acceptance bound for
+// the default-ish tuning the pipeline uses.
+func TestHNSWRecall(t *testing.T) {
+	n, queries := 10_000, 50
+	if testing.Short() {
+		n, queries = 2_000, 20
+	}
+	const dim, k = 32, 10
+	vecs := clusteredCorpus(7, n, dim, 64)
+	exact := NewIndex(dim)
+	ann := NewHNSW(HNSWConfig{Dim: dim, M: 16, EfConstruction: 100, EfSearch: 80})
+	for i, v := range vecs {
+		d := Doc{ID: int64(i + 1), Vec: v}
+		if err := exact.Add(d); err != nil {
+			t.Fatal(err)
+		}
+		if err := ann.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(99))
+	var got, want int
+	for qi := 0; qi < queries; qi++ {
+		q := normalized(append(embed.Vector(nil), vecs[rng.Intn(n)]...))
+		// Perturb so the query is near, not on, an indexed point.
+		for j := range q {
+			q[j] += float32(rng.NormFloat64() * 0.05)
+		}
+		truth, err := exact.Search(q, k, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := ann.Search(q, k, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make(map[int64]bool, k)
+		for _, h := range truth {
+			ids[h.Doc.ID] = true
+		}
+		want += len(truth)
+		for _, h := range approx {
+			if ids[h.Doc.ID] {
+				got++
+			}
+		}
+	}
+	recall := float64(got) / float64(want)
+	t.Logf("recall@%d over %d queries on %d docs: %.4f", k, queries, n, recall)
+	if recall < 0.95 {
+		t.Fatalf("recall@%d = %.4f, want >= 0.95", k, recall)
+	}
+}
+
+// TestHNSWExactOnSmallCorpus: when the corpus fits inside the search
+// beam, the approximate result must be identical to the exact one —
+// scores, order, and deterministic tie-breaks included.
+func TestHNSWExactOnSmallCorpus(t *testing.T) {
+	const dim = 16
+	vecs := clusteredCorpus(3, 40, dim, 4)
+	exact := NewIndex(dim)
+	ann := NewHNSW(HNSWConfig{Dim: dim, M: 8, EfConstruction: 64, EfSearch: 64})
+	for i, v := range vecs {
+		d := Doc{ID: int64(i), Vec: v}
+		if err := exact.Add(d); err != nil {
+			t.Fatal(err)
+		}
+		if err := ann.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	for qi := 0; qi < 10; qi++ {
+		q := randomUnit(rng, dim)
+		truth, _ := exact.Search(q, 5, nil)
+		approx, _ := ann.Search(q, 5, nil)
+		if len(truth) != len(approx) {
+			t.Fatalf("len mismatch: exact %d, hnsw %d", len(truth), len(approx))
+		}
+		for i := range truth {
+			if truth[i].Doc.ID != approx[i].Doc.ID {
+				t.Fatalf("query %d rank %d: exact ID %d, hnsw ID %d", qi, i, truth[i].Doc.ID, approx[i].Doc.ID)
+			}
+			if math.Abs(truth[i].Score-approx[i].Score) > 1e-9 {
+				t.Fatalf("query %d rank %d: score %f vs %f", qi, i, truth[i].Score, approx[i].Score)
+			}
+		}
+	}
+}
+
+func TestHNSWFilter(t *testing.T) {
+	const dim = 8
+	ann := NewHNSW(HNSWConfig{Dim: dim, M: 4})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		kind := "AS"
+		if i%2 == 0 {
+			kind = "Prefix"
+		}
+		if err := ann.Add(Doc{ID: int64(i), Kind: kind, Vec: randomUnit(rng, dim)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, err := ann.Search(randomUnit(rng, dim), 5, KindFilter("AS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	for _, h := range hits {
+		if h.Doc.Kind != "AS" {
+			t.Errorf("filter leaked kind %q", h.Doc.Kind)
+		}
+	}
+}
+
+func TestHNSWReplaceByID(t *testing.T) {
+	const dim = 4
+	ann := NewHNSW(HNSWConfig{Dim: dim})
+	a := embed.Vector{1, 0, 0, 0}
+	b := embed.Vector{0, 1, 0, 0}
+	if err := ann.Add(Doc{ID: 1, Text: "first", Vec: a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ann.Add(Doc{ID: 1, Text: "second", Vec: b}); err != nil {
+		t.Fatal(err)
+	}
+	if ann.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ann.Len())
+	}
+	hits, err := ann.Search(b, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].Doc.Text != "second" || hits[0].Score < 0.999 {
+		t.Fatalf("hits = %+v", hits)
+	}
+}
+
+func TestHNSWErrorsAndEdges(t *testing.T) {
+	ann := NewHNSW(HNSWConfig{Dim: 4})
+	if err := ann.Add(Doc{ID: 1, Vec: embed.Vector{1, 0}}); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("Add wrong dim: %v", err)
+	}
+	if _, err := ann.Search(embed.Vector{1}, 3, nil); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("Search wrong dim: %v", err)
+	}
+	if hits, err := ann.Search(embed.Vector{1, 0, 0, 0}, 3, nil); err != nil || hits != nil {
+		t.Errorf("empty index: hits=%v err=%v", hits, err)
+	}
+	if err := ann.Add(Doc{ID: 1, Vec: embed.Vector{1, 0, 0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := ann.Search(embed.Vector{1, 0, 0, 0}, 0, nil); hits != nil {
+		t.Errorf("k=0 should return nil, got %v", hits)
+	}
+	if _, ok := ann.Get(1); !ok {
+		t.Error("Get(1) missing")
+	}
+	if _, ok := ann.Get(2); ok {
+		t.Error("Get(2) should miss")
+	}
+}
+
+// TestHNSWSearchCanceled: a search under a canceled context aborts with
+// an error wrapping the cause.
+func TestHNSWSearchCanceled(t *testing.T) {
+	const dim = 8
+	ann := NewHNSW(HNSWConfig{Dim: dim})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		if err := ann.Add(Doc{ID: int64(i), Vec: randomUnit(rng, dim)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ann.SearchContext(ctx, randomUnit(rng, dim), 5, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestHNSWConcurrent hammers interleaved inserts and searches; run
+// under -race this proves the locking discipline.
+func TestHNSWConcurrent(t *testing.T) {
+	const dim = 16
+	ann := NewHNSW(HNSWConfig{Dim: dim, M: 8, EfConstruction: 32, EfSearch: 32})
+	seed := make([]embed.Vector, 512)
+	rng := rand.New(rand.NewSource(11))
+	for i := range seed {
+		seed[i] = randomUnit(rng, dim)
+	}
+	for i := 0; i < 64; i++ {
+		if err := ann.Add(Doc{ID: int64(i), Vec: seed[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 64 + w; i < len(seed); i += 4 {
+				if err := ann.Add(Doc{ID: int64(i), Vec: seed[i]}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				if _, err := ann.Search(randomUnit(rng, dim), 5, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ann.Len() != len(seed) {
+		t.Fatalf("Len = %d, want %d", ann.Len(), len(seed))
+	}
+	// After the dust settles every doc must be findable by its own
+	// vector (connectivity sanity).
+	misses := 0
+	for i, v := range seed {
+		hits, err := ann.Search(v, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hits) == 0 || hits[0].Score < 0.999 {
+			misses++
+			_ = i
+		}
+	}
+	if misses > len(seed)/20 {
+		t.Fatalf("%d/%d self-lookups missed", misses, len(seed))
+	}
+}
+
+// TestHNSWDeterministicBuild: two indexes built from the same corpus in
+// the same order answer queries identically (levels are hashed from
+// IDs, ties break on IDs).
+func TestHNSWDeterministicBuild(t *testing.T) {
+	const dim = 8
+	vecs := clusteredCorpus(13, 300, dim, 8)
+	build := func() *HNSW {
+		h := NewHNSW(HNSWConfig{Dim: dim, M: 6, EfConstruction: 40, EfSearch: 40})
+		for i, v := range vecs {
+			if err := h.Add(Doc{ID: int64(i), Vec: v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return h
+	}
+	a, b := build(), build()
+	rng := rand.New(rand.NewSource(17))
+	for qi := 0; qi < 20; qi++ {
+		q := randomUnit(rng, dim)
+		ha, _ := a.Search(q, 7, nil)
+		hb, _ := b.Search(q, 7, nil)
+		if fmt.Sprint(ha) != fmt.Sprint(hb) {
+			t.Fatalf("query %d: builds disagree:\n%v\n%v", qi, ha, hb)
+		}
+	}
+}

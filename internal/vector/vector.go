@@ -1,15 +1,27 @@
-// Package vector implements the dense-vector index behind ChatIYP's
-// VectorContextRetriever: documents with metadata are stored alongside
-// their embeddings, and Search returns the top-k most cosine-similar
-// entries, optionally filtered by metadata. The brute-force scan with a
-// bounded min-heap is exact and fast at IYP scale (tens of thousands of
-// node descriptions).
+// Package vector implements the dense-vector retrieval tier behind
+// ChatIYP's VectorContextRetriever: documents with metadata are stored
+// alongside their embeddings, and a Searcher returns the top-k most
+// cosine-similar entries, optionally filtered by metadata.
+//
+// Two implementations share the Searcher interface:
+//
+//   - Index: an exact brute-force scan with a bounded min-heap. Stored
+//     vectors are L2-normalized at insert, so per-document scoring is a
+//     pure dot product (no magnitude recompute). Exact results make it
+//     the recall/equivalence reference path.
+//   - HNSW (hnsw.go): an approximate hierarchical navigable small world
+//     graph for sub-linear search at large corpus sizes.
+//
+// Both are safe for concurrent use and respect context cancellation:
+// a dead request stops paying for its scan.
 package vector
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -38,13 +50,70 @@ type Hit struct {
 // index's.
 var ErrDimMismatch = errors.New("vector: dimension mismatch")
 
+// Filter restricts a search to matching documents. A nil Filter matches
+// everything.
+type Filter func(Doc) bool
+
+// KindFilter matches documents of one kind.
+func KindFilter(kind string) Filter {
+	return func(d Doc) bool { return d.Kind == kind }
+}
+
+// Searcher is the retrieval interface shared by the exact Index and the
+// approximate HNSW graph: insert documents, search the k most similar.
+// Implementations are safe for concurrent use, break score ties on
+// ascending document ID, and abort in-flight scans when ctx ends (the
+// returned error wraps the context cause).
+type Searcher interface {
+	Add(Doc) error
+	Len() int
+	Dim() int
+	SearchContext(ctx context.Context, query embed.Vector, k int, filter Filter) ([]Hit, error)
+}
+
+// cancelCheckEvery is how many documents (exact scan) or candidate
+// expansions (HNSW) a search visits between context checks — the same
+// granularity the Cypher matcher uses, cheap enough to be free and
+// tight enough that cancellation lands in microseconds.
+const cancelCheckEvery = 256
+
+// canceled wraps the context cause so errors.Is(err, context.Canceled)
+// / context.DeadlineExceeded hold and callers can normalize onto their
+// own cancellation identity.
+func canceled(ctx context.Context) error {
+	return fmt.Errorf("vector: search canceled: %w", context.Cause(ctx))
+}
+
+// normalized returns the L2-normalized form of v. Vectors that are
+// already unit length (the embedder's output always is) are returned
+// as-is — no copy; anything else is scaled into a fresh slice. Zero
+// vectors pass through unchanged.
+func normalized(v embed.Vector) embed.Vector {
+	n := v.Norm()
+	if n == 0 || math.Abs(n-1) < 1e-9 {
+		return v
+	}
+	inv := 1 / n
+	out := make(embed.Vector, len(v))
+	for i, x := range v {
+		out[i] = float32(float64(x) * inv)
+	}
+	return out
+}
+
 // Index is an exact top-k cosine index. Safe for concurrent use.
 type Index struct {
 	mu   sync.RWMutex
 	dim  int
 	docs []Doc
+	// norm holds the L2-normalized vector of each doc, aligned with
+	// docs. Cosine similarity against a normalized query is then a pure
+	// dot product — the scan never recomputes magnitudes.
+	norm []embed.Vector
 	byID map[int64]int
 }
+
+var _ Searcher = (*Index)(nil)
 
 // NewIndex returns an empty index for vectors of the given width.
 func NewIndex(dim int) *Index {
@@ -66,14 +135,17 @@ func (ix *Index) Add(d Doc) error {
 	if len(d.Vec) != ix.dim {
 		return fmt.Errorf("%w: got %d, index is %d", ErrDimMismatch, len(d.Vec), ix.dim)
 	}
+	nv := normalized(d.Vec)
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if pos, ok := ix.byID[d.ID]; ok {
 		ix.docs[pos] = d
+		ix.norm[pos] = nv
 		return nil
 	}
 	ix.byID[d.ID] = len(ix.docs)
 	ix.docs = append(ix.docs, d)
+	ix.norm = append(ix.norm, nv)
 	return nil
 }
 
@@ -88,46 +160,48 @@ func (ix *Index) Get(id int64) (Doc, bool) {
 	return ix.docs[pos], true
 }
 
-// Filter restricts a search to matching documents. A nil Filter matches
-// everything.
-type Filter func(Doc) bool
-
-// KindFilter matches documents of one kind.
-func KindFilter(kind string) Filter {
-	return func(d Doc) bool { return d.Kind == kind }
-}
-
 // Search returns the k documents most similar to the query vector, in
 // descending score order. Ties break on ascending document ID so results
 // are deterministic.
 func (ix *Index) Search(query embed.Vector, k int, filter Filter) ([]Hit, error) {
+	return ix.SearchContext(context.Background(), query, k, filter)
+}
+
+// SearchContext is Search under a cancellation context: the scan checks
+// ctx every cancelCheckEvery documents and aborts with an error
+// wrapping the context cause, so a dead request does not pay for the
+// rest of the corpus.
+func (ix *Index) SearchContext(ctx context.Context, query embed.Vector, k int, filter Filter) ([]Hit, error) {
 	if len(query) != ix.dim {
 		return nil, fmt.Errorf("%w: query %d, index %d", ErrDimMismatch, len(query), ix.dim)
 	}
 	if k <= 0 {
 		return nil, nil
 	}
+	q := normalized(query)
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	h := &hitHeap{}
-	heap.Init(h)
-	for _, d := range ix.docs {
+	h := make(hitHeap, 0, k)
+	for i, d := range ix.docs {
+		if i%cancelCheckEvery == 0 && ctx.Err() != nil {
+			return nil, canceled(ctx)
+		}
 		if filter != nil && !filter(d) {
 			continue
 		}
-		score := query.Cosine(d.Vec)
+		score := q.Dot(ix.norm[i])
 		if h.Len() < k {
-			heap.Push(h, Hit{Doc: d, Score: score})
+			heap.Push(&h, Hit{Doc: d, Score: score})
 			continue
 		}
-		if better(Hit{Doc: d, Score: score}, (*h)[0]) {
-			(*h)[0] = Hit{Doc: d, Score: score}
-			heap.Fix(h, 0)
+		if better(Hit{Doc: d, Score: score}, h[0]) {
+			h[0] = Hit{Doc: d, Score: score}
+			heap.Fix(&h, 0)
 		}
 	}
 	out := make([]Hit, h.Len())
 	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(Hit)
+		out[i] = heap.Pop(&h).(Hit)
 	}
 	return out, nil
 }

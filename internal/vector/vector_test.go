@@ -1,8 +1,10 @@
 package vector
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -207,5 +209,44 @@ func BenchmarkSearch10k(b *testing.B) {
 		if _, err := ix.Search(q, 10, nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestExactSearchCanceled: a canceled context aborts the brute-force
+// scan (the check fires every cancelCheckEvery docs, so the corpus is
+// sized past one check window).
+func TestExactSearchCanceled(t *testing.T) {
+	ix := NewIndex(8)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < cancelCheckEvery+10; i++ {
+		ix.Add(Doc{ID: int64(i), Vec: randomUnit(rng, 8)})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ix.SearchContext(ctx, randomUnit(rng, 8), 3, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestExactSearchNormalizedScoring: stored vectors are normalized at
+// insert, so scores must equal the cosine similarity even when callers
+// hand in unnormalized vectors.
+func TestExactSearchNormalizedScoring(t *testing.T) {
+	ix := NewIndex(4)
+	big := embed.Vector{10, 0, 0, 0} // same direction, magnitude 10
+	diag := embed.Vector{3, 3, 0, 0} // 45 degrees, magnitude != 1
+	ix.Add(Doc{ID: 1, Vec: big})
+	ix.Add(Doc{ID: 2, Vec: diag})
+	q := embed.Vector{2, 0, 0, 0} // unnormalized query
+	hits, err := ix.Search(q, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits[0].Doc.ID != 1 || math.Abs(hits[0].Score-1) > 1e-6 {
+		t.Fatalf("hit0 = %+v, want ID 1 score 1", hits[0])
+	}
+	if want := q.Cosine(diag); math.Abs(hits[1].Score-want) > 1e-6 {
+		t.Fatalf("hit1 score = %f, want cosine %f", hits[1].Score, want)
 	}
 }

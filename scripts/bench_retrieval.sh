@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Runs the retrieval-tier benchmarks (exact brute-force scan vs the
+# HNSW approximate index at 10k/100k docs, pre-normalized vs cosine
+# exact scoring, incremental HNSW insert, and the cold vs warm
+# semantic-cache Ask path) and writes machine-readable results to
+# BENCH_retrieval.json at the repo root, so the retrieval speedup
+# trajectory is tracked across PRs. CI's retrieval job runs this on
+# every push; run it locally before touching internal/vector or the
+# semantic cache.
+#
+# Interpretation notes: speedups carry exact_over_hnsw per corpus size
+# (the ANN scale argument — grows with docs; ~>5x expected at 100k) and
+# cold_over_warm_ask (a semantic-cache hit skips translation, execution
+# and generation entirely, so this is large by construction). The 100k
+# fixture build dominates wall time (~1 min); set BENCHTIME to trade
+# precision for speed.
+set -eu
+cd "$(dirname "$0")/.."
+{
+	go test -run NONE -bench 'Benchmark(Retrieval|ExactSearch|HNSWInsert)' \
+		-benchmem -benchtime "${BENCHTIME:-1s}" ./internal/vector
+	go test -run NONE -bench 'BenchmarkSemCacheAsk' \
+		-benchmem -benchtime "${BENCHTIME:-1s}" ./internal/core
+} |
+	tee /dev/stderr |
+	go run ./cmd/benchjson > BENCH_retrieval.json
+echo "wrote BENCH_retrieval.json" >&2
