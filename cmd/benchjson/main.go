@@ -140,6 +140,18 @@ func main() {
 				addSpeedup(strings.TrimPrefix(base, "Benchmark")+"/cold_over_warm_ask", cold/ns)
 			}
 		}
+		// Persistence families: gob parse vs mmap columnar cold start,
+		// and write throughput with the WAL attached vs detached.
+		if base, ok := strings.CutSuffix(name, "/columnar"); ok {
+			if gob, ok := byName[base+"/gob"]; ok {
+				addSpeedup(strings.TrimPrefix(base, "Benchmark")+"/gob_over_columnar", gob/ns)
+			}
+		}
+		if base, ok := strings.CutSuffix(name, "/wal=on"); ok {
+			if off, ok := byName[base+"/wal=off"]; ok {
+				addSpeedup(strings.TrimPrefix(base, "Benchmark")+"/wal_write_overhead", ns/off)
+			}
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

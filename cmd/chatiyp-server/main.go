@@ -11,16 +11,20 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"chatiyp"
 	"chatiyp/internal/core"
+	"chatiyp/internal/graph"
 	"chatiyp/internal/iyp"
+	"chatiyp/internal/persist"
 	"chatiyp/internal/server"
 )
 
@@ -39,6 +43,10 @@ func main() {
 		annRetr       = flag.Bool("ann-retrieval", false, "serve vector retrieval from the approximate HNSW index instead of the exact scan")
 		semThr        = flag.Float64("semcache-threshold", 0, "enable the semantic answer cache at this similarity threshold, e.g. 0.97 (0 = disabled)")
 		semSize       = flag.Int("semcache-size", 0, "semantic cache LRU capacity (0 = default)")
+		dataDir       = flag.String("data-dir", "", "durable data directory (mmap columnar base snapshot + write-ahead log); created and seeded on first start")
+		fsyncMode     = flag.String("fsync", "interval", "WAL fsync policy: always, interval, or never")
+		fsyncEvery    = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync timer period for -fsync=interval")
+		ckptBytes     = flag.Int64("checkpoint-bytes", 64<<20, "auto-checkpoint once the WAL exceeds this size (0 disables)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "chatiyp-server ", log.LstdFlags)
@@ -48,10 +56,25 @@ func main() {
 		opts.Dataset = iyp.SmallConfig()
 	}
 	var (
-		sys *chatiyp.System
-		err error
+		sys   *chatiyp.System
+		store *persist.Store
+		err   error
 	)
-	if *graphIn != "" {
+	if *dataDir != "" {
+		policy, perr := persist.ParseFsyncPolicy(*fsyncMode)
+		if perr != nil {
+			logger.Fatal(perr)
+		}
+		store, err = openOrInitStore(logger, *dataDir, *graphIn, opts, persist.Options{
+			Fsync:           policy,
+			FsyncInterval:   *fsyncEvery,
+			CheckpointBytes: *ckptBytes,
+			VerifyChecksums: true,
+		})
+		if err == nil {
+			sys, err = chatiyp.FromGraph(store.Graph(), nil, opts)
+		}
+	} else if *graphIn != "" {
 		var g *chatiyp.Graph
 		g, err = chatiyp.LoadGraph(*graphIn)
 		if err == nil {
@@ -86,8 +109,54 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	logger.Printf("listening on %s", *addr)
-	if err := srv.ListenAndServe(ctx, *addr); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	serveErr := srv.ListenAndServe(ctx, *addr)
+	if store != nil {
+		// The listener has drained: absorb the WAL into a fresh base so
+		// the next start replays nothing, then flush and detach.
+		if err := store.Checkpoint(); err != nil {
+			logger.Printf("shutdown checkpoint: %v", err)
+		}
+		if err := store.Close(); err != nil {
+			logger.Printf("closing store: %v", err)
+		}
+	}
+	if serveErr != nil {
+		fmt.Fprintln(os.Stderr, serveErr)
 		os.Exit(1)
 	}
+}
+
+// openOrInitStore opens the durable store at dir, seeding it first if
+// it does not exist yet: from the -graph snapshot when given, otherwise
+// by generating the configured dataset.
+func openOrInitStore(logger *log.Logger, dir, graphIn string, opts chatiyp.Options, popts persist.Options) (*persist.Store, error) {
+	if _, err := os.Stat(persist.BasePath(dir)); errors.Is(err, os.ErrNotExist) {
+		var g *graph.Graph
+		if graphIn != "" {
+			g, err = chatiyp.LoadGraph(graphIn)
+		} else {
+			cfg := opts.Dataset
+			if cfg.NumASes == 0 {
+				cfg = iyp.DefaultConfig()
+			}
+			g, _, err = iyp.Build(cfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := persist.Init(dir, g); err != nil {
+			return nil, err
+		}
+		logger.Printf("seeded data directory %s", dir)
+	} else if err != nil {
+		return nil, err
+	}
+	s, err := persist.Open(dir, popts)
+	if err != nil {
+		return nil, err
+	}
+	if n := s.ReplayCount(); n > 0 {
+		logger.Printf("replayed %d WAL records", n)
+	}
+	return s, nil
 }

@@ -15,11 +15,14 @@ import (
 
 	"chatiyp/internal/cyphereval"
 	"chatiyp/internal/iyp"
+	"chatiyp/internal/persist"
 )
 
 func main() {
 	var (
-		out      = flag.String("out", "", "write the graph snapshot to this path")
+		out      = flag.String("out", "", "write the graph snapshot (legacy gob format) to this path")
+		colOut   = flag.String("columnar", "", "write the mmap-able columnar snapshot to this path")
+		dataDir  = flag.String("data-dir", "", "initialize a server data directory (columnar base + empty WAL) from the built graph")
 		jsonlOut = flag.String("jsonl", "", "export the graph as JSON lines (IYP-dump-style) to this path")
 		benchOut = flag.String("bench", "", "also generate the benchmark and write it to this JSON path")
 		seed     = flag.Int64("seed", 42, "world generator seed")
@@ -27,17 +30,26 @@ func main() {
 		ixps     = flag.Int("ixps", 40, "number of IXPs")
 		domains  = flag.Int("domains", 300, "number of ranked domains")
 		prefixes = flag.Int("prefixes", 2400, "total prefix budget")
+		entities = flag.Int("scale-entities", 0, "size the world for at least this many graph entities (overrides -ases/-ixps/-domains/-prefixes)")
 		perTpl   = flag.Int("per-template", 10, "benchmark instances per template")
 	)
 	flag.Parse()
 
-	cfg := iyp.Config{
-		Seed:          *seed,
-		NumASes:       *ases,
-		NumIXPs:       *ixps,
-		NumFacilities: *ixps + 20,
-		NumDomains:    *domains,
-		PrefixBudget:  *prefixes,
+	var cfg iyp.Config
+	if *entities > 0 {
+		sc := iyp.ScaleForEntities(*entities)
+		sc.Seed = *seed
+		cfg = sc.Config()
+		fmt.Printf("scaled world: %d ASes for >= %d entities\n", cfg.NumASes, *entities)
+	} else {
+		cfg = iyp.Config{
+			Seed:          *seed,
+			NumASes:       *ases,
+			NumIXPs:       *ixps,
+			NumFacilities: *ixps + 20,
+			NumDomains:    *domains,
+			PrefixBudget:  *prefixes,
+		}
 	}
 	g, w, err := iyp.Build(cfg)
 	if err != nil {
@@ -52,6 +64,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("graph snapshot written to %s\n", *out)
+	}
+	if *colOut != "" {
+		if err := g.SaveColumnarFile(*colOut); err != nil {
+			fmt.Fprintln(os.Stderr, "iypbuild: saving columnar snapshot:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("columnar snapshot written to %s\n", *colOut)
+	}
+	if *dataDir != "" {
+		if err := persist.Init(*dataDir, g); err != nil {
+			fmt.Fprintln(os.Stderr, "iypbuild: initializing data dir:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("data directory initialized at %s\n", *dataDir)
 	}
 	if *jsonlOut != "" {
 		f, err := os.Create(*jsonlOut)

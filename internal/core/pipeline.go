@@ -28,6 +28,7 @@ import (
 	"chatiyp/internal/iyp"
 	"chatiyp/internal/llm"
 	"chatiyp/internal/metrics"
+	"chatiyp/internal/persist"
 	"chatiyp/internal/vector"
 )
 
@@ -688,6 +689,15 @@ func (p *Pipeline) Metrics() *metrics.Registry {
 	// per-pipeline and read zero while the cache is disabled so the
 	// metrics surface stays stable.
 	p.metrics.Counter("vector.ann_searches").Set(int64(vector.AnnSearchStats()))
+	// Persistence-tier counters (process-global): WAL traffic, base
+	// checkpoints, records replayed at open, and the wall time of the
+	// last snapshot load (0 until a snapshot has been loaded).
+	ps := persist.Stats()
+	p.metrics.Counter("persist.wal_appends").Set(ps.WALAppends)
+	p.metrics.Counter("persist.wal_bytes").Set(ps.WALBytes)
+	p.metrics.Counter("persist.checkpoints").Set(ps.Checkpoints)
+	p.metrics.Counter("persist.replay_records").Set(ps.ReplayRecords)
+	p.metrics.Counter("graph.load_ns").Set(graph.LastLoadNanos())
 	var scs SemCacheStats
 	if p.semcache != nil {
 		scs = p.semcache.stats()

@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// lazyTestGraph builds a small world, round-trips it through the
+// columnar format, and returns the cold-loaded copy plus the original.
+func lazyTestGraph(t *testing.T) (cold, orig *Graph) {
+	t.Helper()
+	orig = New()
+	var prev *Node
+	for i := 0; i < 50; i++ {
+		n := orig.MustCreateNode([]string{"AS"}, map[string]any{
+			"asn":  int64(1000 + i),
+			"name": fmt.Sprintf("AS %d", i),
+		})
+		if prev != nil {
+			orig.MustCreateRelationship(prev.ID, n.ID, "PEERS_WITH", map[string]any{"weight": int64(i)})
+		}
+		prev = n
+	}
+	orig.CreateIndex("AS", "asn")
+	data, err := orig.View().MarshalColumnar(ColMeta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, _, err = LoadColumnarBytes(data, ColLoadOptions{VerifyChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cold, orig
+}
+
+// TestColumnarLazyViewReadsStayCold drives the whole View read surface
+// against a cold columnar load and asserts the mutable maps were never
+// materialized: reads must run off the lazy epoch alone.
+func TestColumnarLazyViewReadsStayCold(t *testing.T) {
+	g, _ := lazyTestGraph(t)
+	if !g.cold.Load() {
+		t.Fatal("columnar load did not come up cold")
+	}
+	v := g.View()
+	if got := v.NodeCount(); got != 50 {
+		t.Fatalf("NodeCount = %d, want 50", got)
+	}
+	ids, indexed := v.NodesByLabelProp("AS", "asn", int64(1007))
+	if !indexed || len(ids) != 1 {
+		t.Fatalf("indexed lookup = %v (indexed=%v), want one hit", ids, indexed)
+	}
+	n := v.Node(ids[0])
+	if n == nil || n.Props["name"] != "AS 7" {
+		t.Fatalf("lazy node = %v, want AS 7", n)
+	}
+	if n2 := v.Node(ids[0]); n2 != n {
+		t.Fatal("repeated lazy reads must return the same canonical pointer")
+	}
+	hops := 0
+	v.IncidentDo(n.ID, Both, nil, func(r *Relationship) bool {
+		if r.Type != "PEERS_WITH" {
+			t.Fatalf("lazy rel type = %q", r.Type)
+		}
+		hops++
+		return true
+	})
+	if hops != 2 {
+		t.Fatalf("mid-chain node has %d incident rels, want 2", hops)
+	}
+	if got := g.NodeCount(); got != 50 {
+		t.Fatalf("locked NodeCount = %d, want 50", got)
+	}
+	if !g.cold.Load() {
+		t.Fatal("View reads or count probes hydrated the graph; they must not")
+	}
+}
+
+// TestColumnarLazyHydrationOnWrite checks that the first locked-API use
+// hydrates the mutable maps, that writes then land correctly, and that
+// the next epoch is rebuilt (never shared with the lazy one).
+func TestColumnarLazyHydrationOnWrite(t *testing.T) {
+	g, _ := lazyTestGraph(t)
+	before := g.View()
+	n, err := g.CreateNode([]string{"AS"}, map[string]any{"asn": int64(9999)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.cold.Load() {
+		t.Fatal("CreateNode left the graph cold")
+	}
+	if problems := g.CheckIntegrity(); len(problems) > 0 {
+		t.Fatalf("hydrated graph integrity: %v", problems)
+	}
+	after := g.View()
+	if ids, _ := after.NodesByLabelProp("AS", "asn", int64(9999)); len(ids) != 1 || ids[0] != n.ID {
+		t.Fatalf("post-write epoch lookup = %v, want [%d]", ids, n.ID)
+	}
+	if ids, _ := before.NodesByLabelProp("AS", "asn", int64(9999)); len(ids) != 0 {
+		t.Fatalf("pre-write epoch sees the new node: %v", ids)
+	}
+	if before.Node(n.ID) != nil {
+		t.Fatal("pre-write epoch resolves the new node ID")
+	}
+}
+
+// TestColumnarLazyEquivalence compares every entity of the cold load,
+// resolved lazily through a View, against the original graph.
+func TestColumnarLazyEquivalence(t *testing.T) {
+	g, orig := lazyTestGraph(t)
+	v := g.View()
+	orig.ForEachNode(func(want *Node) bool {
+		got := v.Node(want.ID)
+		if got == nil {
+			t.Fatalf("node %d missing from lazy epoch", want.ID)
+		}
+		if fmt.Sprint(got.Labels) != fmt.Sprint(want.Labels) || fmt.Sprint(got.Props) != fmt.Sprint(want.Props) {
+			t.Fatalf("node %d mismatch: got %v, want %v", want.ID, got, want)
+		}
+		return true
+	})
+	orig.ForEachRelationship(func(want *Relationship) bool {
+		got := v.Relationship(want.ID)
+		if got == nil {
+			t.Fatalf("rel %d missing from lazy epoch", want.ID)
+		}
+		if got.Type != want.Type || got.StartID != want.StartID || got.EndID != want.EndID ||
+			fmt.Sprint(got.Props) != fmt.Sprint(want.Props) {
+			t.Fatalf("rel %d mismatch: got %v, want %v", want.ID, got, want)
+		}
+		return true
+	})
+}
+
+// TestColumnarLazyConcurrentReadersAndWriter races many lazy View
+// readers against a writer whose first mutation hydrates the graph and
+// republishes. Run under -race this covers the CAS materialization
+// path, hydration, and the lazy-prev epoch rebuild at once.
+func TestColumnarLazyConcurrentReadersAndWriter(t *testing.T) {
+	g, _ := lazyTestGraph(t)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			<-start
+			for round := 0; round < 20; round++ {
+				v := g.View()
+				for _, id := range v.AllNodeIDs() {
+					n := v.Node(id)
+					if n == nil {
+						t.Errorf("node %d vanished from pinned epoch", id)
+						return
+					}
+					v.IncidentDo(id, Both, nil, func(r *Relationship) bool {
+						_ = r.Props
+						return true
+					})
+				}
+				_, _ = v.NodesByLabelProp("AS", "asn", 1000+seed+int64(round))
+			}
+		}(int64(w))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < 20; i++ {
+			g.MustCreateNode([]string{"AS"}, map[string]any{"asn": int64(50000 + i)})
+			g.View() // force epoch publication between writes
+		}
+	}()
+	close(start)
+	wg.Wait()
+	if problems := g.CheckIntegrity(); len(problems) > 0 {
+		t.Fatalf("integrity after concurrent hydration: %v", problems)
+	}
+	if got := g.NodeCount(); got != 70 {
+		t.Fatalf("NodeCount = %d, want 70", got)
+	}
+}

@@ -166,6 +166,28 @@ type Graph struct {
 	indexDirty    bool
 	viewPins          atomic.Int64
 	snapshotPublishes atomic.Int64
+
+	// obs, when set, receives every applied Mutation while g.mu is
+	// still held — the write-ahead-log hook (see mutation.go).
+	obs func(Mutation)
+
+	// cold marks a graph freshly loaded from a columnar snapshot whose
+	// mutable maps have not been materialized: reads run off the
+	// published lazy epoch (colfile_decode.go) and the first use of the
+	// locked API hydrates the maps (ensureMutable / hydrateLocked).
+	cold atomic.Bool
+}
+
+// ensureMutable materializes the mutable maps of a cold columnar graph
+// before the locked API touches them. The fast path — any graph that
+// is not a cold columnar load, or one already hydrated — is a single
+// atomic load. Callers must not hold g.mu.
+func (g *Graph) ensureMutable() {
+	if g.cold.Load() {
+		g.mu.Lock()
+		g.hydrateLocked()
+		g.mu.Unlock()
+	}
 }
 
 type labelScanEntry struct {
@@ -211,6 +233,7 @@ func (g *Graph) CreateNode(labels []string, props map[string]any) (*Node, error)
 	}
 	ls := append([]string(nil), labels...)
 	sort.Strings(ls)
+	g.ensureMutable()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.version.Add(1)
@@ -230,6 +253,7 @@ func (g *Graph) CreateNode(labels []string, props map[string]any) (*Node, error)
 	if len(ls) > 0 {
 		g.labelsDirty = true
 	}
+	g.notifyLocked(Mutation{Kind: MutCreateNode, NodeID: n.ID, Labels: ls, Props: norm})
 	return n, nil
 }
 
@@ -249,6 +273,7 @@ func (g *Graph) CreateRelationship(startID, endID int64, relType string, props m
 	if err != nil {
 		return nil, err
 	}
+	g.ensureMutable()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if _, ok := g.nodes[startID]; !ok {
@@ -265,6 +290,7 @@ func (g *Graph) CreateRelationship(startID, endID int64, relType string, props m
 	g.in[endID] = append(g.in[endID], r.ID)
 	g.noteRelLocked(r)
 	g.addRelTypeLocked(relType)
+	g.notifyLocked(Mutation{Kind: MutCreateRel, RelID: r.ID, StartID: startID, EndID: endID, RelType: relType, Props: norm})
 	return r, nil
 }
 
@@ -293,6 +319,7 @@ func normalizeProps(props map[string]any) (map[string]Value, error) {
 
 // Node returns the node with the given ID, or nil when absent.
 func (g *Graph) Node(id int64) *Node {
+	g.ensureMutable()
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return g.nodes[id]
@@ -300,20 +327,35 @@ func (g *Graph) Node(id int64) *Node {
 
 // Relationship returns the relationship with the given ID, or nil.
 func (g *Graph) Relationship(id int64) *Relationship {
+	g.ensureMutable()
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return g.rels[id]
 }
 
-// NodeCount returns the number of nodes.
+// NodeCount returns the number of nodes. On a cold columnar graph the
+// count comes from the published epoch (cold means no writes have
+// happened, so the epoch is current) — deliberately not a hydration
+// point, so startup probes stay cheap.
 func (g *Graph) NodeCount() int {
+	if g.cold.Load() {
+		if rs := g.published.Load(); rs != nil {
+			return rs.nodeCount
+		}
+	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return len(g.nodes)
 }
 
-// RelationshipCount returns the number of relationships.
+// RelationshipCount returns the number of relationships (epoch-served
+// while cold, like NodeCount).
 func (g *Graph) RelationshipCount() int {
+	if g.cold.Load() {
+		if rs := g.published.Load(); rs != nil {
+			return rs.relCount
+		}
+	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return len(g.rels)
@@ -321,6 +363,7 @@ func (g *Graph) RelationshipCount() int {
 
 // Labels returns all node labels present in the graph, sorted.
 func (g *Graph) Labels() []string {
+	g.ensureMutable()
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	out := make([]string, 0, len(g.byLabel))
@@ -335,6 +378,7 @@ func (g *Graph) Labels() []string {
 
 // RelationshipTypes returns all relationship types present, sorted.
 func (g *Graph) RelationshipTypes() []string {
+	g.ensureMutable()
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return relTypesLocked(g.relTypeCount)
@@ -374,6 +418,7 @@ func (g *Graph) dropRelTypeLocked(typ string) {
 // ascending ID order (deterministic iteration matters for reproducible
 // query results).
 func (g *Graph) NodesByLabel(label string) []int64 {
+	g.ensureMutable()
 	g.mu.RLock()
 	if e, ok := g.labelScans[label]; ok && e.version == g.version.Load() {
 		out := append([]int64(nil), e.ids...)
@@ -398,6 +443,7 @@ func (g *Graph) NodesByLabel(label string) []int64 {
 
 // AllNodeIDs returns every node ID in ascending order.
 func (g *Graph) AllNodeIDs() []int64 {
+	g.ensureMutable()
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	out := make([]int64, 0, len(g.nodes))
@@ -410,6 +456,7 @@ func (g *Graph) AllNodeIDs() []int64 {
 
 // AllRelationshipIDs returns every relationship ID in ascending order.
 func (g *Graph) AllRelationshipIDs() []int64 {
+	g.ensureMutable()
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	out := make([]int64, 0, len(g.rels))
@@ -431,6 +478,7 @@ func sortIDs(ids []int64) {
 // direction) or a two-way merge (Both, deduplicating self-loops) with
 // no sorting and no scratch maps.
 func (g *Graph) Incident(nodeID int64, dir Direction, types ...string) []*Relationship {
+	g.ensureMutable()
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	var outIDs, inIDs []int64
@@ -493,6 +541,7 @@ func (g *Graph) IncidentDo(nodeID int64, dir Direction, types []string, fn func(
 // direction, optionally filtered by type — a direct count, with no
 // slice materialization, dedup maps, or sorting.
 func (g *Graph) Degree(nodeID int64, dir Direction, types ...string) int {
+	g.ensureMutable()
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	count := 0
@@ -527,12 +576,21 @@ func (g *Graph) SetNodeProp(nodeID int64, key string, value any) error {
 	if err != nil {
 		return err
 	}
+	g.ensureMutable()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	n := g.nodes[nodeID]
 	if n == nil {
 		return fmt.Errorf("%w: %d", ErrNodeNotFound, nodeID)
 	}
+	g.setNodePropLocked(n, key, nv)
+	g.notifyLocked(Mutation{Kind: MutSetNodeProp, NodeID: nodeID, Key: key, Value: nv})
+	return nil
+}
+
+// setNodePropLocked applies a normalized property write. Caller holds
+// g.mu and notifies the observer itself.
+func (g *Graph) setNodePropLocked(n *Node, key string, nv Value) {
 	g.version.Add(1)
 	g.unindexNodeLocked(n)
 	if g.tracking() {
@@ -546,8 +604,7 @@ func (g *Graph) SetNodeProp(nodeID int64, key string, value any) error {
 		n.Props[key] = nv
 	}
 	g.indexNodeLocked(n)
-	g.noteNodeLocked(nodeID)
-	return nil
+	g.noteNodeLocked(n.ID)
 }
 
 // propsWith returns a fresh map equal to props with key set to nv (or
@@ -571,12 +628,21 @@ func (g *Graph) SetRelProp(relID int64, key string, value any) error {
 	if err != nil {
 		return err
 	}
+	g.ensureMutable()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	r := g.rels[relID]
 	if r == nil {
 		return fmt.Errorf("%w: %d", ErrRelNotFound, relID)
 	}
+	g.setRelPropLocked(r, key, nv)
+	g.notifyLocked(Mutation{Kind: MutSetRelProp, RelID: relID, Key: key, Value: nv})
+	return nil
+}
+
+// setRelPropLocked applies a normalized relationship property write.
+// Caller holds g.mu and notifies the observer itself.
+func (g *Graph) setRelPropLocked(r *Relationship, key string, nv Value) {
 	g.version.Add(1)
 	if g.tracking() {
 		r.Props = propsWith(r.Props, key, nv) // COW, see SetNodeProp
@@ -589,22 +655,31 @@ func (g *Graph) SetRelProp(relID int64, key string, value any) error {
 	// IDs resolved through the epoch's relationship table, so a
 	// prop-only change needs no adjacency rebuild on either endpoint.
 	if g.tracking() {
-		g.dirtyRels[relID] = struct{}{}
+		g.dirtyRels[r.ID] = struct{}{}
 	}
-	return nil
 }
 
 // AddNodeLabel adds a label to a node (no-op when already present),
 // keeping the label and property indexes consistent.
 func (g *Graph) AddNodeLabel(nodeID int64, label string) error {
+	g.ensureMutable()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	n := g.nodes[nodeID]
 	if n == nil {
 		return fmt.Errorf("%w: %d", ErrNodeNotFound, nodeID)
 	}
+	if g.addNodeLabelLocked(n, label) {
+		g.notifyLocked(Mutation{Kind: MutAddLabel, NodeID: nodeID, Label: label})
+	}
+	return nil
+}
+
+// addNodeLabelLocked adds a label, reporting whether anything changed.
+// Caller holds g.mu and notifies the observer itself.
+func (g *Graph) addNodeLabelLocked(n *Node, label string) bool {
 	if n.HasLabel(label) {
-		return nil
+		return false
 	}
 	g.version.Add(1)
 	g.unindexNodeLocked(n)
@@ -620,23 +695,33 @@ func (g *Graph) AddNodeLabel(nodeID int64, label string) error {
 		set = make(map[int64]struct{})
 		g.byLabel[label] = set
 	}
-	set[nodeID] = struct{}{}
+	set[n.ID] = struct{}{}
 	g.indexNodeLocked(n)
-	g.noteNodeLocked(nodeID)
+	g.noteNodeLocked(n.ID)
 	g.labelsDirty = true
-	return nil
+	return true
 }
 
 // RemoveNodeLabel removes a label from a node (no-op when absent).
 func (g *Graph) RemoveNodeLabel(nodeID int64, label string) error {
+	g.ensureMutable()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	n := g.nodes[nodeID]
 	if n == nil {
 		return fmt.Errorf("%w: %d", ErrNodeNotFound, nodeID)
 	}
+	if g.removeNodeLabelLocked(n, label) {
+		g.notifyLocked(Mutation{Kind: MutRemoveLabel, NodeID: nodeID, Label: label})
+	}
+	return nil
+}
+
+// removeNodeLabelLocked removes a label, reporting whether anything
+// changed. Caller holds g.mu and notifies the observer itself.
+func (g *Graph) removeNodeLabelLocked(n *Node, label string) bool {
 	if !n.HasLabel(label) {
-		return nil
+		return false
 	}
 	g.version.Add(1)
 	g.unindexNodeLocked(n)
@@ -649,39 +734,61 @@ func (g *Graph) RemoveNodeLabel(nodeID int64, label string) error {
 		}
 	}
 	n.Labels = out
-	delete(g.byLabel[label], nodeID)
+	delete(g.byLabel[label], n.ID)
 	g.indexNodeLocked(n)
-	g.noteNodeLocked(nodeID)
+	g.noteNodeLocked(n.ID)
 	g.labelsDirty = true
-	return nil
+	return true
 }
 
 // DeleteRelationship removes a relationship.
 func (g *Graph) DeleteRelationship(relID int64) error {
+	g.ensureMutable()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	r := g.rels[relID]
 	if r == nil {
 		return fmt.Errorf("%w: %d", ErrRelNotFound, relID)
 	}
+	g.deleteRelLocked(r)
+	g.notifyLocked(Mutation{Kind: MutDeleteRel, RelID: relID})
+	return nil
+}
+
+// deleteRelLocked removes a relationship. Caller holds g.mu and
+// notifies the observer itself.
+func (g *Graph) deleteRelLocked(r *Relationship) {
 	g.version.Add(1)
-	g.out[r.StartID] = removeID(g.out[r.StartID], relID)
-	g.in[r.EndID] = removeID(g.in[r.EndID], relID)
-	delete(g.rels, relID)
+	g.out[r.StartID] = removeID(g.out[r.StartID], r.ID)
+	g.in[r.EndID] = removeID(g.in[r.EndID], r.ID)
+	delete(g.rels, r.ID)
 	g.noteRelLocked(r)
 	g.dropRelTypeLocked(r.Type)
-	return nil
 }
 
 // DeleteNode removes a node. It fails with ErrHasRels when relationships
 // are still attached unless detach is true (DETACH DELETE semantics).
 func (g *Graph) DeleteNode(nodeID int64, detach bool) error {
+	g.ensureMutable()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	n := g.nodes[nodeID]
 	if n == nil {
 		return fmt.Errorf("%w: %d", ErrNodeNotFound, nodeID)
 	}
+	if err := g.deleteNodeLocked(n, detach); err != nil {
+		return err
+	}
+	g.notifyLocked(Mutation{Kind: MutDeleteNode, NodeID: nodeID, Detach: detach})
+	return nil
+}
+
+// deleteNodeLocked removes a node (and, with detach, its incident
+// relationships — the cascade is part of the same journaled mutation,
+// since replaying the delete against the same state cascades
+// identically). Caller holds g.mu and notifies the observer itself.
+func (g *Graph) deleteNodeLocked(n *Node, detach bool) error {
+	nodeID := n.ID
 	if len(g.out[nodeID]) > 0 || len(g.in[nodeID]) > 0 {
 		if !detach {
 			return fmt.Errorf("%w: %d", ErrHasRels, nodeID)

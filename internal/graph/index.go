@@ -7,15 +7,25 @@ import "sort"
 // value, making anchored pattern scans — MATCH (:AS {asn: 2497}) — O(1)
 // instead of a full label scan. Creating an existing index is a no-op.
 func (g *Graph) CreateIndex(label, property string) {
+	g.ensureMutable()
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.createIndexLocked(label, property) {
+		g.notifyLocked(Mutation{Kind: MutCreateIndex, Label: label, Prop: property})
+	}
+}
+
+// createIndexLocked declares and backfills an index, reporting whether
+// it was newly created. Caller holds g.mu and notifies the observer
+// itself.
+func (g *Graph) createIndexLocked(label, property string) bool {
 	props := g.indexed[label]
 	if props == nil {
 		props = make(map[string]bool)
 		g.indexed[label] = props
 	}
 	if props[property] {
-		return
+		return false
 	}
 	props[property] = true
 	g.version.Add(1)
@@ -27,10 +37,12 @@ func (g *Graph) CreateIndex(label, property string) {
 			g.addToIndexLocked(label, property, v, id)
 		}
 	}
+	return true
 }
 
 // HasIndex reports whether a property index exists on (label, property).
 func (g *Graph) HasIndex(label, property string) bool {
+	g.ensureMutable()
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return g.indexed[label][property]
@@ -39,6 +51,7 @@ func (g *Graph) HasIndex(label, property string) bool {
 // Indexes returns every (label, property) pair with an index, sorted by
 // label then property.
 func (g *Graph) Indexes() [][2]string {
+	g.ensureMutable()
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	var out [][2]string
@@ -72,6 +85,7 @@ func (g *Graph) NodesByLabelProp(label, property string, value any) ([]int64, bo
 	if err != nil {
 		return nil, false
 	}
+	g.ensureMutable()
 	g.mu.RLock()
 	if g.indexed[label][property] {
 		ids := g.propIndex[label][property][ValueKey(nv)]

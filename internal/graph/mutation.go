@@ -1,0 +1,239 @@
+package graph
+
+// This file is the write-journal surface of the graph: every mutator
+// describes the change it applied as a Mutation and hands it to the
+// registered write observer while still holding the graph mutex, so an
+// observer (the persist.Store's write-ahead log) sees mutations in
+// exactly the order they took effect. ApplyMutation is the inverse —
+// it applies a previously journaled Mutation with its original IDs,
+// which is how WAL replay reconstructs the tail of writes a base
+// snapshot has not absorbed yet.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MutKind enumerates the write operations a Graph can journal.
+type MutKind uint8
+
+// Journaled write operations.
+const (
+	MutCreateNode MutKind = iota + 1
+	MutCreateRel
+	MutSetNodeProp
+	MutSetRelProp
+	MutAddLabel
+	MutRemoveLabel
+	MutDeleteNode
+	MutDeleteRel
+	MutCreateIndex
+)
+
+// String names the mutation kind for diagnostics.
+func (k MutKind) String() string {
+	switch k {
+	case MutCreateNode:
+		return "create_node"
+	case MutCreateRel:
+		return "create_rel"
+	case MutSetNodeProp:
+		return "set_node_prop"
+	case MutSetRelProp:
+		return "set_rel_prop"
+	case MutAddLabel:
+		return "add_label"
+	case MutRemoveLabel:
+		return "remove_label"
+	case MutDeleteNode:
+		return "delete_node"
+	case MutDeleteRel:
+		return "delete_rel"
+	case MutCreateIndex:
+		return "create_index"
+	default:
+		return fmt.Sprintf("mutation(%d)", uint8(k))
+	}
+}
+
+// Mutation is one applied write, carrying enough to re-apply it on a
+// graph in the same pre-mutation state. Only the fields relevant to
+// Kind are set. Values are normalized (see NormalizeValue).
+//
+// A DeleteNode with Detach covers its cascaded relationship deletions:
+// replaying it against the same state removes the same relationships,
+// so the journal carries one record per Graph.Version() increment.
+type Mutation struct {
+	Kind    MutKind
+	NodeID  int64            // node operations
+	RelID   int64            // relationship operations
+	StartID int64            // MutCreateRel
+	EndID   int64            // MutCreateRel
+	RelType string           // MutCreateRel
+	Labels  []string         // MutCreateNode
+	Label   string           // MutAddLabel, MutRemoveLabel, MutCreateIndex
+	Prop    string           // MutCreateIndex
+	Key     string           // MutSetNodeProp, MutSetRelProp
+	Value   Value            // MutSetNodeProp, MutSetRelProp (nil removes)
+	Props   map[string]Value // MutCreateNode, MutCreateRel
+	Detach  bool             // MutDeleteNode
+}
+
+// SetWriteObserver registers fn to be called for every applied
+// mutation, or removes the observer when fn is nil. The observer runs
+// while the graph mutex is held — mutations arrive in apply order and
+// the observed entity containers are stable for the duration of the
+// call — so it must be fast and must never call back into the graph.
+// Slices and maps inside the Mutation are shared with live graph
+// state: observers must treat them as read-only and not retain them
+// past the call (encode, then return).
+func (g *Graph) SetWriteObserver(fn func(Mutation)) {
+	g.mu.Lock()
+	g.obs = fn
+	g.mu.Unlock()
+}
+
+// notifyLocked hands a mutation to the observer. Caller holds g.mu and
+// has already applied the change.
+func (g *Graph) notifyLocked(m Mutation) {
+	if g.obs != nil {
+		g.obs(m)
+	}
+}
+
+// ApplyMutation re-applies a journaled mutation, preserving the
+// original entity IDs — the WAL replay path. The mutation's values
+// must already be normalized (decoded journal records are). The
+// mutation is journaled to the write observer like any other write, so
+// applying one on a live store re-journals it; replay attaches the
+// observer only after the log has been consumed.
+func (g *Graph) ApplyMutation(m Mutation) error {
+	g.ensureMutable()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch m.Kind {
+	case MutCreateNode:
+		if m.NodeID < 1 {
+			return fmt.Errorf("graph: apply %s: invalid node id %d", m.Kind, m.NodeID)
+		}
+		if _, ok := g.nodes[m.NodeID]; ok {
+			return fmt.Errorf("graph: apply %s: node %d already exists", m.Kind, m.NodeID)
+		}
+		props := m.Props
+		if props == nil {
+			props = make(map[string]Value)
+		}
+		ls := append([]string(nil), m.Labels...)
+		sort.Strings(ls)
+		g.version.Add(1)
+		n := &Node{ID: m.NodeID, Labels: ls, Props: props}
+		g.nodes[n.ID] = n
+		if n.ID >= g.nextNode {
+			g.nextNode = n.ID + 1
+		}
+		for _, l := range ls {
+			set := g.byLabel[l]
+			if set == nil {
+				set = make(map[int64]struct{})
+				g.byLabel[l] = set
+			}
+			set[n.ID] = struct{}{}
+		}
+		g.indexNodeLocked(n)
+		g.noteNodeLocked(n.ID)
+		if len(ls) > 0 {
+			g.labelsDirty = true
+		}
+	case MutCreateRel:
+		if m.RelID < 1 {
+			return fmt.Errorf("graph: apply %s: invalid relationship id %d", m.Kind, m.RelID)
+		}
+		if _, ok := g.rels[m.RelID]; ok {
+			return fmt.Errorf("graph: apply %s: relationship %d already exists", m.Kind, m.RelID)
+		}
+		if _, ok := g.nodes[m.StartID]; !ok {
+			return fmt.Errorf("graph: apply %s: %w: start %d", m.Kind, ErrNodeNotFound, m.StartID)
+		}
+		if _, ok := g.nodes[m.EndID]; !ok {
+			return fmt.Errorf("graph: apply %s: %w: end %d", m.Kind, ErrNodeNotFound, m.EndID)
+		}
+		props := m.Props
+		if props == nil {
+			props = make(map[string]Value)
+		}
+		g.version.Add(1)
+		r := &Relationship{ID: m.RelID, Type: m.RelType, StartID: m.StartID, EndID: m.EndID, Props: props}
+		g.rels[r.ID] = r
+		if r.ID >= g.nextRel {
+			g.nextRel = r.ID + 1
+		}
+		g.out[r.StartID] = insertAscending(g.out[r.StartID], r.ID)
+		g.in[r.EndID] = insertAscending(g.in[r.EndID], r.ID)
+		g.noteRelLocked(r)
+		g.addRelTypeLocked(r.Type)
+	case MutSetNodeProp:
+		n := g.nodes[m.NodeID]
+		if n == nil {
+			return fmt.Errorf("graph: apply %s: %w: %d", m.Kind, ErrNodeNotFound, m.NodeID)
+		}
+		g.setNodePropLocked(n, m.Key, m.Value)
+	case MutSetRelProp:
+		r := g.rels[m.RelID]
+		if r == nil {
+			return fmt.Errorf("graph: apply %s: %w: %d", m.Kind, ErrRelNotFound, m.RelID)
+		}
+		g.setRelPropLocked(r, m.Key, m.Value)
+	case MutAddLabel:
+		n := g.nodes[m.NodeID]
+		if n == nil {
+			return fmt.Errorf("graph: apply %s: %w: %d", m.Kind, ErrNodeNotFound, m.NodeID)
+		}
+		if !g.addNodeLabelLocked(n, m.Label) {
+			return nil // no-op: no version bump, so nothing to journal
+		}
+	case MutRemoveLabel:
+		n := g.nodes[m.NodeID]
+		if n == nil {
+			return fmt.Errorf("graph: apply %s: %w: %d", m.Kind, ErrNodeNotFound, m.NodeID)
+		}
+		if !g.removeNodeLabelLocked(n, m.Label) {
+			return nil
+		}
+	case MutDeleteNode:
+		n := g.nodes[m.NodeID]
+		if n == nil {
+			return fmt.Errorf("graph: apply %s: %w: %d", m.Kind, ErrNodeNotFound, m.NodeID)
+		}
+		if err := g.deleteNodeLocked(n, m.Detach); err != nil {
+			return fmt.Errorf("graph: apply %s: %w", m.Kind, err)
+		}
+	case MutDeleteRel:
+		r := g.rels[m.RelID]
+		if r == nil {
+			return fmt.Errorf("graph: apply %s: %w: %d", m.Kind, ErrRelNotFound, m.RelID)
+		}
+		g.deleteRelLocked(r)
+	case MutCreateIndex:
+		if !g.createIndexLocked(m.Label, m.Prop) {
+			return nil
+		}
+	default:
+		return fmt.Errorf("graph: apply: unknown mutation kind %d", uint8(m.Kind))
+	}
+	g.notifyLocked(m)
+	return nil
+}
+
+// insertAscending inserts id into an ascending-ordered adjacency list.
+// IDs are assigned monotonically, so the common case appends; replay of
+// a hand-reordered journal still lands sorted.
+func insertAscending(ids []int64, id int64) []int64 {
+	if n := len(ids); n == 0 || ids[n-1] < id {
+		return append(ids, id)
+	}
+	at := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	ids = append(ids, 0)
+	copy(ids[at+1:], ids[at:])
+	ids[at] = id
+	return ids
+}

@@ -1,10 +1,12 @@
 package graph
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"os"
+	"time"
 )
 
 // snapshot is the on-disk representation of a graph. Values are encoded
@@ -49,41 +51,49 @@ func init() {
 // WriteSnapshot serializes the full graph to w in a self-contained binary
 // format. The snapshot includes index declarations so a restored graph
 // has identical performance characteristics.
+//
+// It serializes from a pinned View rather than the locked maps: the
+// epoch tables already hold nodes, relationships, and index
+// declarations in the deterministic order the format wants, so the
+// writer never sorts map keys and the graph lock is held only for the
+// two-atomic-load pin (plus an epoch build if a write just happened) —
+// concurrent writers stay unblocked for the whole encode.
 func (g *Graph) WriteSnapshot(w io.Writer) error {
-	g.mu.RLock()
+	return g.View().WriteSnapshot(w)
+}
+
+// WriteSnapshot serializes the pinned epoch — a consistent snapshot at
+// the View's version — without touching the live graph.
+func (v *View) WriteSnapshot(w io.Writer) error {
+	rs := v.rs
 	snap := snapshot{
 		Version:  snapshotVersion,
-		NextNode: g.nextNode,
-		NextRel:  g.nextRel,
+		NextNode: rs.nextNode,
+		NextRel:  rs.nextRel,
 		Indexes:  nil,
 	}
-	for _, id := range sortedKeys(g.nodes) {
-		n := g.nodes[id]
+	snap.Nodes = make([]snapNode, 0, rs.nodeCount)
+	for _, id := range rs.allNodes {
+		n := rs.nodeAt(id)
 		snap.Nodes = append(snap.Nodes, snapNode{ID: n.ID, Labels: n.Labels, Props: n.Props})
 	}
-	for _, id := range sortedKeys(g.rels) {
-		r := g.rels[id]
+	snap.Rels = make([]snapRel, 0, rs.relCount)
+	for id := int64(1); id < int64(len(rs.rels)); id++ {
+		r := rs.relAt(id)
+		if r == nil {
+			continue
+		}
 		snap.Rels = append(snap.Rels, snapRel{ID: r.ID, Type: r.Type, StartID: r.StartID, EndID: r.EndID, Props: r.Props})
 	}
-	for label, props := range g.indexed {
+	for label, props := range rs.indexed {
 		for p, on := range props {
 			if on {
 				snap.Indexes = append(snap.Indexes, [2]string{label, p})
 			}
 		}
 	}
-	g.mu.RUnlock()
 	sortPairs(snap.Indexes)
 	return gob.NewEncoder(w).Encode(&snap)
-}
-
-func sortedKeys[V any](m map[int64]V) []int64 {
-	out := make([]int64, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sortIDs(out)
-	return out
 }
 
 // ReadSnapshot deserializes a graph previously written by WriteSnapshot.
@@ -179,12 +189,26 @@ func (g *Graph) SaveFile(path string) error {
 	return f.Close()
 }
 
-// LoadFile reads a graph snapshot from path.
+// LoadFile reads a graph snapshot from path, auto-detecting the
+// format: columnar snapshots (colfile.go) are recognized by their
+// magic bytes; anything else is treated as the legacy gob format (gob
+// streams can never begin with the columnar magic). Checksums are
+// verified on the columnar path — LoadFile accepts arbitrary input.
 func LoadFile(path string) (*Graph, error) {
-	f, err := os.Open(path)
+	start := time.Now()
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return ReadSnapshot(f)
+	var g *Graph
+	if SniffColumnar(data) {
+		g, _, err = LoadColumnarBytes(data, ColLoadOptions{VerifyChecksums: true})
+	} else {
+		g, err = ReadSnapshot(bytes.NewReader(data))
+	}
+	if err != nil {
+		return nil, err
+	}
+	RecordLoadNanos(time.Since(start).Nanoseconds())
+	return g, nil
 }

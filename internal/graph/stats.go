@@ -21,6 +21,7 @@ type Stats struct {
 
 // CollectStats walks the graph once and returns its Stats.
 func (g *Graph) CollectStats() Stats {
+	g.ensureMutable()
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	s := Stats{
@@ -85,6 +86,7 @@ func sortedStringKeys(m map[string]int) []string {
 // violations (empty means healthy). Primarily used by tests and the
 // dataset builder's self-check.
 func (g *Graph) CheckIntegrity() []string {
+	g.ensureMutable()
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	var problems []string

@@ -124,6 +124,34 @@ type readState struct {
 	indexed   map[string]map[string]bool
 	nodeCount int
 	relCount  int
+	// nextNode and nextRel freeze the ID allocators at publication so a
+	// snapshot serialized from a pinned View (snapshot.go, colfile.go)
+	// restores allocator state without touching the live graph.
+	nextNode int64
+	nextRel  int64
+	// lazy, when non-nil, marks a cold columnar epoch: entity slots in
+	// nodes and rels start nil and materialize on first access (see
+	// colfile_decode.go). All slot accesses on such an epoch must go
+	// through nodeAt/relAt — they are atomic, because concurrent
+	// readers CAS-install materialized entities.
+	lazy *colLazy
+}
+
+// nodeAt resolves the node-table slot at a valid index (caller bounds-
+// checks), materializing it on demand for cold columnar epochs.
+func (rs *readState) nodeAt(id int64) *Node {
+	if rs.lazy != nil {
+		return rs.lazy.node(rs, id)
+	}
+	return rs.nodes[id]
+}
+
+// relAt is the relationship counterpart of nodeAt.
+func (rs *readState) relAt(id int64) *Relationship {
+	if rs.lazy != nil {
+		return rs.lazy.rel(rs, id)
+	}
+	return rs.rels[id]
 }
 
 // View is a pinned epoch: a consistent, immutable snapshot of the
@@ -167,7 +195,7 @@ func (v *View) Node(id int64) *Node {
 	if id < 0 || id >= int64(len(v.rs.nodes)) {
 		return nil
 	}
-	return v.rs.nodes[id]
+	return v.rs.nodeAt(id)
 }
 
 // Relationship returns the relationship with the given ID, or nil.
@@ -175,7 +203,7 @@ func (v *View) Relationship(id int64) *Relationship {
 	if id < 0 || id >= int64(len(v.rs.rels)) {
 		return nil
 	}
-	return v.rs.rels[id]
+	return v.rs.relAt(id)
 }
 
 // NodeCount returns the number of nodes in the pinned epoch.
@@ -219,7 +247,7 @@ func (v *View) NodesByLabelProp(label, property string, value any) ([]int64, boo
 	}
 	var out []int64
 	for _, id := range rs.byLabel[label] {
-		n := rs.nodes[id]
+		n := rs.nodeAt(id)
 		if n == nil {
 			continue
 		}
@@ -259,7 +287,7 @@ func (v *View) IncidentDo(nodeID int64, dir Direction, types []string, fn func(*
 	if dir == Incoming || dir == Both {
 		lists = gatherLists(lists, &adj.in, types)
 	}
-	return mergeRelDo(v.rs.rels, lists, fn)
+	return mergeRelDo(v.rs, lists, fn)
 }
 
 // gatherLists appends the sorted rel-ID lists the (direction, types)
@@ -285,13 +313,13 @@ func gatherLists(lists [][]int64, d *dirAdj, types []string) [][]int64 {
 // in lists; equal heads are consumed together). The single-list case —
 // any single-direction expansion — is a plain walk with no merge
 // state.
-func mergeRelDo(rels []*Relationship, lists [][]int64, fn func(*Relationship) bool) bool {
+func mergeRelDo(rs *readState, lists [][]int64, fn func(*Relationship) bool) bool {
 	switch len(lists) {
 	case 0:
 		return true
 	case 1:
 		for _, id := range lists[0] {
-			if !fn(rels[id]) {
+			if !fn(rs.relAt(id)) {
 				return false
 			}
 		}
@@ -323,7 +351,7 @@ func mergeRelDo(rels []*Relationship, lists [][]int64, fn func(*Relationship) bo
 				idx[i]++ // consume duplicates of this ID in every list
 			}
 		}
-		if !fn(rels[bestID]) {
+		if !fn(rs.relAt(bestID)) {
 			return false
 		}
 	}
@@ -401,10 +429,20 @@ func (g *Graph) publishLocked() *readState {
 	if prev != nil && prev.version == v {
 		return prev
 	}
+	if prev != nil && prev.lazy != nil {
+		// A cold columnar epoch has lazily materialized entity slots
+		// that concurrent readers may still be CAS-filling; sharing its
+		// tables would race and could propagate unmaterialized nils.
+		// Mutators hydrate the maps before bumping the version, so a
+		// full rebuild from them is always possible here.
+		prev = nil
+	}
 	rs := &readState{
 		version:   v,
 		nodeCount: len(g.nodes),
 		relCount:  len(g.rels),
+		nextNode:  g.nextNode,
+		nextRel:   g.nextRel,
 	}
 
 	// Relationship table first: adjacency buckets point into it.

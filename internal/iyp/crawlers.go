@@ -34,6 +34,9 @@ type builder struct {
 	// (world index -> CIDRs) for later crawlers (RPKI, DNS).
 	asPrefixes map[int][]string
 	usedPfx    map[string]bool
+	// pfxSerial numbers overflow prefixes once prefixFor's image is
+	// exhausted for an AS (only happens at benchmark scale).
+	pfxSerial int
 }
 
 func newBuilder(g *graph.Graph, w *World) *builder {
@@ -129,6 +132,16 @@ func (c bgpCrawler) Crawl(b *builder) error {
 		for p := 0; p < a.NumPrefixes; p++ {
 			cidr, af := prefixFor(i, p)
 			for off := 0; b.usedPfx[cidr]; off++ {
+				if off == 8 {
+					// prefixFor's per-AS image is finite (its IPv4
+					// coordinates cycle with period 1792 in p), so at
+					// benchmark scale probing can never terminate; hand
+					// out a serial prefix from the reserved 225+ block
+					// instead, which is disjoint from prefixFor's image.
+					cidr, af = overflowPrefix(b.pfxSerial)
+					b.pfxSerial++
+					break
+				}
 				cidr, af = prefixFor(i, p+a.NumPrefixes*(off+1))
 			}
 			b.usedPfx[cidr] = true

@@ -1,0 +1,64 @@
+package iyp
+
+// ScaleConfig sizes a synthetic world by raw counts, for deterministic
+// benchmark datasets far beyond DefaultConfig (millions of graph
+// entities). Zero fields are derived from ASes using the DefaultConfig
+// proportions, so `ScaleConfig{ASes: 30000}.Config()` is a 50x default
+// world.
+type ScaleConfig struct {
+	Seed int64
+	// ASes is the primary size knob; everything else scales off it.
+	ASes int
+	// Prefixes caps total originated prefixes (default: 4 per AS, the
+	// DefaultConfig ratio).
+	Prefixes   int
+	IXPs       int // default ASes/15
+	Facilities int // default ASes/10
+	Domains    int // default ASes/2
+}
+
+// entitiesPerAS is the conservative lower bound on graph entities
+// (nodes + relationships) the crawler pipeline materializes per AS at
+// the DefaultConfig ratios; the measured figure is ≈ 35.
+const entitiesPerAS = 30
+
+// Config completes the scale spec into a generator Config.
+func (sc ScaleConfig) Config() Config {
+	cfg := Config{
+		Seed:          sc.Seed,
+		NumASes:       sc.ASes,
+		NumIXPs:       sc.IXPs,
+		NumFacilities: sc.Facilities,
+		NumDomains:    sc.Domains,
+		PrefixBudget:  sc.Prefixes,
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = DefaultConfig().Seed
+	}
+	if cfg.NumASes <= 0 {
+		cfg.NumASes = DefaultConfig().NumASes
+	}
+	if cfg.NumIXPs <= 0 {
+		cfg.NumIXPs = max(1, cfg.NumASes/15)
+	}
+	if cfg.NumFacilities <= 0 {
+		cfg.NumFacilities = max(1, cfg.NumASes/10)
+	}
+	if cfg.NumDomains <= 0 {
+		cfg.NumDomains = max(1, cfg.NumASes/2)
+	}
+	if cfg.PrefixBudget <= 0 {
+		cfg.PrefixBudget = 4 * cfg.NumASes
+	}
+	return cfg
+}
+
+// ScaleForEntities returns a ScaleConfig whose built graph holds at
+// least target entities (nodes + relationships).
+func ScaleForEntities(target int) ScaleConfig {
+	ases := (target + entitiesPerAS - 1) / entitiesPerAS
+	if ases < 1 {
+		ases = 1
+	}
+	return ScaleConfig{ASes: ases}
+}

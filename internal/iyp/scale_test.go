@@ -1,0 +1,77 @@
+package iyp
+
+import (
+	"testing"
+)
+
+// TestScaleWorldUniqueNamesAndPrefixes drives every name pool past
+// saturation (facilities > 207 naturals, IXPs > 92, operators > 1200)
+// and checks the generators still terminate with unique output.
+func TestScaleWorldUniqueNamesAndPrefixes(t *testing.T) {
+	cfg := ScaleConfig{Seed: 3, ASes: 2500, IXPs: 200, Facilities: 400, Domains: 1500}.Config()
+	w := NewWorld(cfg)
+	if len(w.ASes) != 2500 || len(w.IXPs) != 200 || len(w.Facilities) != 400 || len(w.Domains) != 1500 {
+		t.Fatalf("world sizes: %d/%d/%d/%d", len(w.ASes), len(w.IXPs), len(w.Facilities), len(w.Domains))
+	}
+	names := map[string]bool{}
+	for _, a := range w.ASes {
+		if names[a.Name] {
+			t.Fatalf("duplicate AS name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, set := range []struct {
+		kind string
+		get  func(i int) string
+		n    int
+	}{
+		{"ixp", func(i int) string { return w.IXPs[i].Name }, len(w.IXPs)},
+		{"facility", func(i int) string { return w.Facilities[i].Name }, len(w.Facilities)},
+		{"domain", func(i int) string { return w.Domains[i].Name }, len(w.Domains)},
+	} {
+		seen := map[string]bool{}
+		for i := 0; i < set.n; i++ {
+			if name := set.get(i); seen[name] {
+				t.Fatalf("duplicate %s name %q", set.kind, name)
+			} else {
+				seen[name] = true
+			}
+		}
+	}
+}
+
+// TestScaleBuildIsDeterministic builds a moderately scaled graph twice
+// and compares stats; the full 1M-entity build is exercised by the
+// persistence benchmarks.
+func TestScaleBuildIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled build in short mode")
+	}
+	cfg := ScaleConfig{Seed: 11, ASes: 2000}.Config()
+	g1, _, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := g1.CollectStats(), g2.CollectStats()
+	if s1.Nodes != s2.Nodes || s1.Relationships != s2.Relationships {
+		t.Fatalf("non-deterministic scaled build: %+v vs %+v", s1, s2)
+	}
+	if total := s1.Nodes + s1.Relationships; total < 2000*entitiesPerAS {
+		t.Fatalf("scaled graph smaller than the entitiesPerAS contract: %d entities for 2000 ASes", total)
+	}
+}
+
+func TestScaleForEntities(t *testing.T) {
+	sc := ScaleForEntities(1_000_000)
+	if sc.ASes*entitiesPerAS < 1_000_000 {
+		t.Fatalf("ScaleForEntities undershoots: %d ASes", sc.ASes)
+	}
+	cfg := sc.Config()
+	if cfg.PrefixBudget != 4*sc.ASes || cfg.NumIXPs != sc.ASes/15 {
+		t.Fatalf("derived config off: %+v", cfg)
+	}
+}

@@ -109,17 +109,32 @@ type World struct {
 	Countries  []CountryInfo // countries actually used
 }
 
+// nameRetries bounds random-name collision retries before generators
+// fall back to a deterministic numbered variant. Every name pool is
+// finite (operators ≈ 1200 combinations, facilities ≈ 200, IXPs ≈ 90,
+// domains ≈ 20k), so unbounded retries would hang on saturated pools at
+// benchmark scale.
+const nameRetries = 16
+
 // NewWorld deterministically generates the synthetic world.
 func NewWorld(cfg Config) *World {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	w := &World{Config: cfg}
 
-	// Facilities first (IXPs reference them).
+	// Facilities first (IXPs reference them). Every name pool below is
+	// finite, so retries are bounded: after nameRetries misses the
+	// generator switches to a deterministic numbered variant that the
+	// natural pools cannot produce (world index i makes it unique).
 	usedFacNames := map[string]bool{}
 	for i := 0; i < cfg.NumFacilities; i++ {
 		city := facilityCities[rng.Intn(len(facilityCities))]
 		name := facilityName(rng, city)
-		for usedFacNames[name] {
+		for tries := 0; usedFacNames[name]; tries++ {
+			if tries == nameRetries {
+				// Natural facility names end in DC1..DC9.
+				name = fmt.Sprintf("%s DC%d", city, i+10)
+				break
+			}
 			name = facilityName(rng, facilityCities[rng.Intn(len(facilityCities))])
 		}
 		usedFacNames[name] = true
@@ -129,25 +144,42 @@ func NewWorld(cfg Config) *World {
 	usedIXPNames := map[string]bool{}
 	for i := 0; i < cfg.NumIXPs; i++ {
 		fac := rng.Intn(len(w.Facilities))
-		name := ixpName(rng, facilityCities[rng.Intn(len(facilityCities))])
-		for usedIXPNames[name] {
+		city := facilityCities[rng.Intn(len(facilityCities))]
+		name := ixpName(rng, city)
+		for tries := 0; usedIXPNames[name]; tries++ {
+			if tries == nameRetries {
+				// Natural IXP names never carry a numeric suffix.
+				name = fmt.Sprintf("%s-IX%d", upper(city[:3]), i)
+				break
+			}
 			name = ixpName(rng, facilityCities[rng.Intn(len(facilityCities))])
 		}
 		usedIXPNames[name] = true
 		w.IXPs = append(w.IXPs, IXPSpec{Name: name, Country: w.Facilities[fac].Country, Facility: fac})
 	}
 
-	// ASes: unique ASNs and names; Zipf-like size distribution.
+	// ASes: unique ASNs and names; Zipf-like size distribution. Worlds
+	// bigger than half the 2-byte-era ASN space draw from the full
+	// 4-byte space so rejection sampling stays cheap.
+	asnSpace := 399999
+	if cfg.NumASes > asnSpace/2 {
+		asnSpace = 4_000_000_000
+	}
 	usedNames := map[string]bool{}
 	usedASNs := map[int64]bool{}
 	for i := 0; i < cfg.NumASes; i++ {
-		asn := int64(rng.Intn(399999) + 1)
+		asn := int64(rng.Intn(asnSpace) + 1)
 		for usedASNs[asn] {
-			asn = int64(rng.Intn(399999) + 1)
+			asn = int64(rng.Intn(asnSpace) + 1)
 		}
 		usedASNs[asn] = true
 		name := operatorName(rng)
-		for usedNames[name] {
+		for tries := 0; usedNames[name]; tries++ {
+			if tries == nameRetries {
+				// Natural operator names contain no digits.
+				name = fmt.Sprintf("%s %d", operatorName(rng), i)
+				break
+			}
 			name = operatorName(rng)
 		}
 		usedNames[name] = true
@@ -305,7 +337,12 @@ func NewWorld(cfg Config) *World {
 	usedDomains := map[string]bool{}
 	for d := 0; d < cfg.NumDomains; d++ {
 		name := domainName(rng)
-		for usedDomains[name] {
+		for tries := 0; usedDomains[name]; tries++ {
+			if tries == nameRetries {
+				// Natural domains use 2-digit decorations at most.
+				name = fmt.Sprintf("%s%d.%s", domainWords[rng.Intn(len(domainWords))], 100+d, domainTLDs[rng.Intn(len(domainTLDs))])
+				break
+			}
 			name = domainName(rng)
 		}
 		usedDomains[name] = true
@@ -362,6 +399,14 @@ func prefixFor(i, p int) (cidr string, af int) {
 	b := (i + p*13) % 256
 	c := (i*3 + p*29) % 256
 	return fmt.Sprintf("%d.%d.%d.0/24", a+1, b, c), 4
+}
+
+// overflowPrefix maps a serial number to a /24 in the 225.0.0.0+
+// block, which prefixFor never emits (its first octet is ≤ 224): the
+// collision-overflow space for benchmark-scale worlds. Injective for
+// serial < 31*65536 ≈ 2M prefixes.
+func overflowPrefix(serial int) (cidr string, af int) {
+	return fmt.Sprintf("%d.%d.%d.0/24", 225+(serial/65536)%31, (serial/256)%256, serial%256), 4
 }
 
 // ipInPrefix derives the k-th address inside an IPv4 /24.

@@ -1,0 +1,18 @@
+//go:build !linux && !darwin && !freebsd && !netbsd && !openbsd
+
+package mmap
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile falls back to reading the whole file into the heap on
+// platforms without a wired-up mmap syscall.
+func mapFile(f *os.File, size int64) (*Mapping, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, &os.PathError{Op: "read", Path: f.Name(), Err: err}
+	}
+	return &Mapping{Data: data}, nil
+}

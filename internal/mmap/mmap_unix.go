@@ -1,0 +1,19 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package mmap
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f with a private read-only mapping.
+// MAP_PRIVATE keeps any future in-place page dirtying (none today —
+// loaded epochs are immutable) from ever reaching the file.
+func mapFile(f *os.File, size int64) (*Mapping, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, &os.PathError{Op: "mmap", Path: f.Name(), Err: err}
+	}
+	return &Mapping{Data: data, munmap: func() error { return syscall.Munmap(data) }}, nil
+}

@@ -1,0 +1,31 @@
+package persist
+
+import "sync/atomic"
+
+// Process-wide persistence counters, mirrored into the query
+// pipeline's metrics registry (persist.* / graph.load_ns) and served
+// at /v1/metrics.
+var (
+	walAppends    atomic.Int64
+	walBytes      atomic.Int64
+	checkpoints   atomic.Int64
+	replayRecords atomic.Int64
+)
+
+// StatsSnapshot is a point-in-time read of the persistence counters.
+type StatsSnapshot struct {
+	WALAppends    int64 // records journaled since process start
+	WALBytes      int64 // bytes journaled (frames included)
+	Checkpoints   int64 // base-snapshot rewrites completed
+	ReplayRecords int64 // WAL records replayed at open
+}
+
+// Stats returns the current persistence counters.
+func Stats() StatsSnapshot {
+	return StatsSnapshot{
+		WALAppends:    walAppends.Load(),
+		WALBytes:      walBytes.Load(),
+		Checkpoints:   checkpoints.Load(),
+		ReplayRecords: replayRecords.Load(),
+	}
+}

@@ -630,6 +630,27 @@ func TestMetricsExposeRetrievalCounters(t *testing.T) {
 	}
 }
 
+// TestMetricsExposePersistCounters checks the persistence-tier gauges
+// are mirrored at /v1/metrics even for a server with no -data-dir
+// (presence with zero values keeps the surface stable for scrapers).
+func TestMetricsExposePersistCounters(t *testing.T) {
+	s, _ := newTestServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/v1/metrics", nil)
+	mrec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(mrec, req)
+	var resp struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(mrec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"persist.wal_appends", "persist.wal_bytes", "persist.checkpoints", "persist.replay_records", "graph.load_ns"} {
+		if _, ok := resp.Counters[k]; !ok {
+			t.Errorf("metrics response missing %q", k)
+		}
+	}
+}
+
 // TestSemCacheWarmAskOverHTTP drives the cache end to end through the
 // v1 surface: the second identical question answers cache_hit true and
 // the hit shows up at /v1/metrics.

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Runs the persistence-tier benchmarks (cold start gob vs mmap
+# columnar, WAL append throughput with fsync on/off, and query latency
+# on the scale-generated world) and writes machine-readable results to
+# BENCH_persist.json at the repo root. The report carries the
+# gob_over_columnar and wal_write_overhead speedup factors; the
+# acceptance gate for the persistence tier is gob_over_columnar >= 10
+# on a >=1M-entity world (run without -short for the full-scale
+# fixture — CI uses -short to stay inside the job budget).
+set -eu
+cd "$(dirname "$0")/.."
+go test -run NONE -bench 'BenchmarkColdStart|BenchmarkWALAppend|BenchmarkQueryAtScale' \
+	-benchmem -benchtime "${BENCHTIME:-1s}" ${SHORT:+-short} ./internal/persist/ |
+	tee /dev/stderr |
+	go run ./cmd/benchjson > BENCH_persist.json
+echo "wrote BENCH_persist.json" >&2
