@@ -1,0 +1,285 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"chatiyp/internal/api"
+	"chatiyp/internal/graph"
+)
+
+// This file is the SDK surface of POST /v1/tools: the MCP-flavored
+// JSON-RPC endpoint agents call. Transport- and session-level failures
+// (overload, unknown/expired session, per-session budgets) surface as
+// *APIError exactly like the rest of the v1 API — including automatic
+// retry of 429s honoring Retry-After — while tool-level failures
+// surface as *RPCError with the same stable code vocabulary.
+
+// RPCError is a tool- or method-level failure reported in-band by the
+// tools endpoint (the HTTP exchange itself succeeded).
+type RPCError struct {
+	// RPCCode is the JSON-RPC 2.0 numeric code.
+	RPCCode int
+	// Code is the stable ChatIYP error code (parse_error, exec_error,
+	// unknown_tool, unknown_handle, ...), when the server attached one.
+	Code      string
+	Message   string
+	RequestID string
+}
+
+func (e *RPCError) Error() string {
+	code := e.Code
+	if code == "" {
+		code = fmt.Sprintf("rpc_%d", e.RPCCode)
+	}
+	msg := fmt.Sprintf("chatiyp tools: %s: %s", code, e.Message)
+	if e.RequestID != "" {
+		msg += " [request " + e.RequestID + "]"
+	}
+	return msg
+}
+
+func rpcError(e *api.RPCError) *RPCError {
+	out := &RPCError{RPCCode: e.Code, Message: e.Message}
+	if e.Data != nil {
+		out.Code = e.Data.Code
+		out.RequestID = e.Data.RequestID
+	}
+	return out
+}
+
+// rpc runs one JSON-RPC round trip against /v1/tools.
+func (c *Client) rpc(ctx context.Context, method string, params, out any) error {
+	var raw json.RawMessage
+	if params != nil {
+		b, err := json.Marshal(params)
+		if err != nil {
+			return fmt.Errorf("client: encoding %s params: %w", method, err)
+		}
+		raw = b
+	}
+	var resp api.ToolResponse
+	err := c.postJSON(ctx, "/v1/tools", api.ToolRequest{
+		JSONRPC: api.JSONRPCVersion, ID: json.RawMessage(`1`), Method: method, Params: raw,
+	}, &resp)
+	if err != nil {
+		return err
+	}
+	if resp.Error != nil {
+		return rpcError(resp.Error)
+	}
+	if out != nil && len(resp.Result) > 0 {
+		if err := json.Unmarshal(resp.Result, out); err != nil {
+			return fmt.Errorf("client: decoding %s result: %w", method, err)
+		}
+	}
+	return nil
+}
+
+// ListTools returns the server's tool descriptors.
+func (c *Client) ListTools(ctx context.Context) ([]api.ToolDescriptor, error) {
+	var res api.ToolsListResult
+	if err := c.rpc(ctx, api.MethodToolsList, nil, &res); err != nil {
+		return nil, err
+	}
+	return res.Tools, nil
+}
+
+// CallTool invokes one tool outside any session. args may be any
+// JSON-marshalable value matching the tool's input schema (nil for
+// describe_schema).
+func (c *Client) CallTool(ctx context.Context, name string, args any) (*api.ToolCallResult, error) {
+	return c.callTool(ctx, name, args, "", "")
+}
+
+func (c *Client) callTool(ctx context.Context, name string, args any, sessionID, saveAs string) (*api.ToolCallResult, error) {
+	var raw json.RawMessage
+	if args != nil {
+		b, err := json.Marshal(args)
+		if err != nil {
+			return nil, fmt.Errorf("client: encoding %s arguments: %w", name, err)
+		}
+		raw = b
+	}
+	var res api.ToolCallResult
+	err := c.rpc(ctx, api.MethodToolsCall, api.ToolCallParams{
+		Name: name, Arguments: raw, SessionID: sessionID, SaveAs: saveAs,
+	}, &res)
+	if err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Session is a handle on one server-side agent conversation: tool
+// calls through it share the server's per-session state (transcript,
+// result handles, budgets) without the client resending context.
+type Session struct {
+	c *Client
+	// ID is the server-issued session identifier.
+	ID string
+}
+
+// NewSession creates a server-side session. ttlSeconds requests a
+// non-default idle TTL (0 = server default; clamped server-side).
+func (c *Client) NewSession(ctx context.Context, ttlSeconds int) (*Session, error) {
+	var info api.SessionInfo
+	err := c.rpc(ctx, api.MethodSessionCreate, api.SessionCreateParams{TTLSeconds: ttlSeconds}, &info)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{c: c, ID: info.SessionID}, nil
+}
+
+// Info fetches the session's server-side state, including the
+// transcript and stored handle names.
+func (s *Session) Info(ctx context.Context) (*api.SessionInfo, error) {
+	var info api.SessionInfo
+	err := s.c.rpc(ctx, api.MethodSessionGet, api.SessionGetParams{SessionID: s.ID}, &info)
+	if err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Delete ends the session server-side.
+func (s *Session) Delete(ctx context.Context) error {
+	return s.c.rpc(ctx, api.MethodSessionDelete, api.SessionDeleteParams{SessionID: s.ID}, nil)
+}
+
+// Call invokes one tool inside the session. saveAs names the stored
+// result handle explicitly ("" lets the server auto-name it "r1",
+// "r2", ...); the assigned name comes back in ToolCallResult.Handle.
+func (s *Session) Call(ctx context.Context, name string, args any, saveAs string) (*api.ToolCallResult, error) {
+	return s.c.callTool(ctx, name, args, s.ID, saveAs)
+}
+
+// SearchEntities runs the search_entities tool in the session.
+func (s *Session) SearchEntities(ctx context.Context, p api.SearchEntitiesParams) (*api.ToolCallResult, error) {
+	return s.Call(ctx, api.ToolSearchEntities, p, "")
+}
+
+// RunCypher runs the run_cypher tool in the session.
+func (s *Session) RunCypher(ctx context.Context, p api.RunCypherParams) (*api.ToolCallResult, error) {
+	return s.Call(ctx, api.ToolRunCypher, p, "")
+}
+
+// Ask runs the ask tool in the session.
+func (s *Session) Ask(ctx context.Context, p api.AskToolParams) (*api.ToolCallResult, error) {
+	return s.Call(ctx, api.ToolAsk, p, "")
+}
+
+// ToolRows iterates a streamed run_cypher tool result: rows arrive as
+// JSON-RPC notifications while the scan runs, and the final response —
+// with stats, truncation, and the session handle — is available from
+// Result after Next returns false. Close must be called.
+type ToolRows struct {
+	body    interface{ Close() error }
+	scan    *bufio.Scanner
+	cols    []string
+	row     []graph.Value
+	res     *api.ToolCallResult
+	callErr error
+	err     error
+}
+
+// CallToolStream invokes run_cypher (or any tool) with an NDJSON
+// response: result rows stream as they are produced. sessionID may be
+// empty for a stateless call.
+func (c *Client) CallToolStream(ctx context.Context, p api.ToolCallParams) (*ToolRows, error) {
+	resp, err := c.post(ctx, "/v1/tools", api.ToolRequest{
+		JSONRPC: api.JSONRPCVersion, ID: json.RawMessage(`1`), Method: api.MethodToolsCall,
+		Params: mustMarshal(p),
+	}, api.MediaNDJSON)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeAPIError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	return &ToolRows{body: resp.Body, scan: sc}, nil
+}
+
+func mustMarshal(v any) json.RawMessage {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// ToolCallParams is marshalable by construction; a failure here
+		// is a programming error in this package.
+		panic("client: encoding tool call: " + err.Error())
+	}
+	return b
+}
+
+// Next advances to the next streamed row; false means the stream ended
+// (check Err, then Result).
+func (t *ToolRows) Next() bool {
+	if t.err != nil || t.res != nil || t.callErr != nil {
+		return false
+	}
+	for t.scan.Scan() {
+		line := t.scan.Bytes()
+		// Notifications carry rows; the final line is the response.
+		var note struct {
+			Method string               `json:"method"`
+			Params api.ToolStreamParams `json:"params"`
+			Result json.RawMessage      `json:"result"`
+			Error  *api.RPCError        `json:"error"`
+		}
+		if err := json.Unmarshal(line, &note); err != nil {
+			t.err = fmt.Errorf("client: malformed stream line: %w", err)
+			return false
+		}
+		switch {
+		case note.Error != nil:
+			t.callErr = rpcError(note.Error)
+			return false
+		case len(note.Result) > 0:
+			res := &api.ToolCallResult{}
+			if err := json.Unmarshal(note.Result, res); err != nil {
+				t.err = fmt.Errorf("client: decoding stream result: %w", err)
+				return false
+			}
+			t.res = res
+			return false
+		case note.Method == api.MethodStreamHeader:
+			t.cols = note.Params.Columns
+		case note.Method == api.MethodStreamRow:
+			t.row = note.Params.Row
+			return true
+		}
+	}
+	if err := t.scan.Err(); err != nil {
+		t.err = err
+	} else if t.res == nil && t.callErr == nil {
+		t.err = fmt.Errorf("client: stream ended without a final response")
+	}
+	return false
+}
+
+// Columns returns the column names (available after the header line).
+func (t *ToolRows) Columns() []string { return t.cols }
+
+// Row returns the current row.
+func (t *ToolRows) Row() []graph.Value { return t.row }
+
+// Result returns the final tool response once Next has returned false
+// (nil if the stream failed first).
+func (t *ToolRows) Result() *api.ToolCallResult { return t.res }
+
+// Err returns the first transport or tool error (tool errors are
+// *RPCError).
+func (t *ToolRows) Err() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.callErr
+}
+
+// Close releases the response body.
+func (t *ToolRows) Close() error { return t.body.Close() }

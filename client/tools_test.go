@@ -1,0 +1,198 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"chatiyp/internal/api"
+	"chatiyp/internal/graph"
+	"chatiyp/internal/iyp"
+	"chatiyp/internal/server"
+)
+
+func TestClientListTools(t *testing.T) {
+	c, _ := newBackend(t, nil)
+	tools, err := c.ListTools(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tools) != 4 {
+		t.Fatalf("tools = %d, want 4", len(tools))
+	}
+}
+
+func TestClientStatelessToolCall(t *testing.T) {
+	c, _ := newBackend(t, nil)
+	res, err := c.CallTool(context.Background(), api.ToolDescribeSchema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema == nil || len(res.Schema.Entries) == 0 {
+		t.Fatalf("schema result = %+v", res)
+	}
+
+	// Tool-level failures arrive as typed *RPCError.
+	_, err = c.CallTool(context.Background(), api.ToolRunCypher, api.RunCypherParams{Query: "MATCH ("})
+	var rpcErr *RPCError
+	if !errors.As(err, &rpcErr) || rpcErr.Code != api.CodeParseError {
+		t.Fatalf("parse failure err = %v", err)
+	}
+}
+
+// TestClientMultiTurnSession is the issue's acceptance scenario run
+// end-to-end over HTTP: search_entities resolves an entity, run_cypher
+// binds a cell of the stored result into a parameter, and a follow-up
+// ask reasons over the stored rows — with the conversation state held
+// server-side between turns.
+func TestClientMultiTurnSession(t *testing.T) {
+	c, w := newBackend(t, nil)
+	ctx := context.Background()
+
+	sess, err := c.NewSession(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.ID == "" {
+		t.Fatal("no session ID")
+	}
+
+	// Turn 1: resolve a country by fuzzy search.
+	r1, err := sess.SearchEntities(ctx, api.SearchEntitiesParams{
+		Query: "country " + w.Countries[0].Name, K: 3, Kind: iyp.LabelCountry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Handle != "r1" || len(r1.Search.Hits) == 0 {
+		t.Fatalf("turn 1 = %+v", r1)
+	}
+
+	// Turn 2: reference the prior result's handle — the client never
+	// resends the country code, only the cell coordinates.
+	r2, err := sess.RunCypher(ctx, api.RunCypherParams{
+		Query: "MATCH (c:Country {country_code: $code}) RETURN c.name AS name",
+		Bind:  map[string]api.HandleRef{"code": {Handle: r1.Handle, Row: 0, Column: "name"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Handle != "r2" || r2.Cypher.TotalRows != 1 {
+		t.Fatalf("turn 2 = %+v", r2)
+	}
+
+	// Turn 3: follow-up ask grounded in the stored rows.
+	r3, err := sess.Ask(ctx, api.AskToolParams{
+		Question: "Which country did we just look up?", Use: []string{r2.Handle},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Ask == nil || r3.Ask.Answer == "" {
+		t.Fatalf("turn 3 = %+v", r3)
+	}
+
+	// The session state lives server-side: Info reports the transcript
+	// and handles accumulated by the three turns.
+	info, err := sess.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Calls != 3 || len(info.Transcript) != 3 {
+		t.Fatalf("session info = %+v", info)
+	}
+	if strings.Join(info.Handles, ",") != "r1,r2,r3" {
+		t.Errorf("handles = %v", info.Handles)
+	}
+
+	if err := sess.Delete(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, err = sess.Info(ctx)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeSessionNotFound {
+		t.Errorf("post-delete info err = %v", err)
+	}
+}
+
+// TestClientSessionBudget429 proves the per-session rate budget
+// surfaces as a real HTTP 429 with Retry-After (observed by disabling
+// the SDK's automatic retry).
+func TestClientSessionBudget429(t *testing.T) {
+	c, _ := newBackend(t, func(cfg *server.Config) {
+		cfg.SessionRatePerSec = 0.01
+		cfg.SessionRateBurst = 1
+	})
+	noRetry, err := New(c.base, WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sess, err := noRetry.NewSession(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Call(ctx, api.ToolDescribeSchema, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	_, err = sess.Call(ctx, api.ToolDescribeSchema, nil, "")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("throttled err = %v (%T)", err, err)
+	}
+	if apiErr.Status != 429 || apiErr.Code != api.CodeSessionBudget {
+		t.Errorf("status = %d code = %q", apiErr.Status, apiErr.Code)
+	}
+	if apiErr.RetryAfter <= 0 {
+		t.Errorf("RetryAfter = %v", apiErr.RetryAfter)
+	}
+}
+
+func TestClientToolStream(t *testing.T) {
+	c, _ := newBackend(t, nil)
+	ctx := context.Background()
+	sess, err := c.NewSession(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := mustMarshal(api.RunCypherParams{Query: "MATCH (c:Country) RETURN c.country_code AS code"})
+	rows, err := c.CallToolStream(ctx, api.ToolCallParams{
+		Name: api.ToolRunCypher, Arguments: args, SessionID: sess.ID,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var n int
+	var last []graph.Value
+	for rows.Next() {
+		n++
+		last = rows.Row()
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Columns()) != 1 || rows.Columns()[0] != "code" {
+		t.Errorf("columns = %v", rows.Columns())
+	}
+	if n == 0 || len(last) != 1 {
+		t.Fatalf("streamed %d rows, last %v", n, last)
+	}
+	res := rows.Result()
+	if res == nil || res.Handle != "r1" || res.Cypher == nil || res.Cypher.TotalRows != n {
+		t.Fatalf("final result = %+v after %d rows", res, n)
+	}
+
+	// The streamed result is a first-class handle for later turns.
+	r2, err := sess.RunCypher(ctx, api.RunCypherParams{
+		Query: "MATCH (c:Country {country_code: $code}) RETURN c.name",
+		Bind:  map[string]api.HandleRef{"code": {Handle: "r1", Row: 0, Column: "code"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cypher.TotalRows != 1 {
+		t.Errorf("follow-up rows = %d", r2.Cypher.TotalRows)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"chatiyp/client"
+	"chatiyp/internal/api"
 )
 
 func main() {
@@ -144,6 +145,65 @@ func main() {
 		fatal("error envelope: err=%v", err)
 	}
 	pass("error envelope (code=%s, request=%s)", apiErr.Code, apiErr.RequestID)
+
+	// Agent tools surface: list, then a multi-turn session where each
+	// turn references the previous turn's server-side result handle.
+	tools, err := c.ListTools(ctx)
+	if err != nil || len(tools) != 4 {
+		fatal("tools/list: %d tools, err=%v", len(tools), err)
+	}
+	pass("tools/list (%d tools)", len(tools))
+
+	sess, err := c.NewSession(ctx, 0)
+	if err != nil {
+		fatal("session/create: %v", err)
+	}
+	r1, err := sess.RunCypher(ctx, api.RunCypherParams{
+		Query: "MATCH (a:AS) RETURN a.asn AS asn ORDER BY a.asn LIMIT 5",
+	})
+	if err != nil || r1.Handle == "" || r1.Cypher.TotalRows == 0 {
+		fatal("session cypher: %+v err=%v", r1, err)
+	}
+	r2, err := sess.RunCypher(ctx, api.RunCypherParams{
+		Query: "MATCH (a:AS {asn: $asn}) RETURN a.name AS name",
+		Bind:  map[string]api.HandleRef{"asn": {Handle: r1.Handle, Row: 0, Column: "asn"}},
+	})
+	if err != nil || r2.Cypher.TotalRows != 1 {
+		fatal("session bind: %+v err=%v", r2, err)
+	}
+	r3, err := sess.Ask(ctx, api.AskToolParams{
+		Question: "Which AS did we just look up?", Use: []string{r2.Handle},
+	})
+	if err != nil || r3.Ask == nil || r3.Ask.Answer == "" {
+		fatal("session ask: %+v err=%v", r3, err)
+	}
+	sinfo, err := sess.Info(ctx)
+	if err != nil || sinfo.Calls != 3 || len(sinfo.Handles) != 3 {
+		fatal("session info: %+v err=%v", sinfo, err)
+	}
+	if err := sess.Delete(ctx); err != nil {
+		fatal("session/delete: %v", err)
+	}
+	if _, err := sess.Info(ctx); !errors.As(err, &apiErr) || apiErr.Code != "session_not_found" {
+		fatal("deleted session: err=%v", err)
+	}
+	pass("multi-turn session (search -> bind -> ask, %d tokens)", sinfo.TokensUsed)
+
+	// Create -> use -> expire round trip: a 1-second TTL session must
+	// answer 410 session_expired once idle past its deadline.
+	short, err := c.NewSession(ctx, 1)
+	if err != nil {
+		fatal("short session: %v", err)
+	}
+	if _, err := short.Call(ctx, "describe_schema", nil, ""); err != nil {
+		fatal("short session call: %v", err)
+	}
+	time.Sleep(1500 * time.Millisecond)
+	_, err = short.Call(ctx, "describe_schema", nil, "")
+	if !errors.As(err, &apiErr) || apiErr.Status != 410 || apiErr.Code != "session_expired" {
+		fatal("expired session: err=%v", err)
+	}
+	pass("session expiry (410 %s)", apiErr.Code)
 
 	fmt.Println("apismoke: all checks passed")
 }

@@ -22,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"chatiyp/internal/agent"
 	"chatiyp/internal/cyphereval"
 	"chatiyp/internal/eval"
 	"chatiyp/internal/iyp"
@@ -41,9 +42,12 @@ func main() {
 		baseline  = flag.Bool("baseline", false, "also evaluate the closed-book (no retrieval) baseline")
 		scale     = flag.Float64("error-scale", 1.0, "backbone translation error scale (0 = perfect)")
 		workers   = flag.Int("workers", 0, "evaluation worker-pool size (0 = GOMAXPROCS)")
+
+		agentic     = flag.Bool("agentic", false, "run the multi-turn agent tool-session corpus")
+		agenticJSON = flag.String("agentic-json", "", "export the agentic corpus report to JSON")
 	)
 	flag.Parse()
-	if *figure == "" && *finding == "" && !*all && !*ablation && !*templates && !*baseline {
+	if *figure == "" && *finding == "" && !*all && !*ablation && !*templates && !*baseline && !*agentic {
 		*all = true
 	}
 
@@ -64,58 +68,97 @@ func main() {
 	fmt.Fprintf(os.Stderr, "dataset: %d nodes; benchmark: %d questions (built in %v)\n",
 		exp.Graph.NodeCount(), len(exp.Bench.Questions), time.Since(start))
 
-	exp.Runner.Workers = *workers
-	start = time.Now()
-	rep, err := exp.Runner.Run(context.Background())
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "evaluation finished in %v\n\n", time.Since(start))
-
-	show2a := *all || *figure == "2a"
-	show2b := *all || *figure == "2b"
-	show1 := *all || *finding == "1"
-	show2 := *all || *finding == "2"
-	if show2a {
-		fmt.Println(eval.BuildFigure2a(rep).Render())
-	}
-	if show2b {
-		fmt.Println(eval.BuildFigure2b(rep).Render())
-	}
-	if show1 {
-		fmt.Println(eval.BuildCorrelationReport(rep).Render())
-	}
-	if show2 {
-		fmt.Println(eval.BuildFinding2(rep).Render())
-	}
-
-	if *templates || *all {
-		fmt.Println(eval.BuildTemplateReport(rep).Render())
-	}
-	if *baseline {
-		cmp, err := exp.Runner.RunBaseline(context.Background(), rep)
+	// -agentic alone skips the (much slower) benchmark sweep so CI can
+	// run the tool-session corpus in isolation.
+	runBench := *all || *figure != "" || *finding != "" || *templates || *baseline ||
+		*csvOut != "" || *jsonOut != ""
+	if runBench {
+		exp.Runner.Workers = *workers
+		start = time.Now()
+		rep, err := exp.Runner.Run(context.Background())
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(cmp.Render())
+		fmt.Fprintf(os.Stderr, "evaluation finished in %v\n\n", time.Since(start))
+
+		show2a := *all || *figure == "2a"
+		show2b := *all || *figure == "2b"
+		show1 := *all || *finding == "1"
+		show2 := *all || *finding == "2"
+		if show2a {
+			fmt.Println(eval.BuildFigure2a(rep).Render())
+		}
+		if show2b {
+			fmt.Println(eval.BuildFigure2b(rep).Render())
+		}
+		if show1 {
+			fmt.Println(eval.BuildCorrelationReport(rep).Render())
+		}
+		if show2 {
+			fmt.Println(eval.BuildFinding2(rep).Render())
+		}
+
+		if *templates || *all {
+			fmt.Println(eval.BuildTemplateReport(rep).Render())
+		}
+		if *baseline {
+			cmp, err := exp.Runner.RunBaseline(context.Background(), rep)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(cmp.Render())
+		}
+
+		if *csvOut != "" {
+			if err := writeFile(*csvOut, rep.WriteCSV); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "CSV written to %s\n", *csvOut)
+		}
+		if *jsonOut != "" {
+			if err := writeFile(*jsonOut, rep.WriteJSON); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "JSON written to %s\n", *jsonOut)
+		}
 	}
 
-	if *csvOut != "" {
-		if err := writeFile(*csvOut, rep.WriteCSV); err != nil {
+	if *agentic {
+		if err := runAgentic(exp, *agenticJSON); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "CSV written to %s\n", *csvOut)
-	}
-	if *jsonOut != "" {
-		if err := writeFile(*jsonOut, rep.WriteJSON); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "JSON written to %s\n", *jsonOut)
 	}
 
 	if *ablation {
 		runAblation(cfg)
 	}
+}
+
+// runAgentic runs the multi-turn tool-session corpus against the
+// experiment's pipeline through an in-process agent service and exits
+// non-zero when any scenario fails (the CI contract).
+func runAgentic(exp *eval.Experiment, jsonOut string) error {
+	svc, err := agent.NewService(agent.Config{Pipeline: exp.Pipeline})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	rep, err := eval.RunAgentic(context.Background(), svc, eval.DefaultAgenticScenarios(exp.World))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "agentic corpus finished in %v\n", time.Since(start))
+	fmt.Println(rep.Render())
+	if jsonOut != "" {
+		if err := writeFile(jsonOut, rep.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "agentic JSON written to %s\n", jsonOut)
+	}
+	if !rep.Passed() {
+		return fmt.Errorf("agentic corpus failed")
+	}
+	return nil
 }
 
 // runAblation compares retriever compositions: full pipeline, no

@@ -47,6 +47,11 @@ func main() {
 		fsyncMode     = flag.String("fsync", "interval", "WAL fsync policy: always, interval, or never")
 		fsyncEvery    = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync timer period for -fsync=interval")
 		ckptBytes     = flag.Int64("checkpoint-bytes", 64<<20, "auto-checkpoint once the WAL exceeds this size (0 disables)")
+		sessionTTL    = flag.Duration("session-ttl", 0, "agent tool-session idle TTL (0 = 10m default)")
+		maxSessions   = flag.Int("max-sessions", 0, "max live agent tool sessions before LRU eviction (0 = 1024 default)")
+		sessionRate   = flag.Float64("session-rate", 0, "per-session tool calls per second (0 = 10/s default, negative disables)")
+		sessionBurst  = flag.Int("session-burst", 0, "per-session tool-call burst (0 = 20 default)")
+		sessionTokens = flag.Int("session-tokens", 0, "per-session LLM token budget (0 = unlimited)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "chatiyp-server ", log.LstdFlags)
@@ -91,16 +96,21 @@ func main() {
 
 	var pipe *core.Pipeline = sys.Pipeline()
 	srv, err := server.New(server.Config{
-		Pipeline:          pipe,
-		Logger:            logger,
-		MaxConcurrent:     *maxConcurrent,
-		MaxQueue:          *maxQueue,
-		AskTimeout:        *askTimeout,
-		CypherTimeout:     *cypherTimeout,
-		DrainTimeout:      *drainTimeout,
-		MaxParallelism:    *maxPar,
-		SemCacheThreshold: *semThr,
-		SemCacheSize:      *semSize,
+		Pipeline:           pipe,
+		Logger:             logger,
+		MaxConcurrent:      *maxConcurrent,
+		MaxQueue:           *maxQueue,
+		AskTimeout:         *askTimeout,
+		CypherTimeout:      *cypherTimeout,
+		DrainTimeout:       *drainTimeout,
+		MaxParallelism:     *maxPar,
+		SemCacheThreshold:  *semThr,
+		SemCacheSize:       *semSize,
+		SessionTTL:         *sessionTTL,
+		MaxSessions:        *maxSessions,
+		SessionRatePerSec:  *sessionRate,
+		SessionRateBurst:   *sessionBurst,
+		SessionTokenBudget: *sessionTokens,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -10,6 +10,7 @@
 //	chatiyp            # REPL mode: one question per line
 //	chatiyp -trace -q "..."
 //	chatiyp -server http://localhost:8080 -q "..."
+//	chatiyp -server http://localhost:8080 -session   # multi-turn tool session
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 
 	"chatiyp"
 	"chatiyp/client"
+	"chatiyp/internal/api"
 	"chatiyp/internal/iyp"
 )
 
@@ -34,6 +36,7 @@ func main() {
 		small    = flag.Bool("small", false, "use the small dataset (fast startup)")
 		graphIn  = flag.String("graph", "", "load the knowledge graph from a snapshot instead of generating it")
 		remote   = flag.String("server", "", "remote mode: ChatIYP server base URL (e.g. http://localhost:8080)")
+		session  = flag.Bool("session", false, "remote mode: hold one server-side tool session across questions (multi-turn state, per-session budgets)")
 		annRetr  = flag.Bool("ann-retrieval", false, "serve vector retrieval from the approximate HNSW index instead of the exact scan")
 		semThr   = flag.Float64("semcache-threshold", 0, "enable the semantic answer cache at this similarity threshold, e.g. 0.97 (0 = disabled)")
 		semSize  = flag.Int("semcache-size", 0, "semantic cache LRU capacity (0 = default)")
@@ -52,7 +55,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "connected to %s\n", *remote)
-		askFn = func(q string, trace bool) error { return askRemote(c, q, trace) }
+		if *session {
+			sess, err := c.NewSession(context.Background(), 0)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "chatiyp: creating session:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "session %s — every question and answer is stored server-side\n", sess.ID)
+			defer closeSession(sess)
+			askFn = func(q string, trace bool) error { return askSession(sess, q, trace) }
+		} else {
+			askFn = func(q string, trace bool) error { return askRemote(c, q, trace) }
+		}
 	} else {
 		sys, err := buildSystem(*graphIn, *small, chatiyp.Options{
 			Perfect:           *perfect,
@@ -102,6 +116,35 @@ func askRemote(c *client.Client, question string, trace bool) error {
 	if err != nil {
 		return err
 	}
+	printWireAnswer(ans, trace)
+	return nil
+}
+
+// askSession answers one question through the agent tools endpoint:
+// the question and answer land in the session's server-side transcript,
+// so the conversation accumulates without the client holding state.
+func askSession(sess *client.Session, question string, trace bool) error {
+	res, err := sess.Ask(context.Background(), api.AskToolParams{Question: question})
+	if err != nil {
+		return err
+	}
+	printWireAnswer(res.Ask, trace)
+	if res.Handle != "" {
+		fmt.Fprintf(os.Stderr, "  (stored as %s)\n", res.Handle)
+	}
+	return nil
+}
+
+// closeSession reports the conversation's server-side totals and ends
+// the session (best effort; an unreachable server just lets TTL do it).
+func closeSession(sess *client.Session) {
+	if info, err := sess.Info(context.Background()); err == nil {
+		fmt.Fprintf(os.Stderr, "session %s: %d calls, %d tokens\n", sess.ID, info.Calls, info.TokensUsed)
+	}
+	_ = sess.Delete(context.Background())
+}
+
+func printWireAnswer(ans *api.AskResponse, trace bool) {
 	fmt.Println(ans.Answer)
 	if ans.Cypher != "" {
 		fmt.Printf("\n  cypher: %s\n", ans.Cypher)
@@ -126,7 +169,6 @@ func askRemote(c *client.Client, question string, trace bool) error {
 		}
 	}
 	fmt.Println()
-	return nil
 }
 
 func buildSystem(graphPath string, small bool, opts chatiyp.Options) (*chatiyp.System, error) {

@@ -10,11 +10,13 @@
 //	cyphershell -c "MATCH (a:AS {asn: 2497}) RETURN a"
 //	cyphershell -graph snapshot.bin
 //	cyphershell -server http://localhost:8080
+//	cyphershell -server http://localhost:8080 -session   # results become handles
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +24,7 @@ import (
 	"time"
 
 	"chatiyp/client"
+	"chatiyp/internal/api"
 	"chatiyp/internal/cypher"
 	"chatiyp/internal/graph"
 	"chatiyp/internal/iyp"
@@ -33,6 +36,7 @@ func main() {
 		small   = flag.Bool("small", false, "use the small dataset")
 		graphIn = flag.String("graph", "", "load the graph from a snapshot")
 		remote  = flag.String("server", "", "remote mode: ChatIYP server base URL (e.g. http://localhost:8080)")
+		session = flag.Bool("session", false, "remote mode: run queries inside one server-side tool session (results become named handles; type :session for state)")
 	)
 	flag.Parse()
 
@@ -48,7 +52,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "connected to %s — rows stream as the server produces them\n", *remote)
-		runFn = func(q string) error { return runRemote(c, q) }
+		if *session {
+			sess, err := c.NewSession(context.Background(), 0)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cyphershell: creating session:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "session %s — each result is stored server-side as a handle (r1, r2, ...)\n", sess.ID)
+			defer func() { _ = sess.Delete(context.Background()) }()
+			runFn = func(q string) error { return runSession(c, sess, q) }
+		} else {
+			runFn = func(q string) error { return runRemote(c, q) }
+		}
 	} else {
 		g, err := loadGraph(*graphIn, *small)
 		if err != nil {
@@ -131,6 +146,82 @@ func runRemote(c *client.Client, query string) error {
 		summary += fmt.Sprintf(" (created %d nodes, %d rels; set %d props; deleted %d nodes, %d rels)",
 			st.NodesCreated, st.RelationshipsCreated, st.PropertiesSet,
 			st.NodesDeleted, st.RelationshipsDeleted)
+	}
+	fmt.Fprintln(os.Stderr, summary)
+	return nil
+}
+
+// runSession executes one query through the agent tools endpoint
+// inside the shell's session: rows stream over NDJSON exactly like
+// plain remote mode, but every result is stored server-side as a named
+// handle for later turns. ":session" prints the accumulated state.
+func runSession(c *client.Client, sess *client.Session, query string) error {
+	ctx := context.Background()
+	if strings.TrimSpace(query) == ":session" {
+		info, err := sess.Info(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("session %s: %d calls, %d tokens, expires in %ds\n",
+			info.SessionID, info.Calls, info.TokensUsed, info.ExpiresInSeconds)
+		fmt.Printf("handles: %s\n", strings.Join(info.Handles, ", "))
+		for _, e := range info.Transcript {
+			line := fmt.Sprintf("  #%d %-15s %s", e.Seq, e.Tool, e.Summary)
+			if e.Err != "" {
+				line += "  ERR: " + e.Err
+			}
+			fmt.Println(line)
+		}
+		return nil
+	}
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(query), "EXPLAIN "); ok {
+		res, err := sess.RunCypher(ctx, api.RunCypherParams{Query: rest, Explain: true})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Cypher.Plan)
+		return nil
+	}
+	args, err := json.Marshal(api.RunCypherParams{Query: query})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	rows, err := c.CallToolStream(ctx, api.ToolCallParams{
+		Name: api.ToolRunCypher, Arguments: args, SessionID: sess.ID,
+	})
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	printedHeader := false
+	count := 0
+	for rows.Next() {
+		if !printedHeader {
+			if cols := rows.Columns(); len(cols) > 0 {
+				fmt.Println(strings.Join(cols, " | "))
+				fmt.Println(strings.Repeat("-", len(strings.Join(cols, " | "))))
+			}
+			printedHeader = true
+		}
+		row := rows.Row()
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = graph.FormatValue(v)
+		}
+		fmt.Println(strings.Join(parts, " | "))
+		count++
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	res := rows.Result()
+	summary := fmt.Sprintf("%d rows in %v", count, time.Since(start))
+	if res != nil && res.Cypher != nil && res.Cypher.Truncated {
+		summary += " (truncated by the server row cap)"
+	}
+	if res != nil && res.Handle != "" {
+		summary += " — stored as " + res.Handle
 	}
 	fmt.Fprintln(os.Stderr, summary)
 	return nil

@@ -1,0 +1,505 @@
+package agent
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chatiyp/internal/api"
+	"chatiyp/internal/core"
+	"chatiyp/internal/iyp"
+	"chatiyp/internal/llm"
+	"chatiyp/internal/metrics"
+)
+
+// fakeClock is the injectable session clock: tests advance it to drive
+// TTL expiry without sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func newTestService(t testing.TB, tune func(*Config)) (*Service, *iyp.World) {
+	t.Helper()
+	g, w, err := iyp.Build(iyp.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCfg := llm.DefaultSimConfig(core.BuildLexicon(g))
+	simCfg.ErrorScale = 0
+	p, err := core.New(core.Config{Graph: g, Model: llm.NewSim(simCfg), Metrics: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Pipeline: p}
+	if tune != nil {
+		tune(&cfg)
+	}
+	svc, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, w
+}
+
+func callTool(t testing.TB, svc *Service, sessionID, name string, args any) (*api.ToolCallResult, error) {
+	t.Helper()
+	var raw json.RawMessage
+	if args != nil {
+		b, err := json.Marshal(args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw = b
+	}
+	return svc.Call(context.Background(), api.ToolCallParams{Name: name, Arguments: raw, SessionID: sessionID})
+}
+
+func agentCode(t testing.TB, err error) string {
+	t.Helper()
+	var ae *Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %v (%T) is not *agent.Error", err, err)
+	}
+	return ae.Code
+}
+
+func TestToolsList(t *testing.T) {
+	svc, _ := newTestService(t, nil)
+	tools := svc.Tools()
+	want := map[string]bool{
+		api.ToolDescribeSchema: true, api.ToolSearchEntities: true,
+		api.ToolRunCypher: true, api.ToolAsk: true,
+	}
+	for _, d := range tools {
+		delete(want, d.Name)
+		if d.Description == "" || d.InputSchema == nil {
+			t.Errorf("tool %s missing description or schema", d.Name)
+		}
+	}
+	if len(want) != 0 {
+		t.Errorf("tools/list missing %v", want)
+	}
+}
+
+func TestDescribeSchemaTool(t *testing.T) {
+	svc, _ := newTestService(t, nil)
+	res, err := callTool(t, svc, "", api.ToolDescribeSchema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema == nil || len(res.Schema.Entries) == 0 || res.Schema.Text == "" {
+		t.Fatalf("schema result incomplete: %+v", res.Schema)
+	}
+	if res.Handle != "" {
+		t.Errorf("stateless call stored handle %q", res.Handle)
+	}
+}
+
+func TestSearchEntitiesTool(t *testing.T) {
+	svc, w := newTestService(t, nil)
+	res, err := callTool(t, svc, "", api.ToolSearchEntities, api.SearchEntitiesParams{
+		Query: "country " + w.Countries[0].Name, K: 5, Kind: iyp.LabelCountry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Search == nil || len(res.Search.Hits) == 0 {
+		t.Fatal("no hits")
+	}
+	for _, h := range res.Search.Hits {
+		if h.Kind != iyp.LabelCountry {
+			t.Errorf("kind filter leaked: hit %+v", h)
+		}
+		// A Country's key property is country_code; the hit must carry
+		// it so follow-ups can bind it into a query parameter.
+		if len(h.Name) != 2 {
+			t.Errorf("hit name %q is not a country code", h.Name)
+		}
+	}
+	if _, err := callTool(t, svc, "", api.ToolSearchEntities, api.SearchEntitiesParams{}); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestRunCypherTool(t *testing.T) {
+	svc, _ := newTestService(t, nil)
+	res, err := callTool(t, svc, "", api.ToolRunCypher, api.RunCypherParams{
+		Query: "MATCH (c:Country) RETURN count(c) AS n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cypher == nil || res.Cypher.TotalRows != 1 || len(res.Cypher.Rows) != 1 {
+		t.Fatalf("cypher result = %+v", res.Cypher)
+	}
+
+	// Explain returns the plan without executing.
+	res, err = callTool(t, svc, "", api.ToolRunCypher, api.RunCypherParams{
+		Query: "MATCH (c:Country) RETURN c.name", Explain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cypher == nil || res.Cypher.Plan == "" {
+		t.Fatalf("explain result = %+v", res.Cypher)
+	}
+
+	// Writes are rejected on the tool surface.
+	_, err = callTool(t, svc, "", api.ToolRunCypher, api.RunCypherParams{
+		Query: "CREATE (x:Tag {label: 'nope'})",
+	})
+	if err == nil || agentCode(t, err) != api.CodeBadRequest {
+		t.Errorf("write query error = %v", err)
+	}
+
+	// Syntax errors carry the stable parse_error code.
+	_, err = callTool(t, svc, "", api.ToolRunCypher, api.RunCypherParams{Query: "MATCH ("})
+	if err == nil || agentCode(t, err) != api.CodeParseError {
+		t.Errorf("syntax error = %v", err)
+	}
+
+	// Row caps apply.
+	svc2, _ := newTestService(t, func(c *Config) { c.RowCap = 3 })
+	res, err = callTool(t, svc2, "", api.ToolRunCypher, api.RunCypherParams{
+		Query: "MATCH (a:AS) RETURN a.asn",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cypher.TotalRows != 3 || !res.Cypher.Truncated {
+		t.Errorf("row cap: rows = %d truncated = %v", res.Cypher.TotalRows, res.Cypher.Truncated)
+	}
+}
+
+func TestUnknownTool(t *testing.T) {
+	svc, _ := newTestService(t, nil)
+	_, err := callTool(t, svc, "", "launch_missiles", nil)
+	if err == nil || agentCode(t, err) != api.CodeUnknownTool {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestSessionHandleFlow is the multi-turn conversation the subsystem
+// exists for: search resolves an entity, run_cypher binds a parameter
+// from the stored search result, and a follow-up ask reasons over the
+// stored rows — each turn referencing server-side state only.
+func TestSessionHandleFlow(t *testing.T) {
+	svc, w := newTestService(t, nil)
+	info := svc.CreateSession(0)
+	if info.SessionID == "" {
+		t.Fatal("no session ID")
+	}
+	sid := info.SessionID
+
+	res, err := callTool(t, svc, sid, api.ToolSearchEntities, api.SearchEntitiesParams{
+		Query: "country " + w.Countries[0].Name, K: 3, Kind: iyp.LabelCountry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Handle != "r1" {
+		t.Fatalf("first handle = %q, want r1", res.Handle)
+	}
+
+	// Turn 2: bind the found country's code (the "name" column of r1)
+	// into a query parameter without the client resending it.
+	res, err = callTool(t, svc, sid, api.ToolRunCypher, api.RunCypherParams{
+		Query: "MATCH (c:Country {country_code: $code}) RETURN c.name AS name",
+		Bind:  map[string]api.HandleRef{"code": {Handle: "r1", Row: 0, Column: "name"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Handle != "r2" {
+		t.Fatalf("second handle = %q, want r2", res.Handle)
+	}
+	if res.Cypher.TotalRows != 1 {
+		t.Fatalf("bound query rows = %d, want 1", res.Cypher.TotalRows)
+	}
+
+	// Turn 3: follow-up ask over the stored rows.
+	res, err = callTool(t, svc, sid, api.ToolAsk, api.AskToolParams{
+		Question: "Which country did we find?", Use: []string{"r2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Handle != "r3" || res.Ask == nil || res.Ask.Answer == "" {
+		t.Fatalf("ask result: handle = %q ask = %+v", res.Handle, res.Ask)
+	}
+
+	got, err := svc.SessionInfo(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Calls != 3 || len(got.Transcript) != 3 {
+		t.Errorf("calls = %d transcript = %d", got.Calls, len(got.Transcript))
+	}
+	if strings.Join(got.Handles, ",") != "r1,r2,r3" {
+		t.Errorf("handles = %v", got.Handles)
+	}
+	if got.TokensUsed == 0 {
+		t.Error("ask spent no tokens")
+	}
+}
+
+func TestSaveAsAndBadHandles(t *testing.T) {
+	svc, _ := newTestService(t, nil)
+	sid := svc.CreateSession(0).SessionID
+	res, err := svc.Call(context.Background(), api.ToolCallParams{
+		Name: api.ToolRunCypher, SessionID: sid, SaveAs: "countries",
+		Arguments: json.RawMessage(`{"query": "MATCH (c:Country) RETURN c.country_code AS code"}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Handle != "countries" {
+		t.Errorf("handle = %q", res.Handle)
+	}
+
+	for _, ref := range []api.HandleRef{
+		{Handle: "nope", Row: 0},
+		{Handle: "countries", Row: 1 << 20},
+		{Handle: "countries", Row: 0, Column: "ghost"},
+	} {
+		_, err := callTool(t, svc, sid, api.ToolRunCypher, api.RunCypherParams{
+			Query: "MATCH (c:Country {country_code: $c}) RETURN c",
+			Bind:  map[string]api.HandleRef{"c": ref},
+		})
+		if err == nil || agentCode(t, err) != api.CodeBadHandle {
+			t.Errorf("ref %+v: err = %v", ref, err)
+		}
+	}
+
+	// save_as outside a session is invalid.
+	_, err = svc.Call(context.Background(), api.ToolCallParams{
+		Name: api.ToolDescribeSchema, SaveAs: "x",
+	})
+	if err == nil || agentCode(t, err) != api.CodeBadRequest {
+		t.Errorf("sessionless save_as err = %v", err)
+	}
+}
+
+func TestSessionTTLExpiry(t *testing.T) {
+	clock := newFakeClock()
+	svc, _ := newTestService(t, func(c *Config) {
+		c.Sessions = StoreConfig{TTL: time.Minute, Now: clock.Now}
+	})
+	sid := svc.CreateSession(0).SessionID
+	if _, err := callTool(t, svc, sid, api.ToolDescribeSchema, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The TTL slides: 40s then another 40s stays alive…
+	clock.Advance(40 * time.Second)
+	if _, err := callTool(t, svc, sid, api.ToolDescribeSchema, nil); err != nil {
+		t.Fatalf("within sliding TTL: %v", err)
+	}
+	clock.Advance(40 * time.Second)
+	if _, err := callTool(t, svc, sid, api.ToolDescribeSchema, nil); err != nil {
+		t.Fatalf("within sliding TTL: %v", err)
+	}
+	// …but 61 idle seconds kills the conversation with the clean code.
+	clock.Advance(61 * time.Second)
+	_, err := callTool(t, svc, sid, api.ToolDescribeSchema, nil)
+	if err == nil || agentCode(t, err) != api.CodeSessionExpired {
+		t.Fatalf("expired call err = %v", err)
+	}
+	// The expired code is sticky (tombstoned), not a generic not-found.
+	if _, err := svc.SessionInfo(sid); err == nil || agentCode(t, err) != api.CodeSessionExpired {
+		t.Errorf("post-expiry info err = %v", err)
+	}
+	if svc.Store().Len() != 0 {
+		t.Errorf("store len = %d", svc.Store().Len())
+	}
+}
+
+func TestSessionLRUEviction(t *testing.T) {
+	svc, _ := newTestService(t, func(c *Config) {
+		c.Sessions = StoreConfig{MaxSessions: 3}
+	})
+	ids := make([]string, 5)
+	for i := range ids {
+		ids[i] = svc.CreateSession(0).SessionID
+	}
+	if got := svc.Store().Len(); got != 3 {
+		t.Fatalf("store len = %d, want 3", got)
+	}
+	// The two oldest were evicted; eviction is not expiry.
+	for _, id := range ids[:2] {
+		if _, err := svc.SessionInfo(id); err == nil || agentCode(t, err) != api.CodeSessionNotFound {
+			t.Errorf("evicted session %s err = %v", id, err)
+		}
+	}
+	// Touching the oldest survivor protects it from the next eviction.
+	if _, err := svc.SessionInfo(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	svc.CreateSession(0)
+	if _, err := svc.SessionInfo(ids[2]); err != nil {
+		t.Errorf("recently-used session evicted: %v", err)
+	}
+	if _, err := svc.SessionInfo(ids[3]); err == nil {
+		t.Error("LRU session survived eviction")
+	}
+}
+
+func TestSessionRateBudget(t *testing.T) {
+	clock := newFakeClock()
+	svc, _ := newTestService(t, func(c *Config) {
+		c.Sessions = StoreConfig{RatePerSec: 0.5, RateBurst: 2, Now: clock.Now}
+	})
+	sid := svc.CreateSession(0).SessionID
+	for i := 0; i < 2; i++ {
+		if _, err := callTool(t, svc, sid, api.ToolDescribeSchema, nil); err != nil {
+			t.Fatalf("call %d within burst: %v", i, err)
+		}
+	}
+	_, err := callTool(t, svc, sid, api.ToolDescribeSchema, nil)
+	var ae *Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeSessionBudget {
+		t.Fatalf("over-budget err = %v", err)
+	}
+	if ae.RetryAfter <= 0 {
+		t.Errorf("RetryAfter = %v, want > 0", ae.RetryAfter)
+	}
+	// The bucket refills with (fake) time; the budget is per session.
+	clock.Advance(ae.RetryAfter + time.Millisecond)
+	if _, err := callTool(t, svc, sid, api.ToolDescribeSchema, nil); err != nil {
+		t.Errorf("post-refill call: %v", err)
+	}
+	other := svc.CreateSession(0).SessionID
+	if _, err := callTool(t, svc, other, api.ToolDescribeSchema, nil); err != nil {
+		t.Errorf("second session throttled by first: %v", err)
+	}
+}
+
+func TestSessionTokenBudget(t *testing.T) {
+	svc, w := newTestService(t, func(c *Config) {
+		c.Sessions = StoreConfig{TokenBudget: 1}
+	})
+	sid := svc.CreateSession(0).SessionID
+	q := fmt.Sprintf("What is the name of AS%d?", w.ASes[0].ASN)
+	if _, err := callTool(t, svc, sid, api.ToolAsk, api.AskToolParams{Question: q}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := callTool(t, svc, sid, api.ToolAsk, api.AskToolParams{Question: q})
+	if err == nil || agentCode(t, err) != api.CodeSessionBudget {
+		t.Fatalf("exhausted budget err = %v", err)
+	}
+}
+
+// TestConcurrentSessionCalls hammers one session from many goroutines
+// (run under -race): admission, commit, and handle bookkeeping must
+// serialize without losing calls.
+func TestConcurrentSessionCalls(t *testing.T) {
+	svc, _ := newTestService(t, func(c *Config) {
+		c.Sessions = StoreConfig{RatePerSec: -1} // rate limiting off
+	})
+	sid := svc.CreateSession(0).SessionID
+	const workers, perWorker = 8, 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				var err error
+				if j%2 == 0 {
+					_, err = callTool(t, svc, sid, api.ToolRunCypher, api.RunCypherParams{
+						Query: "MATCH (c:Country) RETURN count(c)",
+					})
+				} else {
+					_, err = callTool(t, svc, sid, api.ToolDescribeSchema, nil)
+				}
+				if err != nil {
+					errs <- err
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	info, err := svc.SessionInfo(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Calls != workers*perWorker {
+		t.Errorf("calls = %d, want %d", info.Calls, workers*perWorker)
+	}
+	// Every run_cypher stored a handle; names are unique.
+	seen := map[string]bool{}
+	for _, h := range info.Handles {
+		if seen[h] {
+			t.Errorf("duplicate handle %q", h)
+		}
+		seen[h] = true
+	}
+	if len(info.Handles) != workers*perWorker/2 {
+		t.Errorf("handles = %d, want %d", len(info.Handles), workers*perWorker/2)
+	}
+}
+
+func TestTranscriptAndHandleBounds(t *testing.T) {
+	svc, _ := newTestService(t, func(c *Config) {
+		c.Sessions = StoreConfig{MaxTranscript: 4, MaxHandles: 2, RatePerSec: -1}
+	})
+	sid := svc.CreateSession(0).SessionID
+	for i := 0; i < 6; i++ {
+		if _, err := callTool(t, svc, sid, api.ToolRunCypher, api.RunCypherParams{
+			Query: "MATCH (c:Country) RETURN count(c)",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := svc.SessionInfo(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Transcript) != 4 {
+		t.Errorf("transcript = %d, want 4", len(info.Transcript))
+	}
+	if strings.Join(info.Handles, ",") != "r5,r6" {
+		t.Errorf("handles = %v, want [r5 r6]", info.Handles)
+	}
+	if info.Calls != 6 {
+		t.Errorf("calls = %d", info.Calls)
+	}
+}
+
+func TestDeleteSession(t *testing.T) {
+	svc, _ := newTestService(t, nil)
+	sid := svc.CreateSession(0).SessionID
+	if err := svc.DeleteSession(sid); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.DeleteSession(sid); err == nil || agentCode(t, err) != api.CodeSessionNotFound {
+		t.Errorf("double delete err = %v", err)
+	}
+	if _, err := svc.SessionInfo(sid); err == nil || agentCode(t, err) != api.CodeSessionNotFound {
+		t.Errorf("deleted session info err = %v", err)
+	}
+}

@@ -1,0 +1,471 @@
+// Multi-turn sessions: the server-side conversation state of the agent
+// tool surface. A session holds the tool-call transcript, the named
+// result handles follow-up calls reference, and the per-session
+// budgets (call rate, LLM tokens). The store bounds total state with
+// an idle TTL plus an LRU cap, so an abandoned agent conversation can
+// never pin memory forever and a burst of new conversations evicts the
+// coldest ones first.
+package agent
+
+import (
+	"container/list"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"chatiyp/internal/api"
+	"chatiyp/internal/graph"
+	"chatiyp/internal/metrics"
+)
+
+// Store defaults. All are overridable through StoreConfig.
+const (
+	DefaultSessionTTL    = 10 * time.Minute
+	DefaultMaxSessionTTL = time.Hour
+	DefaultMaxSessions   = 1024
+	DefaultRatePerSec    = 10.0
+	DefaultRateBurst     = 20
+	DefaultMaxHandles    = 32
+	DefaultHandleRowCap  = 256
+	DefaultMaxTranscript = 64
+)
+
+// StoreConfig tunes the session store. The zero value gets the
+// defaults above.
+type StoreConfig struct {
+	// TTL is the idle TTL: a session untouched for this long expires.
+	// The TTL is sliding — every successful access restarts it.
+	TTL time.Duration
+	// MaxTTL clamps client-requested TTLs (session/create ttl_seconds).
+	MaxTTL time.Duration
+	// MaxSessions bounds live sessions; creating past the bound evicts
+	// the least-recently-used session.
+	MaxSessions int
+	// RatePerSec and RateBurst shape the per-session token bucket
+	// admitting tool calls. RatePerSec < 0 disables rate limiting.
+	RatePerSec float64
+	RateBurst  int
+	// TokenBudget caps the LLM tokens (in + out) one session may spend
+	// across its ask calls; 0 means unlimited.
+	TokenBudget int
+	// MaxHandles bounds stored result handles per session (oldest
+	// dropped); HandleRowCap bounds the rows retained per handle.
+	MaxHandles   int
+	HandleRowCap int
+	// MaxTranscript bounds the recorded transcript entries per session.
+	MaxTranscript int
+	// Now is the clock; nil means time.Now. Tests inject it to drive
+	// TTL expiry deterministically.
+	Now func() time.Time
+}
+
+func (c StoreConfig) withDefaults() StoreConfig {
+	if c.TTL <= 0 {
+		c.TTL = DefaultSessionTTL
+	}
+	if c.MaxTTL <= 0 {
+		c.MaxTTL = DefaultMaxSessionTTL
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = DefaultMaxSessions
+	}
+	if c.RatePerSec == 0 {
+		c.RatePerSec = DefaultRatePerSec
+	}
+	if c.RateBurst <= 0 {
+		c.RateBurst = DefaultRateBurst
+	}
+	if c.MaxHandles <= 0 {
+		c.MaxHandles = DefaultMaxHandles
+	}
+	if c.HandleRowCap <= 0 {
+		c.HandleRowCap = DefaultHandleRowCap
+	}
+	if c.MaxTranscript <= 0 {
+		c.MaxTranscript = DefaultMaxTranscript
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Handle is one stored tool result a follow-up call can reference:
+// tabular rows (bounded by HandleRowCap) plus the rendered records the
+// ask tool injects as generation context.
+type Handle struct {
+	Name      string
+	Tool      string
+	Columns   []string
+	Rows      [][]graph.Value
+	Records   []string
+	Truncated bool
+}
+
+// cell returns the value addressed by a HandleRef. Column "" means
+// column 0.
+func (h *Handle) cell(ref api.HandleRef) (graph.Value, error) {
+	if ref.Row < 0 || ref.Row >= len(h.Rows) {
+		return nil, fmt.Errorf("handle %q has %d rows, row %d requested", h.Name, len(h.Rows), ref.Row)
+	}
+	col := 0
+	if ref.Column != "" {
+		col = -1
+		for i, c := range h.Columns {
+			if c == ref.Column {
+				col = i
+				break
+			}
+		}
+		if col < 0 {
+			return nil, fmt.Errorf("handle %q has no column %q (columns: %s)",
+				h.Name, ref.Column, strings.Join(h.Columns, ", "))
+		}
+	}
+	row := h.Rows[ref.Row]
+	if col >= len(row) {
+		return nil, fmt.Errorf("handle %q row %d has %d values", h.Name, ref.Row, len(row))
+	}
+	return row[col], nil
+}
+
+// Session is one agent conversation. Safe for concurrent use: the
+// store-level lock covers lifecycle (lookup, LRU, expiry) and the
+// session's own lock covers its mutable state, so concurrent tool
+// calls on one session serialize only around admission and commit, not
+// execution.
+type Session struct {
+	ID  string
+	ttl time.Duration
+
+	mu         sync.Mutex
+	deadline   time.Time // idle expiry; refreshed on every access
+	calls      int
+	tokensUsed int
+	rateTokens float64
+	rateLast   time.Time
+	handleSeq  int
+	handles    map[string]*Handle
+	order      []string // handle names, oldest first
+	transcript []api.TranscriptEntry
+	seq        int
+}
+
+// Store issues, tracks, expires, and evicts sessions.
+type Store struct {
+	cfg StoreConfig
+
+	mu       sync.Mutex
+	sessions map[string]*list.Element // → *Session
+	lru      *list.List               // front = most recently used
+	// expired tombstones the IDs that died by TTL, so a follow-up call
+	// on a dead conversation gets the clean session_expired code
+	// instead of the generic not-found. Bounded: cleared when it
+	// outgrows the session cap.
+	expired map[string]bool
+
+	active      *metrics.Gauge
+	evictions   *metrics.Counter
+	expirations *metrics.Counter
+}
+
+// NewStore builds a session store reporting into reg (nil means
+// metrics.Default).
+func NewStore(cfg StoreConfig, reg *metrics.Registry) *Store {
+	cfg = cfg.withDefaults()
+	if reg == nil {
+		reg = metrics.Default
+	}
+	return &Store{
+		cfg:         cfg,
+		sessions:    make(map[string]*list.Element),
+		lru:         list.New(),
+		expired:     make(map[string]bool),
+		active:      reg.Gauge("agent.sessions_active"),
+		evictions:   reg.Counter("agent.session_evictions"),
+		expirations: reg.Counter("agent.session_expirations"),
+	}
+}
+
+// newSessionID mints a 32-hex-char session identifier.
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("agent: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Create issues a new session. ttlSeconds asks for a non-default idle
+// TTL (clamped to MaxTTL); 0 means the store default. Creating past
+// MaxSessions evicts the least-recently-used session first, and every
+// Create opportunistically sweeps sessions whose TTL already elapsed.
+func (st *Store) Create(ttlSeconds int) *Session {
+	ttl := st.cfg.TTL
+	if ttlSeconds > 0 {
+		ttl = time.Duration(ttlSeconds) * time.Second
+		if ttl > st.cfg.MaxTTL {
+			ttl = st.cfg.MaxTTL
+		}
+	}
+	now := st.cfg.Now()
+	s := &Session{
+		ID:         newSessionID(),
+		ttl:        ttl,
+		deadline:   now.Add(ttl),
+		rateTokens: float64(st.cfg.RateBurst),
+		rateLast:   now,
+		handles:    make(map[string]*Handle),
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked(now)
+	for len(st.sessions) >= st.cfg.MaxSessions {
+		oldest := st.lru.Back()
+		if oldest == nil {
+			break
+		}
+		st.removeLocked(oldest.Value.(*Session).ID, false)
+		st.evictions.Inc()
+	}
+	st.sessions[s.ID] = st.lru.PushFront(s)
+	st.active.Set(int64(len(st.sessions)))
+	return s
+}
+
+// sweepLocked drops every session whose idle TTL has elapsed,
+// tombstoning the IDs so later accesses report session_expired.
+func (st *Store) sweepLocked(now time.Time) {
+	for e := st.lru.Back(); e != nil; {
+		prev := e.Prev()
+		s := e.Value.(*Session)
+		s.mu.Lock()
+		dead := now.After(s.deadline)
+		s.mu.Unlock()
+		if dead {
+			st.removeLocked(s.ID, true)
+			st.expirations.Inc()
+		}
+		e = prev
+	}
+}
+
+// removeLocked deletes a session from the map and LRU; tombstone
+// records it as expired (vs evicted/deleted).
+func (st *Store) removeLocked(id string, tombstone bool) {
+	e, ok := st.sessions[id]
+	if !ok {
+		return
+	}
+	delete(st.sessions, id)
+	st.lru.Remove(e)
+	if tombstone {
+		if len(st.expired) >= st.cfg.MaxSessions {
+			clear(st.expired)
+		}
+		st.expired[id] = true
+	}
+	st.active.Set(int64(len(st.sessions)))
+}
+
+// Get resolves a session ID, refreshing its sliding TTL and LRU
+// position. A TTL that elapsed since the last access answers a
+// session_expired *Error (and removes the session); an unknown or
+// evicted ID answers session_not_found.
+func (st *Store) Get(id string) (*Session, error) {
+	now := st.cfg.Now()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.sessions[id]
+	if !ok {
+		if st.expired[id] {
+			return nil, &Error{Code: api.CodeSessionExpired,
+				Message: "session " + id + " expired; create a new session"}
+		}
+		return nil, &Error{Code: api.CodeSessionNotFound, Message: "unknown session " + id}
+	}
+	s := e.Value.(*Session)
+	s.mu.Lock()
+	if now.After(s.deadline) {
+		s.mu.Unlock()
+		st.removeLocked(id, true)
+		st.expirations.Inc()
+		return nil, &Error{Code: api.CodeSessionExpired,
+			Message: "session " + id + " expired; create a new session"}
+	}
+	s.deadline = now.Add(s.ttl)
+	s.mu.Unlock()
+	st.lru.MoveToFront(e)
+	return s, nil
+}
+
+// Delete removes a session explicitly; false means it did not exist
+// (expired IDs count as existing for error-shape purposes — deleting
+// an expired session is not an error, it is already gone).
+func (st *Store) Delete(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.sessions[id]; ok {
+		st.removeLocked(id, false)
+		return true
+	}
+	if st.expired[id] {
+		delete(st.expired, id)
+		return true
+	}
+	return false
+}
+
+// Len returns the live session count.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.sessions)
+}
+
+// admit charges one tool call against the session's budgets: the rate
+// bucket first (429 with the refill time as Retry-After), then the
+// token budget (429; no retry hint — a spent budget does not refill).
+func (s *Session) admit(cfg StoreConfig) error {
+	now := cfg.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cfg.TokenBudget > 0 && s.tokensUsed >= cfg.TokenBudget {
+		return &Error{Code: api.CodeSessionBudget,
+			Message: fmt.Sprintf("session token budget exhausted (%d/%d tokens)", s.tokensUsed, cfg.TokenBudget)}
+	}
+	if cfg.RatePerSec < 0 {
+		return nil
+	}
+	s.rateTokens += now.Sub(s.rateLast).Seconds() * cfg.RatePerSec
+	if s.rateTokens > float64(cfg.RateBurst) {
+		s.rateTokens = float64(cfg.RateBurst)
+	}
+	s.rateLast = now
+	if s.rateTokens < 1 {
+		wait := time.Duration(math.Ceil((1 - s.rateTokens) / cfg.RatePerSec * float64(time.Second)))
+		return &Error{Code: api.CodeSessionBudget,
+			Message:    fmt.Sprintf("session rate limit exceeded (%.3g calls/s, burst %d)", cfg.RatePerSec, cfg.RateBurst),
+			RetryAfter: wait}
+	}
+	s.rateTokens--
+	return nil
+}
+
+// commit records one finished tool call: transcript entry, token
+// spend, and — when the call produced a tabular result — the handle
+// follow-up calls reference. saveAs names the handle explicitly;
+// otherwise auto-named handles count up "r1", "r2", ... monotonically
+// (eviction never reuses a name, so a scripted conversation's handle
+// names are stable). It returns the stored handle name ("" when h is
+// nil).
+func (s *Session) commit(cfg StoreConfig, tool, summary, saveAs string, h *Handle, tokens int, callErr string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	s.seq++
+	s.tokensUsed += tokens
+	name := ""
+	if h != nil && callErr == "" {
+		if saveAs != "" {
+			name = saveAs
+		} else {
+			s.handleSeq++
+			name = fmt.Sprintf("r%d", s.handleSeq)
+		}
+		if _, exists := s.handles[name]; exists {
+			// Re-saving under the same name replaces the stored result;
+			// drop the old order slot so the name is not listed twice.
+			for i, n := range s.order {
+				if n == name {
+					s.order = append(s.order[:i], s.order[i+1:]...)
+					break
+				}
+			}
+		}
+		h.Name = name
+		s.handles[name] = h
+		s.order = append(s.order, name)
+		for len(s.order) > cfg.MaxHandles {
+			delete(s.handles, s.order[0])
+			s.order = s.order[1:]
+		}
+	}
+	s.transcript = append(s.transcript, api.TranscriptEntry{
+		Seq: s.seq, Tool: tool, Summary: summary, Handle: name, Err: callErr,
+	})
+	if len(s.transcript) > cfg.MaxTranscript {
+		s.transcript = s.transcript[len(s.transcript)-cfg.MaxTranscript:]
+	}
+	return name
+}
+
+// handle resolves one stored result by name.
+func (s *Session) handle(name string) (*Handle, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.handles[name]
+	if !ok {
+		known := strings.Join(s.order, ", ")
+		if known == "" {
+			known = "none"
+		}
+		return nil, &Error{Code: api.CodeBadHandle, RPC: api.RPCInvalidParams,
+			Message: fmt.Sprintf("no result handle %q in this session (stored: %s)", name, known)}
+	}
+	return h, nil
+}
+
+// bind resolves a HandleRef to the referenced cell value.
+func (s *Session) bind(ref api.HandleRef) (graph.Value, error) {
+	h, err := s.handle(ref.Handle)
+	if err != nil {
+		return nil, err
+	}
+	v, err := h.cell(ref)
+	if err != nil {
+		return nil, &Error{Code: api.CodeBadHandle, RPC: api.RPCInvalidParams, Message: err.Error()}
+	}
+	return v, nil
+}
+
+// records renders the named handles' stored rows as generation context
+// for the ask tool.
+func (s *Session) records(names []string) ([]string, error) {
+	var out []string
+	for _, name := range names {
+		h, err := s.handle(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, h.Records...)
+	}
+	return out, nil
+}
+
+// info snapshots the session for the wire. withTranscript includes the
+// recorded conversation (session/get).
+func (s *Session) info(cfg StoreConfig, withTranscript bool) api.SessionInfo {
+	now := cfg.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inf := api.SessionInfo{
+		SessionID:   s.ID,
+		TTLSeconds:  int(s.ttl / time.Second),
+		Calls:       s.calls,
+		TokensUsed:  s.tokensUsed,
+		TokenBudget: cfg.TokenBudget,
+		Handles:     append([]string(nil), s.order...),
+	}
+	if rem := s.deadline.Sub(now); rem > 0 {
+		inf.ExpiresInSeconds = int(rem / time.Second)
+	}
+	if withTranscript {
+		inf.Transcript = append([]api.TranscriptEntry(nil), s.transcript...)
+	}
+	return inf
+}

@@ -1,0 +1,300 @@
+package api
+
+import (
+	"encoding/json"
+
+	"chatiyp/internal/graph"
+)
+
+// This file defines the wire contract of the agent tool surface: an
+// MCP-flavored JSON-RPC 2.0 endpoint (POST /v1/tools) through which an
+// LLM agent lists tools, calls them, and holds multi-turn sessions with
+// server-side conversation state. See docs/AGENT.md for the protocol.
+//
+// Error layering mirrors the rest of v1: transport- and session-level
+// failures (malformed body, overload, session lifecycle, budgets)
+// answer an HTTP status with the uniform ErrorEnvelope; tool- and
+// method-level failures (unknown tool, bad arguments, Cypher errors)
+// answer HTTP 200 with a JSON-RPC error object whose Data carries the
+// same stable ErrorDetail shape.
+
+// JSONRPCVersion is the protocol version every request and response
+// carries.
+const JSONRPCVersion = "2.0"
+
+// JSON-RPC 2.0 error codes the tool endpoint uses. The stable ChatIYP
+// error vocabulary rides in RPCError.Data.Code; these numeric codes
+// only classify the failure for generic JSON-RPC clients.
+const (
+	RPCParseError     = -32700
+	RPCInvalidRequest = -32600
+	RPCMethodNotFound = -32601
+	RPCInvalidParams  = -32602
+	RPCInternalError  = -32603
+	// RPCToolError is the server-defined range code for a tool call
+	// that was dispatched but failed in execution (Cypher parse/exec
+	// errors, timeouts).
+	RPCToolError = -32000
+)
+
+// Stable error codes of the agent surface (extending the v1 vocabulary
+// in api.go).
+const (
+	// CodeSessionNotFound: the session ID is unknown — never issued,
+	// explicitly deleted, or already evicted. Mapped to HTTP 404.
+	CodeSessionNotFound = "session_not_found"
+	// CodeSessionExpired: the session's idle TTL elapsed; its state is
+	// gone and the client must create a new session. Mapped to HTTP 410.
+	CodeSessionExpired = "session_expired"
+	// CodeSessionBudget: the per-session rate or token budget is
+	// exhausted. Mapped to HTTP 429; rate exhaustion carries Retry-After
+	// with the bucket refill time.
+	CodeSessionBudget = "session_budget_exhausted"
+	// CodeUnknownTool: tools/call named a tool the server does not
+	// serve. Carried in an RPC error (HTTP 200).
+	CodeUnknownTool = "unknown_tool"
+	// CodeBadHandle: a tool argument referenced a result handle that
+	// does not exist in the session (or a row/column outside its
+	// bounds). Carried in an RPC error (HTTP 200).
+	CodeBadHandle = "unknown_handle"
+)
+
+// Tool endpoint method names (MCP-flavored).
+const (
+	MethodToolsList     = "tools/list"
+	MethodToolsCall     = "tools/call"
+	MethodSessionCreate = "session/create"
+	MethodSessionGet    = "session/get"
+	MethodSessionDelete = "session/delete"
+)
+
+// Tool names the server exposes.
+const (
+	ToolDescribeSchema = "describe_schema"
+	ToolSearchEntities = "search_entities"
+	ToolRunCypher      = "run_cypher"
+	ToolAsk            = "ask"
+)
+
+// ToolRequest is one JSON-RPC 2.0 request to POST /v1/tools.
+type ToolRequest struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      json.RawMessage `json:"id,omitempty"`
+	Method  string          `json:"method"`
+	Params  json.RawMessage `json:"params,omitempty"`
+}
+
+// RPCError is the JSON-RPC 2.0 error object. Data carries the same
+// stable ErrorDetail every other v1 failure uses, so clients can switch
+// on one code vocabulary across the whole API.
+type RPCError struct {
+	Code    int          `json:"code"`
+	Message string       `json:"message"`
+	Data    *ErrorDetail `json:"data,omitempty"`
+}
+
+// ToolResponse is one JSON-RPC 2.0 response. Exactly one of Result and
+// Error is set.
+type ToolResponse struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      json.RawMessage `json:"id,omitempty"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	Error   *RPCError       `json:"error,omitempty"`
+}
+
+// Stream notification method names: in NDJSON mode a streaming
+// tools/call response is framed as notifications (header, then one per
+// row) followed by the final ToolResponse on the last line.
+const (
+	MethodStreamHeader = "stream/header"
+	MethodStreamRow    = "stream/row"
+)
+
+// ToolStreamNotification is one NDJSON line of a streaming tools/call
+// response: a JSON-RPC notification (no ID) carrying a header or row.
+type ToolStreamNotification struct {
+	JSONRPC string           `json:"jsonrpc"`
+	Method  string           `json:"method"`
+	Params  ToolStreamParams `json:"params"`
+}
+
+// ToolStreamParams is the payload of a stream notification.
+type ToolStreamParams struct {
+	Columns []string      `json:"columns,omitempty"` // stream/header
+	Row     []graph.Value `json:"row,omitempty"`     // stream/row
+}
+
+// ToolDescriptor documents one callable tool for tools/list. The input
+// schema is JSON-Schema-shaped, the way MCP servers advertise tools.
+type ToolDescriptor struct {
+	Name        string         `json:"name"`
+	Description string         `json:"description"`
+	InputSchema map[string]any `json:"input_schema"`
+}
+
+// ToolsListResult is the tools/list result.
+type ToolsListResult struct {
+	Tools []ToolDescriptor `json:"tools"`
+}
+
+// ToolCallParams is the tools/call params: which tool, its arguments,
+// and optionally the session the call runs in. Within a session every
+// successful call's result is retained under a server-assigned handle
+// ("r1", "r2", ...) that later calls can reference; SaveAs names the
+// handle explicitly.
+type ToolCallParams struct {
+	Name      string          `json:"name"`
+	Arguments json.RawMessage `json:"arguments,omitempty"`
+	SessionID string          `json:"session_id,omitempty"`
+	SaveAs    string          `json:"save_as,omitempty"`
+}
+
+// ToolCallResult wraps every tools/call result: the tool's own output
+// plus the handle the session stored it under (empty for stateless
+// calls).
+type ToolCallResult struct {
+	Handle string `json:"handle,omitempty"`
+	// Exactly one of the following is set, matching the tool called.
+	Schema *DescribeSchemaResult `json:"schema,omitempty"`
+	Search *SearchEntitiesResult `json:"search,omitempty"`
+	Cypher *RunCypherResult      `json:"cypher,omitempty"`
+	Ask    *AskResponse          `json:"ask,omitempty"`
+}
+
+// SchemaEntryWire is one ontology element of describe_schema.
+type SchemaEntryWire struct {
+	Name        string   `json:"name"`
+	Kind        string   `json:"kind"`
+	Pattern     string   `json:"pattern,omitempty"`
+	Properties  []string `json:"properties,omitempty"`
+	Description string   `json:"description"`
+}
+
+// DescribeSchemaResult is the describe_schema tool output: the ontology
+// as structured entries plus the rendered schema card.
+type DescribeSchemaResult struct {
+	Entries []SchemaEntryWire `json:"entries"`
+	Text    string            `json:"text"`
+}
+
+// SearchEntitiesParams is the search_entities tool input.
+type SearchEntitiesParams struct {
+	// Query is the free-text description to match against node
+	// descriptions. Required.
+	Query string `json:"query"`
+	// K caps the hit count (server-bounded; default 8).
+	K int `json:"k,omitempty"`
+	// Kind restricts hits to one node label (e.g. "Country").
+	Kind string `json:"kind,omitempty"`
+}
+
+// EntityHit is one search_entities hit.
+type EntityHit struct {
+	// ID is the graph node ID.
+	ID int64 `json:"id"`
+	// Kind is the node label the description was indexed under.
+	Kind string `json:"kind"`
+	// Name is the node's key property (name, ASN, prefix, ...) in
+	// display form — the natural value to bind into a follow-up
+	// run_cypher parameter.
+	Name string `json:"name"`
+	// Text is the indexed description.
+	Text string `json:"text"`
+	// Score is the cosine similarity to the query.
+	Score float64 `json:"score"`
+}
+
+// SearchEntitiesResult is the search_entities tool output.
+type SearchEntitiesResult struct {
+	Hits []EntityHit `json:"hits"`
+}
+
+// HandleRef addresses one cell of a prior result handle: run_cypher
+// binds it into a query parameter, so a follow-up query can reference a
+// previous tool call's output without the client resending it.
+type HandleRef struct {
+	// Handle names the stored result ("r1", or a SaveAs name).
+	Handle string `json:"handle"`
+	// Row indexes into the stored rows (0-based).
+	Row int `json:"row"`
+	// Column is the column name; an empty Column means column 0.
+	Column string `json:"column,omitempty"`
+}
+
+// RunCypherParams is the run_cypher tool input.
+type RunCypherParams struct {
+	Query  string         `json:"query"`
+	Params map[string]any `json:"params,omitempty"`
+	// Bind resolves query parameters from prior result handles in the
+	// session, e.g. {"name": {"handle": "r1", "row": 0, "column":
+	// "name"}}.
+	Bind map[string]HandleRef `json:"bind,omitempty"`
+	// RowLimit caps the returned rows below the server's own cap.
+	RowLimit int `json:"row_limit,omitempty"`
+	// Explain returns the access plan instead of executing.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// RunCypherResult is the run_cypher tool output. In NDJSON mode the
+// rows travel as stream/row notifications and Rows is omitted here;
+// TotalRows always carries the count.
+type RunCypherResult struct {
+	Columns   []string        `json:"columns,omitempty"`
+	Rows      [][]graph.Value `json:"rows,omitempty"`
+	TotalRows int             `json:"total_rows"`
+	Stats     WriteStats      `json:"stats"`
+	Truncated bool            `json:"truncated,omitempty"`
+	Plan      string          `json:"plan,omitempty"`
+}
+
+// AskToolParams is the ask tool input. Use lists result handles whose
+// stored rows are rendered into the generation context: a follow-up
+// question can reason over prior tool results without re-retrieval.
+type AskToolParams struct {
+	Question string   `json:"question"`
+	Use      []string `json:"use,omitempty"`
+}
+
+// SessionCreateParams is the session/create params. TTLSeconds asks
+// for a non-default idle TTL, clamped to the server's maximum; zero
+// means the server default.
+type SessionCreateParams struct {
+	TTLSeconds int `json:"ttl_seconds,omitempty"`
+}
+
+// TranscriptEntry is one recorded tool call of a session.
+type TranscriptEntry struct {
+	Seq     int    `json:"seq"`
+	Tool    string `json:"tool"`
+	Summary string `json:"summary"`
+	Handle  string `json:"handle,omitempty"`
+	Err     string `json:"error,omitempty"`
+}
+
+// SessionInfo is the session/create and session/get result: identity,
+// lifecycle, budgets and (for session/get) the conversation transcript.
+type SessionInfo struct {
+	SessionID  string `json:"session_id"`
+	TTLSeconds int    `json:"ttl_seconds"`
+	// ExpiresInSeconds is the remaining idle time at response time.
+	ExpiresInSeconds int `json:"expires_in_seconds"`
+	Calls            int `json:"calls"`
+	// TokensUsed / TokenBudget track the session's LLM token budget
+	// (0 budget = unlimited).
+	TokensUsed  int `json:"tokens_used"`
+	TokenBudget int `json:"token_budget,omitempty"`
+	// Handles lists the stored result handles, oldest first.
+	Handles []string `json:"handles,omitempty"`
+	// Transcript is the recorded conversation (session/get only).
+	Transcript []TranscriptEntry `json:"transcript,omitempty"`
+}
+
+// SessionDeleteParams is the session/delete params.
+type SessionDeleteParams struct {
+	SessionID string `json:"session_id"`
+}
+
+// SessionGetParams is the session/get params.
+type SessionGetParams struct {
+	SessionID string `json:"session_id"`
+}

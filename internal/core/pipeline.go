@@ -440,6 +440,56 @@ func (p *Pipeline) vectorRetrieve(ctx context.Context, question string) ([]vecto
 	return p.index.SearchContext(ctx, p.embedder.Embed(question), p.cfg.VectorTopK, nil)
 }
 
+// SearchEntities exposes the retrieval tier directly: it embeds the
+// free-text query and returns the k nearest node descriptions,
+// optionally restricted to one label. This is the agent tool surface's
+// entity-resolution primitive (search_entities) — unlike Ask, no
+// translation or generation runs, just the vector index.
+func (p *Pipeline) SearchEntities(ctx context.Context, query string, k int, kind string) ([]vector.Hit, error) {
+	if k <= 0 {
+		k = p.cfg.VectorTopK
+	}
+	var filter vector.Filter
+	if kind != "" {
+		filter = vector.KindFilter(kind)
+	}
+	p.metrics.Counter("pipeline.entity_searches").Inc()
+	return p.index.SearchContext(ctx, p.embedder.Embed(query), k, filter)
+}
+
+// AnswerWithContext runs generation only: the model answers the
+// question over caller-supplied context records, with no retrieval of
+// its own. The agent tool surface uses it for follow-up asks that
+// reason over prior tool results (session handles rendered to records);
+// empty context degrades to a closed-book answer.
+func (p *Pipeline) AnswerWithContext(ctx context.Context, question string, records []string) (*Answer, error) {
+	started := time.Now()
+	p.metrics.Counter("pipeline.ask").Inc()
+	resp, err := p.cfg.Model.Complete(ctx, llm.Request{
+		Task:     llm.TaskAnswer,
+		Question: question,
+		Context:  records,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: contextual generation: %w", cancellationError(ctx, err))
+	}
+	ans := &Answer{
+		Question:  question,
+		Text:      resp.Text,
+		TokensIn:  resp.TokensIn,
+		TokensOut: resp.TokensOut,
+		Trace: []StageTrace{{
+			Stage:  "generate",
+			Detail: fmt.Sprintf("%d caller-supplied context records", len(records)),
+		}},
+	}
+	for _, r := range records {
+		ans.Context = append(ans.Context, ContextRecord{Source: "handle", Text: r})
+	}
+	ans.Duration = time.Since(started)
+	return ans, nil
+}
+
 // rerank scores every record with the shallow LLM scorer and keeps the
 // best RerankKeep, preserving score order (ties by original position).
 func (p *Pipeline) rerank(ctx context.Context, question string, records []ContextRecord, ans *Answer) ([]ContextRecord, error) {
@@ -689,6 +739,7 @@ func (p *Pipeline) Metrics() *metrics.Registry {
 	// per-pipeline and read zero while the cache is disabled so the
 	// metrics surface stays stable.
 	p.metrics.Counter("vector.ann_searches").Set(int64(vector.AnnSearchStats()))
+	p.metrics.Counter("vector.hnsw_replaces").Set(int64(vector.HNSWReplaceStats()))
 	// Persistence-tier counters (process-global): WAL traffic, base
 	// checkpoints, records replayed at open, and the wall time of the
 	// last snapshot load (0 until a snapshot has been loaded).

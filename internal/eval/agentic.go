@@ -1,0 +1,283 @@
+package eval
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"chatiyp/internal/agent"
+	"chatiyp/internal/api"
+	"chatiyp/internal/iyp"
+)
+
+// This file is the multi-turn eval corpus for the agent tool surface:
+// scripted conversations (search → bound query → grounded ask) run
+// against an in-process agent.Service, each turn checked against
+// structural expectations. CI publishes the JSON report as an
+// artifact so tool-surface regressions show up per scenario, not as a
+// single opaque failure.
+
+// AgenticExpect is the structural check applied to one turn's result.
+type AgenticExpect struct {
+	// MinHits requires at least this many search hits.
+	MinHits int `json:"min_hits,omitempty"`
+	// MinRows requires at least this many result rows from run_cypher.
+	MinRows int `json:"min_rows,omitempty"`
+	// Handle requires the server-assigned handle name.
+	Handle string `json:"handle,omitempty"`
+	// Answer requires a non-empty ask answer.
+	Answer bool `json:"answer,omitempty"`
+	// AnswerContains requires the answer to mention this substring
+	// (case-insensitive).
+	AnswerContains string `json:"answer_contains,omitempty"`
+}
+
+// AgenticStep is one turn of a scripted conversation.
+type AgenticStep struct {
+	Tool string `json:"tool"`
+	// Args is the tool's argument object, pre-marshaled.
+	Args json.RawMessage `json:"args,omitempty"`
+	// SaveAs names the stored handle explicitly ("" = auto).
+	SaveAs string        `json:"save_as,omitempty"`
+	Expect AgenticExpect `json:"expect"`
+}
+
+// AgenticScenario is one multi-turn conversation in the corpus.
+type AgenticScenario struct {
+	Name  string        `json:"name"`
+	Steps []AgenticStep `json:"steps"`
+}
+
+// AgenticStepResult records one executed turn.
+type AgenticStepResult struct {
+	Tool   string `json:"tool"`
+	Handle string `json:"handle,omitempty"`
+	Err    string `json:"err,omitempty"`
+	// Detail explains an expectation miss ("" = passed).
+	Detail string `json:"detail,omitempty"`
+}
+
+// AgenticResult is one scenario's outcome.
+type AgenticResult struct {
+	Name   string              `json:"name"`
+	Passed bool                `json:"passed"`
+	Steps  []AgenticStepResult `json:"steps"`
+	// Session snapshots the server-side state after the last turn,
+	// proving the conversation accumulated where it should.
+	Calls      int `json:"calls"`
+	TokensUsed int `json:"tokens_used"`
+}
+
+// AgenticReport is a full corpus run.
+type AgenticReport struct {
+	Scenarios []AgenticResult `json:"scenarios"`
+}
+
+// Passed reports whether every scenario passed.
+func (r *AgenticReport) Passed() bool {
+	for _, s := range r.Scenarios {
+		if !s.Passed {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteJSON exports the report (the CI artifact format).
+func (r *AgenticReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Render prints a per-scenario summary table.
+func (r *AgenticReport) Render() string {
+	var b strings.Builder
+	b.WriteString("Agentic corpus (multi-turn tool sessions)\n")
+	b.WriteString("=========================================\n")
+	pass := 0
+	for _, s := range r.Scenarios {
+		status := "FAIL"
+		if s.Passed {
+			status = "ok"
+			pass++
+		}
+		fmt.Fprintf(&b, "  %-36s %-4s  turns=%d tokens=%d\n", s.Name, status, s.Calls, s.TokensUsed)
+		for _, st := range s.Steps {
+			if st.Err != "" || st.Detail != "" {
+				fmt.Fprintf(&b, "    - %s: %s%s\n", st.Tool, st.Err, st.Detail)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "  passed %d/%d\n", pass, len(r.Scenarios))
+	return b.String()
+}
+
+func stepArgs(v any) json.RawMessage {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic("eval: marshaling agentic step args: " + err.Error())
+	}
+	return b
+}
+
+// DefaultAgenticScenarios builds the corpus against a concrete world:
+// every scenario exercises cross-turn state (a later turn references a
+// handle an earlier turn stored).
+func DefaultAgenticScenarios(w *iyp.World) []AgenticScenario {
+	country := w.Countries[0]
+	as := w.ASes[0]
+	return []AgenticScenario{
+		{
+			Name: "country-search-bind-ask",
+			Steps: []AgenticStep{
+				{
+					Tool: api.ToolSearchEntities,
+					Args: stepArgs(api.SearchEntitiesParams{
+						Query: "country " + country.Name, K: 3, Kind: iyp.LabelCountry,
+					}),
+					Expect: AgenticExpect{MinHits: 1, Handle: "r1"},
+				},
+				{
+					Tool: api.ToolRunCypher,
+					Args: stepArgs(api.RunCypherParams{
+						Query: "MATCH (c:Country {country_code: $code}) RETURN c.name AS name",
+						Bind:  map[string]api.HandleRef{"code": {Handle: "r1", Row: 0, Column: "name"}},
+					}),
+					Expect: AgenticExpect{MinRows: 1, Handle: "r2"},
+				},
+				{
+					Tool: api.ToolAsk,
+					Args: stepArgs(api.AskToolParams{
+						Question: "Which country did we find?", Use: []string{"r2"},
+					}),
+					Expect: AgenticExpect{Answer: true, Handle: "r3"},
+				},
+			},
+		},
+		{
+			Name: "as-neighborhood-followup",
+			Steps: []AgenticStep{
+				{
+					Tool:   api.ToolRunCypher,
+					SaveAs: "seed",
+					Args: stepArgs(api.RunCypherParams{
+						Query:  "MATCH (a:AS {asn: $asn}) RETURN a.asn AS asn, a.name AS name",
+						Params: map[string]any{"asn": as.ASN},
+					}),
+					Expect: AgenticExpect{MinRows: 1, Handle: "seed"},
+				},
+				{
+					Tool: api.ToolRunCypher,
+					Args: stepArgs(api.RunCypherParams{
+						Query: "MATCH (a:AS {asn: $asn})-[:COUNTRY]->(c:Country) RETURN c.country_code",
+						Bind:  map[string]api.HandleRef{"asn": {Handle: "seed", Row: 0, Column: "asn"}},
+					}),
+					Expect: AgenticExpect{MinRows: 1},
+				},
+				{
+					Tool: api.ToolAsk,
+					Args: stepArgs(api.AskToolParams{
+						Question: "Summarize what we learned about this AS.",
+						Use:      []string{"seed", "r1"},
+					}),
+					Expect: AgenticExpect{Answer: true},
+				},
+			},
+		},
+		{
+			Name: "schema-then-count",
+			Steps: []AgenticStep{
+				{
+					Tool:   api.ToolDescribeSchema,
+					Expect: AgenticExpect{},
+				},
+				{
+					Tool: api.ToolRunCypher,
+					Args: stepArgs(api.RunCypherParams{
+						Query: "MATCH (a:AS) RETURN count(a) AS n",
+					}),
+					Expect: AgenticExpect{MinRows: 1},
+				},
+				{
+					Tool: api.ToolAsk,
+					Args: stepArgs(api.AskToolParams{
+						Question: "How many autonomous systems does the graph hold?",
+						Use:      []string{"r1"},
+					}),
+					Expect: AgenticExpect{Answer: true},
+				},
+			},
+		},
+	}
+}
+
+func checkStep(res *api.ToolCallResult, exp AgenticExpect) string {
+	if exp.Handle != "" && res.Handle != exp.Handle {
+		return fmt.Sprintf("handle = %q, want %q", res.Handle, exp.Handle)
+	}
+	if exp.MinHits > 0 {
+		if res.Search == nil || len(res.Search.Hits) < exp.MinHits {
+			return fmt.Sprintf("hits < %d", exp.MinHits)
+		}
+	}
+	if exp.MinRows > 0 {
+		if res.Cypher == nil || res.Cypher.TotalRows < exp.MinRows {
+			return fmt.Sprintf("rows < %d", exp.MinRows)
+		}
+	}
+	if exp.Answer || exp.AnswerContains != "" {
+		if res.Ask == nil || res.Ask.Answer == "" {
+			return "empty answer"
+		}
+		if exp.AnswerContains != "" &&
+			!strings.Contains(strings.ToLower(res.Ask.Answer), strings.ToLower(exp.AnswerContains)) {
+			return fmt.Sprintf("answer does not mention %q", exp.AnswerContains)
+		}
+	}
+	return ""
+}
+
+// RunAgentic executes every scenario in its own session against svc.
+// A step error fails the scenario but later scenarios still run; only
+// harness-level failures (session create) abort.
+func RunAgentic(ctx context.Context, svc *agent.Service, scenarios []AgenticScenario) (*AgenticReport, error) {
+	rep := &AgenticReport{}
+	for _, sc := range scenarios {
+		info := svc.CreateSession(0)
+		if info.SessionID == "" {
+			return nil, fmt.Errorf("eval: creating session for %s", sc.Name)
+		}
+		res := AgenticResult{Name: sc.Name, Passed: true}
+		for _, st := range sc.Steps {
+			sr := AgenticStepResult{Tool: st.Tool}
+			out, err := svc.Call(ctx, api.ToolCallParams{
+				Name: st.Tool, Arguments: st.Args,
+				SessionID: info.SessionID, SaveAs: st.SaveAs,
+			})
+			if err != nil {
+				sr.Err = err.Error()
+				res.Passed = false
+			} else {
+				sr.Handle = out.Handle
+				if detail := checkStep(out, st.Expect); detail != "" {
+					sr.Detail = detail
+					res.Passed = false
+				}
+			}
+			res.Steps = append(res.Steps, sr)
+			if err != nil {
+				break
+			}
+		}
+		if got, err := svc.SessionInfo(info.SessionID); err == nil {
+			res.Calls = got.Calls
+			res.TokensUsed = got.TokensUsed
+		}
+		_ = svc.DeleteSession(info.SessionID)
+		rep.Scenarios = append(rep.Scenarios, res)
+	}
+	return rep, nil
+}

@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"chatiyp/internal/agent"
+	"chatiyp/internal/core"
+	"chatiyp/internal/iyp"
+	"chatiyp/internal/llm"
+	"chatiyp/internal/metrics"
+)
+
+func TestAgenticCorpus(t *testing.T) {
+	g, w, err := iyp.Build(iyp.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCfg := llm.DefaultSimConfig(core.BuildLexicon(g))
+	simCfg.ErrorScale = 0
+	p, err := core.New(core.Config{Graph: g, Model: llm.NewSim(simCfg), Metrics: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := agent.NewService(agent.Config{Pipeline: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scenarios := DefaultAgenticScenarios(w)
+	if len(scenarios) < 3 {
+		t.Fatalf("corpus has %d scenarios", len(scenarios))
+	}
+	rep, err := RunAgentic(context.Background(), svc, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("corpus failed:\n%s", rep.Render())
+	}
+	for _, s := range rep.Scenarios {
+		if s.Calls != len(s.Steps) {
+			t.Errorf("%s: session calls = %d, steps = %d", s.Name, s.Calls, len(s.Steps))
+		}
+	}
+
+	// The artifact format round-trips.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back AgenticReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Scenarios) != len(rep.Scenarios) {
+		t.Errorf("round-trip lost scenarios")
+	}
+	if !strings.Contains(rep.Render(), "passed 3/3") {
+		t.Errorf("render:\n%s", rep.Render())
+	}
+
+	// Sessions were cleaned up by the harness.
+	if svc.Store().Len() != 0 {
+		t.Errorf("leaked %d sessions", svc.Store().Len())
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"chatiyp/internal/agent"
 	"chatiyp/internal/api"
 	"chatiyp/internal/core"
 	"chatiyp/internal/cypher"
@@ -102,6 +103,27 @@ type Config struct {
 	// SemCacheSize bounds the semantic cache's LRU entry count when
 	// SemCacheThreshold engages it here (0 = the core default).
 	SemCacheSize int
+	// ToolTimeout bounds one POST /v1/tools tools/call execution
+	// (default AskTimeout — the ask tool runs the same pipeline).
+	ToolTimeout time.Duration
+	// SessionTTL is the idle TTL of agent tool sessions (0 = the agent
+	// default, 10 minutes). Each access slides the window.
+	SessionTTL time.Duration
+	// MaxSessions bounds live agent sessions; past it, creating a
+	// session evicts the least-recently-used one (0 = 1024).
+	MaxSessions int
+	// SessionRatePerSec and SessionRateBurst shape the per-session
+	// token bucket admitting tool calls; exhaustion answers 429 with
+	// Retry-After for that session only. Zero means the agent defaults;
+	// a negative rate disables per-session rate limiting.
+	SessionRatePerSec float64
+	SessionRateBurst  int
+	// SessionTokenBudget caps the LLM tokens one session may spend
+	// across its ask calls (0 = unlimited).
+	SessionTokenBudget int
+	// SessionClock overrides the session store's clock; tests inject it
+	// to drive TTL expiry deterministically. Nil means time.Now.
+	SessionClock func() time.Time
 }
 
 // DefaultCypherRowLimit is the /api/cypher row cap applied when
@@ -118,6 +140,7 @@ type Server struct {
 	mux   *http.ServeMux
 	sched *scheduler
 	reg   *metrics.Registry
+	agent *agent.Service
 }
 
 // ErrNoPipeline rejects a Config without a pipeline.
@@ -173,8 +196,28 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 32
 	}
+	if cfg.ToolTimeout == 0 {
+		cfg.ToolTimeout = cfg.AskTimeout
+	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux(), reg: cfg.Pipeline.Metrics()}
 	s.sched = newScheduler(cfg.MaxConcurrent, cfg.MaxQueue, s.reg)
+	agentSvc, err := agent.NewService(agent.Config{
+		Pipeline: cfg.Pipeline,
+		RowCap:   cfg.CypherRowLimit,
+		Metrics:  s.reg,
+		Sessions: agent.StoreConfig{
+			TTL:         cfg.SessionTTL,
+			MaxSessions: cfg.MaxSessions,
+			RatePerSec:  cfg.SessionRatePerSec,
+			RateBurst:   cfg.SessionRateBurst,
+			TokenBudget: cfg.SessionTokenBudget,
+			Now:         cfg.SessionClock,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.agent = agentSvc
 	// v1: the versioned surface. Every error is the uniform envelope.
 	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/schema", s.handleSchema)
@@ -184,6 +227,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/ask/batch", s.handleAskBatchV1)
 	s.mux.HandleFunc("POST /v1/cypher", s.handleCypherV1)
 	s.mux.HandleFunc("POST /v1/explain", s.handleExplainV1)
+	s.mux.HandleFunc("POST /v1/tools", s.handleToolsV1)
 	// Legacy: deprecated shims keeping the pre-versioning shapes.
 	s.mux.HandleFunc("GET /api/health", s.deprecated(s.handleHealth))
 	s.mux.HandleFunc("GET /api/schema", s.deprecated(s.handleSchema))

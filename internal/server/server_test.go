@@ -623,7 +623,7 @@ func TestMetricsExposeRetrievalCounters(t *testing.T) {
 	if err := json.Unmarshal(mrec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
-	for _, k := range []string{"vector.ann_searches", "semcache.hits", "semcache.misses", "semcache.stale", "semcache.size"} {
+	for _, k := range []string{"vector.ann_searches", "vector.hnsw_replaces", "semcache.hits", "semcache.misses", "semcache.stale", "semcache.size"} {
 		if _, ok := resp.Counters[k]; !ok {
 			t.Errorf("metrics response missing %q", k)
 		}

@@ -1,0 +1,419 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chatiyp/internal/api"
+	"chatiyp/internal/iyp"
+)
+
+// rpcCall posts one JSON-RPC request to /v1/tools and decodes the
+// recorder. The raw recorder is returned too so tests can assert HTTP
+// statuses and headers for session-level failures.
+func rpcCall(t *testing.T, h http.Handler, method string, params any) (*httptest.ResponseRecorder, *api.ToolResponse) {
+	t.Helper()
+	var raw json.RawMessage
+	if params != nil {
+		b, err := json.Marshal(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw = b
+	}
+	rec := postJSON(t, h, "/v1/tools", api.ToolRequest{
+		JSONRPC: api.JSONRPCVersion, ID: json.RawMessage(`7`), Method: method, Params: raw,
+	})
+	if rec.Code != http.StatusOK {
+		return rec, nil
+	}
+	var resp api.ToolResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding tools response: %v (body %s)", err, rec.Body.String())
+	}
+	return rec, &resp
+}
+
+func rpcResult(t *testing.T, h http.Handler, method string, params, out any) {
+	t.Helper()
+	rec, resp := rpcCall(t, h, method, params)
+	if resp == nil {
+		t.Fatalf("HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Error != nil {
+		t.Fatalf("%s error: %+v", method, resp.Error)
+	}
+	if out != nil {
+		if err := json.Unmarshal(resp.Result, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func toolCall(t *testing.T, h http.Handler, p api.ToolCallParams) (*httptest.ResponseRecorder, *api.ToolResponse) {
+	t.Helper()
+	return rpcCall(t, h, api.MethodToolsCall, p)
+}
+
+func TestToolsListHTTP(t *testing.T) {
+	s, _ := newTestServer(t)
+	var res api.ToolsListResult
+	rpcResult(t, s.Handler(), api.MethodToolsList, nil, &res)
+	if len(res.Tools) != 4 {
+		t.Fatalf("tools = %d, want 4", len(res.Tools))
+	}
+	for _, d := range res.Tools {
+		if d.InputSchema == nil {
+			t.Errorf("tool %s has no input schema", d.Name)
+		}
+	}
+}
+
+func TestToolsRPCEnvelope(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.Handler()
+
+	// Wrong JSON-RPC version answers in-band invalid-request.
+	rec := postJSON(t, h, "/v1/tools", api.ToolRequest{JSONRPC: "1.0", Method: api.MethodToolsList})
+	var resp api.ToolResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Code != http.StatusOK || resp.Error == nil || resp.Error.Code != api.RPCInvalidRequest {
+		t.Errorf("bad version: HTTP %d, error %+v", rec.Code, resp.Error)
+	}
+
+	// Unknown method.
+	_, r2 := rpcCall(t, h, "tools/hack", nil)
+	if r2.Error == nil || r2.Error.Code != api.RPCMethodNotFound {
+		t.Errorf("unknown method error = %+v", r2.Error)
+	}
+
+	// tools/call without a name.
+	_, r3 := toolCall(t, h, api.ToolCallParams{})
+	if r3.Error == nil || r3.Error.Code != api.RPCInvalidParams {
+		t.Errorf("missing name error = %+v", r3.Error)
+	}
+
+	// Unknown tool is a tool-level error with the stable code in data.
+	_, r4 := toolCall(t, h, api.ToolCallParams{Name: "no_such_tool"})
+	if r4.Error == nil || r4.Error.Code != api.RPCInvalidParams || r4.Error.Data == nil || r4.Error.Data.Code != api.CodeUnknownTool {
+		t.Errorf("unknown tool error = %+v", r4.Error)
+	}
+
+	// Malformed tool arguments answer invalid-params in-band.
+	_, r5 := toolCall(t, h, api.ToolCallParams{
+		Name: api.ToolRunCypher, Arguments: json.RawMessage(`{"nope": 1}`),
+	})
+	if r5.Error == nil || r5.Error.Code != api.RPCInvalidParams {
+		t.Errorf("bad arguments error = %+v", r5.Error)
+	}
+
+	// A Cypher syntax error stays in-band (HTTP 200) with parse_error.
+	rec6, r6 := toolCall(t, h, api.ToolCallParams{
+		Name: api.ToolRunCypher, Arguments: json.RawMessage(`{"query": "MATCH ("}`),
+	})
+	if rec6.Code != http.StatusOK || r6.Error == nil || r6.Error.Data == nil || r6.Error.Data.Code != api.CodeParseError {
+		t.Errorf("parse error: HTTP %d, error %+v", rec6.Code, r6.Error)
+	}
+}
+
+func TestToolsSessionRoundTripHTTP(t *testing.T) {
+	s, w := newTestServer(t)
+	h := s.Handler()
+
+	var info api.SessionInfo
+	rpcResult(t, h, api.MethodSessionCreate, api.SessionCreateParams{}, &info)
+	if info.SessionID == "" || info.TTLSeconds <= 0 {
+		t.Fatalf("create result = %+v", info)
+	}
+	sid := info.SessionID
+
+	// Turn 1: search. Turn 2: bind the result into a query.
+	args, _ := json.Marshal(api.SearchEntitiesParams{
+		Query: "country " + w.Countries[0].Name, K: 3, Kind: iyp.LabelCountry,
+	})
+	_, r1 := toolCall(t, h, api.ToolCallParams{Name: api.ToolSearchEntities, Arguments: args, SessionID: sid})
+	if r1.Error != nil {
+		t.Fatalf("search error: %+v", r1.Error)
+	}
+	var res1 api.ToolCallResult
+	if err := json.Unmarshal(r1.Result, &res1); err != nil {
+		t.Fatal(err)
+	}
+	if res1.Handle != "r1" || len(res1.Search.Hits) == 0 {
+		t.Fatalf("search result = %+v", res1)
+	}
+
+	args, _ = json.Marshal(api.RunCypherParams{
+		Query: "MATCH (c:Country {country_code: $code}) RETURN c.name AS name",
+		Bind:  map[string]api.HandleRef{"code": {Handle: "r1", Row: 0, Column: "name"}},
+	})
+	_, r2 := toolCall(t, h, api.ToolCallParams{Name: api.ToolRunCypher, Arguments: args, SessionID: sid})
+	if r2.Error != nil {
+		t.Fatalf("cypher error: %+v", r2.Error)
+	}
+
+	var got api.SessionInfo
+	rpcResult(t, h, api.MethodSessionGet, api.SessionGetParams{SessionID: sid}, &got)
+	if got.Calls != 2 || len(got.Transcript) != 2 || len(got.Handles) != 2 {
+		t.Fatalf("session state = %+v", got)
+	}
+
+	rpcResult(t, h, api.MethodSessionDelete, api.SessionDeleteParams{SessionID: sid}, nil)
+	rec, _ := rpcCall(t, h, api.MethodSessionGet, api.SessionGetParams{SessionID: sid})
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("deleted session get: HTTP %d", rec.Code)
+	}
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Err.Code != api.CodeSessionNotFound {
+		t.Errorf("envelope code = %q", env.Err.Code)
+	}
+}
+
+func TestToolsSessionExpiryHTTP(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1_800_000_000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	s := newCustomServer(t, func(c *Config) {
+		c.SessionTTL = time.Minute
+		c.SessionClock = clock
+	})
+	h := s.Handler()
+
+	var info api.SessionInfo
+	rpcResult(t, h, api.MethodSessionCreate, nil, &info)
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+
+	rec, _ := toolCall(t, h, api.ToolCallParams{Name: api.ToolDescribeSchema, SessionID: info.SessionID})
+	if rec.Code != http.StatusGone {
+		t.Fatalf("expired call: HTTP %d body %s", rec.Code, rec.Body.String())
+	}
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Err.Code != api.CodeSessionExpired {
+		t.Errorf("envelope code = %q", env.Err.Code)
+	}
+
+	// Unknown session stays a plain 404.
+	rec2, _ := toolCall(t, h, api.ToolCallParams{Name: api.ToolDescribeSchema, SessionID: "feedfacefeedfacefeedfacefeedface"})
+	if rec2.Code != http.StatusNotFound {
+		t.Errorf("unknown session: HTTP %d", rec2.Code)
+	}
+}
+
+func TestToolsSessionRateLimitHTTP(t *testing.T) {
+	now := time.Unix(1_800_000_000, 0)
+	s := newCustomServer(t, func(c *Config) {
+		c.SessionRatePerSec = 0.25
+		c.SessionRateBurst = 1
+		c.SessionClock = func() time.Time { return now }
+	})
+	h := s.Handler()
+
+	var info api.SessionInfo
+	rpcResult(t, h, api.MethodSessionCreate, nil, &info)
+	p := api.ToolCallParams{Name: api.ToolDescribeSchema, SessionID: info.SessionID}
+	if rec, resp := toolCall(t, h, p); rec.Code != http.StatusOK || resp.Error != nil {
+		t.Fatalf("first call: HTTP %d %+v", rec.Code, resp)
+	}
+	rec, _ := toolCall(t, h, p)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("throttled call: HTTP %d body %s", rec.Code, rec.Body.String())
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("Retry-After = %q, want positive seconds", ra)
+	}
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Err.Code != api.CodeSessionBudget {
+		t.Errorf("envelope code = %q", env.Err.Code)
+	}
+}
+
+// TestToolsCallStreamNDJSON checks the streaming frame contract:
+// stream/header and stream/row notifications, then the final JSON-RPC
+// response carrying stats and the session handle.
+func TestToolsCallStreamNDJSON(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.Handler()
+
+	var info api.SessionInfo
+	rpcResult(t, h, api.MethodSessionCreate, nil, &info)
+
+	args, _ := json.Marshal(api.RunCypherParams{Query: "MATCH (c:Country) RETURN c.country_code AS code"})
+	body, _ := json.Marshal(api.ToolRequest{
+		JSONRPC: api.JSONRPCVersion, ID: json.RawMessage(`9`), Method: api.MethodToolsCall,
+		Params: mustRaw(t, api.ToolCallParams{Name: api.ToolRunCypher, Arguments: args, SessionID: info.SessionID}),
+	})
+	req := httptest.NewRequest(http.MethodPost, "/v1/tools", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", api.MediaNDJSON)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != api.MediaNDJSON {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	var rows int
+	var sawHeader bool
+	var final *api.ToolResponse
+	sc := bufio.NewScanner(rec.Body)
+	for sc.Scan() {
+		var line struct {
+			Method string               `json:"method"`
+			Params api.ToolStreamParams `json:"params"`
+			Result json.RawMessage      `json:"result"`
+			Error  *api.RPCError        `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		switch {
+		case line.Method == api.MethodStreamHeader:
+			sawHeader = true
+			if len(line.Params.Columns) != 1 || line.Params.Columns[0] != "code" {
+				t.Errorf("header columns = %v", line.Params.Columns)
+			}
+			if rows > 0 {
+				t.Error("header arrived after rows")
+			}
+		case line.Method == api.MethodStreamRow:
+			rows++
+		case len(line.Result) > 0 || line.Error != nil:
+			if final != nil {
+				t.Fatal("multiple final responses")
+			}
+			final = &api.ToolResponse{Result: line.Result, Error: line.Error}
+		}
+	}
+	if !sawHeader || rows == 0 || final == nil {
+		t.Fatalf("stream shape: header=%v rows=%d final=%v", sawHeader, rows, final != nil)
+	}
+	if final.Error != nil {
+		t.Fatalf("final error: %+v", final.Error)
+	}
+	var res api.ToolCallResult
+	if err := json.Unmarshal(final.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Handle != "r1" || res.Cypher == nil || res.Cypher.TotalRows != rows {
+		t.Errorf("final result: handle=%q cypher=%+v (streamed %d rows)", res.Handle, res.Cypher, rows)
+	}
+	if len(res.Cypher.Rows) != 0 {
+		t.Errorf("streamed result re-sent %d rows in the final response", len(res.Cypher.Rows))
+	}
+
+	// A tool failure after negotiation stays in-band on the stream.
+	body2, _ := json.Marshal(api.ToolRequest{
+		JSONRPC: api.JSONRPCVersion, ID: json.RawMessage(`10`), Method: api.MethodToolsCall,
+		Params: mustRaw(t, api.ToolCallParams{Name: api.ToolRunCypher, Arguments: json.RawMessage(`{"query": "MATCH ("}`)}),
+	})
+	req2 := httptest.NewRequest(http.MethodPost, "/v1/tools", bytes.NewReader(body2))
+	req2.Header.Set("Content-Type", "application/json")
+	req2.Header.Set("Accept", api.MediaNDJSON)
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req2)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("stream error: HTTP %d", rec2.Code)
+	}
+	lines := strings.Split(strings.TrimSpace(rec2.Body.String()), "\n")
+	var resp2 api.ToolResponse
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Error == nil || resp2.Error.Data == nil || resp2.Error.Data.Code != api.CodeParseError {
+		t.Errorf("stream final error = %+v", resp2.Error)
+	}
+}
+
+func mustRaw(t *testing.T, v any) json.RawMessage {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestMetricsExposeAgentCounters checks the agent subsystem's gauges
+// and per-tool counters are present at /v1/metrics from process start
+// (presence with zero values keeps the surface stable for scrapers).
+func TestMetricsExposeAgentCounters(t *testing.T) {
+	s, _ := newTestServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/v1/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	var resp struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{
+		"agent.sessions_active",
+		"agent.tool_errors",
+		"agent.session_evictions",
+		"agent.session_expirations",
+	}
+	for _, tool := range []string{api.ToolDescribeSchema, api.ToolSearchEntities, api.ToolRunCypher, api.ToolAsk} {
+		keys = append(keys, fmt.Sprintf("agent.tool_calls{tool=%s}", tool))
+	}
+	for _, k := range keys {
+		if _, ok := resp.Counters[k]; !ok {
+			t.Errorf("metrics response missing %q", k)
+		}
+	}
+}
+
+// TestAgentGaugeTracksSessions checks agent.sessions_active follows
+// create/delete through the HTTP surface.
+func TestAgentGaugeTracksSessions(t *testing.T) {
+	s := newCustomServer(t, nil)
+	h := s.Handler()
+	snapshot := func() int64 {
+		req := httptest.NewRequest(http.MethodGet, "/v1/metrics", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		var resp struct {
+			Counters map[string]int64 `json:"counters"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Counters["agent.sessions_active"]
+	}
+	if got := snapshot(); got != 0 {
+		t.Fatalf("initial sessions_active = %d", got)
+	}
+	var a, b api.SessionInfo
+	rpcResult(t, h, api.MethodSessionCreate, nil, &a)
+	rpcResult(t, h, api.MethodSessionCreate, nil, &b)
+	if got := snapshot(); got != 2 {
+		t.Errorf("sessions_active = %d, want 2", got)
+	}
+	rpcResult(t, h, api.MethodSessionDelete, api.SessionDeleteParams{SessionID: a.SessionID}, nil)
+	if got := snapshot(); got != 1 {
+		t.Errorf("sessions_active = %d, want 1", got)
+	}
+}

@@ -71,6 +71,16 @@ var annSearches atomic.Uint64
 // (HNSW) searches executed.
 func AnnSearchStats() uint64 { return annSearches.Load() }
 
+// hnswReplaces counts in-place document replacements (Add on an
+// existing ID), mirrored as vector.hnsw_replaces. Replaced nodes keep
+// their links, so a high replace count flags corpora whose recall may
+// drift below the freshly-built reference (see Add).
+var hnswReplaces atomic.Uint64
+
+// HNSWReplaceStats returns the process-wide count of in-place document
+// replacements across all HNSW indexes.
+func HNSWReplaceStats() uint64 { return hnswReplaces.Load() }
+
 type hnswNode struct {
 	doc   Doc
 	vec   embed.Vector // normalized
@@ -170,6 +180,7 @@ func (h *HNSW) Add(d Doc) error {
 	if i, ok := h.byID[d.ID]; ok {
 		h.nodes[i].doc = d
 		h.nodes[i].vec = nv
+		hnswReplaces.Add(1)
 		return nil
 	}
 	level := h.levelFor(d.ID)

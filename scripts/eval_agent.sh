@@ -1,0 +1,12 @@
+#!/bin/sh
+# eval_agent.sh — run the multi-turn agent tool-session corpus (scripted
+# search -> bound query -> grounded ask conversations against an
+# in-process agent service) and write the per-scenario report to
+# AGENTIC.json. Exits non-zero when any scenario fails; CI publishes the
+# JSON as an artifact.
+set -eu
+
+OUT="${AGENTIC_OUT:-AGENTIC.json}"
+
+go run ./cmd/chatiyp-eval -small -agentic -agentic-json "$OUT"
+echo "eval_agent: report written to $OUT"

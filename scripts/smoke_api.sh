@@ -1,8 +1,9 @@
 #!/bin/sh
 # smoke_api.sh — build the server, boot it on a small example graph,
 # and drive the v1 API end to end (JSON, cursor pagination, streaming
-# NDJSON, ask, batch, explain, error envelope) through the client SDK
-# via cmd/apismoke. CI runs this as the api-smoke job.
+# NDJSON, ask, batch, explain, error envelope, the /v1/tools agent
+# surface and a create -> use -> expire session round trip) through the
+# client SDK via cmd/apismoke. CI runs this as the api-smoke job.
 set -eu
 
 ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
