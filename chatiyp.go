@@ -21,6 +21,7 @@ package chatiyp
 import (
 	"context"
 	"net/http"
+	"time"
 
 	"chatiyp/internal/core"
 	"chatiyp/internal/cypher"
@@ -29,6 +30,7 @@ import (
 	"chatiyp/internal/graph"
 	"chatiyp/internal/iyp"
 	"chatiyp/internal/llm"
+	"chatiyp/internal/resilience"
 	"chatiyp/internal/server"
 )
 
@@ -96,6 +98,32 @@ type Options struct {
 	// SemCacheSize bounds the semantic cache's LRU entry count: 0 means
 	// the default capacity, negative disables the cache.
 	SemCacheSize int
+	// Resilience wraps the model in the LLM-backend resilience layer
+	// (per-task timeouts, retries, circuit breakers, bulkhead) and
+	// enables graceful degradation: when the backend stays down, Ask
+	// answers from retrieved facts instead of failing. The LLM* fields
+	// below tune it; their zero values mean the resilience defaults.
+	Resilience bool
+	// LLMTimeout bounds each model call (0 = default 10s, negative
+	// disables).
+	LLMTimeout time.Duration
+	// LLMRetries is how many times a failed model call is retried with
+	// jittered backoff (0 = default 2, negative disables).
+	LLMRetries int
+	// LLMBreakerThreshold is the consecutive-failure count that opens a
+	// task's circuit breaker (0 = default 5, negative disables
+	// breakers).
+	LLMBreakerThreshold int
+	// LLMBreakerCooldown is how long an open breaker waits before
+	// half-opening (0 = default 5s).
+	LLMBreakerCooldown time.Duration
+	// LLMMaxInFlight caps concurrent model calls — the bulkhead (0 =
+	// default 256, negative uncapped).
+	LLMMaxInFlight int
+	// LLMFaults injects deterministic faults into the model backend for
+	// chaos testing, as a spec string parsed by llm.ParseFaultSpec —
+	// e.g. "down", "error=0.3,hang=0.1", "text2cypher:failfirst=5".
+	LLMFaults string
 }
 
 // System is a ready-to-use ChatIYP instance: dataset, pipeline and
@@ -136,16 +164,35 @@ func FromGraph(g *graph.Graph, world *iyp.World, opts Options) (*System, error) 
 	case opts.ErrorScale > 0:
 		simCfg.ErrorScale = opts.ErrorScale
 	}
-	pipe, err := core.New(core.Config{
+	var model llm.Model = llm.NewSim(simCfg)
+	if opts.LLMFaults != "" {
+		schedules, err := llm.ParseFaultSpec(opts.LLMFaults)
+		if err != nil {
+			return nil, err
+		}
+		model = &llm.FaultyModel{Inner: model, Seed: opts.Seed, Schedules: schedules}
+	}
+	coreCfg := core.Config{
 		Graph:                 g,
-		Model:                 llm.NewSim(simCfg),
+		Model:                 model,
 		DisableVectorFallback: opts.DisableVectorFallback,
 		DisableReranker:       opts.DisableReranker,
 		PlanCacheSize:         opts.PlanCacheSize,
 		ANNRetrieval:          opts.ANNRetrieval,
 		SemCacheThreshold:     opts.SemCacheThreshold,
 		SemCacheSize:          opts.SemCacheSize,
-	})
+	}
+	if opts.Resilience {
+		coreCfg.Resilience = &resilience.Config{
+			Timeout:          opts.LLMTimeout,
+			Retries:          opts.LLMRetries,
+			BreakerThreshold: opts.LLMBreakerThreshold,
+			BreakerCooldown:  opts.LLMBreakerCooldown,
+			MaxInFlight:      opts.LLMMaxInFlight,
+		}
+		coreCfg.Degrade = true
+	}
+	pipe, err := core.New(coreCfg)
 	if err != nil {
 		return nil, err
 	}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -35,7 +36,14 @@ type Client struct {
 	retries int
 	// sleep is swappable for tests; it must respect ctx.
 	sleep func(ctx context.Context, d time.Duration) error
+	// jitter maps a backoff ceiling to the actual wait (full jitter by
+	// default — a uniform draw in [0, d) — so a fleet of clients
+	// rejected together does not retry together). Swappable for tests.
+	jitter func(d time.Duration) time.Duration
 }
+
+// retryCap bounds the exponential backoff ceiling between attempts.
+const retryCap = 30 * time.Second
 
 // Option customizes a Client.
 type Option func(*Client)
@@ -77,6 +85,12 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 			case <-t.C:
 				return nil
 			}
+		},
+		jitter: func(d time.Duration) time.Duration {
+			if d <= 0 {
+				return 0
+			}
+			return time.Duration(rand.Int64N(int64(d)))
 		},
 	}
 	for _, o := range opts {
@@ -251,14 +265,64 @@ func (c *Client) post(ctx context.Context, path string, in any, accept string) (
 		if !errors.As(apiErr, &ae) || !ae.retryable() {
 			return nil, apiErr
 		}
-		wait := ae.RetryAfter
-		if wait <= 0 {
-			wait = time.Second
+		// Exponential backoff with full jitter: the server's Retry-After
+		// hint (or 1s) seeds the ceiling, doubled per attempt and capped;
+		// the actual wait is a uniform draw below the ceiling so clients
+		// rejected together do not come back together.
+		base := ae.RetryAfter
+		if base <= 0 {
+			base = time.Second
+		}
+		ceiling := base << attempt
+		if ceiling > retryCap || ceiling < base { // < base: shift overflow
+			ceiling = retryCap
+		}
+		wait := c.jitter(ceiling)
+		// If the context's deadline cannot fit the wait, the retry would
+		// only burn server capacity on a request whose client is about to
+		// give up — stop now and surface the server's answer.
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= wait {
+			return nil, apiErr
 		}
 		if err := c.sleep(ctx, wait); err != nil {
 			return nil, apiErr // context gave up first; surface the server's answer
 		}
 	}
+}
+
+// Ready fetches the server's readiness report: graph shape, LLM
+// circuit-breaker states, scheduler saturation. The report is returned
+// whenever the server produced one — including alongside a non-nil
+// error when the server answered 503 because it is draining — so
+// callers can inspect Status ("ready", "degraded", "draining") either
+// way.
+func (c *Client) Ready(ctx context.Context) (*api.ReadyResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/health/ready", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if err != nil {
+		return nil, fmt.Errorf("client: reading readiness response: %w", err)
+	}
+	var ready api.ReadyResponse
+	if jsonErr := json.Unmarshal(raw, &ready); jsonErr == nil && ready.Status != "" {
+		if resp.StatusCode == http.StatusOK {
+			return &ready, nil
+		}
+		return &ready, &APIError{
+			Status:  resp.StatusCode,
+			Code:    api.CodeUnavailable,
+			Message: "server not ready: " + ready.Status,
+		}
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(raw))
+	return nil, decodeAPIError(resp)
 }
 
 // decodeAPIError turns a non-200 response into an *APIError. Envelope

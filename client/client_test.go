@@ -226,6 +226,7 @@ func TestClientRetriesHonorRetryAfter(t *testing.T) {
 		slept = append(slept, d)
 		return nil
 	}
+	c.jitter = func(d time.Duration) time.Duration { return d } // pin to the ceiling
 	res, err := c.Query(context.Background(), "RETURN 1", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -236,8 +237,132 @@ func TestClientRetriesHonorRetryAfter(t *testing.T) {
 	if calls.Load() != 3 {
 		t.Errorf("calls = %d, want 3", calls.Load())
 	}
-	if len(slept) != 2 || slept[0] != 3*time.Second || slept[1] != 3*time.Second {
-		t.Errorf("slept = %v, want two 3s waits", slept)
+	// Retry-After seeds the backoff ceiling, doubled per attempt.
+	if len(slept) != 2 || slept[0] != 3*time.Second || slept[1] != 6*time.Second {
+		t.Errorf("slept = %v, want [3s, 6s]", slept)
+	}
+}
+
+// TestClientRetryJitterBounds checks the default jitter: every wait is
+// a uniform draw strictly below the exponential ceiling, so a fleet of
+// clients rejected together does not come back in lockstep.
+func TestClientRetryJitterBounds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "2")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprintf(w, `{"error": {"code": %q, "message": "busy"}}`, api.CodeOverloaded)
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL, WithRetries(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept []time.Duration
+	c.sleep = func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	if _, err := c.Query(context.Background(), "RETURN 1", nil); err == nil {
+		t.Fatal("no error after exhausting retries")
+	}
+	if len(slept) != 4 {
+		t.Fatalf("slept %d times, want 4", len(slept))
+	}
+	for i, d := range slept {
+		ceiling := 2 * time.Second << i
+		if d < 0 || d >= ceiling {
+			t.Errorf("wait %d = %v, want in [0, %v)", i, d, ceiling)
+		}
+	}
+}
+
+// TestClientRetryStopsWhenDeadlineCannotFit: when the remaining
+// context budget is smaller than the chosen wait, the client must not
+// retry — it surfaces the server's rejection immediately instead of
+// sleeping into a guaranteed deadline failure.
+func TestClientRetryStopsWhenDeadlineCannotFit(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "30")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, `{"error": {"code": %q, "message": "draining"}}`, api.CodeUnavailable)
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.jitter = func(d time.Duration) time.Duration { return d }
+	c.sleep = func(context.Context, time.Duration) error {
+		t.Fatal("client slept although the deadline could not fit the wait")
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	_, err = c.Query(ctx, "RETURN 1", nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want the server's 503", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d, want 1 (no retry within a doomed deadline)", calls.Load())
+	}
+}
+
+// TestClientReady exercises the readiness call against a real server,
+// then a draining one.
+func TestClientReady(t *testing.T) {
+	g, _, err := iyp.Build(iyp.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCfg := llm.DefaultSimConfig(core.BuildLexicon(g))
+	simCfg.ErrorScale = 0
+	p, err := core.New(core.Config{Graph: g, Model: llm.NewSim(simCfg), Metrics: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Pipeline: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready, err := c.Ready(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ready.Status != "ready" {
+		t.Errorf("status = %q, want ready", ready.Status)
+	}
+	if ready.Graph.Nodes == 0 {
+		t.Error("graph node count missing from readiness report")
+	}
+	if len(ready.Breakers) == 0 {
+		t.Error("no breaker states in readiness report")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ready, err = c.Ready(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("draining Ready err = %v, want 503 APIError", err)
+	}
+	if ready == nil || ready.Status != "draining" {
+		t.Fatalf("draining report = %+v, want status draining alongside the error", ready)
 	}
 }
 

@@ -24,8 +24,9 @@ import (
 
 func main() {
 	var (
-		server = flag.String("server", "http://127.0.0.1:18080", "ChatIYP server base URL")
-		wait   = flag.Duration("wait", 30*time.Second, "how long to wait for the server to come up")
+		server   = flag.String("server", "http://127.0.0.1:18080", "ChatIYP server base URL")
+		wait     = flag.Duration("wait", 30*time.Second, "how long to wait for the server to come up")
+		degraded = flag.Bool("degraded", false, "degraded mode: the server's LLM backend is down (-llm-faults down); assert ask still answers, degraded")
 	)
 	flag.Parse()
 
@@ -47,6 +48,28 @@ func main() {
 		time.Sleep(200 * time.Millisecond)
 	}
 	pass("health")
+
+	// Readiness probe: graph populated, scheduler accepting, breaker
+	// states reported (resilience is on by default).
+	ready, err := c.Ready(ctx)
+	if err != nil {
+		fatal("ready: %v", err)
+	}
+	if ready.Graph.Nodes == 0 || ready.Graph.Relationships == 0 {
+		fatal("ready: empty graph in readiness report: %+v", ready.Graph)
+	}
+	if ready.Scheduler.Draining {
+		fatal("ready: fresh server reports draining")
+	}
+	if len(ready.Breakers) == 0 {
+		fatal("ready: no breaker states reported")
+	}
+	pass("ready (status=%s, %d nodes)", ready.Status, ready.Graph.Nodes)
+
+	if *degraded {
+		smokeDegraded(ctx, c)
+		return
+	}
 
 	// JSON mode.
 	res, err := c.Query(ctx, "MATCH (a:AS) RETURN a.asn ORDER BY a.asn", nil)
@@ -111,6 +134,9 @@ func main() {
 	}
 	if ans.Answer == "" {
 		fatal("ask: empty answer")
+	}
+	if ans.Degraded {
+		fatal("ask: degraded answer from a healthy backend (reason %s)", ans.DegradedReason)
 	}
 	pass("ask")
 	results, err := c.AskBatch(ctx, []string{
@@ -206,6 +232,46 @@ func main() {
 	pass("session expiry (410 %s)", apiErr.Code)
 
 	fmt.Println("apismoke: all checks passed")
+}
+
+// smokeDegraded checks the outage contract end to end against a server
+// whose LLM backend is forced down: ask must answer 200 with a
+// non-empty degraded answer (never a 5xx), and once the breaker opens
+// the readiness report must say so.
+func smokeDegraded(ctx context.Context, c *client.Client) {
+	for i := 0; i < 6; i++ {
+		ans, err := c.Ask(ctx, "How many ASes are in the graph?")
+		if err != nil {
+			fatal("degraded ask %d: %v", i, err)
+		}
+		if !ans.Degraded {
+			fatal("degraded ask %d: answer not marked degraded", i)
+		}
+		if ans.Answer == "" {
+			fatal("degraded ask %d: empty answer", i)
+		}
+	}
+	pass("degraded ask (backend down, zero server errors)")
+
+	ready, err := c.Ready(ctx)
+	if err != nil {
+		fatal("degraded ready: %v", err)
+	}
+	if ready.Status != "degraded" {
+		fatal("degraded ready: status=%s, want degraded (breakers %v)", ready.Status, ready.Breakers)
+	}
+	var open bool
+	for _, st := range ready.Breakers {
+		if st == "open" {
+			open = true
+		}
+	}
+	if !open {
+		fatal("degraded ready: no breaker open after sustained outage: %v", ready.Breakers)
+	}
+	pass("breaker open visible in readiness (status=%s)", ready.Status)
+
+	fmt.Println("apismoke: all degraded-mode checks passed")
 }
 
 func pass(format string, args ...any) {

@@ -45,9 +45,12 @@ func main() {
 
 		agentic     = flag.Bool("agentic", false, "run the multi-turn agent tool-session corpus")
 		agenticJSON = flag.String("agentic-json", "", "export the agentic corpus report to JSON")
+
+		chaos     = flag.Bool("chaos", false, "run the chaos replay (fault-injected LLM backend, resilience contract)")
+		chaosJSON = flag.String("chaos-json", "", "export the chaos replay report to JSON")
 	)
 	flag.Parse()
-	if *figure == "" && *finding == "" && !*all && !*ablation && !*templates && !*baseline && !*agentic {
+	if *figure == "" && *finding == "" && !*all && !*ablation && !*templates && !*baseline && !*agentic && !*chaos {
 		*all = true
 	}
 
@@ -129,6 +132,12 @@ func main() {
 		}
 	}
 
+	if *chaos {
+		if err := runChaos(exp, *chaosJSON); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *ablation {
 		runAblation(cfg)
 	}
@@ -157,6 +166,29 @@ func runAgentic(exp *eval.Experiment, jsonOut string) error {
 	}
 	if !rep.Passed() {
 		return fmt.Errorf("agentic corpus failed")
+	}
+	return nil
+}
+
+// runChaos replays the benchmark against a fault-injected backend and
+// exits non-zero when the resilience contract is broken (the CI
+// contract: 100% availability, breaker opens and recloses).
+func runChaos(exp *eval.Experiment, jsonOut string) error {
+	start := time.Now()
+	rep, err := eval.RunChaos(context.Background(), exp, eval.ChaosConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "chaos replay finished in %v\n", time.Since(start))
+	fmt.Println(rep.Render())
+	if jsonOut != "" {
+		if err := writeFile(jsonOut, rep.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "chaos JSON written to %s\n", jsonOut)
+	}
+	if !rep.Passed() {
+		return fmt.Errorf("chaos replay failed the resilience contract")
 	}
 	return nil
 }

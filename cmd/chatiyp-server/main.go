@@ -52,11 +52,18 @@ func main() {
 		sessionRate   = flag.Float64("session-rate", 0, "per-session tool calls per second (0 = 10/s default, negative disables)")
 		sessionBurst  = flag.Int("session-burst", 0, "per-session tool-call burst (0 = 20 default)")
 		sessionTokens = flag.Int("session-tokens", 0, "per-session LLM token budget (0 = unlimited)")
+		llmTimeout    = flag.Duration("llm-timeout", 0, "per-model-call deadline (0 = 10s default, negative disables)")
+		llmRetries    = flag.Int("llm-retries", 0, "retries per failed model call, jittered backoff (0 = 2 default, negative disables)")
+		llmBrkThr     = flag.Int("llm-breaker-threshold", 0, "consecutive model failures that open a task's circuit breaker (0 = 5 default, negative disables breakers)")
+		llmBrkCool    = flag.Duration("llm-breaker-cooldown", 0, "open-breaker cooldown before half-open probing (0 = 5s default)")
+		llmBulkhead   = flag.Int("llm-bulkhead", 0, "max concurrent model calls (0 = 256 default, negative uncapped)")
+		noResilience  = flag.Bool("no-llm-resilience", false, "disable the LLM resilience layer (no retries, breakers, or degraded answers)")
+		llmFaults     = flag.String("llm-faults", "", `inject deterministic model faults for chaos testing, e.g. "down" or "all=error:0.3"`)
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "chatiyp-server ", log.LstdFlags)
 
-	opts := chatiyp.Options{Perfect: *perfect, ANNRetrieval: *annRetr}
+	opts := chatiyp.Options{Perfect: *perfect, ANNRetrieval: *annRetr, LLMFaults: *llmFaults}
 	if *small {
 		opts.Dataset = iyp.SmallConfig()
 	}
@@ -96,21 +103,27 @@ func main() {
 
 	var pipe *core.Pipeline = sys.Pipeline()
 	srv, err := server.New(server.Config{
-		Pipeline:           pipe,
-		Logger:             logger,
-		MaxConcurrent:      *maxConcurrent,
-		MaxQueue:           *maxQueue,
-		AskTimeout:         *askTimeout,
-		CypherTimeout:      *cypherTimeout,
-		DrainTimeout:       *drainTimeout,
-		MaxParallelism:     *maxPar,
-		SemCacheThreshold:  *semThr,
-		SemCacheSize:       *semSize,
-		SessionTTL:         *sessionTTL,
-		MaxSessions:        *maxSessions,
-		SessionRatePerSec:  *sessionRate,
-		SessionRateBurst:   *sessionBurst,
-		SessionTokenBudget: *sessionTokens,
+		Pipeline:            pipe,
+		Logger:              logger,
+		MaxConcurrent:       *maxConcurrent,
+		MaxQueue:            *maxQueue,
+		AskTimeout:          *askTimeout,
+		CypherTimeout:       *cypherTimeout,
+		DrainTimeout:        *drainTimeout,
+		MaxParallelism:      *maxPar,
+		SemCacheThreshold:   *semThr,
+		SemCacheSize:        *semSize,
+		SessionTTL:          *sessionTTL,
+		MaxSessions:         *maxSessions,
+		SessionRatePerSec:   *sessionRate,
+		SessionRateBurst:    *sessionBurst,
+		SessionTokenBudget:  *sessionTokens,
+		LLMTimeout:          *llmTimeout,
+		LLMRetries:          *llmRetries,
+		LLMBreakerThreshold: *llmBrkThr,
+		LLMBreakerCooldown:  *llmBrkCool,
+		LLMMaxInFlight:      *llmBulkhead,
+		DisableResilience:   *noResilience,
 	})
 	if err != nil {
 		logger.Fatal(err)

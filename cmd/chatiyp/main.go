@@ -40,6 +40,8 @@ func main() {
 		annRetr  = flag.Bool("ann-retrieval", false, "serve vector retrieval from the approximate HNSW index instead of the exact scan")
 		semThr   = flag.Float64("semcache-threshold", 0, "enable the semantic answer cache at this similarity threshold, e.g. 0.97 (0 = disabled)")
 		semSize  = flag.Int("semcache-size", 0, "semantic cache LRU capacity (0 = default)")
+		resil    = flag.Bool("resilience", false, "wrap the model in the LLM resilience layer (retries, circuit breakers, degraded answers)")
+		llmFault = flag.String("llm-faults", "", `inject deterministic model faults, e.g. "down" or "all=error:0.3" (chaos testing)`)
 	)
 	flag.Parse()
 
@@ -74,6 +76,8 @@ func main() {
 			ANNRetrieval:      *annRetr,
 			SemCacheThreshold: *semThr,
 			SemCacheSize:      *semSize,
+			Resilience:        *resil,
+			LLMFaults:         *llmFault,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "chatiyp:", err)
@@ -146,6 +150,9 @@ func closeSession(sess *client.Session) {
 
 func printWireAnswer(ans *api.AskResponse, trace bool) {
 	fmt.Println(ans.Answer)
+	if ans.Degraded {
+		fmt.Printf("  (degraded: %s — the LLM backend was unavailable)\n", ans.DegradedReason)
+	}
 	if ans.Cypher != "" {
 		fmt.Printf("\n  cypher: %s\n", ans.Cypher)
 	}
@@ -191,6 +198,9 @@ func ask(sys *chatiyp.System, question string, trace bool) error {
 		return err
 	}
 	fmt.Println(ans.Text)
+	if ans.Degraded {
+		fmt.Printf("  (degraded: %s — the LLM backend was unavailable)\n", ans.DegradedReason)
+	}
 	if ans.Cypher != "" {
 		fmt.Printf("\n  cypher: %s\n", ans.Cypher)
 	}

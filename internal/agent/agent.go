@@ -23,6 +23,7 @@ import (
 	"chatiyp/internal/graph"
 	"chatiyp/internal/iyp"
 	"chatiyp/internal/metrics"
+	"chatiyp/internal/resilience"
 )
 
 // Service defaults.
@@ -512,6 +513,8 @@ func (s *Service) execError(err error) error {
 		code = api.CodeTimeout
 	case errors.Is(err, cypher.ErrCanceled), errors.Is(err, context.Canceled):
 		code = api.CodeCanceled
+	case resilience.IsUnavailable(err):
+		code = api.CodeUnavailable
 	default:
 		var syntaxErr *cypher.SyntaxError
 		if errors.As(err, &syntaxErr) {
@@ -525,15 +528,17 @@ func (s *Service) execError(err error) error {
 // same mapping internal/server applies on /v1/ask).
 func wireAnswer(ans *core.Answer) *api.AskResponse {
 	resp := &api.AskResponse{
-		Question:    ans.Question,
-		Answer:      ans.Text,
-		Cypher:      ans.Cypher,
-		CypherError: ans.CypherError,
-		Columns:     ans.Columns,
-		Rows:        ans.Rows,
-		Fallback:    ans.UsedVectorFallback,
-		CacheHit:    ans.CacheHit,
-		DurationMS:  float64(ans.Duration.Microseconds()) / 1000,
+		Question:       ans.Question,
+		Answer:         ans.Text,
+		Cypher:         ans.Cypher,
+		CypherError:    ans.CypherError,
+		Columns:        ans.Columns,
+		Rows:           ans.Rows,
+		Fallback:       ans.UsedVectorFallback,
+		CacheHit:       ans.CacheHit,
+		Degraded:       ans.Degraded,
+		DegradedReason: ans.DegradedReason,
+		DurationMS:     float64(ans.Duration.Microseconds()) / 1000,
 	}
 	for _, c := range ans.Context {
 		resp.Context = append(resp.Context, api.ContextRecord{Source: c.Source, Text: c.Text, Score: c.Score})

@@ -144,8 +144,16 @@ type AskResponse struct {
 	Context     []ContextRecord `json:"context,omitempty"`
 	Fallback    bool            `json:"used_vector_fallback"`
 	CacheHit    bool            `json:"cache_hit,omitempty"`
-	DurationMS  float64         `json:"duration_ms"`
-	Trace       []TraceEntry    `json:"trace,omitempty"`
+	// Degraded reports that the LLM backend was unavailable and the
+	// answer was assembled without it (retrieved facts verbatim, a
+	// stale cached answer, or an apology). Still HTTP 200: the request
+	// succeeded, in reduced fidelity.
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradedReason classifies why, when Degraded: "breaker_open",
+	// "bulkhead_full", "timeout", "retries_exhausted", "model_error".
+	DegradedReason string       `json:"degraded_reason,omitempty"`
+	DurationMS     float64      `json:"duration_ms"`
+	Trace          []TraceEntry `json:"trace,omitempty"`
 }
 
 // AskBatchRequest is the POST /v1/ask/batch input. Workers bounds the
@@ -194,6 +202,33 @@ type CypherResponse struct {
 // ExplainResponse is the POST /v1/explain output.
 type ExplainResponse struct {
 	Plan string `json:"plan"`
+}
+
+// ReadyGraph is the graph half of a readiness report.
+type ReadyGraph struct {
+	Nodes         int    `json:"nodes"`
+	Relationships int    `json:"relationships"`
+	Version       uint64 `json:"version"`
+}
+
+// ReadyScheduler is the admission-control half of a readiness report.
+type ReadyScheduler struct {
+	Inflight int64 `json:"inflight"`
+	Queued   int64 `json:"queued"`
+	Draining bool  `json:"draining"`
+}
+
+// ReadyResponse is the GET /v1/health/ready output. Status is "ready"
+// (200), "degraded" (200 — serving, but at least one LLM circuit
+// breaker is not closed, so answers may be degraded), or "draining"
+// (503 — shutting down). Breakers maps model task name to breaker
+// state ("closed", "half_open", "open"); empty when resilience is
+// disabled.
+type ReadyResponse struct {
+	Status    string            `json:"status"`
+	Graph     ReadyGraph        `json:"graph"`
+	Breakers  map[string]string `json:"breakers,omitempty"`
+	Scheduler ReadyScheduler    `json:"scheduler"`
 }
 
 // StreamRecord is one line of an NDJSON response. Type discriminates:

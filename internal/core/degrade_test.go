@@ -1,0 +1,405 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chatiyp/internal/iyp"
+	"chatiyp/internal/llm"
+	"chatiyp/internal/metrics"
+	"chatiyp/internal/resilience"
+)
+
+// taskModel routes each task to a swappable handler. Safe for
+// concurrent use, unlike llm.ScriptedModel.
+type taskModel struct {
+	mu       sync.Mutex
+	handlers map[llm.Task]func(llm.Request) (llm.Response, error)
+}
+
+func newTaskModel() *taskModel {
+	return &taskModel{handlers: make(map[llm.Task]func(llm.Request) (llm.Response, error))}
+}
+
+func (m *taskModel) set(task llm.Task, h func(llm.Request) (llm.Response, error)) {
+	m.mu.Lock()
+	m.handlers[task] = h
+	m.mu.Unlock()
+}
+
+func (m *taskModel) fail(task llm.Task, err error) {
+	m.set(task, func(llm.Request) (llm.Response, error) { return llm.Response{}, err })
+}
+
+func (m *taskModel) reply(task llm.Task, resp llm.Response) {
+	m.set(task, func(llm.Request) (llm.Response, error) { return resp, nil })
+}
+
+func (m *taskModel) Complete(_ context.Context, req llm.Request) (llm.Response, error) {
+	m.mu.Lock()
+	h := m.handlers[req.Task]
+	m.mu.Unlock()
+	if h == nil {
+		return llm.Response{}, fmt.Errorf("taskModel: no handler for %v", req.Task)
+	}
+	return h(req)
+}
+
+func backendDown() error {
+	return &llm.BackendError{Task: llm.TaskAnswer, Reason: llm.ReasonUnavailable, Transient: true}
+}
+
+// Degradation with retrieved records: the answer is a template carrying
+// every record verbatim, flagged and counted, with the cause traced.
+func TestDegradedTemplateAnswer(t *testing.T) {
+	g, _, err := iyp.Build(iyp.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := newTaskModel()
+	model.reply(llm.TaskText2Cypher, llm.Response{Text: "MATCH (c:Country) RETURN c.name LIMIT 3"})
+	model.fail(llm.TaskAnswer, backendDown())
+	reg := metrics.NewRegistry()
+	p, err := New(Config{Graph: g, Model: model, Degrade: true, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := p.Ask(context.Background(), "Which countries are there?")
+	if err != nil {
+		t.Fatalf("degradation must absorb the failure, got %v", err)
+	}
+	if !ans.Degraded || ans.DegradedReason != "model_error" {
+		t.Fatalf("Degraded=%v reason=%q", ans.Degraded, ans.DegradedReason)
+	}
+	if len(ans.Context) == 0 {
+		t.Fatal("expected retrieved records")
+	}
+	for _, rec := range ans.Context {
+		if !strings.Contains(ans.Text, rec.Text) {
+			t.Errorf("degraded answer must carry record verbatim: missing %q in %q", rec.Text, ans.Text)
+		}
+	}
+	if got := reg.Counter("llm.degraded_answers").Value(); got != 1 {
+		t.Errorf("llm.degraded_answers = %d", got)
+	}
+	var traced bool
+	for _, s := range ans.Trace {
+		if s.Stage == "degrade" && s.Err != "" {
+			traced = true
+		}
+	}
+	if !traced {
+		t.Errorf("degrade stage missing from trace: %+v", ans.Trace)
+	}
+}
+
+// Without Degrade the same failure propagates — evaluation harnesses
+// want model failures loud.
+func TestDegradeOffPropagates(t *testing.T) {
+	g, _, err := iyp.Build(iyp.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := newTaskModel()
+	model.reply(llm.TaskText2Cypher, llm.Response{Text: "MATCH (c:Country) RETURN c.name LIMIT 3"})
+	model.fail(llm.TaskAnswer, backendDown())
+	p, err := New(Config{Graph: g, Model: model, Metrics: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Ask(context.Background(), "Which countries are there?"); err == nil {
+		t.Fatal("generation failure must propagate when degradation is off")
+	}
+}
+
+// A caller's own cancellation is never absorbed into a degraded 200.
+func TestDegradeNeverMasksCancellation(t *testing.T) {
+	g, _, err := iyp.Build(iyp.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := newTaskModel()
+	model.reply(llm.TaskText2Cypher, llm.Response{Text: "MATCH (c:Country) RETURN c.name LIMIT 3"})
+	ctx, cancel := context.WithCancel(context.Background())
+	model.set(llm.TaskAnswer, func(llm.Request) (llm.Response, error) {
+		cancel()
+		return llm.Response{}, ctx.Err()
+	})
+	p, err := New(Config{Graph: g, Model: model, Degrade: true, Metrics: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Ask(ctx, "Which countries are there?"); err == nil {
+		t.Fatal("canceled request must surface its abort, not degrade")
+	}
+}
+
+// With nothing retrieved and nothing cached, degradation apologizes.
+func TestDegradedApologyWithoutContext(t *testing.T) {
+	g, _, err := iyp.Build(iyp.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := newTaskModel()
+	model.fail(llm.TaskText2Cypher, llm.ErrNoTranslation)
+	model.fail(llm.TaskAnswer, backendDown())
+	p, err := New(Config{Graph: g, Model: model, Degrade: true,
+		DisableVectorFallback: true, Metrics: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := p.Ask(context.Background(), "anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Degraded || ans.Text != degradedApology {
+		t.Fatalf("Degraded=%v text=%q", ans.Degraded, ans.Text)
+	}
+}
+
+// An outage with a stale cached near-duplicate serves the stale answer
+// rather than apologizing, counting it distinctly.
+func TestDegradedServesStaleCachedAnswer(t *testing.T) {
+	g, _, err := iyp.Build(iyp.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := newTaskModel()
+	model.fail(llm.TaskText2Cypher, llm.ErrNoTranslation)
+	model.reply(llm.TaskAnswer, llm.Response{Text: "the healthy answer", TokensIn: 3, TokensOut: 3})
+	p, err := New(Config{Graph: g, Model: model, Degrade: true,
+		DisableVectorFallback: true, SemCacheThreshold: 0.95, Metrics: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = "what is the internet?"
+	if _, err := p.Ask(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	// A write invalidates the cached entry; then the backend dies.
+	if _, err := g.CreateNode([]string{iyp.LabelTag}, map[string]any{"label": "new-tag"}); err != nil {
+		t.Fatal(err)
+	}
+	model.fail(llm.TaskAnswer, backendDown())
+	ans, err := p.Ask(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Degraded || ans.Text != "the healthy answer" {
+		t.Fatalf("want the stale cached answer served degraded, got Degraded=%v text=%q", ans.Degraded, ans.Text)
+	}
+	if got := p.SemCacheStats().StaleServed; got != 1 {
+		t.Errorf("StaleServed = %d, want 1", got)
+	}
+}
+
+// Degraded answers must never enter the semantic cache: they would
+// outlive the outage.
+func TestDegradedAnswersNotCached(t *testing.T) {
+	g, _, err := iyp.Build(iyp.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := newTaskModel()
+	model.reply(llm.TaskText2Cypher, llm.Response{Text: "MATCH (c:Country) RETURN c.name LIMIT 3"})
+	model.fail(llm.TaskAnswer, backendDown())
+	p, err := New(Config{Graph: g, Model: model, Degrade: true,
+		SemCacheThreshold: 0.95, Metrics: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		ans, err := p.Ask(context.Background(), "Which countries are there?")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ans.Degraded || ans.CacheHit {
+			t.Fatalf("ask %d: Degraded=%v CacheHit=%v", i, ans.Degraded, ans.CacheHit)
+		}
+	}
+	if size := p.SemCacheStats().Size; size != 0 {
+		t.Errorf("cache size = %d after degraded answers, want 0", size)
+	}
+}
+
+// A reranker failure under degradation truncates instead of aborting;
+// the answer itself is not degraded when generation still works.
+func TestRerankFailureDegradesToTruncation(t *testing.T) {
+	g, _, err := iyp.Build(iyp.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := newTaskModel()
+	model.fail(llm.TaskText2Cypher, llm.ErrNoTranslation)
+	model.fail(llm.TaskRerank, backendDown())
+	model.reply(llm.TaskAnswer, llm.Response{Text: "synthesized fine", TokensIn: 3, TokensOut: 3})
+	p, err := New(Config{Graph: g, Model: model, Degrade: true, Metrics: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := p.Ask(context.Background(), "networks and exchanges everywhere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.UsedVectorFallback {
+		t.Fatal("test premise: vector fallback must engage")
+	}
+	if ans.Degraded {
+		t.Fatal("generation succeeded; the answer must not be flagged degraded")
+	}
+	if len(ans.Context) > 4 {
+		t.Fatalf("rerank degradation should truncate to RerankKeep: %d records", len(ans.Context))
+	}
+}
+
+func TestAnswerWithContextDegrades(t *testing.T) {
+	g, _, err := iyp.Build(iyp.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := newTaskModel()
+	model.fail(llm.TaskAnswer, backendDown())
+	reg := metrics.NewRegistry()
+	p, err := New(Config{Graph: g, Model: model, Degrade: true, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := p.AnswerWithContext(context.Background(), "q", []string{"fact one", "fact two"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Degraded || !strings.Contains(ans.Text, "fact one") || !strings.Contains(ans.Text, "fact two") {
+		t.Fatalf("Degraded=%v text=%q", ans.Degraded, ans.Text)
+	}
+	if got := reg.Counter("llm.degraded_answers").Value(); got != 1 {
+		t.Errorf("llm.degraded_answers = %d", got)
+	}
+}
+
+// End-to-end through the resilience wrapper: a dead backend exhausts
+// retries and degrades with the classified reason, and breaker state is
+// visible through the pipeline.
+func TestEnableResilienceDegradesOnOutage(t *testing.T) {
+	g, _, err := iyp.Build(iyp.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := &llm.FaultyModel{Inner: newTaskModel()}
+	faulty.SetDown(true)
+	reg := metrics.NewRegistry()
+	p, err := New(Config{Graph: g, Model: faulty, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BreakerStates() != nil {
+		t.Fatal("breaker states should be nil before EnableResilience")
+	}
+	p.EnableResilience(resilience.Config{
+		Timeout:   100 * time.Millisecond,
+		Retries:   1,
+		RetryBase: time.Millisecond,
+		Sleep:     func(ctx context.Context, _ time.Duration) error { return ctx.Err() },
+	}, true)
+	ans, err := p.Ask(context.Background(), "networks and exchanges everywhere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Degraded || ans.DegradedReason != "retries_exhausted" {
+		t.Fatalf("Degraded=%v reason=%q", ans.Degraded, ans.DegradedReason)
+	}
+	if states := p.BreakerStates(); len(states) == 0 {
+		t.Fatal("breaker states should be reported after EnableResilience")
+	}
+}
+
+func TestDegradeReasonClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{fmt.Errorf("wrap: %w", resilience.ErrBreakerOpen), "breaker_open"},
+		{fmt.Errorf("wrap: %w", resilience.ErrBulkheadFull), "bulkhead_full"},
+		{fmt.Errorf("wrap: %w", resilience.ErrAttemptTimeout), "timeout"},
+		{&resilience.ExhaustedError{Attempts: 3, Last: fmt.Errorf("x: %w", resilience.ErrAttemptTimeout)}, "retries_exhausted"},
+		{errors.New("anything else"), "model_error"},
+	}
+	for _, c := range cases {
+		if got := degradeReason(c.err); got != c.want {
+			t.Errorf("degradeReason(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+// Satellite: the text2cypher -> vector fallback path stays consistent
+// under concurrent graph writers — every Ask answers from a pinned
+// snapshot, is counted as a fallback (not a degraded answer), and never
+// leaks in-flight writes into its context.
+func TestVectorFallbackUnderConcurrentWriters(t *testing.T) {
+	g, _, err := iyp.Build(iyp.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := newTaskModel()
+	model.fail(llm.TaskText2Cypher, llm.ErrNoTranslation)
+	model.reply(llm.TaskRerank, llm.Response{Score: 5})
+	model.reply(llm.TaskAnswer, llm.Response{Text: "synthesized from fallback", TokensIn: 3, TokensOut: 3})
+	reg := metrics.NewRegistry()
+	p, err := New(Config{Graph: g, Model: model, Degrade: true, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const marker = "XWRITER"
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := g.CreateNode([]string{iyp.LabelTag},
+					map[string]any{"label": fmt.Sprintf("%s-%d-%d", marker, w, i)}); err != nil {
+					t.Errorf("writer: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for i := 0; i < 20; i++ {
+		ans, err := p.Ask(context.Background(), "networks and exchanges everywhere")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ans.UsedVectorFallback {
+			t.Fatal("fallback must engage when translation declines")
+		}
+		if ans.Degraded {
+			t.Fatal("a working fallback is not a degraded answer")
+		}
+		for _, rec := range ans.Context {
+			if strings.Contains(rec.Text, marker) {
+				t.Fatalf("in-flight write leaked into context: %q", rec.Text)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := reg.Counter("pipeline.vector_fallbacks").Value(); got < 20 {
+		t.Errorf("pipeline.vector_fallbacks = %d, want >= 20", got)
+	}
+	if got := reg.Counter("llm.degraded_answers").Value(); got != 0 {
+		t.Errorf("llm.degraded_answers = %d, want 0 — fallbacks are counted distinctly", got)
+	}
+}

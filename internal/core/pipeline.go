@@ -29,6 +29,7 @@ import (
 	"chatiyp/internal/llm"
 	"chatiyp/internal/metrics"
 	"chatiyp/internal/persist"
+	"chatiyp/internal/resilience"
 	"chatiyp/internal/vector"
 )
 
@@ -85,6 +86,18 @@ type Config struct {
 	// Metrics receives runtime counters (plan-cache hits/misses, asks,
 	// Cypher executions). Nil means metrics.Default.
 	Metrics *metrics.Registry
+	// Resilience, when non-nil, wraps Model in a ResilientModel
+	// (per-attempt timeouts, retries, circuit breaker, bulkhead; see
+	// internal/resilience). EnableResilience does the same after
+	// construction.
+	Resilience *resilience.Config
+	// Degrade turns on graceful degradation: when generation fails for
+	// a reason other than the caller's own cancellation, Ask serves a
+	// template answer rendered from the retrieved records (or a stale
+	// cached answer, or an apology) with Answer.Degraded set, instead
+	// of surfacing the error. Off by default: evaluation harnesses
+	// want model failures loud.
+	Degrade bool
 }
 
 func (c Config) withDefaults() Config {
@@ -112,13 +125,15 @@ var (
 // Pipeline is a ready-to-serve ChatIYP instance. Safe for concurrent
 // use.
 type Pipeline struct {
-	cfg      Config
-	embedder *embed.Embedder
-	index    vector.Searcher // exact Index, or HNSW when ANNRetrieval
-	lexicon  *llm.Lexicon
-	plans    *cypher.PlanCache // nil when caching is disabled
-	semcache *semCache         // nil when the semantic cache is disabled
-	metrics  *metrics.Registry
+	cfg       Config
+	embedder  *embed.Embedder
+	index     vector.Searcher // exact Index, or HNSW when ANNRetrieval
+	lexicon   *llm.Lexicon
+	plans     *cypher.PlanCache // nil when caching is disabled
+	semcache  *semCache         // nil when the semantic cache is disabled
+	metrics   *metrics.Registry
+	baseModel llm.Model                  // the unwrapped Config.Model
+	resilient *resilience.ResilientModel // nil until resilience is enabled
 }
 
 // New builds a Pipeline: it derives the entity lexicon from the graph,
@@ -132,9 +147,13 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.Model == nil {
 		return nil, ErrNoModel
 	}
-	p := &Pipeline{cfg: cfg, metrics: cfg.Metrics}
+	p := &Pipeline{cfg: cfg, metrics: cfg.Metrics, baseModel: cfg.Model}
 	if p.metrics == nil {
 		p.metrics = metrics.Default
+	}
+	if cfg.Resilience != nil {
+		p.resilient = resilience.Wrap(p.baseModel, *cfg.Resilience, p.metrics)
+		p.cfg.Model = p.resilient
 	}
 	if cfg.PlanCacheSize >= 0 {
 		p.plans = cypher.NewPlanCache(cfg.PlanCacheSize)
@@ -176,6 +195,27 @@ func (p *Pipeline) EnableSemCache(threshold float64, size int) {
 	}
 	p.cfg.SemCacheThreshold = threshold
 	p.semcache = newSemCache(threshold, size, p.embedder.Dim())
+}
+
+// EnableResilience wraps the pipeline's model backbone in a
+// ResilientModel (per-attempt timeouts, retries, circuit breaker,
+// bulkhead) and sets the degradation policy. It always wraps the
+// original construction-time model, so calling it again retunes rather
+// than stacking wrappers. Like EnableSemCache, call it during setup —
+// it is not synchronized against in-flight Asks.
+func (p *Pipeline) EnableResilience(rcfg resilience.Config, degrade bool) {
+	p.resilient = resilience.Wrap(p.baseModel, rcfg, p.metrics)
+	p.cfg.Model = p.resilient
+	p.cfg.Degrade = degrade
+}
+
+// BreakerStates snapshots the circuit-breaker state per model task
+// ("closed", "half_open", "open"). Nil when resilience is not enabled.
+func (p *Pipeline) BreakerStates() map[string]string {
+	if p.resilient == nil {
+		return nil
+	}
+	return p.resilient.BreakerStates()
 }
 
 // Lexicon exposes the derived entity lexicon (the simulated model needs
@@ -274,6 +314,15 @@ type Answer struct {
 	// trace's semcache stage names the question the answer was
 	// originally computed for.
 	CacheHit bool
+	// Degraded reports that the model backend failed and the answer
+	// was assembled without it: a template rendering of the retrieved
+	// records (facts verbatim), a stale cached answer, or an apology.
+	// Degraded answers are never cached.
+	Degraded bool
+	// DegradedReason classifies why ("breaker_open", "bulkhead_full",
+	// "timeout", "retries_exhausted", "model_error"). Empty when
+	// Degraded is false.
+	DegradedReason string
 }
 
 // Ask runs the full pipeline on one question. With the semantic cache
@@ -288,10 +337,12 @@ func (p *Pipeline) Ask(ctx context.Context, question string) (*Answer, error) {
 	// racing this Ask invalidates the entry we are about to cache: a
 	// stale stamp can only under-serve, never over-serve.
 	var qvec embed.Vector
+	var stale *staleAnswer
 	version := p.cfg.Graph.Version()
 	if p.semcache != nil {
 		qvec = p.embedder.Embed(question)
-		if hit, orig, score, ok := p.semcache.get(ctx, qvec, version); ok {
+		hit, orig, score, ok, staleCand := p.semcache.get(ctx, qvec, version)
+		if ok {
 			ans := cachedAnswer(question, hit, orig, score)
 			ans.Duration = time.Since(started)
 			return ans, nil
@@ -299,6 +350,9 @@ func (p *Pipeline) Ask(ctx context.Context, question string) (*Answer, error) {
 		if ctx.Err() != nil {
 			return nil, fmt.Errorf("core: semcache probe: %w", cancellationError(ctx, context.Cause(ctx)))
 		}
+		// Held for the degradation path: if the backend turns out to
+		// be down, a stale near-duplicate beats an apology.
+		stale = staleCand
 	}
 	ans := &Answer{Question: question}
 
@@ -347,6 +401,11 @@ func (p *Pipeline) Ask(ctx context.Context, question string) (*Answer, error) {
 				records = append(records, ContextRecord{Source: "vector", Text: h.Doc.Text, Score: h.Score})
 			}
 			ans.UsedVectorFallback = len(hits) > 0
+			if ans.UsedVectorFallback {
+				// Counted apart from degraded answers: the fallback is
+				// the pipeline working as designed, not a failure mode.
+				p.metrics.Counter("pipeline.vector_fallbacks").Inc()
+			}
 			ans.Trace = append(ans.Trace, StageTrace{
 				Stage:    "vector",
 				Detail:   fmt.Sprintf("%d candidates", len(hits)),
@@ -359,15 +418,28 @@ func (p *Pipeline) Ask(ctx context.Context, question string) (*Answer, error) {
 	if ans.UsedVectorFallback && !p.cfg.DisableReranker && len(records) > p.cfg.RerankKeep {
 		t2 := time.Now()
 		reranked, err := p.rerank(ctx, question, records, ans)
-		if err != nil {
+		switch {
+		case err != nil && !p.canDegrade(ctx, err):
 			return nil, cancellationError(ctx, err)
+		case err != nil:
+			// Degradation: keep the top candidates unscored (vector
+			// order is already similarity-ranked) and press on —
+			// generation may still succeed, or degrade in turn.
+			records = records[:p.cfg.RerankKeep]
+			ans.Trace = append(ans.Trace, StageTrace{
+				Stage:    "rerank",
+				Detail:   fmt.Sprintf("skipped, kept top %d unscored", len(records)),
+				Err:      err.Error(),
+				Duration: time.Since(t2),
+			})
+		default:
+			records = reranked
+			ans.Trace = append(ans.Trace, StageTrace{
+				Stage:    "rerank",
+				Detail:   fmt.Sprintf("kept %d", len(records)),
+				Duration: time.Since(t2),
+			})
 		}
-		records = reranked
-		ans.Trace = append(ans.Trace, StageTrace{
-			Stage:    "rerank",
-			Detail:   fmt.Sprintf("kept %d", len(records)),
-			Duration: time.Since(t2),
-		})
 	}
 	ans.Context = records
 
@@ -383,7 +455,14 @@ func (p *Pipeline) Ask(ctx context.Context, question string) (*Answer, error) {
 		Context:  texts,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("core: generation: %w", cancellationError(ctx, err))
+		if !p.canDegrade(ctx, err) {
+			return nil, fmt.Errorf("core: generation: %w", cancellationError(ctx, err))
+		}
+		p.degrade(ans, records, stale, err, t3)
+		ans.Duration = time.Since(started)
+		// Degraded answers are never cached: they would outlive the
+		// outage and keep serving template text after recovery.
+		return ans, nil
 	}
 	ans.Text = resp.Text
 	ans.TokensIn += resp.TokensIn
@@ -394,6 +473,81 @@ func (p *Pipeline) Ask(ctx context.Context, question string) (*Answer, error) {
 		p.semcache.put(question, qvec, ans, version)
 	}
 	return ans, nil
+}
+
+// canDegrade decides whether a model failure may be absorbed into a
+// degraded answer: degradation must be enabled, and the failure must
+// not be the caller's own cancellation — a dead request gets its abort
+// surfaced, never a degraded 200.
+func (p *Pipeline) canDegrade(ctx context.Context, err error) bool {
+	return p.cfg.Degrade && ctx.Err() == nil && !errors.Is(err, cypher.ErrCanceled)
+}
+
+// degrade fills ans with the best available model-free answer, in
+// preference order: a template rendering of the retrieved records
+// (facts verbatim — the retrieval tier did its job, only prose
+// synthesis is missing), a stale cached answer for a near-duplicate
+// question, or an apology.
+func (p *Pipeline) degrade(ans *Answer, records []ContextRecord, stale *staleAnswer, cause error, t time.Time) {
+	var detail string
+	switch {
+	case len(records) > 0:
+		ans.Text = degradedTemplate(ans.Question, records)
+		detail = fmt.Sprintf("template answer from %d retrieved records", len(records))
+	case stale != nil && p.semcache != nil:
+		ans.Text = stale.ans.Text
+		p.semcache.markStaleServed()
+		detail = fmt.Sprintf("stale cached answer (similarity %.3f) for %q", stale.score, stale.question)
+	default:
+		ans.Text = degradedApology
+		detail = "no retrieved context; apologized"
+	}
+	ans.Degraded = true
+	ans.DegradedReason = degradeReason(cause)
+	p.metrics.Counter("llm.degraded_answers").Inc()
+	ans.Trace = append(ans.Trace, StageTrace{
+		Stage:    "degrade",
+		Detail:   detail,
+		Err:      cause.Error(),
+		Duration: time.Since(t),
+	})
+}
+
+// degradedApology is served when nothing was retrieved and no cached
+// answer is close enough.
+const degradedApology = "The language model backend is currently unavailable and no matching records were retrieved, so this question cannot be answered right now. Please retry shortly."
+
+// degradedTemplate renders retrieved records into a direct answer: the
+// facts verbatim, clearly labeled as unsynthesized.
+func degradedTemplate(question string, records []ContextRecord) string {
+	var b strings.Builder
+	b.WriteString("The language model backend is unavailable; answering directly from the retrieved records:\n")
+	for _, r := range records {
+		b.WriteString("- ")
+		b.WriteString(r.Text)
+		b.WriteString("\n")
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// degradeReason classifies the failure that forced degradation into the
+// stable strings the API exposes.
+func degradeReason(err error) string {
+	var ex *resilience.ExhaustedError
+	switch {
+	case errors.Is(err, resilience.ErrBreakerOpen):
+		return "breaker_open"
+	case errors.Is(err, resilience.ErrBulkheadFull):
+		return "bulkhead_full"
+	case errors.As(err, &ex):
+		// Checked before the timeout identity: an ExhaustedError may
+		// wrap a final attempt timeout, but the story is the retries.
+		return "retries_exhausted"
+	case errors.Is(err, resilience.ErrAttemptTimeout):
+		return "timeout"
+	default:
+		return "model_error"
+	}
 }
 
 // cancellationError normalizes a stage failure that happened under a
@@ -465,27 +619,30 @@ func (p *Pipeline) SearchEntities(ctx context.Context, query string, k int, kind
 func (p *Pipeline) AnswerWithContext(ctx context.Context, question string, records []string) (*Answer, error) {
 	started := time.Now()
 	p.metrics.Counter("pipeline.ask").Inc()
+	ans := &Answer{Question: question}
+	for _, r := range records {
+		ans.Context = append(ans.Context, ContextRecord{Source: "handle", Text: r})
+	}
 	resp, err := p.cfg.Model.Complete(ctx, llm.Request{
 		Task:     llm.TaskAnswer,
 		Question: question,
 		Context:  records,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("core: contextual generation: %w", cancellationError(ctx, err))
+		if !p.canDegrade(ctx, err) {
+			return nil, fmt.Errorf("core: contextual generation: %w", cancellationError(ctx, err))
+		}
+		p.degrade(ans, ans.Context, nil, err, started)
+		ans.Duration = time.Since(started)
+		return ans, nil
 	}
-	ans := &Answer{
-		Question:  question,
-		Text:      resp.Text,
-		TokensIn:  resp.TokensIn,
-		TokensOut: resp.TokensOut,
-		Trace: []StageTrace{{
-			Stage:  "generate",
-			Detail: fmt.Sprintf("%d caller-supplied context records", len(records)),
-		}},
-	}
-	for _, r := range records {
-		ans.Context = append(ans.Context, ContextRecord{Source: "handle", Text: r})
-	}
+	ans.Text = resp.Text
+	ans.TokensIn = resp.TokensIn
+	ans.TokensOut = resp.TokensOut
+	ans.Trace = append(ans.Trace, StageTrace{
+		Stage:  "generate",
+		Detail: fmt.Sprintf("%d caller-supplied context records", len(records)),
+	})
 	ans.Duration = time.Since(started)
 	return ans, nil
 }
@@ -756,6 +913,7 @@ func (p *Pipeline) Metrics() *metrics.Registry {
 	p.metrics.Counter("semcache.hits").Set(int64(scs.Hits))
 	p.metrics.Counter("semcache.misses").Set(int64(scs.Misses))
 	p.metrics.Counter("semcache.stale").Set(int64(scs.Stale))
+	p.metrics.Counter("semcache.stale_served").Set(int64(scs.StaleServed))
 	p.metrics.Counter("semcache.size").Set(int64(scs.Size))
 	return p.metrics
 }

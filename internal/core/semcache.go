@@ -40,11 +40,25 @@ const semProbeK = 8
 
 // SemCacheStats is a point-in-time snapshot of cache effectiveness.
 type SemCacheStats struct {
-	Hits     uint64 `json:"hits"`
-	Misses   uint64 `json:"misses"`
-	Stale    uint64 `json:"stale"`
-	Size     int    `json:"size"`
-	Capacity int    `json:"capacity"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Stale  uint64 `json:"stale"`
+	// StaleServed counts stale entries served anyway as degraded
+	// answers while the model backend was down — better a dated answer
+	// clearly labeled than none.
+	StaleServed uint64 `json:"stale_served"`
+	Size        int    `json:"size"`
+	Capacity    int    `json:"capacity"`
+}
+
+// staleAnswer is a cache entry that cleared the similarity threshold
+// but was stamped against an older graph version. It is unfit to serve
+// normally, but Ask holds onto the best one per probe: when the model
+// backend is down, a clearly-labeled stale answer beats an apology.
+type staleAnswer struct {
+	ans      *Answer
+	question string
+	score    float64
 }
 
 type semEntry struct {
@@ -69,9 +83,10 @@ type semCache struct {
 	nextID  int64
 	ghosts  int // index docs whose entry was evicted (HNSW can't delete)
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
-	stale  atomic.Uint64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	stale       atomic.Uint64
+	staleServed atomic.Uint64
 }
 
 func newSemCache(threshold float64, capacity, dim int) *semCache {
@@ -92,20 +107,23 @@ func newSemCache(threshold float64, capacity, dim int) *semCache {
 // answer, the question it was originally computed for, and the
 // similarity score on a hit. Entries whose stamped version differs from
 // current are evicted on sight (counted stale) — they can never satisfy
-// this or any later probe.
-func (c *semCache) get(ctx context.Context, qvec embed.Vector, current uint64) (*Answer, string, float64, bool) {
+// this or any later probe — but the best one is handed back as a
+// degradation candidate for the caller to serve if the model backend
+// turns out to be down.
+func (c *semCache) get(ctx context.Context, qvec embed.Vector, current uint64) (*Answer, string, float64, bool, *staleAnswer) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.ll.Len() == 0 {
 		c.misses.Add(1)
-		return nil, "", 0, false
+		return nil, "", 0, false, nil
 	}
 	hits, err := c.index.SearchContext(ctx, qvec, semProbeK, nil)
 	if err != nil {
 		// A canceled probe is not a miss worth recording; the caller's
 		// own ctx checks will surface the abort.
-		return nil, "", 0, false
+		return nil, "", 0, false, nil
 	}
+	var stale *staleAnswer
 	for _, h := range hits {
 		if h.Score < c.threshold {
 			break // scores descend: nothing below can hit
@@ -118,15 +136,24 @@ func (c *semCache) get(ctx context.Context, qvec embed.Vector, current uint64) (
 		if e.version != current {
 			c.removeLocked(el)
 			c.stale.Add(1)
+			if stale == nil {
+				// Scores descend, so the first stale entry is the best
+				// degradation candidate this probe will see.
+				stale = &staleAnswer{ans: e.ans, question: e.question, score: h.Score}
+			}
 			continue // a fresher near-duplicate may still rank below
 		}
 		c.ll.MoveToFront(el)
 		c.hits.Add(1)
-		return e.ans, e.question, h.Score, true
+		return e.ans, e.question, h.Score, true, nil
 	}
 	c.misses.Add(1)
-	return nil, "", 0, false
+	return nil, "", 0, false, stale
 }
+
+// markStaleServed counts a stale candidate actually served as a
+// degraded answer.
+func (c *semCache) markStaleServed() { c.staleServed.Add(1) }
 
 // put inserts an answered question stamped with the graph version its
 // answer was computed against, evicting the least-recently-used entry
@@ -180,11 +207,12 @@ func (c *semCache) stats() SemCacheStats {
 	capn := c.capacity
 	c.mu.Unlock()
 	return SemCacheStats{
-		Hits:     c.hits.Load(),
-		Misses:   c.misses.Load(),
-		Stale:    c.stale.Load(),
-		Size:     size,
-		Capacity: capn,
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Stale:       c.stale.Load(),
+		StaleServed: c.staleServed.Load(),
+		Size:        size,
+		Capacity:    capn,
 	}
 }
 

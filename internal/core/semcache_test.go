@@ -222,7 +222,7 @@ func TestSemCacheGhostRebuild(t *testing.T) {
 		t.Fatalf("live entries %d > capacity 2", got)
 	}
 	// The last two inserted must be probeable.
-	if ans, _, _, ok := c.get(context.Background(), vecs[3], 1); !ok || ans.Text != "a3" {
+	if ans, _, _, ok, _ := c.get(context.Background(), vecs[3], 1); !ok || ans.Text != "a3" {
 		t.Fatalf("probe after rebuild failed: ok=%v", ok)
 	}
 }

@@ -1,0 +1,259 @@
+package eval
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"chatiyp/internal/core"
+	"chatiyp/internal/llm"
+	"chatiyp/internal/metrics"
+	"chatiyp/internal/resilience"
+)
+
+// This file is the chaos-replay harness: it replays the eval corpus
+// against a pipeline whose LLM backend is a seeded FaultyModel, driven
+// through four phases — healthy, flaky, total outage, recovery — and
+// asserts the resilience contract: every question gets an answer
+// (degraded at worst, never an error), the circuit breaker provably
+// opens during the outage, and it recloses after recovery. CI runs it
+// via BenchmarkChaosReplay and publishes CHAOS.json.
+
+// ChaosConfig parameterizes RunChaos.
+type ChaosConfig struct {
+	// Seed selects the deterministic fault sequence (0 = 7).
+	Seed int64
+	// Questions caps how many benchmark questions each phase replays
+	// (0 = 12; the corpus cycles if shorter).
+	Questions int
+}
+
+// ChaosPhase is one phase's outcome.
+type ChaosPhase struct {
+	Name string `json:"name"`
+	// Total/OK/Degraded/Failed partition the phase's questions: OK
+	// answered at full fidelity, Degraded answered without the model,
+	// Failed returned an error (the contract is Failed == 0).
+	Total    int `json:"total"`
+	OK       int `json:"ok"`
+	Degraded int `json:"degraded"`
+	Failed   int `json:"failed"`
+	// Breakers snapshots breaker states at phase end.
+	Breakers map[string]string `json:"breakers,omitempty"`
+}
+
+// ChaosReport is a full chaos replay.
+type ChaosReport struct {
+	Seed   int64        `json:"seed"`
+	Phases []ChaosPhase `json:"phases"`
+	// BreakerOpens counts open transitions over the whole run.
+	BreakerOpens int64 `json:"breaker_opens"`
+	// DegradedAnswers counts degraded answers over the whole run.
+	DegradedAnswers int64 `json:"degraded_answers"`
+	// Retries counts model-call retries over the whole run.
+	Retries int64 `json:"retries"`
+}
+
+// Availability is the fraction of questions answered (fully or
+// degraded) across all phases, in percent.
+func (r *ChaosReport) Availability() float64 {
+	var total, answered int
+	for _, p := range r.Phases {
+		total += p.Total
+		answered += p.OK + p.Degraded
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(answered) / float64(total)
+}
+
+// Passed applies the resilience contract: 100% availability in every
+// phase, degraded answers during the outage, the breaker opened, and
+// it reclosed by the end of recovery.
+func (r *ChaosReport) Passed() bool {
+	if len(r.Phases) == 0 {
+		return false
+	}
+	for _, p := range r.Phases {
+		if p.Failed > 0 || p.Total == 0 {
+			return false
+		}
+	}
+	var outage, recovery *ChaosPhase
+	for i := range r.Phases {
+		switch r.Phases[i].Name {
+		case "outage":
+			outage = &r.Phases[i]
+		case "recovery":
+			recovery = &r.Phases[i]
+		}
+	}
+	if outage == nil || recovery == nil {
+		return false
+	}
+	if outage.Degraded != outage.Total {
+		return false // a down backend must degrade every answer
+	}
+	if r.BreakerOpens == 0 {
+		return false // the outage must provably open the breaker
+	}
+	// Recovery must reclose the breakers the pipeline exercises on
+	// every ask (text2cypher, answer). A breaker whose task saw no
+	// recovery traffic (rerank only runs on the fallback path) rests at
+	// half_open — cooldown elapsed, awaiting probes — which is fine;
+	// only a still-open breaker means recovery failed.
+	for task, st := range recovery.Breakers {
+		if st == "open" {
+			return false
+		}
+		if (task == "text2cypher" || task == "answer") && st != "closed" {
+			return false
+		}
+	}
+	if recovery.OK == 0 {
+		return false // full fidelity must come back
+	}
+	return true
+}
+
+// WriteJSON exports the report (the CI artifact format).
+func (r *ChaosReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Render prints a per-phase summary table.
+func (r *ChaosReport) Render() string {
+	var b strings.Builder
+	b.WriteString("Chaos replay (LLM backend fault injection)\n")
+	b.WriteString("==========================================\n")
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, "  %-10s total=%-3d ok=%-3d degraded=%-3d failed=%-3d", p.Name, p.Total, p.OK, p.Degraded, p.Failed)
+		if len(p.Breakers) > 0 {
+			var open []string
+			for task, st := range p.Breakers {
+				if st != "closed" {
+					open = append(open, task+"="+st)
+				}
+			}
+			if len(open) > 0 {
+				fmt.Fprintf(&b, "  breakers: %s", strings.Join(open, " "))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  availability %.1f%%, breaker opens %d, degraded answers %d, retries %d\n",
+		r.Availability(), r.BreakerOpens, r.DegradedAnswers, r.Retries)
+	status := "FAIL"
+	if r.Passed() {
+		status = "PASS"
+	}
+	fmt.Fprintf(&b, "  resilience contract: %s\n", status)
+	return b.String()
+}
+
+// RunChaos replays exp.Bench questions through a resilience-wrapped
+// pipeline over exp.Graph while the fault injector walks the phases.
+// The pipeline is built fresh (its own metrics registry, short
+// timeouts and cooldowns) so the replay never perturbs exp.Pipeline.
+func RunChaos(ctx context.Context, exp *Experiment, cfg ChaosConfig) (*ChaosReport, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 7
+	}
+	if cfg.Questions <= 0 {
+		cfg.Questions = 12
+	}
+	if len(exp.Bench.Questions) == 0 {
+		return nil, fmt.Errorf("eval: chaos replay needs a non-empty benchmark")
+	}
+
+	backboneCfg := llm.DefaultSimConfig(core.BuildLexicon(exp.Graph))
+	backboneCfg.Seed = cfg.Seed
+	backboneCfg.ErrorScale = 0 // fault injection is the only noise source
+	faulty := &llm.FaultyModel{Inner: llm.NewSim(backboneCfg), Seed: cfg.Seed}
+	reg := metrics.NewRegistry()
+	rcfg := resilience.Config{
+		Timeout:          250 * time.Millisecond,
+		Retries:          2,
+		RetryBase:        5 * time.Millisecond,
+		RetryCap:         40 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  200 * time.Millisecond,
+	}
+	pipe, err := core.New(core.Config{
+		Graph:      exp.Graph,
+		Model:      faulty,
+		Metrics:    reg,
+		Resilience: &rcfg,
+		Degrade:    true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("eval: building chaos pipeline: %w", err)
+	}
+
+	questions := make([]string, cfg.Questions)
+	for i := range questions {
+		questions[i] = exp.Bench.Questions[i%len(exp.Bench.Questions)].Text
+	}
+
+	runPhase := func(name string) (ChaosPhase, error) {
+		p := ChaosPhase{Name: name}
+		for _, q := range questions {
+			if err := ctx.Err(); err != nil {
+				return p, err
+			}
+			p.Total++
+			ans, err := pipe.Ask(ctx, q)
+			switch {
+			case err != nil:
+				p.Failed++
+			case ans.Degraded:
+				p.Degraded++
+			default:
+				p.OK++
+			}
+		}
+		p.Breakers = pipe.BreakerStates()
+		return p, nil
+	}
+
+	rep := &ChaosReport{Seed: cfg.Seed}
+	phases := []struct {
+		name  string
+		setup func()
+	}{
+		{"healthy", func() {}},
+		{"flaky", func() {
+			faulty.Schedules = map[llm.Task]llm.FaultSchedule{
+				llm.TaskText2Cypher: {Error: 0.3, Malformed: 0.1},
+				llm.TaskAnswer:      {Error: 0.3, Slow: 0.2, SlowBy: 5 * time.Millisecond},
+				llm.TaskRerank:      {Error: 0.4},
+			}
+		}},
+		{"outage", func() { faulty.SetDown(true) }},
+		{"recovery", func() {
+			faulty.SetDown(false)
+			faulty.Schedules = nil
+			// Let every open breaker's cooldown elapse so the phase's
+			// first calls probe and reclose.
+			time.Sleep(rcfg.BreakerCooldown + 50*time.Millisecond)
+		}},
+	}
+	for _, ph := range phases {
+		ph.setup()
+		p, err := runPhase(ph.name)
+		if err != nil {
+			return nil, err
+		}
+		rep.Phases = append(rep.Phases, p)
+	}
+	rep.BreakerOpens = reg.Counter("llm.breaker_open").Value()
+	rep.DegradedAnswers = reg.Counter("llm.degraded_answers").Value()
+	rep.Retries = reg.Counter("llm.retries").Value()
+	return rep, nil
+}

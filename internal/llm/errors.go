@@ -1,0 +1,61 @@
+package llm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file is the model-boundary error taxonomy. A hosted LLM backend
+// fails in ways that call for different reactions:
+//
+//   - transient failures (the service is briefly unavailable, or the
+//     caller is being rate limited) are worth retrying with backoff;
+//   - malformed output (the completion failed whatever validation the
+//     caller applies) is not — the same prompt deterministically gets
+//     the same bad completion, so the caller should degrade instead;
+//   - semantic outcomes (ErrNoTranslation in llm.go) are not backend
+//     failures at all: the service is healthy, the question is just
+//     outside its competence.
+//
+// internal/resilience classifies on this taxonomy: only transient
+// errors (and its own per-attempt timeouts) are retried, and only
+// genuine backend failures trip the circuit breaker.
+
+// Backend failure reasons. Stable strings: they appear in traces,
+// degraded-answer reasons, and fault-injection specs.
+const (
+	// ReasonUnavailable: the backend refused or dropped the call
+	// (5xx-class). Transient.
+	ReasonUnavailable = "unavailable"
+	// ReasonRateLimited: the backend throttled the caller (429-class).
+	// Transient.
+	ReasonRateLimited = "rate_limited"
+	// ReasonMalformed: the completion failed output validation.
+	// Deterministic, not transient.
+	ReasonMalformed = "malformed_output"
+)
+
+// BackendError is a model-backend failure with a classified reason.
+// FaultyModel injects these; a real hosted-API adapter would map HTTP
+// statuses onto them the same way.
+type BackendError struct {
+	// Task is the model head the failed call targeted.
+	Task Task
+	// Reason is one of the Reason* constants.
+	Reason string
+	// Transient reports whether retrying the same call may succeed.
+	Transient bool
+}
+
+// Error implements error.
+func (e *BackendError) Error() string {
+	return fmt.Sprintf("llm: backend %s failed: %s", e.Task, e.Reason)
+}
+
+// IsTransient reports whether err is (or wraps) a backend failure worth
+// retrying. Errors outside the taxonomy — including ErrNoTranslation
+// and context cancellation — are not transient.
+func IsTransient(err error) bool {
+	var be *BackendError
+	return errors.As(err, &be) && be.Transient
+}

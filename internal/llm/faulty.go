@@ -1,0 +1,264 @@
+package llm
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultyModel is a seeded, deterministic chaos wrapper around a Model:
+// it injects backend faults — transient errors, hangs that last until
+// the caller's context ends, added latency, malformed output — on a
+// per-task schedule, so resilience behaviour (retries, breaker
+// transitions, graceful degradation) can be tested and replayed
+// exactly.
+//
+// Determinism: the fault for a call is chosen by hashing (Seed, task,
+// per-task call index), so the same construction sees the same fault
+// sequence regardless of wall clock or goroutine interleaving of other
+// tasks. Calls to different tasks never perturb each other's sequences.
+//
+// Safe for concurrent use.
+type FaultyModel struct {
+	// Inner is the wrapped model.
+	Inner Model
+	// Seed selects the deterministic fault sequence.
+	Seed int64
+	// Schedules maps task -> fault schedule; tasks absent from the map
+	// use Default.
+	Schedules map[Task]FaultSchedule
+	// Default applies to tasks without an explicit schedule.
+	Default FaultSchedule
+
+	// down forces every call to fail with a transient backend error
+	// while set, regardless of schedule — a total outage. Toggled at
+	// runtime by recovery tests (outage -> breaker opens -> SetDown
+	// (false) -> breaker half-opens and recloses).
+	down atomic.Bool
+
+	mu       sync.Mutex
+	calls    map[Task]int
+	injected map[string]int64 // fault name -> times injected
+}
+
+// FaultSchedule is one task's fault mix. Error/Hang/Slow/Malformed are
+// probabilities in [0, 1], evaluated cumulatively in that order against
+// one deterministic draw per call; their sum should be <= 1 (the
+// remainder passes through cleanly).
+type FaultSchedule struct {
+	// Error injects a transient BackendError (unavailable or
+	// rate-limited, split deterministically).
+	Error float64
+	// Hang blocks until the caller's context ends, then returns its
+	// error — a stuck backend that only a deadline rescues.
+	Hang float64
+	// Slow sleeps SlowBy (context-aware) before completing normally.
+	Slow float64
+	// Malformed corrupts the completion: text2cypher returns an
+	// unparseable query (exercising the downstream fallback), other
+	// tasks return a non-transient ReasonMalformed BackendError.
+	Malformed float64
+	// SlowBy is the injected latency for Slow faults (default 50ms).
+	SlowBy time.Duration
+	// FailFirst fails the task's first N calls with a transient error
+	// regardless of the probabilistic mix — a deterministic outage
+	// window that drives the breaker open in tests.
+	FailFirst int
+}
+
+// Fault names, used in injection counters and fault-spec strings.
+const (
+	faultError     = "error"
+	faultHang      = "hang"
+	faultSlow      = "slow"
+	faultMalformed = "malformed"
+)
+
+// SetDown toggles a total outage: while down, every call fails with a
+// transient backend error.
+func (f *FaultyModel) SetDown(down bool) { f.down.Store(down) }
+
+// Down reports whether the total-outage switch is set.
+func (f *FaultyModel) Down() bool { return f.down.Load() }
+
+// Injected snapshots how many faults of each kind have been injected.
+func (f *FaultyModel) Injected() map[string]int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int64, len(f.injected))
+	for k, v := range f.injected {
+		out[k] = v
+	}
+	return out
+}
+
+// schedule returns the task's schedule and its next call index.
+func (f *FaultyModel) schedule(task Task) (FaultSchedule, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.calls == nil {
+		f.calls = make(map[Task]int)
+	}
+	idx := f.calls[task]
+	f.calls[task] = idx + 1
+	sched, ok := f.Schedules[task]
+	if !ok {
+		sched = f.Default
+	}
+	return sched, idx
+}
+
+func (f *FaultyModel) count(fault string) {
+	f.mu.Lock()
+	if f.injected == nil {
+		f.injected = make(map[string]int64)
+	}
+	f.injected[fault]++
+	f.mu.Unlock()
+}
+
+// Complete implements Model.
+func (f *FaultyModel) Complete(ctx context.Context, req Request) (Response, error) {
+	sched, idx := f.schedule(req.Task)
+	h := hash64("faulty", strconv.FormatInt(f.Seed, 10), req.Task.String(), strconv.Itoa(idx))
+	if f.down.Load() || idx < sched.FailFirst {
+		f.count(faultError)
+		return Response{}, f.backendError(req.Task, h)
+	}
+	u := unit(h)
+	switch {
+	case u < sched.Error:
+		f.count(faultError)
+		return Response{}, f.backendError(req.Task, h)
+	case u < sched.Error+sched.Hang:
+		f.count(faultHang)
+		<-ctx.Done()
+		return Response{}, ctx.Err()
+	case u < sched.Error+sched.Hang+sched.Slow:
+		f.count(faultSlow)
+		slowBy := sched.SlowBy
+		if slowBy <= 0 {
+			slowBy = 50 * time.Millisecond
+		}
+		t := time.NewTimer(slowBy)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return Response{}, ctx.Err()
+		}
+		return f.Inner.Complete(ctx, req)
+	case u < sched.Error+sched.Hang+sched.Slow+sched.Malformed:
+		f.count(faultMalformed)
+		if req.Task == TaskText2Cypher {
+			// Garbage the downstream parser rejects, sending the
+			// pipeline through its vector fallback — the shape a real
+			// model hallucinating syntax produces.
+			resp, err := f.Inner.Complete(ctx, req)
+			if err != nil {
+				return Response{}, err
+			}
+			resp.Text = "MATCH (x:%% RETURN"
+			return resp, nil
+		}
+		return Response{}, &BackendError{Task: req.Task, Reason: ReasonMalformed, Transient: false}
+	}
+	return f.Inner.Complete(ctx, req)
+}
+
+// backendError picks unavailable vs rate-limited deterministically.
+func (f *FaultyModel) backendError(task Task, h uint64) error {
+	reason := ReasonUnavailable
+	if h&(1<<16) != 0 {
+		reason = ReasonRateLimited
+	}
+	return &BackendError{Task: task, Reason: reason, Transient: true}
+}
+
+// ParseFaultSpec parses a compact fault-injection spec for CLI flags:
+// comma-separated task=kind:probability entries, where task is one of
+// text2cypher, answer, rerank, judge or all, and kind is error, hang,
+// slow or malformed. Slow entries may append @duration. The shorthand
+// "down" fails everything. Examples:
+//
+//	down
+//	all=error:1
+//	answer=error:0.5,text2cypher=slow:0.3@200ms
+func ParseFaultSpec(spec string) (map[Task]FaultSchedule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("llm: empty fault spec")
+	}
+	all := []Task{TaskText2Cypher, TaskAnswer, TaskRerank, TaskJudge}
+	out := make(map[Task]FaultSchedule)
+	if spec == "down" {
+		for _, t := range all {
+			out[t] = FaultSchedule{Error: 1}
+		}
+		return out, nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		name, rest, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok {
+			return nil, fmt.Errorf("llm: fault spec entry %q: want task=kind:probability", entry)
+		}
+		var tasks []Task
+		switch name {
+		case "all":
+			tasks = all
+		case "text2cypher":
+			tasks = []Task{TaskText2Cypher}
+		case "answer":
+			tasks = []Task{TaskAnswer}
+		case "rerank":
+			tasks = []Task{TaskRerank}
+		case "judge":
+			tasks = []Task{TaskJudge}
+		default:
+			return nil, fmt.Errorf("llm: fault spec: unknown task %q", name)
+		}
+		kind, probPart, ok := strings.Cut(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("llm: fault spec entry %q: want task=kind:probability", entry)
+		}
+		probStr, durStr, hasDur := strings.Cut(probPart, "@")
+		prob, err := strconv.ParseFloat(probStr, 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return nil, fmt.Errorf("llm: fault spec entry %q: bad probability %q", entry, probStr)
+		}
+		var slowBy time.Duration
+		if hasDur {
+			if kind != faultSlow {
+				return nil, fmt.Errorf("llm: fault spec entry %q: @duration only applies to slow", entry)
+			}
+			slowBy, err = time.ParseDuration(durStr)
+			if err != nil {
+				return nil, fmt.Errorf("llm: fault spec entry %q: %v", entry, err)
+			}
+		}
+		for _, t := range tasks {
+			sched := out[t]
+			switch kind {
+			case faultError:
+				sched.Error = prob
+			case faultHang:
+				sched.Hang = prob
+			case faultSlow:
+				sched.Slow = prob
+				if slowBy > 0 {
+					sched.SlowBy = slowBy
+				}
+			case faultMalformed:
+				sched.Malformed = prob
+			default:
+				return nil, fmt.Errorf("llm: fault spec: unknown fault kind %q", kind)
+			}
+			out[t] = sched
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// okModel completes every request successfully.
+type okModel struct{}
+
+func (okModel) Complete(_ context.Context, req Request) (Response, error) {
+	return Response{Text: "ok:" + req.Task.String(), Score: 0.5}, nil
+}
+
+func faultSequence(t *testing.T, f *FaultyModel, task Task, n int) []string {
+	t.Helper()
+	seq := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		resp, err := f.Complete(ctx, Request{Task: task, Question: "q"})
+		cancel()
+		var be *BackendError
+		switch {
+		case err == nil && resp.Text == "MATCH (x:%% RETURN":
+			seq = append(seq, "malformed")
+		case err == nil:
+			seq = append(seq, "ok")
+		case errors.As(err, &be) && be.Reason == ReasonMalformed:
+			seq = append(seq, "malformed")
+		case errors.As(err, &be):
+			seq = append(seq, "error")
+		case errors.Is(err, context.DeadlineExceeded):
+			seq = append(seq, "hang")
+		default:
+			t.Fatalf("call %d: unexpected error %v", i, err)
+		}
+	}
+	return seq
+}
+
+func TestFaultyModelDeterministic(t *testing.T) {
+	mk := func() *FaultyModel {
+		return &FaultyModel{
+			Inner: okModel{},
+			Seed:  7,
+			Default: FaultSchedule{
+				Error: 0.3, Hang: 0.1, Malformed: 0.2,
+			},
+		}
+	}
+	a := faultSequence(t, mk(), TaskAnswer, 40)
+	b := faultSequence(t, mk(), TaskAnswer, 40)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequences diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	kinds := map[string]bool{}
+	for _, k := range a {
+		kinds[k] = true
+	}
+	for _, want := range []string{"ok", "error", "malformed"} {
+		if !kinds[want] {
+			t.Errorf("40 draws at these rates should include %q; got %v", want, kinds)
+		}
+	}
+}
+
+// Interleaving calls to another task must not shift a task's fault
+// sequence: indices are per task.
+func TestFaultyModelPerTaskSequences(t *testing.T) {
+	mk := func() *FaultyModel {
+		return &FaultyModel{Inner: okModel{}, Seed: 3, Default: FaultSchedule{Error: 0.5}}
+	}
+	solo := faultSequence(t, mk(), TaskAnswer, 20)
+	mixed := mk()
+	var interleaved []string
+	for i := 0; i < 20; i++ {
+		_, _ = mixed.Complete(context.Background(), Request{Task: TaskRerank})
+		interleaved = append(interleaved, faultSequence(t, mixed, TaskAnswer, 1)...)
+	}
+	for i := range solo {
+		if solo[i] != interleaved[i] {
+			t.Fatalf("rerank traffic shifted answer's fault sequence at %d", i)
+		}
+	}
+}
+
+func TestFaultyModelFailFirstAndRecovery(t *testing.T) {
+	f := &FaultyModel{
+		Inner:   okModel{},
+		Default: FaultSchedule{FailFirst: 3},
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.Complete(context.Background(), Request{Task: TaskAnswer}); !IsTransient(err) {
+			t.Fatalf("call %d: want transient backend error, got %v", i, err)
+		}
+	}
+	if _, err := f.Complete(context.Background(), Request{Task: TaskAnswer}); err != nil {
+		t.Fatalf("call after FailFirst window: %v", err)
+	}
+}
+
+func TestFaultyModelSetDown(t *testing.T) {
+	f := &FaultyModel{Inner: okModel{}}
+	if _, err := f.Complete(context.Background(), Request{Task: TaskAnswer}); err != nil {
+		t.Fatalf("healthy call: %v", err)
+	}
+	f.SetDown(true)
+	if _, err := f.Complete(context.Background(), Request{Task: TaskAnswer}); !IsTransient(err) {
+		t.Fatalf("down: want transient error, got %v", err)
+	}
+	f.SetDown(false)
+	if _, err := f.Complete(context.Background(), Request{Task: TaskAnswer}); err != nil {
+		t.Fatalf("recovered call: %v", err)
+	}
+	if got := f.Injected()[faultError]; got != 1 {
+		t.Fatalf("injected[error] = %d, want 1", got)
+	}
+}
+
+func TestFaultyModelHangHonorsContext(t *testing.T) {
+	f := &FaultyModel{Inner: okModel{}, Default: FaultSchedule{Hang: 1}}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.Complete(ctx, Request{Task: TaskAnswer})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hang outlived its context: %v", elapsed)
+	}
+}
+
+func TestFaultyModelMalformedText2Cypher(t *testing.T) {
+	f := &FaultyModel{Inner: okModel{}, Default: FaultSchedule{Malformed: 1}}
+	resp, err := f.Complete(context.Background(), Request{Task: TaskText2Cypher})
+	if err != nil {
+		t.Fatalf("text2cypher malformed should pass garbage through, got err %v", err)
+	}
+	if resp.Text != "MATCH (x:%% RETURN" {
+		t.Fatalf("unexpected malformed query %q", resp.Text)
+	}
+	_, err = f.Complete(context.Background(), Request{Task: TaskAnswer})
+	var be *BackendError
+	if !errors.As(err, &be) || be.Reason != ReasonMalformed || be.Transient {
+		t.Fatalf("answer malformed: want non-transient malformed_output, got %v", err)
+	}
+}
+
+func TestParseFaultSpec(t *testing.T) {
+	sched, err := ParseFaultSpec("answer=error:0.5,text2cypher=slow:0.3@200ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sched[TaskAnswer].Error; got != 0.5 {
+		t.Errorf("answer error rate = %v", got)
+	}
+	if s := sched[TaskText2Cypher]; s.Slow != 0.3 || s.SlowBy != 200*time.Millisecond {
+		t.Errorf("text2cypher slow schedule = %+v", s)
+	}
+	down, err := ParseFaultSpec("down")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range []Task{TaskText2Cypher, TaskAnswer, TaskRerank, TaskJudge} {
+		if down[task].Error != 1 {
+			t.Errorf("down: task %v error rate = %v, want 1", task, down[task].Error)
+		}
+	}
+	for _, bad := range []string{"", "nope", "answer=error", "answer=error:2", "bogus=error:1", "answer=error:0.5@1s"} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Errorf("spec %q should not parse", bad)
+		}
+	}
+}

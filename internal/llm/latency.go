@@ -76,9 +76,20 @@ func (m *MeteredModel) Complete(ctx context.Context, req Request) (Response, err
 	m.usage.Cost += float64(resp.TokensIn)/1000*m.Profile.InputCostPer1K +
 		float64(resp.TokensOut)/1000*m.Profile.OutputCostPer1K
 	m.mu.Unlock()
-	if m.Sleep {
+	if m.Sleep && dur > 0 {
+		// The simulated delay must be cancellable — and must not leave
+		// a pending timer behind when it is: time.After would keep its
+		// timer (and the memory it pins) alive for the full simulated
+		// duration after the caller gave up, which reads as a leak to
+		// chaos harnesses that assert quiescence after mass
+		// cancellation. A stopped timer releases immediately.
+		if err := ctx.Err(); err != nil {
+			return Response{}, err
+		}
+		t := time.NewTimer(dur)
+		defer t.Stop()
 		select {
-		case <-time.After(dur):
+		case <-t.C:
 		case <-ctx.Done():
 			return Response{}, ctx.Err()
 		}

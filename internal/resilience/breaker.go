@@ -1,0 +1,170 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+
+	"chatiyp/internal/metrics"
+)
+
+// Breaker states, exported through gauges and BreakerStates so health
+// endpoints and dashboards can read the machine directly.
+const (
+	StateClosed   = "closed"
+	StateHalfOpen = "half_open"
+	StateOpen     = "open"
+)
+
+// gauge encoding of the states (llm.breaker_state{task=...}).
+const (
+	gaugeClosed   = 0
+	gaugeHalfOpen = 1
+	gaugeOpen     = 2
+)
+
+// breaker is one task's circuit breaker:
+//
+//	closed --(threshold consecutive failures)--> open
+//	open --(cooldown elapses)--> half-open
+//	half-open: up to `probes` concurrent calls are admitted;
+//	  `successes` probe successes reclose the breaker,
+//	  one probe failure reopens it (fresh cooldown).
+//
+// Failures here mean classified backend failures — attempt timeouts and
+// BackendErrors. Semantic outcomes (ErrNoTranslation) count as
+// successes; a parent-context cancellation counts as neither.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	probes    int
+	successes int
+	now       func() time.Time
+
+	mu          sync.Mutex
+	state       string
+	consecFails int
+	openedAt    time.Time
+	probing     int // in-flight half-open probe calls
+	probeOKs    int
+
+	gauge *metrics.Gauge   // mirrors state
+	opens *metrics.Counter // transitions to open
+}
+
+func newBreaker(threshold int, cooldown time.Duration, probes, successes int, now func() time.Time, gauge *metrics.Gauge, opens *metrics.Counter) *breaker {
+	b := &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		probes:    probes,
+		successes: successes,
+		now:       now,
+		state:     StateClosed,
+		gauge:     gauge,
+		opens:     opens,
+	}
+	b.gauge.Set(gaugeClosed)
+	return b
+}
+
+// callToken ties one admitted call's outcome back to the breaker.
+// Exactly one of success/failure/skip must be called.
+type callToken struct {
+	b     *breaker
+	probe bool
+}
+
+// allow admits or rejects a call. On admission the returned token must
+// be resolved with the call's outcome.
+func (b *breaker) allow() (*callToken, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		b.state = StateHalfOpen
+		b.probing = 0
+		b.probeOKs = 0
+		b.gauge.Set(gaugeHalfOpen)
+	}
+	switch b.state {
+	case StateClosed:
+		return &callToken{b: b}, nil
+	case StateHalfOpen:
+		if b.probing < b.probes {
+			b.probing++
+			return &callToken{b: b, probe: true}, nil
+		}
+		return nil, ErrBreakerOpen
+	default:
+		return nil, ErrBreakerOpen
+	}
+}
+
+// success resolves the call as a healthy backend interaction.
+func (t *callToken) success() {
+	b := t.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t.probe {
+		if b.state == StateHalfOpen {
+			b.probing--
+			b.probeOKs++
+			if b.probeOKs >= b.successes {
+				b.state = StateClosed
+				b.consecFails = 0
+				b.gauge.Set(gaugeClosed)
+			}
+		}
+		return
+	}
+	b.consecFails = 0
+}
+
+// failure resolves the call as a backend failure.
+func (t *callToken) failure() {
+	b := t.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t.probe {
+		if b.state == StateHalfOpen {
+			// One failed probe is enough evidence: reopen for a fresh
+			// cooldown.
+			b.openLocked()
+		}
+		return
+	}
+	b.consecFails++
+	if b.state == StateClosed && b.consecFails >= b.threshold {
+		b.openLocked()
+	}
+}
+
+// skip resolves the call as neither success nor failure (the parent
+// context ended — the backend was never given a fair chance).
+func (t *callToken) skip() {
+	b := t.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t.probe && b.state == StateHalfOpen {
+		b.probing--
+	}
+}
+
+func (b *breaker) openLocked() {
+	b.state = StateOpen
+	b.openedAt = b.now()
+	b.consecFails = 0
+	b.probing = 0
+	b.probeOKs = 0
+	b.gauge.Set(gaugeOpen)
+	b.opens.Inc()
+}
+
+// currentState reports the state, surfacing the cooldown-elapsed
+// open -> half-open transition without requiring a call.
+func (b *breaker) currentState() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return StateHalfOpen
+	}
+	return b.state
+}

@@ -1,0 +1,330 @@
+// Package resilience hardens the pipeline against a misbehaving LLM
+// backend. ResilientModel wraps any llm.Model with, composed outside
+// in: bulkhead -> retry loop -> circuit breaker -> per-attempt
+// timeout.
+//
+//   - a bulkhead caps in-flight model calls, failing fast with
+//     ErrBulkheadFull instead of queueing unboundedly;
+//   - bounded retries with exponential backoff and full jitter re-issue
+//     calls that failed transiently (llm.IsTransient) or timed out;
+//   - a per-task circuit breaker stops hammering a down backend:
+//     after a run of consecutive failures it opens, rejecting calls
+//     instantly with ErrBreakerOpen, then admits a budgeted number of
+//     probes after a cooldown and recloses on probe success;
+//   - a per-attempt timeout bounds each individual call. It surfaces
+//     as ErrAttemptTimeout, deliberately NOT context.DeadlineExceeded:
+//     the caller's own deadline did not expire, and upper layers map
+//     DeadlineExceeded to a gateway timeout rather than degradation.
+//
+// Everything nondeterministic (clock, jitter, sleep) is injectable so
+// tests replay exact schedules.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"chatiyp/internal/llm"
+	"chatiyp/internal/metrics"
+)
+
+// Sentinel errors. Both satisfy IsUnavailable: the caller got a
+// fail-fast rejection and may degrade or shed load, but nothing is
+// wrong with the request itself.
+var (
+	// ErrBreakerOpen rejects a call because the task's circuit breaker
+	// is open (or its half-open probe budget is spent).
+	ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+	// ErrBulkheadFull rejects a call because the in-flight cap is
+	// reached.
+	ErrBulkheadFull = errors.New("resilience: bulkhead full")
+	// ErrAttemptTimeout marks an attempt that outlived its per-attempt
+	// budget while the caller's own context was still live. It is a
+	// distinct sentinel — not context.DeadlineExceeded — so upper
+	// layers degrade instead of reporting a gateway timeout.
+	ErrAttemptTimeout = errors.New("resilience: attempt timed out")
+)
+
+// ExhaustedError reports that every allowed attempt failed retryably.
+type ExhaustedError struct {
+	// Attempts is how many attempts were made.
+	Attempts int
+	// Last is the final attempt's error.
+	Last error
+}
+
+// Error implements error.
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("resilience: %d attempts exhausted: %v", e.Attempts, e.Last)
+}
+
+// Unwrap exposes the final attempt's error.
+func (e *ExhaustedError) Unwrap() error { return e.Last }
+
+// IsUnavailable reports whether err is a fail-fast rejection (breaker
+// open or bulkhead full) — the request never reached the backend and a
+// retry later may succeed. Servers map these to 503 + Retry-After.
+func IsUnavailable(err error) bool {
+	return errors.Is(err, ErrBreakerOpen) || errors.Is(err, ErrBulkheadFull)
+}
+
+// Config tunes a ResilientModel. Zero values select the defaults noted
+// per field; negative values disable the corresponding mechanism where
+// noted.
+type Config struct {
+	// Timeout bounds each individual attempt (default 10s; <0 disables
+	// per-attempt timeouts).
+	Timeout time.Duration
+	// Retries is how many extra attempts follow a retryable failure
+	// (default 2; <0 disables retries).
+	Retries int
+	// RetryBase is the backoff base: attempt n waits a uniformly
+	// jittered duration in [0, min(RetryCap, RetryBase<<(n-1))]
+	// (default 100ms).
+	RetryBase time.Duration
+	// RetryCap caps the backoff window (default 2s).
+	RetryCap time.Duration
+
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// task's breaker (default 5; <0 disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before
+	// admitting probes (default 5s).
+	BreakerCooldown time.Duration
+	// BreakerProbes is the half-open concurrent probe budget
+	// (default 1).
+	BreakerProbes int
+	// BreakerSuccesses is how many probe successes reclose the breaker
+	// (default 2).
+	BreakerSuccesses int
+
+	// MaxInFlight caps concurrent model calls across all tasks
+	// (default 256; <0 removes the cap).
+	MaxInFlight int
+
+	// Rand returns a uniform draw in [0, 1) for jitter (default
+	// math/rand).
+	Rand func() float64
+	// Now is the breaker's clock (default time.Now).
+	Now func() time.Time
+	// Sleep waits d or until ctx ends (default a timer-based wait).
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout == 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 100 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 2 * time.Second
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.BreakerProbes <= 0 {
+		c.BreakerProbes = 1
+	}
+	if c.BreakerSuccesses <= 0 {
+		c.BreakerSuccesses = 2
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 256
+	}
+	if c.Rand == nil {
+		c.Rand = rand.Float64
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Sleep == nil {
+		c.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	return c
+}
+
+// tasks the wrapper maintains breakers for.
+var allTasks = []llm.Task{llm.TaskText2Cypher, llm.TaskAnswer, llm.TaskRerank, llm.TaskJudge}
+
+// ResilientModel implements llm.Model around an inner model. Safe for
+// concurrent use.
+type ResilientModel struct {
+	inner llm.Model
+	cfg   Config
+
+	sem chan struct{} // bulkhead; nil when uncapped
+
+	breakers map[llm.Task]*breaker // immutable after Wrap
+
+	calls        *metrics.Counter
+	retries      *metrics.Counter
+	timeouts     *metrics.Counter
+	failures     *metrics.Counter
+	breakerRejs  *metrics.Counter
+	bulkheadRejs *metrics.Counter
+	inflight     *metrics.Gauge
+}
+
+// Wrap builds a ResilientModel around inner, registering its counters
+// and gauges on reg (metrics.Default when nil).
+func Wrap(inner llm.Model, cfg Config, reg *metrics.Registry) *ResilientModel {
+	cfg = cfg.withDefaults()
+	if reg == nil {
+		reg = metrics.Default
+	}
+	m := &ResilientModel{
+		inner:        inner,
+		cfg:          cfg,
+		breakers:     make(map[llm.Task]*breaker, len(allTasks)),
+		calls:        reg.Counter("llm.calls"),
+		retries:      reg.Counter("llm.retries"),
+		timeouts:     reg.Counter("llm.timeouts"),
+		failures:     reg.Counter("llm.failures"),
+		breakerRejs:  reg.Counter("llm.breaker_rejections"),
+		bulkheadRejs: reg.Counter("llm.bulkhead_rejections"),
+		inflight:     reg.Gauge("llm.inflight"),
+	}
+	if cfg.MaxInFlight > 0 {
+		m.sem = make(chan struct{}, cfg.MaxInFlight)
+	}
+	if cfg.BreakerThreshold > 0 {
+		opens := reg.Counter("llm.breaker_open")
+		for _, task := range allTasks {
+			gauge := reg.Gauge("llm.breaker_state{task=" + task.String() + "}")
+			m.breakers[task] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown,
+				cfg.BreakerProbes, cfg.BreakerSuccesses, cfg.Now, gauge, opens)
+		}
+	}
+	return m
+}
+
+// Inner returns the wrapped model.
+func (m *ResilientModel) Inner() llm.Model { return m.inner }
+
+// BreakerStates snapshots every task's breaker state by task name.
+// Empty when the breaker is disabled.
+func (m *ResilientModel) BreakerStates() map[string]string {
+	out := make(map[string]string, len(m.breakers))
+	for task, b := range m.breakers {
+		out[task.String()] = b.currentState()
+	}
+	return out
+}
+
+// Complete implements llm.Model.
+func (m *ResilientModel) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return llm.Response{}, err
+	}
+	if m.sem != nil {
+		select {
+		case m.sem <- struct{}{}:
+			defer func() { <-m.sem }()
+		default:
+			m.bulkheadRejs.Inc()
+			return llm.Response{}, fmt.Errorf("resilience: %s: %w", req.Task, ErrBulkheadFull)
+		}
+	}
+	m.inflight.Inc()
+	defer m.inflight.Dec()
+	m.calls.Inc()
+
+	br := m.breakers[req.Task]
+	var lastErr error
+	attempts := 0
+	for attempt := 0; attempt <= m.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			m.retries.Inc()
+			if err := m.cfg.Sleep(ctx, m.backoff(attempt)); err != nil {
+				return llm.Response{}, err
+			}
+		}
+		var token *callToken
+		if br != nil {
+			var err error
+			token, err = br.allow()
+			if err != nil {
+				m.breakerRejs.Inc()
+				return llm.Response{}, fmt.Errorf("resilience: %s: %w", req.Task, err)
+			}
+		}
+		resp, err := m.attempt(ctx, req)
+		attempts++
+		if err == nil || errors.Is(err, llm.ErrNoTranslation) {
+			// ErrNoTranslation is a semantic outcome from a healthy
+			// backend, not a failure.
+			if token != nil {
+				token.success()
+			}
+			return resp, err
+		}
+		if ctx.Err() != nil && !errors.Is(err, ErrAttemptTimeout) {
+			// The caller gave up; the backend was never given a fair
+			// chance, so the breaker learns nothing from this call.
+			if token != nil {
+				token.skip()
+			}
+			return llm.Response{}, err
+		}
+		if token != nil {
+			token.failure()
+		}
+		m.failures.Inc()
+		lastErr = err
+		if !errors.Is(err, ErrAttemptTimeout) && !llm.IsTransient(err) {
+			return llm.Response{}, err
+		}
+	}
+	return llm.Response{}, &ExhaustedError{Attempts: attempts, Last: lastErr}
+}
+
+// attempt runs one call under the per-attempt timeout, classifying an
+// attempt-deadline expiry as ErrAttemptTimeout.
+func (m *ResilientModel) attempt(ctx context.Context, req llm.Request) (llm.Response, error) {
+	actx := ctx
+	var cancel context.CancelFunc
+	if m.cfg.Timeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, m.cfg.Timeout)
+		defer cancel()
+	}
+	resp, err := m.inner.Complete(actx, req)
+	if err != nil && ctx.Err() == nil && actx.Err() != nil {
+		// The attempt budget expired but the caller is still waiting:
+		// this attempt timed out, the request did not.
+		m.timeouts.Inc()
+		return llm.Response{}, fmt.Errorf("resilience: %s after %v: %w", req.Task, m.cfg.Timeout, ErrAttemptTimeout)
+	}
+	return resp, err
+}
+
+// backoff returns the full-jittered wait before retry n (n >= 1).
+func (m *ResilientModel) backoff(n int) time.Duration {
+	d := m.cfg.RetryBase << (n - 1)
+	if d > m.cfg.RetryCap || d <= 0 {
+		d = m.cfg.RetryCap
+	}
+	return time.Duration(m.cfg.Rand() * float64(d))
+}

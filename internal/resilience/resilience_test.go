@@ -1,0 +1,519 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chatiyp/internal/llm"
+	"chatiyp/internal/metrics"
+)
+
+// scriptedModel returns canned outcomes in order; after the script is
+// spent it succeeds.
+type scriptedModel struct {
+	mu     sync.Mutex
+	script []error
+	calls  int
+}
+
+func (s *scriptedModel) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := s.calls
+	s.calls++
+	if idx < len(s.script) && s.script[idx] != nil {
+		return llm.Response{}, s.script[idx]
+	}
+	return llm.Response{Text: "ok"}, nil
+}
+
+func (s *scriptedModel) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+func transientErr() error {
+	return &llm.BackendError{Task: llm.TaskAnswer, Reason: llm.ReasonUnavailable, Transient: true}
+}
+
+// instantSleep records requested backoffs without waiting.
+type instantSleep struct {
+	mu    sync.Mutex
+	waits []time.Duration
+}
+
+func (s *instantSleep) sleep(ctx context.Context, d time.Duration) error {
+	s.mu.Lock()
+	s.waits = append(s.waits, d)
+	s.mu.Unlock()
+	return ctx.Err()
+}
+
+// fakeClock is a settable breaker clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testConfig(sleep *instantSleep, clock *fakeClock) Config {
+	cfg := Config{
+		Timeout:   -1,
+		RetryBase: 100 * time.Millisecond,
+		RetryCap:  2 * time.Second,
+		Rand:      func() float64 { return 0.5 },
+	}
+	if sleep != nil {
+		cfg.Sleep = sleep.sleep
+	}
+	if clock != nil {
+		cfg.Now = clock.now
+	}
+	return cfg
+}
+
+func TestRetriesTransientThenSucceeds(t *testing.T) {
+	inner := &scriptedModel{script: []error{transientErr(), transientErr()}}
+	sleep := &instantSleep{}
+	reg := metrics.NewRegistry()
+	m := Wrap(inner, testConfig(sleep, nil), reg)
+
+	resp, err := m.Complete(context.Background(), llm.Request{Task: llm.TaskAnswer})
+	if err != nil {
+		t.Fatalf("want success after retries, got %v", err)
+	}
+	if resp.Text != "ok" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if inner.count() != 3 {
+		t.Fatalf("inner calls = %d, want 3", inner.count())
+	}
+	// Full jitter with Rand=0.5: halves of 100ms and 200ms windows.
+	want := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond}
+	if len(sleep.waits) != 2 || sleep.waits[0] != want[0] || sleep.waits[1] != want[1] {
+		t.Fatalf("backoffs = %v, want %v", sleep.waits, want)
+	}
+	if got := reg.Counter("llm.retries").Value(); got != 2 {
+		t.Fatalf("llm.retries = %d", got)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	inner := &scriptedModel{script: []error{transientErr(), transientErr(), transientErr()}}
+	m := Wrap(inner, testConfig(&instantSleep{}, nil), metrics.NewRegistry())
+
+	_, err := m.Complete(context.Background(), llm.Request{Task: llm.TaskAnswer})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || ex.Attempts != 3 {
+		t.Fatalf("want ExhaustedError with 3 attempts, got %v", err)
+	}
+	if !llm.IsTransient(err) {
+		t.Fatalf("exhausted error should unwrap to the transient cause: %v", err)
+	}
+}
+
+func TestNoRetryOnNonTransient(t *testing.T) {
+	malformed := &llm.BackendError{Task: llm.TaskAnswer, Reason: llm.ReasonMalformed, Transient: false}
+	inner := &scriptedModel{script: []error{malformed}}
+	m := Wrap(inner, testConfig(&instantSleep{}, nil), metrics.NewRegistry())
+
+	_, err := m.Complete(context.Background(), llm.Request{Task: llm.TaskAnswer})
+	if !errors.Is(err, error(malformed)) {
+		t.Fatalf("want the malformed error verbatim, got %v", err)
+	}
+	if inner.count() != 1 {
+		t.Fatalf("non-transient failures must not be retried: %d calls", inner.count())
+	}
+}
+
+func TestNoRetryOnNoTranslation(t *testing.T) {
+	inner := &scriptedModel{script: []error{llm.ErrNoTranslation, llm.ErrNoTranslation}}
+	reg := metrics.NewRegistry()
+	m := Wrap(inner, testConfig(&instantSleep{}, nil), reg)
+
+	_, err := m.Complete(context.Background(), llm.Request{Task: llm.TaskText2Cypher})
+	if !errors.Is(err, llm.ErrNoTranslation) {
+		t.Fatalf("want ErrNoTranslation passthrough, got %v", err)
+	}
+	if inner.count() != 1 {
+		t.Fatalf("semantic outcomes must not be retried: %d calls", inner.count())
+	}
+	if got := reg.Counter("llm.failures").Value(); got != 0 {
+		t.Fatalf("ErrNoTranslation must not count as a failure: %d", got)
+	}
+}
+
+func TestNoRetryOnParentCancel(t *testing.T) {
+	inner := &scriptedModel{script: []error{transientErr(), transientErr(), transientErr()}}
+	m := Wrap(inner, testConfig(nil, nil), metrics.NewRegistry())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Complete(ctx, llm.Request{Task: llm.TaskAnswer}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if inner.count() != 0 {
+		t.Fatalf("pre-canceled context should not reach the backend: %d calls", inner.count())
+	}
+}
+
+// hangModel blocks until its context ends.
+type hangModel struct{}
+
+func (hangModel) Complete(ctx context.Context, _ llm.Request) (llm.Response, error) {
+	<-ctx.Done()
+	return llm.Response{}, ctx.Err()
+}
+
+// The per-attempt timeout must NOT look like the caller's deadline
+// expiring: upper layers map context.DeadlineExceeded to a gateway
+// timeout, but an attempt timeout should flow into degradation.
+func TestAttemptTimeoutIdentity(t *testing.T) {
+	cfg := testConfig(&instantSleep{}, nil)
+	cfg.Timeout = 5 * time.Millisecond
+	cfg.Retries = -1
+	reg := metrics.NewRegistry()
+	m := Wrap(hangModel{}, cfg, reg)
+
+	_, err := m.Complete(context.Background(), llm.Request{Task: llm.TaskAnswer})
+	if !errors.Is(err, ErrAttemptTimeout) {
+		t.Fatalf("want ErrAttemptTimeout, got %v", err)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("attempt timeout must not satisfy context.DeadlineExceeded: %v", err)
+	}
+	if got := reg.Counter("llm.timeouts").Value(); got != 1 {
+		t.Fatalf("llm.timeouts = %d", got)
+	}
+}
+
+// When the caller's own deadline expires mid-attempt, the original
+// context error must surface, not an attempt timeout.
+func TestParentDeadlineSurvives(t *testing.T) {
+	cfg := testConfig(nil, nil)
+	cfg.Timeout = time.Minute
+	m := Wrap(hangModel{}, cfg, metrics.NewRegistry())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := m.Complete(ctx, llm.Request{Task: llm.TaskAnswer})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want the caller's DeadlineExceeded, got %v", err)
+	}
+	if errors.Is(err, ErrAttemptTimeout) {
+		t.Fatalf("caller deadline must not read as an attempt timeout")
+	}
+}
+
+func TestBreakerOpensHalfOpensRecloses(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	cfg := testConfig(&instantSleep{}, clock)
+	cfg.Retries = -1
+	cfg.BreakerThreshold = 3
+	cfg.BreakerCooldown = time.Second
+	cfg.BreakerSuccesses = 2
+	inner := &scriptedModel{script: []error{transientErr(), transientErr(), transientErr()}}
+	reg := metrics.NewRegistry()
+	m := Wrap(inner, cfg, reg)
+	ctx := context.Background()
+	req := llm.Request{Task: llm.TaskAnswer}
+
+	// Three consecutive failures open the breaker.
+	for i := 0; i < 3; i++ {
+		if _, err := m.Complete(ctx, req); !llm.IsTransient(err) {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if st := m.BreakerStates()["answer"]; st != StateOpen {
+		t.Fatalf("after threshold failures: state = %q, want open", st)
+	}
+	if got := reg.Gauge("llm.breaker_state{task=answer}").Value(); got != gaugeOpen {
+		t.Fatalf("breaker gauge = %d, want %d", got, gaugeOpen)
+	}
+
+	// Open: calls rejected without touching the backend.
+	before := inner.count()
+	if _, err := m.Complete(ctx, req); !errors.Is(err, ErrBreakerOpen) || !IsUnavailable(err) {
+		t.Fatalf("open breaker: want ErrBreakerOpen, got %v", err)
+	}
+	if inner.count() != before {
+		t.Fatalf("open breaker must not reach the backend")
+	}
+
+	// Cooldown elapses: half-open, probes admitted; two successes
+	// reclose.
+	clock.advance(cfg.BreakerCooldown)
+	if st := m.BreakerStates()["answer"]; st != StateHalfOpen {
+		t.Fatalf("after cooldown: state = %q, want half_open", st)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := m.Complete(ctx, req); err != nil {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+	}
+	if st := m.BreakerStates()["answer"]; st != StateClosed {
+		t.Fatalf("after probe successes: state = %q, want closed", st)
+	}
+	if got := reg.Counter("llm.breaker_open").Value(); got != 1 {
+		t.Fatalf("llm.breaker_open = %d, want 1", got)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	cfg := testConfig(&instantSleep{}, clock)
+	cfg.Retries = -1
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = time.Second
+	inner := &scriptedModel{script: []error{transientErr(), transientErr(), transientErr()}}
+	m := Wrap(inner, cfg, metrics.NewRegistry())
+	ctx := context.Background()
+	req := llm.Request{Task: llm.TaskAnswer}
+
+	for i := 0; i < 2; i++ {
+		m.Complete(ctx, req)
+	}
+	clock.advance(cfg.BreakerCooldown)
+	// The probe hits the third scripted failure: straight back to open.
+	if _, err := m.Complete(ctx, req); !llm.IsTransient(err) {
+		t.Fatalf("probe: %v", err)
+	}
+	if st := m.BreakerStates()["answer"]; st != StateOpen {
+		t.Fatalf("after failed probe: state = %q, want open", st)
+	}
+}
+
+func TestBreakerProbeBudget(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	cfg := testConfig(nil, clock)
+	cfg.Retries = -1
+	cfg.BreakerThreshold = 1
+	cfg.BreakerCooldown = time.Second
+	cfg.BreakerProbes = 1
+	cfg.Timeout = -1
+
+	probeStarted := make(chan struct{})
+	probeRelease := make(chan struct{})
+	inner := &gateModel{started: probeStarted, release: probeRelease,
+		first: transientErr()}
+	m := Wrap(inner, cfg, metrics.NewRegistry())
+	ctx := context.Background()
+	req := llm.Request{Task: llm.TaskAnswer}
+
+	m.Complete(ctx, req) // opens (threshold 1)
+	clock.advance(cfg.BreakerCooldown)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Complete(ctx, req)
+		done <- err
+	}()
+	<-probeStarted
+	// Budget of one probe is in flight: a second call is rejected.
+	if _, err := m.Complete(ctx, req); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second probe should exceed the budget, got %v", err)
+	}
+	close(probeRelease)
+	if err := <-done; err != nil {
+		t.Fatalf("probe call: %v", err)
+	}
+}
+
+// gateModel fails its first call, then blocks subsequent calls on
+// release to hold a probe in flight.
+type gateModel struct {
+	started chan struct{}
+	release chan struct{}
+	first   error
+	calls   atomic.Int64
+}
+
+func (g *gateModel) Complete(ctx context.Context, _ llm.Request) (llm.Response, error) {
+	if g.calls.Add(1) == 1 {
+		return llm.Response{}, g.first
+	}
+	close(g.started)
+	<-g.release
+	return llm.Response{Text: "ok"}, nil
+}
+
+func TestBreakersArePerTask(t *testing.T) {
+	cfg := testConfig(&instantSleep{}, nil)
+	cfg.Retries = -1
+	cfg.BreakerThreshold = 1
+	inner := &scriptedModel{script: []error{transientErr()}}
+	m := Wrap(inner, cfg, metrics.NewRegistry())
+	ctx := context.Background()
+
+	m.Complete(ctx, llm.Request{Task: llm.TaskAnswer}) // opens answer
+	if _, err := m.Complete(ctx, llm.Request{Task: llm.TaskRerank}); err != nil {
+		t.Fatalf("rerank must be unaffected by answer's breaker: %v", err)
+	}
+	states := m.BreakerStates()
+	if states["answer"] != StateOpen || states["rerank"] != StateClosed {
+		t.Fatalf("states = %v", states)
+	}
+}
+
+func TestBulkhead(t *testing.T) {
+	cfg := testConfig(nil, nil)
+	cfg.MaxInFlight = 2
+	cfg.Retries = -1
+	started := make(chan struct{}, 2)
+	release := make(chan struct{})
+	inner := modelFunc(func(ctx context.Context, _ llm.Request) (llm.Response, error) {
+		started <- struct{}{}
+		<-release
+		return llm.Response{Text: "ok"}, nil
+	})
+	reg := metrics.NewRegistry()
+	m := Wrap(inner, cfg, reg)
+	ctx := context.Background()
+	req := llm.Request{Task: llm.TaskAnswer}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Complete(ctx, req)
+		}()
+	}
+	<-started
+	<-started
+	if got := reg.Gauge("llm.inflight").Value(); got != 2 {
+		t.Fatalf("llm.inflight = %d, want 2", got)
+	}
+	_, err := m.Complete(ctx, req)
+	if !errors.Is(err, ErrBulkheadFull) || !IsUnavailable(err) {
+		t.Fatalf("saturated bulkhead: want ErrBulkheadFull, got %v", err)
+	}
+	if got := reg.Counter("llm.bulkhead_rejections").Value(); got != 1 {
+		t.Fatalf("llm.bulkhead_rejections = %d", got)
+	}
+	close(release)
+	wg.Wait()
+	if _, err := m.Complete(ctx, req); err != nil {
+		t.Fatalf("after drain: %v", err)
+	}
+}
+
+type modelFunc func(context.Context, llm.Request) (llm.Response, error)
+
+func (f modelFunc) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	return f(ctx, req)
+}
+
+// A hammering workload against a flapping FaultyModel must leave no
+// goroutines behind — in particular no timers or hung attempts.
+func TestNoGoroutineLeaks(t *testing.T) {
+	faulty := &llm.FaultyModel{
+		Inner:   modelFunc(func(context.Context, llm.Request) (llm.Response, error) { return llm.Response{Text: "ok"}, nil }),
+		Seed:    11,
+		Default: llm.FaultSchedule{Error: 0.3, Hang: 0.3, Slow: 0.2, SlowBy: 5 * time.Millisecond},
+	}
+	cfg := Config{Timeout: 10 * time.Millisecond, Retries: 1, RetryBase: time.Millisecond,
+		BreakerThreshold: 4, BreakerCooldown: 20 * time.Millisecond}
+	m := Wrap(faulty, cfg, metrics.NewRegistry())
+
+	before := runtime.NumGoroutine()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+				m.Complete(ctx, llm.Request{Task: llm.TaskAnswer, Question: "q"})
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+func TestExhaustedErrorMessage(t *testing.T) {
+	err := &ExhaustedError{Attempts: 3, Last: transientErr()}
+	if msg := err.Error(); !strings.Contains(msg, "3 attempts") {
+		t.Fatalf("message %q", msg)
+	}
+	var be *llm.BackendError
+	if !errors.As(err, &be) {
+		t.Fatalf("ExhaustedError must unwrap to its cause")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Timeout != 10*time.Second || cfg.Retries != 2 || cfg.BreakerThreshold != 5 ||
+		cfg.BreakerCooldown != 5*time.Second || cfg.MaxInFlight != 256 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	none := Config{Timeout: -1, Retries: -1, BreakerThreshold: -1, MaxInFlight: -1}.withDefaults()
+	if none.Timeout != -1 || none.Retries != 0 || none.BreakerThreshold != -1 || none.MaxInFlight != -1 {
+		t.Fatalf("negative overrides = %+v", none)
+	}
+	m := Wrap(&scriptedModel{}, Config{BreakerThreshold: -1, MaxInFlight: -1}, metrics.NewRegistry())
+	if len(m.BreakerStates()) != 0 {
+		t.Fatalf("disabled breaker should report no states")
+	}
+	if _, err := m.Complete(context.Background(), llm.Request{Task: llm.TaskAnswer}); err != nil {
+		t.Fatalf("uncapped, unbroken wrap: %v", err)
+	}
+}
+
+// Race hammer: mixed tasks, mixed outcomes, concurrent BreakerStates
+// reads. Run with -race.
+func TestConcurrentHammer(t *testing.T) {
+	faulty := &llm.FaultyModel{
+		Inner:   modelFunc(func(context.Context, llm.Request) (llm.Response, error) { return llm.Response{Text: "ok"}, nil }),
+		Seed:    5,
+		Default: llm.FaultSchedule{Error: 0.4},
+	}
+	cfg := Config{Timeout: 20 * time.Millisecond, Retries: 1, RetryBase: time.Millisecond,
+		BreakerThreshold: 3, BreakerCooldown: 5 * time.Millisecond, MaxInFlight: 16}
+	m := Wrap(faulty, cfg, metrics.NewRegistry())
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			task := allTasks[n%len(allTasks)]
+			for j := 0; j < 50; j++ {
+				m.Complete(context.Background(), llm.Request{Task: task, Question: fmt.Sprintf("q%d", j)})
+				if j%10 == 0 {
+					m.BreakerStates()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

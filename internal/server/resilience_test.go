@@ -1,0 +1,294 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"chatiyp/internal/api"
+	"chatiyp/internal/core"
+	"chatiyp/internal/iyp"
+	"chatiyp/internal/llm"
+	"chatiyp/internal/resilience"
+)
+
+// manualClock is a hand-advanced clock for driving breaker cooldowns
+// without real sleeps. Safe for concurrent use.
+type manualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *manualClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *manualClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// newOutageServer builds a server whose LLM backend is a FaultyModel
+// the test can flip down and up, with the breaker clock under test
+// control. The server is constructed with DisableResilience so the
+// manually tuned EnableResilience wiring is not overwritten.
+func newOutageServer(t testing.TB) (*Server, *llm.FaultyModel, *manualClock) {
+	t.Helper()
+	g, _, err := iyp.Build(iyp.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCfg := llm.DefaultSimConfig(core.BuildLexicon(g))
+	simCfg.ErrorScale = 0
+	faulty := &llm.FaultyModel{Inner: llm.NewSim(simCfg), Seed: 11}
+	p, err := core.New(core.Config{Graph: g, Model: faulty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := &manualClock{t: time.Unix(1700000000, 0)}
+	p.EnableResilience(resilience.Config{
+		Timeout:          -1, // faults are fail-fast errors, not hangs
+		Retries:          1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Second,
+		Now:              clock.now,
+		Sleep:            func(context.Context, time.Duration) error { return nil },
+	}, true)
+	s, err := New(Config{Pipeline: p, DisableResilience: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, faulty, clock
+}
+
+func askV1(t *testing.T, h http.Handler, question string) (*httptest.ResponseRecorder, api.AskResponse) {
+	t.Helper()
+	rec := postJSON(t, h, "/v1/ask", api.AskRequest{Question: question})
+	var resp api.AskResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("decode ask response: %v\n%s", err, rec.Body.String())
+		}
+	}
+	return rec, resp
+}
+
+func readyV1(t *testing.T, h http.Handler) (*httptest.ResponseRecorder, api.ReadyResponse) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/health/ready", nil))
+	var resp api.ReadyResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode ready response: %v\n%s", err, rec.Body.String())
+	}
+	return rec, resp
+}
+
+func TestHealthLiveAlwaysOK(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/health/live", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("live status = %d", rec.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["status"] != "ok" {
+		t.Fatalf("live body = %q (err %v)", rec.Body.String(), err)
+	}
+}
+
+func TestHealthReadyHealthy(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec, ready := readyV1(t, s.Handler())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ready status = %d", rec.Code)
+	}
+	if ready.Status != "ready" {
+		t.Fatalf("status = %q, want ready", ready.Status)
+	}
+	if ready.Graph.Nodes == 0 || ready.Graph.Relationships == 0 {
+		t.Errorf("graph counts empty: %+v", ready.Graph)
+	}
+	// The default server enables resilience, so the breaker map must be
+	// populated and all closed.
+	if len(ready.Breakers) == 0 {
+		t.Fatal("no breaker states reported")
+	}
+	for task, st := range ready.Breakers {
+		if st != "closed" {
+			t.Errorf("breaker %s = %s, want closed", task, st)
+		}
+	}
+	if ready.Scheduler.Draining {
+		t.Error("scheduler reports draining on a live server")
+	}
+}
+
+func TestHealthReadyDraining(t *testing.T) {
+	s, _ := newTestServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rec, ready := readyV1(t, s.Handler())
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining ready status = %d, want 503", rec.Code)
+	}
+	if ready.Status != "draining" {
+		t.Fatalf("status = %q, want draining", ready.Status)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("draining ready response missing Retry-After")
+	}
+}
+
+// TestOutageDegradesNeverErrors is the acceptance scenario: with the
+// LLM backend 100% down, POST /v1/ask answers 200 with a degraded
+// answer — zero server errors — the breaker opens (visible in the
+// readiness report), and after the backend recovers and the cooldown
+// elapses the breaker recloses and answers return to full fidelity.
+func TestOutageDegradesNeverErrors(t *testing.T) {
+	s, faulty, clock := newOutageServer(t)
+	h := s.Handler()
+	before := runtime.NumGoroutine()
+
+	faulty.SetDown(true)
+	for i := 0; i < 6; i++ {
+		rec, resp := askV1(t, h, "Which AS announces the most prefixes?")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("ask %d during outage: status %d, want 200\n%s", i, rec.Code, rec.Body.String())
+		}
+		if !resp.Degraded {
+			t.Fatalf("ask %d during outage not degraded: %+v", i, resp)
+		}
+		if resp.Answer == "" {
+			t.Fatalf("ask %d degraded answer empty", i)
+		}
+	}
+
+	// Enough consecutive failures have flowed through every task: the
+	// text2cypher breaker must be open and readiness must say degraded
+	// (still 200 — the server is serving, in reduced fidelity).
+	rec, ready := readyV1(t, h)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ready during outage: status %d", rec.Code)
+	}
+	if ready.Status != "degraded" {
+		t.Fatalf("ready status during outage = %q, want degraded", ready.Status)
+	}
+	if st := ready.Breakers[llm.TaskText2Cypher.String()]; st != "open" {
+		t.Fatalf("text2cypher breaker = %q, want open (all: %v)", st, ready.Breakers)
+	}
+
+	// With the breaker open, asks still answer 200 degraded (fail-fast
+	// rejection absorbed by degradation), reason breaker_open.
+	rec2, resp := askV1(t, h, "Which country hosts the most IXPs?")
+	if rec2.Code != http.StatusOK || !resp.Degraded {
+		t.Fatalf("breaker-open ask: status %d degraded %v", rec2.Code, resp.Degraded)
+	}
+	if resp.DegradedReason != "breaker_open" {
+		t.Fatalf("degraded_reason = %q, want breaker_open", resp.DegradedReason)
+	}
+
+	// Recovery: backend back up, cooldown elapsed — the next asks probe
+	// (half-open) and reclose the breaker.
+	faulty.SetDown(false)
+	clock.advance(2 * time.Second)
+	var healthy bool
+	for i := 0; i < 4; i++ {
+		rec, resp := askV1(t, h, "Which AS announces the most prefixes?")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("ask %d during recovery: status %d", i, rec.Code)
+		}
+		if !resp.Degraded {
+			healthy = true
+		}
+	}
+	if !healthy {
+		t.Fatal("no full-fidelity answer after recovery")
+	}
+	_, ready = readyV1(t, h)
+	if ready.Status != "ready" {
+		t.Fatalf("ready status after recovery = %q (breakers %v)", ready.Status, ready.Breakers)
+	}
+	for task, st := range ready.Breakers {
+		if st != "closed" {
+			t.Errorf("breaker %s = %s after recovery, want closed", task, st)
+		}
+	}
+
+	// No goroutines may survive the outage/recovery churn.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Errorf("goroutine leak: %d before, %d after", before, n)
+	}
+}
+
+// TestDegradedResponseOnWire pins the wire shape: degraded and
+// degraded_reason appear in the /v1/ask JSON, and a healthy answer
+// omits them entirely.
+func TestDegradedResponseOnWire(t *testing.T) {
+	s, faulty, _ := newOutageServer(t)
+	h := s.Handler()
+
+	rec, resp := askV1(t, h, "Which AS announces the most prefixes?")
+	if rec.Code != http.StatusOK || resp.Degraded {
+		t.Fatalf("healthy ask: status %d degraded %v", rec.Code, resp.Degraded)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["degraded"]; ok {
+		t.Error("healthy response carries degraded key")
+	}
+
+	faulty.SetDown(true)
+	rec, _ = askV1(t, h, "Which country hosts the most IXPs?")
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw["degraded"]) != "true" {
+		t.Errorf("degraded key = %s, want true", raw["degraded"])
+	}
+	if _, ok := raw["degraded_reason"]; !ok {
+		t.Error("degraded response missing degraded_reason")
+	}
+}
+
+// TestServerDefaultsEnableResilience verifies the default construction
+// path wires the resilient model: breaker state shows up in readiness
+// without any explicit configuration.
+func TestServerDefaultsEnableResilience(t *testing.T) {
+	s, _ := newTestServer(t)
+	if s.cfg.Pipeline.BreakerStates() == nil {
+		t.Fatal("default server did not enable resilience")
+	}
+	// And the metrics snapshot carries the breaker gauges.
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", rec.Code)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap.Counters["llm.breaker_state{task=text2cypher}"]; !ok {
+		t.Errorf("metrics missing breaker gauge; keys: %d", len(snap.Counters))
+	}
+}

@@ -152,6 +152,16 @@ func (s *scheduler) acquire(ctx context.Context) (release func(), err error) {
 	}, nil
 }
 
+// snapshot reports the scheduler's live levels for the readiness
+// endpoint. The queue depth comes from the private atomic (the bound),
+// not the externally mutable gauge.
+func (s *scheduler) snapshot() (inflight, queued int64, draining bool) {
+	s.mu.Lock()
+	draining = s.draining
+	s.mu.Unlock()
+	return s.inflight.Value(), s.queueDepth.Load(), draining
+}
+
 // drain stops admission (queued waiters abort immediately, new arrivals
 // are rejected) and waits for the in-flight requests to release, or for
 // ctx to give up on them.

@@ -34,6 +34,7 @@ import (
 	"chatiyp/internal/graph"
 	"chatiyp/internal/iyp"
 	"chatiyp/internal/metrics"
+	"chatiyp/internal/resilience"
 )
 
 // Config assembles a Server.
@@ -124,6 +125,32 @@ type Config struct {
 	// SessionClock overrides the session store's clock; tests inject it
 	// to drive TTL expiry deterministically. Nil means time.Now.
 	SessionClock func() time.Time
+
+	// LLM-backend resilience. Unless DisableResilience is set, New wraps
+	// the pipeline's model in a ResilientModel (applied via
+	// Pipeline.EnableResilience, the same pattern as SemCacheThreshold)
+	// with graceful degradation on: a down backend yields degraded 200s
+	// assembled from retrieved facts, never 5xx. Zero values take the
+	// resilience package defaults.
+	//
+	// LLMTimeout bounds each model attempt (default 10s; <0 disables).
+	LLMTimeout time.Duration
+	// LLMRetries is how many extra attempts follow a retryable model
+	// failure (default 2; <0 disables retries).
+	LLMRetries int
+	// LLMBreakerThreshold is the consecutive-failure count that opens a
+	// task's circuit breaker (default 5; <0 disables the breaker).
+	LLMBreakerThreshold int
+	// LLMBreakerCooldown is how long an open breaker waits before
+	// probing the backend again (default 5s).
+	LLMBreakerCooldown time.Duration
+	// LLMMaxInFlight caps concurrent model calls (default 256; <0
+	// uncaps).
+	LLMMaxInFlight int
+	// DisableResilience leaves the pipeline's model exactly as
+	// configured — no wrapper, no degradation. Embedders that wrapped
+	// the model themselves (or want failures loud) set this.
+	DisableResilience bool
 }
 
 // DefaultCypherRowLimit is the /api/cypher row cap applied when
@@ -171,6 +198,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.SemCacheThreshold > 0 {
 		cfg.Pipeline.EnableSemCache(cfg.SemCacheThreshold, cfg.SemCacheSize)
+	}
+	if !cfg.DisableResilience {
+		cfg.Pipeline.EnableResilience(resilience.Config{
+			Timeout:          cfg.LLMTimeout,
+			Retries:          cfg.LLMRetries,
+			BreakerThreshold: cfg.LLMBreakerThreshold,
+			BreakerCooldown:  cfg.LLMBreakerCooldown,
+			MaxInFlight:      cfg.LLMMaxInFlight,
+		}, true)
 	}
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
@@ -220,6 +256,8 @@ func New(cfg Config) (*Server, error) {
 	s.agent = agentSvc
 	// v1: the versioned surface. Every error is the uniform envelope.
 	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/health/live", s.handleHealthLive)
+	s.mux.HandleFunc("GET /v1/health/ready", s.handleHealthReady)
 	s.mux.HandleFunc("GET /v1/schema", s.handleSchema)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
@@ -564,6 +602,48 @@ func (s *Server) writeExecError(w http.ResponseWriter, err error, timeout time.D
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleHealthLive is the liveness probe: the process is up and the
+// mux is serving. Always 200 — restarting the process would not help
+// anything this endpoint could report.
+func (s *Server) handleHealthLive(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleHealthReady is the readiness probe: graph shape, LLM circuit
+// breakers, and scheduler saturation in one report. "draining" answers
+// 503 (stop routing traffic here); "degraded" still answers 200 — the
+// server is serving, only answer fidelity is reduced while a breaker
+// is open.
+func (s *Server) handleHealthReady(w http.ResponseWriter, _ *http.Request) {
+	g := s.cfg.Pipeline.Graph()
+	inflight, queued, draining := s.sched.snapshot()
+	resp := api.ReadyResponse{
+		Status: "ready",
+		Graph: api.ReadyGraph{
+			Nodes:         g.NodeCount(),
+			Relationships: g.RelationshipCount(),
+			Version:       g.Version(),
+		},
+		Breakers:  s.cfg.Pipeline.BreakerStates(),
+		Scheduler: api.ReadyScheduler{Inflight: inflight, Queued: queued, Draining: draining},
+	}
+	status := http.StatusOK
+	switch {
+	case draining:
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(s.retrySecs()))
+	default:
+		for _, st := range resp.Breakers {
+			if st != "closed" {
+				resp.Status = "degraded"
+				break
+			}
+		}
+	}
+	writeJSON(w, status, resp)
 }
 
 func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {

@@ -14,6 +14,7 @@ import (
 	"chatiyp/internal/core"
 	"chatiyp/internal/cypher"
 	"chatiyp/internal/graph"
+	"chatiyp/internal/resilience"
 )
 
 // This file implements the versioned /v1/ handlers: content
@@ -107,31 +108,40 @@ func (s *Server) negotiateJSON(w http.ResponseWriter, r *http.Request) bool {
 
 // writeExecErrorV1 maps an execution failure onto the envelope:
 // deadline expiry is 504/timeout, cancellation 499/canceled, Cypher
-// syntax errors 400/parse_error, and anything else the caller's
-// fallback code and status (exec_error 422 for Cypher, internal 500
-// for ask).
+// syntax errors 400/parse_error, fail-fast model-layer rejections
+// (breaker open, bulkhead full) 503/unavailable + Retry-After, and
+// anything else the caller's fallback code and status (exec_error 422
+// for Cypher, internal 500 for ask).
 func (s *Server) writeExecErrorV1(w http.ResponseWriter, r *http.Request, err error, timeout time.Duration, fallbackCode string, fallbackStatus int) {
-	status, code, msg := s.classifyExecError(err, timeout, fallbackCode, fallbackStatus)
-	s.httpError(w, r, true, status, code, msg, 0)
+	status, code, msg, retry := s.classifyExecError(err, timeout, fallbackCode, fallbackStatus)
+	s.httpError(w, r, true, status, code, msg, retry)
 }
 
 // classifyExecError maps an execution failure to (status, code,
-// message), bumping the same counters the legacy path does.
-func (s *Server) classifyExecError(err error, timeout time.Duration, fallbackCode string, fallbackStatus int) (int, string, string) {
+// message, retry-after seconds), bumping the same counters the legacy
+// path does.
+func (s *Server) classifyExecError(err error, timeout time.Duration, fallbackCode string, fallbackStatus int) (int, string, string, int) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		s.reg.Counter("server.deadline_exceeded").Inc()
 		return http.StatusGatewayTimeout, api.CodeTimeout,
-			fmt.Sprintf("execution exceeded the %s deadline", timeout)
+			fmt.Sprintf("execution exceeded the %s deadline", timeout), 0
 	case errors.Is(err, cypher.ErrCanceled), errors.Is(err, context.Canceled):
 		s.reg.Counter("server.exec_canceled").Inc()
-		return api.StatusClientClosedRequest, api.CodeCanceled, "execution canceled: " + err.Error()
+		return api.StatusClientClosedRequest, api.CodeCanceled, "execution canceled: " + err.Error(), 0
+	case resilience.IsUnavailable(err):
+		// The model layer rejected fast (circuit open or bulkhead
+		// saturated) and degradation could not absorb it: a clean 503
+		// with backoff, not a 500.
+		s.reg.Counter("server.llm_unavailable").Inc()
+		return http.StatusServiceUnavailable, api.CodeUnavailable,
+			"LLM backend unavailable: " + err.Error(), s.retrySecs()
 	}
 	var syntaxErr *cypher.SyntaxError
 	if errors.As(err, &syntaxErr) {
-		return http.StatusBadRequest, api.CodeParseError, err.Error()
+		return http.StatusBadRequest, api.CodeParseError, err.Error(), 0
 	}
-	return fallbackStatus, fallbackCode, err.Error()
+	return fallbackStatus, fallbackCode, err.Error(), 0
 }
 
 // wireStats converts engine write statistics to the wire shape.
@@ -150,15 +160,17 @@ func wireStats(s cypher.WriteStats) api.WriteStats {
 // wireAnswer converts a pipeline answer to the v1 wire shape.
 func wireAnswer(ans *core.Answer) *api.AskResponse {
 	resp := &api.AskResponse{
-		Question:    ans.Question,
-		Answer:      ans.Text,
-		Cypher:      ans.Cypher,
-		CypherError: ans.CypherError,
-		Columns:     ans.Columns,
-		Rows:        ans.Rows,
-		Fallback:    ans.UsedVectorFallback,
-		CacheHit:    ans.CacheHit,
-		DurationMS:  float64(ans.Duration.Microseconds()) / 1000,
+		Question:       ans.Question,
+		Answer:         ans.Text,
+		Cypher:         ans.Cypher,
+		CypherError:    ans.CypherError,
+		Columns:        ans.Columns,
+		Rows:           ans.Rows,
+		Fallback:       ans.UsedVectorFallback,
+		CacheHit:       ans.CacheHit,
+		Degraded:       ans.Degraded,
+		DegradedReason: ans.DegradedReason,
+		DurationMS:     float64(ans.Duration.Microseconds()) / 1000,
 	}
 	for _, c := range ans.Context {
 		resp.Context = append(resp.Context, api.ContextRecord{Source: c.Source, Text: c.Text, Score: c.Score})
@@ -263,8 +275,8 @@ func (s *Server) handleAskBatchV1(w http.ResponseWriter, r *http.Request) {
 		res := api.AskBatchResult{Question: ba.Question}
 		switch {
 		case ba.Err != nil:
-			_, code, msg := s.classifyExecError(ba.Err, s.cfg.AskTimeout, api.CodeInternal, http.StatusInternalServerError)
-			res.Error = &api.ErrorDetail{Code: code, Message: msg, RequestID: requestID(r)}
+			_, code, msg, retry := s.classifyExecError(ba.Err, s.cfg.AskTimeout, api.CodeInternal, http.StatusInternalServerError)
+			res.Error = &api.ErrorDetail{Code: code, Message: msg, RetryAfter: retry, RequestID: requestID(r)}
 		default:
 			res.Answer = wireAnswer(ba.Answer)
 		}
@@ -331,7 +343,7 @@ func (s *Server) streamCypherV1(ctx context.Context, w http.ResponseWriter, r *h
 	for {
 		row, ok, err := st.Next()
 		if err != nil {
-			_, code, msg := s.classifyExecError(err, s.cfg.CypherTimeout, api.CodeExecError, http.StatusUnprocessableEntity)
+			_, code, msg, _ := s.classifyExecError(err, s.cfg.CypherTimeout, api.CodeExecError, http.StatusUnprocessableEntity)
 			out.trailer(api.StreamRecord{
 				Error:      &api.ErrorDetail{Code: code, Message: msg, RequestID: requestID(r)},
 				DurationMS: float64(time.Since(started).Microseconds()) / 1000,

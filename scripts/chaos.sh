@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Runs the chaos replay (four-phase fault-injected LLM backend over the
+# eval corpus) as a benchmark and writes the contract metrics —
+# availability_pct, breaker_opens, degraded_answers, llm_retries — to
+# CHAOS.json at the repo root. The benchmark itself fails when the
+# resilience contract is broken (any server error, breaker never opens,
+# or never recloses), so CI gets both a hard gate and an artifact.
+set -eu
+cd "$(dirname "$0")/.."
+go test -run NONE -bench 'BenchmarkChaosReplay' -benchtime "${BENCHTIME:-1x}" ./internal/eval/ |
+	tee /dev/stderr |
+	go run ./cmd/benchjson > CHAOS.json
+echo "wrote CHAOS.json" >&2

@@ -1,9 +1,13 @@
 #!/bin/sh
 # smoke_api.sh — build the server, boot it on a small example graph,
-# and drive the v1 API end to end (JSON, cursor pagination, streaming
-# NDJSON, ask, batch, explain, error envelope, the /v1/tools agent
-# surface and a create -> use -> expire session round trip) through the
-# client SDK via cmd/apismoke. CI runs this as the api-smoke job.
+# and drive the v1 API end to end (readiness probe, JSON, cursor
+# pagination, streaming NDJSON, ask, batch, explain, error envelope,
+# the /v1/tools agent surface and a create -> use -> expire session
+# round trip) through the client SDK via cmd/apismoke; then boot a
+# second server with the LLM backend forced down (-llm-faults down) and
+# assert the degradation contract: ask still answers 200 (degraded,
+# never a 5xx) and the open breaker shows in /v1/health/ready. CI runs
+# this as the api-smoke job.
 set -eu
 
 ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
@@ -23,5 +27,18 @@ trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT INT TERM
 
 kill "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true
+trap - EXIT INT TERM
+
+DEG_ADDR="${SMOKE_DEGRADED_ADDR:-127.0.0.1:18081}"
+echo "starting chatiyp-server on $DEG_ADDR with the LLM backend down..."
+"$BIN/chatiyp-server" -small -addr "$DEG_ADDR" \
+	-llm-faults down -llm-retries 1 -llm-breaker-cooldown 200ms &
+DEG_PID=$!
+trap 'kill "$DEG_PID" 2>/dev/null || true' EXIT INT TERM
+
+"$BIN/apismoke" -server "http://$DEG_ADDR" -wait 60s -degraded
+
+kill "$DEG_PID"
+wait "$DEG_PID" 2>/dev/null || true
 trap - EXIT INT TERM
 echo "smoke_api: OK"
